@@ -1,0 +1,56 @@
+// Command crbench regenerates the paper's figures and the extension
+// studies: every experiment registered in internal/bench is run and its
+// table printed (plain text by default, markdown with -markdown, which is
+// how EXPERIMENTS.md is produced).
+//
+// Usage:
+//
+//	crbench            # run all experiments
+//	crbench -id E1     # one experiment
+//	crbench -markdown > experiments.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	id := flag.String("id", "", "run a single experiment (E1..E13)")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
+	flag.Parse()
+
+	experiments := bench.All()
+	if *id != "" {
+		e, ok := bench.Find(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "crbench: unknown experiment %q\n", *id)
+			os.Exit(2)
+		}
+		experiments = []bench.Experiment{e}
+	}
+
+	failed := 0
+	for _, e := range experiments {
+		start := time.Now()
+		tbl, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crbench: %s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		if *markdown {
+			fmt.Print(tbl.Markdown())
+		} else {
+			fmt.Print(tbl.Render())
+			fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

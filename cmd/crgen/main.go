@@ -1,0 +1,70 @@
+// Command crgen generates random problem instances or dumps the built-in
+// scenarios as JSON specs consumable by crassign and crsim.
+//
+// Usage:
+//
+//	crgen -crus 25 -satellites 3 -seed 7 > random.json
+//	crgen -scenario epilepsy > epilepsy.json
+//	crgen -scenario paper -dot tree.dot > paper.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func main() {
+	scenario := flag.String("scenario", "", "built-in scenario: paper | paper-symbolic | epilepsy | snmp (overrides random generation)")
+	crus := flag.Int("crus", 20, "number of processing CRUs")
+	sats := flag.Int("satellites", 3, "number of satellites")
+	arity := flag.Int("arity", 3, "maximum children per CRU")
+	seed := flag.Int64("seed", 1, "generator seed")
+	scattered := flag.Bool("scattered", false, "scatter sensors across satellites (default: clustered bands)")
+	satRatio := flag.Float64("sat-ratio", 3, "satellite/host slowdown factor")
+	rawFactor := flag.Float64("raw-factor", 4, "raw-frame vs processed-frame size factor")
+	dot := flag.String("dot", "", "also write Graphviz DOT to this file")
+	flag.Parse()
+
+	var tree *model.Tree
+	name := *scenario
+	switch *scenario {
+	case "paper":
+		tree = workload.PaperTree()
+	case "paper-symbolic":
+		tree = workload.PaperTreeSymbolic()
+	case "epilepsy":
+		tree = workload.Epilepsy()
+	case "snmp":
+		tree = workload.SNMP()
+	case "":
+		spec := workload.DefaultRandomSpec(*crus, *sats)
+		spec.MaxArity = *arity
+		spec.Clustered = !*scattered
+		spec.SatRatio = *satRatio
+		spec.RawFactor = *rawFactor
+		tree = workload.Random(rand.New(rand.NewSource(*seed)), spec)
+		name = fmt.Sprintf("random-%d", *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "crgen: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+
+	if *dot != "" {
+		if err := os.WriteFile(*dot, []byte(model.DOT(tree, name)), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if err := model.WriteSpec(os.Stdout, tree, name); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crgen:", err)
+	os.Exit(1)
+}

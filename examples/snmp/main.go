@@ -1,0 +1,58 @@
+// SNMP network monitoring: the second application domain the paper's §3
+// names. A management station (host) reasons over counters smoothed on
+// three router agents (satellites). This example shows how the optimal cut
+// moves as the routers' spare CPU shrinks: with idle routers the smoothing
+// runs on the agents; once the routers are loaded (their effective speed
+// drops), the optimum pulls work back to the station — the heterogeneity
+// trade-off the paper motivates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func main() {
+	base := workload.SNMP()
+	fmt.Println("SNMP monitoring reasoning procedure:")
+	fmt.Println(base.Render())
+
+	fmt.Printf("%-22s %10s %10s %10s %12s\n",
+		"router slowdown", "optimal", "all-host", "max-dist", "CRUs offloaded")
+	for _, slowdown := range []float64{0.5, 1, 2, 4, 8} {
+		tree := base.ScaleProfiles(1, slowdown, 1)
+		opt, err := repro.Solve(tree)
+		if err != nil {
+			log.Fatal(err)
+		}
+		allHost, err := repro.SolveWith(repro.Request{Tree: tree, Algorithm: repro.AllHost})
+		if err != nil {
+			log.Fatal(err)
+		}
+		maxDist, err := repro.SolveWith(repro.Request{Tree: tree, Algorithm: repro.MaxDistribution})
+		if err != nil {
+			log.Fatal(err)
+		}
+		offloaded := 0
+		for _, id := range tree.Preorder() {
+			if tree.Node(id).Kind == model.Processing && !opt.Assignment.At(id).IsHost() {
+				offloaded++
+			}
+		}
+		fmt.Printf("%-22s %10.4g %10.4g %10.4g %12d\n",
+			fmt.Sprintf("x%.2g", slowdown), opt.Delay, allHost.Delay, maxDist.Delay, offloaded)
+	}
+
+	// Detail view at the default profile.
+	opt, err := repro.Solve(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\noptimal assignment at x1:")
+	fmt.Println(opt.Assignment.Describe(base))
+	fmt.Println(opt.Breakdown.Report(base))
+}

@@ -1,0 +1,269 @@
+// Package assign implements the paper's core contribution: the coloured
+// doubly weighted assignment graph (§5.2–5.3) and the adapted SSB search
+// that finds the minimum end-to-end-delay assignment of a CRU tree onto a
+// host–satellites system (§5.4).
+//
+// Construction (following Bokhari's dual-graph idea, refined as documented
+// in DESIGN.md): all sensors are merged into a dummy node A; with L sensors
+// the closed tree has L+1 faces, numbered 0 (the "S" terminal, left of the
+// tree) through L (the "T" terminal, right of the tree). Every
+// non-conflicting tree edge whose child subtree covers leaf positions
+// [a, b] contributes one *directed* dual edge from face a to face b+1. A
+// monotone S→T path therefore crosses a set of tree edges whose leaf
+// intervals tile [0, L-1] exactly — precisely the minimal antichain cuts,
+// i.e. the feasible assignments.
+//
+// Labels: the dual edge crossing tree edge ⟨i,j⟩ carries
+//
+//	β = Σ_{k ∈ subtree(j)} s_k + c_{j,i}   (satellite work + uplink, §5.3)
+//	σ = the Figure-8 pre-order label: each CRU j charges h_j to the edge
+//	    towards its leftmost child, accumulated from the root, so that the
+//	    σ-sum over any cut equals the host execution time of the part above
+//	    the cut.
+//
+// and inherits the tree edge's colour. The coloured B weight of a path is
+// max over colours of the per-colour β sums, and the end-to-end delay of
+// the decoded assignment is exactly S(P) + B(P).
+package assign
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/colouring"
+	"repro/internal/model"
+)
+
+// Edge is one dual edge of the assignment graph. CutChildren usually holds
+// the single tree-edge child the dual edge crosses; super-edges created by
+// the §5.4 expansion step list every crossed child in left-to-right order.
+type Edge struct {
+	ID          int
+	From, To    int // faces, From < To
+	Sigma, Beta float64
+	Colour      model.SatelliteID
+	CutChildren []model.NodeID
+	Expanded    bool // true for §5.4 super-edges
+}
+
+// Graph is the coloured doubly weighted assignment graph of one tree.
+type Graph struct {
+	tree     *model.Tree
+	analysis *colouring.Analysis
+	faces    int // L+1: terminal S is face 0, terminal T is face L
+	edges    []Edge
+	out      [][]int // face -> edge IDs (enabled and disabled alike)
+
+	treeSigma []float64 // per child node: Figure-8 σ label of its tree edge
+}
+
+// ErrUnsolvable is returned when no S→T path exists, i.e. some root-to-
+// sensor path consists solely of conflicting edges. With sensors as leaves
+// this cannot happen (a sensor edge is never conflicting), so hitting it
+// indicates a corrupted graph.
+var ErrUnsolvable = errors.New("assign: assignment graph has no S→T path")
+
+// Build colours the tree and constructs its assignment graph.
+func Build(t *model.Tree) *Graph {
+	return BuildWithAnalysis(colouring.Analyse(t))
+}
+
+// BuildWithAnalysis constructs the assignment graph for a pre-computed
+// colouring.
+func BuildWithAnalysis(an *colouring.Analysis) *Graph {
+	t := an.Tree()
+	g := &Graph{
+		tree:      t,
+		analysis:  an,
+		faces:     t.SensorCount() + 1,
+		treeSigma: make([]float64, t.Len()),
+	}
+	g.out = make([][]int, g.faces)
+
+	// Figure-8 σ labelling: pre-order; the edge to a node's leftmost child
+	// carries (label of the edge into the node) + h(node); other child
+	// edges carry 0. The leftmost edge out of the root carries h(root).
+	wIn := make([]float64, t.Len())
+	for _, id := range t.Preorder() {
+		n := t.Node(id)
+		if n.Kind != model.Processing {
+			continue
+		}
+		for k, c := range n.Children {
+			label := 0.0
+			if k == 0 {
+				label = wIn[id] + n.HostTime
+			}
+			g.treeSigma[c] = label
+			wIn[c] = label
+		}
+	}
+
+	// One dual edge per non-conflicting tree edge.
+	for _, id := range t.Preorder() {
+		n := t.Node(id)
+		if n.Parent == model.None {
+			continue
+		}
+		colour, conflict := an.EdgeColour(id)
+		if conflict {
+			continue // the cut may never pass through a conflicting edge
+		}
+		lo, hi := t.LeafRange(id)
+		g.addEdge(Edge{
+			From:        lo,
+			To:          hi + 1,
+			Sigma:       g.treeSigma[id],
+			Beta:        t.SubtreeSatTime(id) + n.UpComm,
+			Colour:      colour,
+			CutChildren: []model.NodeID{id},
+		})
+	}
+	return g
+}
+
+func (g *Graph) addEdge(e Edge) int {
+	e.ID = len(g.edges)
+	g.edges = append(g.edges, e)
+	g.out[e.From] = append(g.out[e.From], e.ID)
+	return e.ID
+}
+
+// Tree returns the underlying tree.
+func (g *Graph) Tree() *model.Tree { return g.tree }
+
+// Analysis returns the colouring the graph was built from.
+func (g *Graph) Analysis() *colouring.Analysis { return g.analysis }
+
+// Faces returns the number of dual nodes (faces), terminals included.
+func (g *Graph) Faces() int { return g.faces }
+
+// Source returns the S terminal's face index (always 0).
+func (g *Graph) Source() int { return 0 }
+
+// Sink returns the T terminal's face index (always Faces()-1).
+func (g *Graph) Sink() int { return g.faces - 1 }
+
+// NumEdges returns the dual edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edge returns dual edge id.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// Edges returns all dual edges. The slice is shared; do not modify.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// TreeSigma returns the Figure-8 σ label of the tree edge above child.
+func (g *Graph) TreeSigma(child model.NodeID) float64 { return g.treeSigma[child] }
+
+// EdgeCrossing returns the dual edge crossing the tree edge above child, or
+// false when that edge conflicts (has no dual edge).
+func (g *Graph) EdgeCrossing(child model.NodeID) (Edge, bool) {
+	for _, e := range g.edges {
+		if !e.Expanded && len(e.CutChildren) == 1 && e.CutChildren[0] == child {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+// Measures computes the coloured path measures of a set of dual edges:
+// S = Σ σ, per-colour β sums, and B = max over colours (§5.3's
+// "maximum among the summations of the bottleneck weights per colour").
+func (g *Graph) Measures(edgeIDs []int) (s float64, perColour map[model.SatelliteID]float64, b float64) {
+	perColour = map[model.SatelliteID]float64{}
+	for _, id := range edgeIDs {
+		e := &g.edges[id]
+		s += e.Sigma
+		perColour[e.Colour] += e.Beta
+	}
+	for _, v := range perColour {
+		if v > b {
+			b = v
+		}
+	}
+	return s, perColour, b
+}
+
+// Decode converts an S→T path (dual edge IDs) into the assignment it
+// represents: the subtree under every crossed tree edge runs on the edge's
+// colour satellite; everything above the cut runs on the host. The result
+// is validated; an error indicates a path that is not a proper cut.
+func (g *Graph) Decode(edgeIDs []int) (*model.Assignment, error) {
+	asg := model.NewAssignment(g.tree)
+	covered := 0
+	for _, id := range edgeIDs {
+		e := &g.edges[id]
+		for _, child := range e.CutChildren {
+			lo, hi := g.tree.LeafRange(child)
+			covered += hi - lo + 1
+			g.placeSubtree(asg, child, model.OnSatellite(e.Colour))
+		}
+	}
+	if covered != g.tree.SensorCount() {
+		return nil, fmt.Errorf("assign: path covers %d of %d leaves", covered, g.tree.SensorCount())
+	}
+	if err := asg.Validate(g.tree); err != nil {
+		return nil, fmt.Errorf("assign: decoded path is infeasible: %w", err)
+	}
+	return asg, nil
+}
+
+func (g *Graph) placeSubtree(asg *model.Assignment, root model.NodeID, loc model.Location) {
+	stack := []model.NodeID{root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := g.tree.Node(id)
+		if n.Kind == model.Processing {
+			asg.Set(id, loc)
+		}
+		stack = append(stack, n.Children...)
+	}
+}
+
+// Encode is the inverse of Decode: it maps a feasible assignment to the
+// dual-edge IDs of the S→T path representing it. Used by tests to show the
+// path↔assignment correspondence is a bijection.
+func (g *Graph) Encode(asg *model.Assignment) ([]int, error) {
+	if err := asg.Validate(g.tree); err != nil {
+		return nil, err
+	}
+	byChild := map[model.NodeID]int{}
+	for _, e := range g.edges {
+		if !e.Expanded && len(e.CutChildren) == 1 {
+			byChild[e.CutChildren[0]] = e.ID
+		}
+	}
+	var ids []int
+	for _, pair := range asg.CutEdges(g.tree) {
+		id, ok := byChild[pair[1]]
+		if !ok {
+			return nil, fmt.Errorf("assign: cut edge into %s has no dual edge", g.tree.Node(pair[1]).Name)
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return g.edges[ids[i]].From < g.edges[ids[j]].From })
+	return ids, nil
+}
+
+// Report renders the graph in the style of Figure 6: the face count and one
+// line per dual edge with its faces, crossed tree edge, colour and weights.
+func (g *Graph) Report() string {
+	t := g.tree
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "assignment graph: %d faces (S=F0 ... T=F%d), %d coloured edges\n",
+		g.faces, g.faces-1, len(g.edges))
+	for _, e := range g.edges {
+		names := make([]string, len(e.CutChildren))
+		for i, c := range e.CutChildren {
+			parent := t.Node(c).Parent
+			names[i] = fmt.Sprintf("<%s,%s>", t.Node(parent).Name, t.Node(c).Name)
+		}
+		fmt.Fprintf(&sb, "  F%d -> F%-3d %-8s σ=%-8.4g β=%-8.4g crossing %s\n",
+			e.From, e.To, t.SatelliteName(e.Colour), e.Sigma, e.Beta, strings.Join(names, "+"))
+	}
+	return sb.String()
+}

@@ -1,0 +1,350 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/colouring"
+	"repro/internal/dwg"
+	"repro/internal/eval"
+	"repro/internal/exact"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func TestSolveAdaptedPaperTree(t *testing.T) {
+	tree := workload.PaperTree()
+	sol, err := Solve(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Assignment.Validate(tree); err != nil {
+		t.Fatalf("invalid solution: %v", err)
+	}
+	// The reported measures must match the evaluated assignment.
+	bd, err := eval.Evaluate(tree, sol.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Delay, bd.Delay) || !almost(sol.S, bd.HostTime) || !almost(sol.B, bd.MaxSatLoad) {
+		t.Fatalf("solution measures S=%v B=%v delay=%v vs evaluated %v/%v/%v",
+			sol.S, sol.B, sol.Delay, bd.HostTime, bd.MaxSatLoad, bd.Delay)
+	}
+	// Ground truth from the independent exact solver.
+	bf, err := exact.BruteForce(tree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Delay, bf.Delay) {
+		t.Fatalf("adapted SSB delay %v != brute force %v", sol.Delay, bf.Delay)
+	}
+}
+
+func TestSolveLabelSearchPaperTree(t *testing.T) {
+	tree := workload.PaperTree()
+	sol, err := Build(tree).SolveLabelSearch(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := exact.BruteForce(tree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Delay, bf.Delay) {
+		t.Fatalf("label search delay %v != brute force %v", sol.Delay, bf.Delay)
+	}
+	if sol.Stats.Labels == 0 {
+		t.Error("label search reported zero explored labels")
+	}
+}
+
+func TestSolversAgreeOnScenarios(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tree *model.Tree
+	}{
+		{"epilepsy", workload.Epilepsy()},
+		{"snmp", workload.SNMP()},
+		{"paper", workload.PaperTree()},
+		{"paper-symbolic", workload.PaperTreeSymbolic()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := Build(tc.tree)
+			adapted, err := g.SolveAdapted(Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			labels, err := g.SolveLabelSearch(Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pareto, err := exact.Pareto(tc.tree, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almost(adapted.Delay, labels.Delay) || !almost(adapted.Delay, pareto.Delay) {
+				t.Fatalf("disagreement: adapted=%v labels=%v pareto=%v",
+					adapted.Delay, labels.Delay, pareto.Delay)
+			}
+		})
+	}
+}
+
+// TestAllSolversAgreeProperty is the core of experiment E9: the paper's
+// adapted SSB algorithm, the label search, and the three independent exact
+// solvers agree on random instances, clustered and scattered alike.
+func TestAllSolversAgreeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7777))
+	for trial := 0; trial < 80; trial++ {
+		spec := workload.RandomSpec{
+			CRUs:       1 + rng.Intn(12),
+			MaxArity:   1 + rng.Intn(3),
+			Satellites: 1 + rng.Intn(4),
+			Clustered:  trial%2 == 0,
+			HostScale:  0.5 + rng.Float64(),
+			SatRatio:   0.5 + 3*rng.Float64(),
+			CommScale:  rng.Float64() * 2,
+			RawFactor:  0.5 + 4*rng.Float64(),
+		}
+		tree := workload.Random(rng, spec)
+		g := Build(tree)
+
+		adapted, err := g.SolveAdapted(Options{})
+		if err != nil {
+			t.Fatalf("trial %d: adapted: %v\n%s", trial, err, tree.Render())
+		}
+		labels, err := g.SolveLabelSearch(Options{})
+		if err != nil {
+			t.Fatalf("trial %d: labels: %v", trial, err)
+		}
+		bf, err := exact.BruteForce(tree, 0)
+		if err != nil {
+			t.Fatalf("trial %d: brute: %v", trial, err)
+		}
+		if !almost(adapted.Delay, bf.Delay) {
+			t.Fatalf("trial %d: adapted %v != brute %v (fellback=%v)\n%s",
+				trial, adapted.Delay, bf.Delay, adapted.Stats.FellBack, tree.Render())
+		}
+		if !almost(labels.Delay, bf.Delay) {
+			t.Fatalf("trial %d: labels %v != brute %v\n%s", trial, labels.Delay, bf.Delay, tree.Render())
+		}
+		// Decoded assignments must evaluate to the reported delay.
+		if d := eval.MustDelay(tree, adapted.Assignment); !almost(d, adapted.Delay) {
+			t.Fatalf("trial %d: adapted assignment evaluates to %v, reported %v", trial, d, adapted.Delay)
+		}
+	}
+}
+
+func TestScatteredColoursFallBack(t *testing.T) {
+	// Build a tree whose colour is split into two bands and whose profiles
+	// force a multi-edge bottleneck, exercising the fallback path. Colour
+	// s0 appears at leaves 0 and 2; s1 at leaf 1.
+	b := model.NewBuilder()
+	s0 := b.Satellite("s0")
+	s1 := b.Satellite("s1")
+	root := b.Root("root", 1, 0)
+	a := b.Child(root, "a", 5, 10, 1)
+	b.Sensor(a, "xa", s0, 8)
+	c := b.Child(root, "c", 5, 10, 1)
+	b.Sensor(c, "xc", s1, 8)
+	d := b.Child(root, "d", 5, 10, 1)
+	b.Sensor(d, "xd", s0, 8)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(tree)
+	sol, err := g.SolveAdapted(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := exact.BruteForce(tree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Delay, bf.Delay) {
+		t.Fatalf("adapted %v != brute %v", sol.Delay, bf.Delay)
+	}
+}
+
+func TestDisableExpansionStillExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		tree := workload.Random(rng, workload.DefaultRandomSpec(1+rng.Intn(10), 1+rng.Intn(3)))
+		g := Build(tree)
+		sol, err := g.SolveAdapted(Options{DisableExpansion: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf, err := exact.BruteForce(tree, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(sol.Delay, bf.Delay) {
+			t.Fatalf("trial %d: %v != %v", trial, sol.Delay, bf.Delay)
+		}
+	}
+}
+
+func TestTinyExpansionBudgetStillExact(t *testing.T) {
+	tree := workload.PaperTree()
+	sol, err := Build(tree).SolveAdapted(Options{MaxExpandedEdges: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, _ := exact.BruteForce(tree, 0)
+	if !almost(sol.Delay, bf.Delay) {
+		t.Fatalf("budget-1 solve %v != %v", sol.Delay, bf.Delay)
+	}
+}
+
+func TestExpansionHappensOnEngineeredInstance(t *testing.T) {
+	// Colour s0 owns a two-sensor chain with balanced β so the bottleneck
+	// colour's weight is spread over two edges of the topmost path —
+	// Figure 9's situation, requiring an expansion.
+	b := model.NewBuilder()
+	s0 := b.Satellite("s0")
+	s1 := b.Satellite("s1")
+	root := b.Root("root", 1, 0)
+	u := b.Child(root, "u", 4, 6, 1)
+	b.Sensor(u, "xu", s0, 6)
+	v := b.Child(root, "v", 4, 6, 1)
+	b.Sensor(v, "xv", s0, 6)
+	w := b.Child(root, "w", 1, 1, 0.2)
+	b.Sensor(w, "xw", s1, 0.2)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(tree)
+	sol, err := g.SolveAdapted(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, _ := exact.BruteForce(tree, 0)
+	if !almost(sol.Delay, bf.Delay) {
+		t.Fatalf("delay %v != %v", sol.Delay, bf.Delay)
+	}
+	if sol.Stats.Expansions == 0 && !sol.Stats.FellBack {
+		t.Error("engineered instance should trigger an expansion (or fallback)")
+	}
+}
+
+func TestWeightedObjectives(t *testing.T) {
+	// λ sweep (E11): for every λ the adapted solver must agree with the
+	// label search; λ=1 minimises host time alone (the topmost cut).
+	tree := workload.PaperTree()
+	g := Build(tree)
+	for _, l := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		opt := Options{Weights: dwg.Lambda(l)}
+		adapted, err := g.SolveAdapted(opt)
+		if err != nil {
+			t.Fatalf("λ=%v: %v", l, err)
+		}
+		labels, err := g.SolveLabelSearch(opt)
+		if err != nil {
+			t.Fatalf("λ=%v: %v", l, err)
+		}
+		if !almost(adapted.Objective, labels.Objective) {
+			t.Errorf("λ=%v: adapted %v != labels %v", l, adapted.Objective, labels.Objective)
+		}
+	}
+	// λ=1: the optimum host time is the must-host closure h1+h2+h3 = 10.
+	sol, err := g.SolveAdapted(Options{Weights: dwg.Lambda(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.S, 10) {
+		t.Errorf("λ=1 host time = %v, want 10", sol.S)
+	}
+}
+
+func TestBadWeightsRejected(t *testing.T) {
+	g := Build(workload.PaperTree())
+	if _, err := g.SolveAdapted(Options{Weights: dwg.Weights{WS: -1, WB: 1}}); err == nil {
+		t.Error("negative weights accepted by SolveAdapted")
+	}
+	if _, err := g.SolveLabelSearch(Options{Weights: dwg.Weights{WS: math.NaN(), WB: 1}}); err == nil {
+		t.Error("NaN weights accepted by SolveLabelSearch")
+	}
+}
+
+func TestTraceIsPopulated(t *testing.T) {
+	sol, err := Solve(workload.PaperTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Trace) == 0 {
+		t.Fatal("no trace entries")
+	}
+	last := sol.Trace[len(sol.Trace)-1]
+	if last.Note == "" {
+		t.Errorf("last trace entry should record the stop reason, got %+v", last)
+	}
+	if sol.Stats.Iterations != len(sol.Trace) && sol.Stats.Iterations != len(sol.Trace)+1 {
+		t.Errorf("iterations %d inconsistent with %d trace entries", sol.Stats.Iterations, len(sol.Trace))
+	}
+	if sol.Stats.FinalEdges <= 0 {
+		t.Errorf("FinalEdges = %d", sol.Stats.FinalEdges)
+	}
+}
+
+func TestSolveWithAnalysis(t *testing.T) {
+	tree := workload.PaperTree()
+	an := colouring.Analyse(tree)
+	sol, err := SolveWithAnalysis(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Solve(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Delay, direct.Delay) {
+		t.Fatalf("%v != %v", sol.Delay, direct.Delay)
+	}
+}
+
+func TestCutChildrenConsistent(t *testing.T) {
+	tree := workload.PaperTree()
+	sol, err := Solve(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CutChildren must match the assignment's cut edges.
+	want := map[model.NodeID]bool{}
+	for _, e := range sol.Assignment.CutEdges(tree) {
+		want[e[1]] = true
+	}
+	if len(want) != len(sol.CutChildren) {
+		t.Fatalf("cut children %v vs cut edges %v", sol.CutChildren, want)
+	}
+	for _, c := range sol.CutChildren {
+		if !want[c] {
+			t.Errorf("cut child %d not a cut edge", c)
+		}
+	}
+}
+
+func TestMinSigmaPathMatchesTopmost(t *testing.T) {
+	// With strictly positive h, the first min-σ path is the topmost cut:
+	// its decode equals colouring.FeasibleTopmost.
+	tree := workload.PaperTree()
+	g := Build(tree)
+	w := newWorkGraph(g)
+	path, ok := w.minSigmaPath()
+	if !ok {
+		t.Fatal("no min-σ path")
+	}
+	var ids []int
+	ids = append(ids, path...)
+	asg, err := g.Decode(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := colouring.Analyse(tree).FeasibleTopmost()
+	if asg.Key() != want.Key() {
+		t.Fatalf("min-σ decode:\n%s\nwant topmost:\n%s", asg.Describe(tree), want.Describe(tree))
+	}
+}

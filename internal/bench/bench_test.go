@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if tbl.ID != e.ID {
+				t.Errorf("table id %s != %s", tbl.ID, e.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Errorf("%s produced no rows", e.ID)
+			}
+			for _, n := range tbl.Notes {
+				if strings.Contains(n, "MISMATCH") {
+					t.Errorf("%s reports a mismatch with the paper: %s", e.ID, n)
+				}
+			}
+			if out := tbl.Render(); !strings.Contains(out, e.ID) {
+				t.Errorf("render missing id:\n%s", out)
+			}
+			if md := tbl.Markdown(); !strings.Contains(md, "|") {
+				t.Errorf("markdown broken:\n%s", md)
+			}
+		})
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("E1"); !ok {
+		t.Fatal("E1 missing")
+	}
+	if _, ok := Find("E99"); ok {
+		t.Fatal("E99 should not exist")
+	}
+}
+
+func TestE1GoldenValues(t *testing.T) {
+	tbl, err := E1Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 iterations", len(tbl.Rows))
+	}
+	// Iteration 1: SSB 29; iteration 2: SSB 20; iteration 3: S=33, stop.
+	if tbl.Rows[0][3] != "29" || tbl.Rows[1][3] != "20" || tbl.Rows[2][1] != "33" {
+		t.Fatalf("golden values drifted: %v", tbl.Rows)
+	}
+}
+
+func TestTableAddRowFormats(t *testing.T) {
+	tbl := &Table{Columns: []string{"a", "b"}}
+	tbl.AddRow(1.5, "x")
+	tbl.AddRow(2.0, 3)
+	if tbl.Rows[0][0] != "1.5" || tbl.Rows[1][0] != "2" {
+		t.Fatalf("float trimming broken: %v", tbl.Rows)
+	}
+}

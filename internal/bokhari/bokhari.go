@@ -1,0 +1,251 @@
+// Package bokhari implements the system the paper modifies: Bokhari's
+// original tree ↔ host–satellites mapping (IEEE Trans. Computers 1988),
+// the §2 related-work baseline. It differs from the paper's problem in
+// exactly the two aspects §2 lists:
+//
+//  1. satellites are *free*: there are as many satellites as cut subtrees
+//     and any subtree may be placed on any satellite (sensors are not
+//     pinned), so no colouring is needed and no edge ever conflicts;
+//  2. the objective is the *bottleneck processing time*
+//     max( host load, max over satellites of subtree load + uplink ),
+//     not the end-to-end delay.
+//
+// Two independent solvers are provided and cross-validated: the original
+// dual-graph + SB path search (reusing the dwg machinery on an uncoloured
+// assignment graph), and a threshold search (binary search over candidate
+// bottleneck values with a greedy topmost-cut feasibility test). The
+// experiment E14 runs this baseline next to the paper's algorithm to make
+// the two §2 differences measurable.
+package bokhari
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dwg"
+	"repro/internal/eval"
+	"repro/internal/model"
+)
+
+// Result is an optimal Bokhari-style partition.
+type Result struct {
+	// Cut lists the children of the cut tree edges; each rooted subtree
+	// runs on its own (free) satellite, everything above on the host.
+	Cut []model.NodeID
+	// Bottleneck is max(host load, max subtree load).
+	Bottleneck float64
+	// HostLoad is Σ h over the hosted part.
+	HostLoad float64
+	// Iterations (SB solver) or probes (threshold solver) performed.
+	Iterations int
+}
+
+// ErrNoPartition is returned when the tree admits no cut (cannot happen
+// for valid trees; kept for defensive symmetry).
+var ErrNoPartition = errors.New("bokhari: no feasible partition")
+
+// SolveSB finds the minimum-bottleneck partition with Bokhari's own
+// method: build the (uncoloured) doubly weighted assignment graph — one
+// dual edge per tree edge, σ from the Figure-8 labelling, β = subtree
+// satellite load + uplink — and search the min-max(S,B) path with the SB
+// algorithm.
+func SolveSB(t *model.Tree) (*Result, error) {
+	g, edgeChild := buildDWG(t)
+	res, err := dwg.SB(g, 0, t.SensorCount())
+	if err != nil {
+		return nil, fmt.Errorf("bokhari: %w", err)
+	}
+	out := &Result{
+		Bottleneck: res.Objective,
+		HostLoad:   res.S,
+		Iterations: len(res.Iterations),
+	}
+	for _, id := range res.PathEdges {
+		out.Cut = append(out.Cut, edgeChild[id])
+	}
+	sort.Slice(out.Cut, func(i, j int) bool { return out.Cut[i] < out.Cut[j] })
+	return out, nil
+}
+
+// buildDWG constructs the uncoloured assignment graph: identical faces and
+// labels to the paper's coloured construction but with *every* tree edge
+// represented (free satellites mean no conflicts).
+func buildDWG(t *model.Tree) (*dwg.Graph, map[int]model.NodeID) {
+	faces := t.SensorCount() + 1
+	g := dwg.New(faces)
+	edgeChild := make(map[int]model.NodeID)
+
+	// σ labelling (same pre-order scheme as assign; reimplemented here so
+	// the baseline stands alone).
+	sigma := make([]float64, t.Len())
+	wIn := make([]float64, t.Len())
+	for _, id := range t.Preorder() {
+		n := t.Node(id)
+		if n.Kind != model.Processing {
+			continue
+		}
+		for k, c := range n.Children {
+			label := 0.0
+			if k == 0 {
+				label = wIn[id] + n.HostTime
+			}
+			sigma[c] = label
+			wIn[c] = label
+		}
+	}
+	for _, id := range t.Preorder() {
+		n := t.Node(id)
+		if n.Parent == model.None {
+			continue
+		}
+		lo, hi := t.LeafRange(id)
+		eid := g.AddEdge(lo, hi+1, sigma[id], t.SubtreeSatTime(id)+n.UpComm)
+		edgeChild[eid] = id
+	}
+	return g, edgeChild
+}
+
+// SolveThreshold is the independent cross-check: enumerate candidate
+// bottleneck values (all subtree loads and reachable host sums), binary
+// search the smallest feasible one, where feasibility is decided by the
+// greedy topmost cut: cut every maximal subtree whose satellite load fits
+// under the threshold and check the remaining host load.
+func SolveThreshold(t *model.Tree) (*Result, error) {
+	// Candidate thresholds: subtree loads and the host sums the greedy cut
+	// can produce. Host sums are determined by the chosen threshold, so
+	// candidates = distinct subtree loads ∪ resulting host sums; iterating
+	// over sorted subtree loads and probing each is simpler and exact:
+	// the optimal bottleneck is either some subtree load (satellite side
+	// binds) or the host sum at one of those cut levels.
+	loads := map[float64]bool{}
+	for _, id := range t.Preorder() {
+		if t.Node(id).Parent == model.None {
+			continue
+		}
+		loads[t.SubtreeSatTime(id)+t.Node(id).UpComm] = true
+	}
+	candidates := make([]float64, 0, len(loads))
+	for v := range loads {
+		candidates = append(candidates, v)
+	}
+	sort.Float64s(candidates)
+
+	best := &Result{Bottleneck: math.Inf(1)}
+	probe := func(limit float64) {
+		best.Iterations++
+		cut, hostLoad, maxSat, ok := greedyCut(t, limit)
+		if !ok {
+			return // some sensor cannot reach any satellite under this limit
+		}
+		b := math.Max(hostLoad, maxSat)
+		if b < best.Bottleneck {
+			best.Bottleneck = b
+			best.HostLoad = hostLoad
+			best.Cut = cut
+		}
+	}
+	for _, c := range candidates {
+		probe(c)
+	}
+	if math.IsInf(best.Bottleneck, 1) {
+		return nil, ErrNoPartition
+	}
+	sort.Slice(best.Cut, func(i, j int) bool { return best.Cut[i] < best.Cut[j] })
+	return best, nil
+}
+
+// greedyCut cuts every maximal subtree whose load fits under limit
+// (topmost cuts dominate: they shed the most host work for one satellite)
+// and returns the cut, the remaining host load and the largest satellite
+// load actually used. ok is false when some sensor ends up above the cut —
+// sensors can never execute on the host, so such a limit is infeasible.
+func greedyCut(t *model.Tree, limit float64) (cut []model.NodeID, hostLoad, maxSat float64, ok bool) {
+	ok = true
+	var walk func(id model.NodeID)
+	walk = func(id model.NodeID) {
+		n := t.Node(id)
+		if n.Parent != model.None {
+			if load := t.SubtreeSatTime(id) + n.UpComm; load <= limit {
+				cut = append(cut, id)
+				if load > maxSat {
+					maxSat = load
+				}
+				return
+			}
+		}
+		if n.Kind == model.SensorKind {
+			ok = false // uncut sensor: raw context cannot originate on the host
+			return
+		}
+		hostLoad += n.HostTime
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root())
+	return cut, hostLoad, maxSat, ok
+}
+
+// Evaluate computes the bottleneck of an arbitrary cut (for tests): the
+// host keeps everything not under a cut edge; every cut subtree gets its
+// own satellite.
+func Evaluate(t *model.Tree, cut []model.NodeID) (bottleneck, hostLoad float64, err error) {
+	inCut := map[model.NodeID]bool{}
+	for _, c := range cut {
+		inCut[c] = true
+	}
+	var maxSat float64
+	covered := 0
+	var walk func(id model.NodeID)
+	walk = func(id model.NodeID) {
+		n := t.Node(id)
+		if inCut[id] {
+			load := t.SubtreeSatTime(id) + n.UpComm
+			if load > maxSat {
+				maxSat = load
+			}
+			lo, hi := t.LeafRange(id)
+			covered += hi - lo + 1
+			return
+		}
+		hostLoad += n.HostTime
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root())
+	if covered != t.SensorCount() {
+		return 0, 0, fmt.Errorf("bokhari: cut covers %d of %d sensors", covered, t.SensorCount())
+	}
+	return math.Max(hostLoad, maxSat), hostLoad, nil
+}
+
+// DelayOfCut reports the *paper's* end-to-end delay the Bokhari partition
+// would achieve if its free-satellite placement were realised on the pinned
+// network — when that is even feasible (every cut subtree monochromatic).
+// Used by experiment E14 to quantify the cost of ignoring sensor pinning.
+func DelayOfCut(t *model.Tree, cut []model.NodeID) (float64, bool) {
+	asg := model.NewAssignment(t)
+	for _, id := range cut {
+		sat, mono := t.CorrespondentSatellite(id)
+		if !mono {
+			return 0, false // the free placement is infeasible when pinned
+		}
+		stack := []model.NodeID{id}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if t.Node(v).Kind == model.Processing {
+				asg.Set(v, model.OnSatellite(sat))
+			}
+			stack = append(stack, t.Node(v).Children...)
+		}
+	}
+	d, err := eval.Delay(t, asg)
+	if err != nil {
+		return 0, false
+	}
+	return d, true
+}

@@ -1,0 +1,335 @@
+// Package chain implements the other related-work family the paper's §2
+// surveys: chain-to-chain partitioning (Bokhari 1988; improved by Hansen &
+// Lih 1992, Olstad & Manne 1995, and the probe methods surveyed by Khanna
+// et al.). A chain of n task weights is split into k contiguous segments,
+// one per processor of a k-processor chain, minimising the bottleneck
+// (maximum segment weight, communication included).
+//
+// Three solvers are provided and cross-validated:
+//
+//   - DP: the classic O(n²·k) dynamic program;
+//   - Probe: the parametric method of the improved algorithms — binary
+//     search over candidate bottleneck values with a feasibility probe
+//     (the probe is an O(n²) reachability pass here: with heterogeneous
+//     per-link communication costs the textbook greedy probe is not
+//     exchange-safe, see the package tests for the counterexample);
+//   - DWG: Bokhari's layered doubly weighted graph reusing this
+//     repository's dwg machinery with the SB objective — demonstrating
+//     that the paper's §4 toolbox solves the §2 related problems too.
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dwg"
+)
+
+// Problem is a chain-partitioning instance: Weights[i] is the execution
+// weight of task i; Comm[i] is the communication cost paid on the link
+// between task i and task i+1 when they land on different processors
+// (len(Comm) == len(Weights)-1; nil means zero). K is the processor count.
+type Problem struct {
+	Weights []float64
+	Comm    []float64
+	K       int
+}
+
+// Validate checks the instance.
+func (p *Problem) Validate() error {
+	if len(p.Weights) == 0 {
+		return errors.New("chain: empty weight vector")
+	}
+	if p.K < 1 {
+		return fmt.Errorf("chain: K = %d", p.K)
+	}
+	if p.Comm != nil && len(p.Comm) != len(p.Weights)-1 {
+		return fmt.Errorf("chain: %d comm entries for %d tasks", len(p.Comm), len(p.Weights))
+	}
+	for _, w := range p.Weights {
+		if w < 0 || math.IsNaN(w) {
+			return fmt.Errorf("chain: invalid weight %v", w)
+		}
+	}
+	for _, c := range p.Comm {
+		if c < 0 || math.IsNaN(c) {
+			return fmt.Errorf("chain: invalid comm %v", c)
+		}
+	}
+	return nil
+}
+
+func (p *Problem) comm(i int) float64 {
+	if p.Comm == nil || i < 0 || i >= len(p.Comm) {
+		return 0
+	}
+	return p.Comm[i]
+}
+
+// segmentWeight is the load of processor hosting tasks [a, b): the task
+// weights plus the communication on both cut links (Bokhari's convention:
+// a processor pays for the traffic entering and leaving its segment).
+func (p *Problem) segmentWeight(a, b int) float64 {
+	var w float64
+	for i := a; i < b; i++ {
+		w += p.Weights[i]
+	}
+	if a > 0 {
+		w += p.comm(a - 1)
+	}
+	if b < len(p.Weights) {
+		w += p.comm(b - 1)
+	}
+	return w
+}
+
+// Result is an optimal partition: Breaks[j] is the first task of segment
+// j+1 (len K-1, ascending, possibly with empty segments omitted — every
+// break is strictly inside the chain), and Bottleneck the max segment load.
+type Result struct {
+	Breaks     []int
+	Bottleneck float64
+}
+
+// check recomputes the bottleneck of a break set.
+func (p *Problem) check(breaks []int) float64 {
+	bounds := append(append([]int{0}, breaks...), len(p.Weights))
+	bottleneck := 0.0
+	for j := 0; j+1 < len(bounds); j++ {
+		if w := p.segmentWeight(bounds[j], bounds[j+1]); w > bottleneck {
+			bottleneck = w
+		}
+	}
+	return bottleneck
+}
+
+// DP solves the instance with the classic dynamic program:
+// best[j][i] = min over split points s of max(best[j-1][s], weight(s, i)).
+func DP(p *Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Weights)
+	k := p.K
+	if k > n {
+		k = n // extra processors stay idle
+	}
+	// prefix[i] = Σ weights[0:i] for O(1) segment sums.
+	prefix := make([]float64, n+1)
+	for i, w := range p.Weights {
+		prefix[i+1] = prefix[i] + w
+	}
+	seg := func(a, b int) float64 {
+		w := prefix[b] - prefix[a]
+		if a > 0 {
+			w += p.comm(a - 1)
+		}
+		if b < n {
+			w += p.comm(b - 1)
+		}
+		return w
+	}
+
+	const inf = math.MaxFloat64
+	best := make([][]float64, k+1)
+	split := make([][]int, k+1)
+	for j := range best {
+		best[j] = make([]float64, n+1)
+		split[j] = make([]int, n+1)
+		for i := range best[j] {
+			best[j][i] = inf
+		}
+	}
+	best[0][0] = 0
+	for j := 1; j <= k; j++ {
+		for i := 1; i <= n; i++ {
+			for s := j - 1; s < i; s++ {
+				if best[j-1][s] == inf {
+					continue
+				}
+				v := math.Max(best[j-1][s], seg(s, i))
+				if v < best[j][i] {
+					best[j][i] = v
+					split[j][i] = s
+				}
+			}
+		}
+	}
+	// Allowing fewer than k segments can only help when comm > 0; take the
+	// best over all segment counts ≤ k.
+	bestJ, bestVal := 1, best[1][n]
+	for j := 2; j <= k; j++ {
+		if best[j][n] < bestVal {
+			bestJ, bestVal = j, best[j][n]
+		}
+	}
+	res := &Result{Bottleneck: bestVal}
+	for j, i := bestJ, n; j > 1; j-- {
+		s := split[j][i]
+		res.Breaks = append(res.Breaks, s)
+		i = s
+	}
+	sort.Ints(res.Breaks)
+	return res, nil
+}
+
+// Probe solves the instance by searching the candidate bottleneck values:
+// feasible(B) greedily packs tasks left to right, closing a segment just
+// before it would exceed B. Candidates are restricted to achievable
+// segment weights, so the search is exact.
+func Probe(p *Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Weights)
+	// Candidate values: all O(n²) segment weights. (The classic papers
+	// refine this further; n is small in our benches.)
+	set := map[float64]bool{}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b <= n; b++ {
+			set[p.segmentWeight(a, b)] = true
+		}
+	}
+	candidates := make([]float64, 0, len(set))
+	for v := range set {
+		candidates = append(candidates, v)
+	}
+	sort.Float64s(candidates)
+
+	lo, hi := 0, len(candidates)-1
+	var bestBreaks []int
+	found := false
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if breaks, ok := p.feasible(candidates[mid]); ok {
+			bestBreaks = breaks
+			found = true
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("chain: no feasible bottleneck for K=%d", p.K)
+	}
+	return &Result{Breaks: bestBreaks, Bottleneck: p.check(bestBreaks)}, nil
+}
+
+// feasible reports whether the chain splits into at most K segments each
+// weighing ≤ limit.
+//
+// Greedy maximal extension — the textbook probe for plain weights — is not
+// exchange-safe once per-link communication costs differ (extending a
+// segment to a later break can inflate the NEXT segment's entering cost;
+// TestGreedyProbeCounterexample pins this down), so the probe is a
+// reachability DP: minSeg[b] = fewest segments covering [0, b).
+func (p *Problem) feasible(limit float64) ([]int, bool) {
+	n := len(p.Weights)
+	const unreached = int(^uint(0) >> 1)
+	minSeg := make([]int, n+1)
+	from := make([]int, n+1)
+	for i := range minSeg {
+		minSeg[i] = unreached
+	}
+	minSeg[0] = 0
+	for b := 1; b <= n; b++ {
+		for a := 0; a < b; a++ {
+			if minSeg[a] == unreached || minSeg[a] >= p.K {
+				continue
+			}
+			if p.segmentWeight(a, b) <= limit && minSeg[a]+1 < minSeg[b] {
+				minSeg[b] = minSeg[a] + 1
+				from[b] = a
+			}
+		}
+	}
+	if minSeg[n] == unreached || minSeg[n] > p.K {
+		return nil, false
+	}
+	var breaks []int
+	for b := n; b > 0; b = from[b] {
+		if from[b] != 0 {
+			breaks = append(breaks, from[b])
+		}
+	}
+	sort.Ints(breaks)
+	return breaks, true
+}
+
+// DWG solves the instance with Bokhari's layered doubly weighted graph:
+// for each segment count k' ≤ K a graph is built whose node (j, i) means
+// "segment j ends before task i"; every edge carries σ = 0 and β = the
+// weight of the segment it spans, and the SB algorithm finds the
+// min-bottleneck path. The best k' wins. (σ is unused by the pure
+// bottleneck objective; the layered graph exists to exercise the §4
+// machinery on the related problem.)
+func DWG(p *Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Weights)
+	kMax := p.K
+	if kMax > n {
+		kMax = n
+	}
+	var best *Result
+	for k := 1; k <= kMax; k++ {
+		r, err := dwgExactly(p, n, k)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || r.Bottleneck < best.Bottleneck {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// dwgExactly solves for exactly k non-empty segments.
+func dwgExactly(p *Problem, n, k int) (*Result, error) {
+	// Node numbering: source = 0; layer j ∈ [1, k-1] holds break positions
+	// (before task i ∈ [j, n-k+j]) at id 1+(j-1)*(n-1)+(i-1); sink closes
+	// the last segment.
+	nodeID := func(j, i int) int { return 1 + (j-1)*(n-1) + (i - 1) }
+	sink := 1 + (k-1)*(n-1)
+	g := dwg.New(sink + 1)
+	type edgeInfo struct{ from, to int } // task range of the segment
+	info := map[int]edgeInfo{}
+
+	if k == 1 {
+		id := g.AddEdge(0, sink, 0, p.segmentWeight(0, n))
+		info[id] = edgeInfo{0, n}
+	} else {
+		for i := 1; i <= n-1; i++ {
+			id := g.AddEdge(0, nodeID(1, i), 0, p.segmentWeight(0, i))
+			info[id] = edgeInfo{0, i}
+		}
+		for j := 1; j <= k-2; j++ {
+			for i := 1; i <= n-1; i++ {
+				for i2 := i + 1; i2 <= n-1; i2++ {
+					id := g.AddEdge(nodeID(j, i), nodeID(j+1, i2), 0, p.segmentWeight(i, i2))
+					info[id] = edgeInfo{i, i2}
+				}
+			}
+		}
+		for i := 1; i <= n-1; i++ {
+			id := g.AddEdge(nodeID(k-1, i), sink, 0, p.segmentWeight(i, n))
+			info[id] = edgeInfo{i, n}
+		}
+	}
+	res, err := dwg.SB(g, 0, sink)
+	if err != nil {
+		return nil, fmt.Errorf("chain: k=%d: %w", k, err)
+	}
+	out := &Result{}
+	for _, id := range res.PathEdges {
+		if e := info[id]; e.to < n {
+			out.Breaks = append(out.Breaks, e.to)
+		}
+	}
+	sort.Ints(out.Breaks)
+	out.Bottleneck = p.check(out.Breaks)
+	return out, nil
+}

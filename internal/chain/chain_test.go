@@ -1,0 +1,215 @@
+package chain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestValidate(t *testing.T) {
+	cases := []Problem{
+		{},
+		{Weights: []float64{1}, K: 0},
+		{Weights: []float64{1, 2}, Comm: []float64{1, 2}, K: 1},
+		{Weights: []float64{-1}, K: 1},
+		{Weights: []float64{1}, Comm: nil, K: 1},
+		{Weights: []float64{1, 2}, Comm: []float64{math.NaN()}, K: 1},
+	}
+	wantErr := []bool{true, true, true, true, false, true}
+	for i, p := range cases {
+		if gotErr := p.Validate() != nil; gotErr != wantErr[i] {
+			t.Errorf("case %d: err=%v, want err=%v", i, p.Validate(), wantErr[i])
+		}
+	}
+}
+
+func TestHandComputed(t *testing.T) {
+	// Weights 3 1 4 1 5, no comm, K=3: optimum 5 ([3 1] [4 1] [5]).
+	p := &Problem{Weights: []float64{3, 1, 4, 1, 5}, K: 3}
+	for name, solve := range solvers() {
+		r, err := solve(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !almost(r.Bottleneck, 5) {
+			t.Errorf("%s: bottleneck %v, want 5", name, r.Bottleneck)
+		}
+	}
+}
+
+func TestSingleProcessor(t *testing.T) {
+	p := &Problem{Weights: []float64{2, 3, 4}, Comm: []float64{10, 10}, K: 1}
+	for name, solve := range solvers() {
+		r, err := solve(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !almost(r.Bottleneck, 9) || len(r.Breaks) != 0 {
+			t.Errorf("%s: %v / %v, want 9 with no breaks", name, r.Bottleneck, r.Breaks)
+		}
+	}
+}
+
+func TestCommMakesFewerSegmentsBetter(t *testing.T) {
+	// Splitting costs 100 on either side of the cut; the optimum keeps the
+	// chain whole even with K=3.
+	p := &Problem{Weights: []float64{5, 5, 5}, Comm: []float64{100, 100}, K: 3}
+	for name, solve := range solvers() {
+		r, err := solve(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !almost(r.Bottleneck, 15) {
+			t.Errorf("%s: bottleneck %v, want 15 (unsplit)", name, r.Bottleneck)
+		}
+	}
+}
+
+// TestGreedyProbeCounterexample documents why the probe uses a DP pass
+// rather than greedy maximal extension: on this instance the maximal first
+// segment [0,2) forces the second segment to pay the expensive entering
+// link (80), while the feasible partition stops earlier.
+func TestGreedyProbeCounterexample(t *testing.T) {
+	p := &Problem{
+		Weights: []float64{20, 0, 90, 10},
+		Comm:    []float64{0, 80, 10},
+		K:       3,
+	}
+	const limit = 100.0
+	// The instance IS feasible under the limit: [0,1)=20, [1,3)=0+90+10=100, [3,4)=20.
+	breaks, ok := p.feasible(limit)
+	if !ok {
+		t.Fatalf("DP probe must find the feasible partition")
+	}
+	if got := p.check(breaks); got > limit {
+		t.Fatalf("probe returned partition with bottleneck %v > %v", got, limit)
+	}
+	// Greedy maximal extension would have chosen [0,2) first (load 20+80 =
+	// 100 fits) and then be stuck: [2,?] starts with entering comm 80 and
+	// task 90. Verify that dead end is real.
+	if w := p.segmentWeight(2, 3); w <= limit {
+		t.Fatalf("counterexample broken: segment [2,3) weighs %v", w)
+	}
+	if w := p.segmentWeight(2, 4); w <= limit {
+		t.Fatalf("counterexample broken: segment [2,4) weighs %v", w)
+	}
+}
+
+func solvers() map[string]func(*Problem) (*Result, error) {
+	return map[string]func(*Problem) (*Result, error){
+		"dp":    DP,
+		"probe": Probe,
+		"dwg":   DWG,
+	}
+}
+
+func TestSolversAgreeProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80}
+	f := func(seed int64, nRaw, kRaw uint8, withComm bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%10
+		k := 1 + int(kRaw)%5
+		p := &Problem{Weights: make([]float64, n), K: k}
+		for i := range p.Weights {
+			p.Weights[i] = float64(rng.Intn(20))
+		}
+		if withComm && n > 1 {
+			p.Comm = make([]float64, n-1)
+			for i := range p.Comm {
+				p.Comm[i] = float64(rng.Intn(15))
+			}
+		}
+		dp, err1 := DP(p)
+		pr, err2 := Probe(p)
+		dw, err3 := DWG(p)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		if !almost(dp.Bottleneck, pr.Bottleneck) || !almost(dp.Bottleneck, dw.Bottleneck) {
+			t.Logf("n=%d k=%d w=%v c=%v: dp=%v probe=%v dwg=%v",
+				n, k, p.Weights, p.Comm, dp.Bottleneck, pr.Bottleneck, dw.Bottleneck)
+			return false
+		}
+		// Reported breaks must reproduce the reported bottleneck.
+		return almost(p.check(dp.Breaks), dp.Bottleneck) &&
+			almost(p.check(pr.Breaks), pr.Bottleneck) &&
+			almost(p.check(dw.Breaks), dw.Bottleneck)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchesBruteForceProperty(t *testing.T) {
+	// Enumerate all break sets on tiny chains.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(7)
+		k := 1 + rng.Intn(4)
+		p := &Problem{Weights: make([]float64, n), K: k}
+		for i := range p.Weights {
+			p.Weights[i] = float64(rng.Intn(20))
+		}
+		if n > 1 && trial%2 == 0 {
+			p.Comm = make([]float64, n-1)
+			for i := range p.Comm {
+				p.Comm[i] = float64(rng.Intn(15))
+			}
+		}
+		want := bruteBest(p)
+		got, err := DP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(got.Bottleneck, want) {
+			t.Fatalf("trial %d: DP %v != brute %v (w=%v c=%v k=%d)",
+				trial, got.Bottleneck, want, p.Weights, p.Comm, k)
+		}
+	}
+}
+
+func bruteBest(p *Problem) float64 {
+	n := len(p.Weights)
+	best := math.Inf(1)
+	var rec func(breaks []int, next int)
+	rec = func(breaks []int, next int) {
+		if len(breaks) < p.K-1 {
+			for b := next; b < n; b++ {
+				rec(append(append([]int(nil), breaks...), b), b+1)
+			}
+		}
+		if v := p.check(breaks); v < best {
+			best = v
+		}
+	}
+	rec(nil, 1)
+	return best
+}
+
+func BenchmarkChainSolvers(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	p := &Problem{Weights: make([]float64, 64), Comm: make([]float64, 63), K: 8}
+	for i := range p.Weights {
+		p.Weights[i] = float64(1 + rng.Intn(50))
+	}
+	for i := range p.Comm {
+		p.Comm[i] = float64(rng.Intn(20))
+	}
+	b.Run("dp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := DP(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("probe", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Probe(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

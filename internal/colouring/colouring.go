@@ -1,0 +1,215 @@
+// Package colouring implements the paper's colouring scheme (§5.1): every
+// satellite is painted a distinguishable colour, and colours are propagated
+// from the sensors towards the root. A tree edge whose subtree contains
+// sensors of exactly one satellite inherits that colour; an edge whose
+// subtree spans several satellites is a *conflict* — the CRU below it must
+// merge context from multiple satellites and therefore has to be deployed
+// on the host.
+//
+// The analysis also derives everything downstream construction needs: the
+// must-host closure (the upward-closed set of CRUs pinned to the host), the
+// colour regions (maximal monochromatic subtrees hanging off the closure,
+// which are the independent units of the Pareto/branch-and-bound solvers),
+// and the per-colour leaf bands (runs of consecutive sensors, which decide
+// whether the paper's §5.4 expansion step applies directly).
+package colouring
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Analysis is the colouring of one tree. Construct with Analyse.
+type Analysis struct {
+	tree *model.Tree
+
+	edgeColour []model.SatelliteID // per child node: colour of edge (parent,child); NoSatellite = conflict
+	conflict   []bool              // per child node: edge (parent,child) conflicts
+	mustHost   []bool              // per node: CRU is pinned to the host
+	regions    []Region
+	bands      map[model.SatelliteID][]Band
+}
+
+// Region is a maximal monochromatic subtree: its root's parent is in the
+// must-host closure, and every sensor below attaches to Colour. Regions are
+// the independent decision units of an assignment — each is cut somewhere
+// between "entirely on the satellite" and "entirely on the host".
+type Region struct {
+	Root   model.NodeID
+	Colour model.SatelliteID
+}
+
+// Band is a maximal run of consecutive leaf positions (inclusive) whose
+// sensors all attach to one satellite.
+type Band struct {
+	Lo, Hi int
+}
+
+// Analyse colours the tree. The tree must be valid (model.Builder output).
+func Analyse(t *model.Tree) *Analysis {
+	a := &Analysis{
+		tree:       t,
+		edgeColour: make([]model.SatelliteID, t.Len()),
+		conflict:   make([]bool, t.Len()),
+		mustHost:   make([]bool, t.Len()),
+		bands:      map[model.SatelliteID][]Band{},
+	}
+	for _, id := range t.Preorder() {
+		node := t.Node(id)
+		a.edgeColour[id] = model.NoSatellite
+		if node.Parent != model.None {
+			if sat, ok := t.CorrespondentSatellite(id); ok {
+				a.edgeColour[id] = sat
+			} else {
+				a.conflict[id] = true
+			}
+		}
+		if node.Kind == model.Processing {
+			// A CRU merging several satellites' context can run nowhere but
+			// the host; the root is pinned there by the application.
+			_, mono := t.CorrespondentSatellite(id)
+			a.mustHost[id] = !mono || id == t.Root()
+		}
+	}
+	// Regions: monochromatic subtrees hanging directly off the closure.
+	for _, id := range t.Preorder() {
+		node := t.Node(id)
+		if node.Parent == model.None || a.mustHost[id] || !a.mustHost[node.Parent] {
+			continue // not a topmost non-pinned node
+		}
+		a.regions = append(a.regions, Region{Root: id, Colour: a.edgeColour[id]})
+	}
+	// Bands: runs of consecutive same-satellite leaves.
+	leaves := t.Leaves()
+	for i := 0; i < len(leaves); {
+		sat := t.Node(leaves[i]).Satellite
+		j := i
+		for j+1 < len(leaves) && t.Node(leaves[j+1]).Satellite == sat {
+			j++
+		}
+		a.bands[sat] = append(a.bands[sat], Band{Lo: i, Hi: j})
+		i = j + 1
+	}
+	return a
+}
+
+// Tree returns the analysed tree.
+func (a *Analysis) Tree() *model.Tree { return a.tree }
+
+// EdgeColour returns the colour of the edge above child, and whether that
+// edge conflicts (spans several satellites). For the root (no edge above),
+// it returns (NoSatellite, false).
+func (a *Analysis) EdgeColour(child model.NodeID) (model.SatelliteID, bool) {
+	return a.edgeColour[child], a.conflict[child]
+}
+
+// Conflicts returns the children of all conflicting edges, in pre-order.
+func (a *Analysis) Conflicts() []model.NodeID {
+	var out []model.NodeID
+	for _, id := range a.tree.Preorder() {
+		if a.conflict[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// MustHost reports whether node id is pinned to the host (root, or a CRU
+// whose subtree spans several satellites).
+func (a *Analysis) MustHost(id model.NodeID) bool { return a.mustHost[id] }
+
+// MustHostSet returns the must-host CRUs in pre-order.
+func (a *Analysis) MustHostSet() []model.NodeID {
+	var out []model.NodeID
+	for _, id := range a.tree.Preorder() {
+		if a.mustHost[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Regions returns the maximal monochromatic subtrees in pre-order of their
+// roots.
+func (a *Analysis) Regions() []Region { return a.regions }
+
+// Bands returns the leaf bands of satellite sat, in left-to-right order.
+func (a *Analysis) Bands(sat model.SatelliteID) []Band { return a.bands[sat] }
+
+// Contiguous reports whether satellite sat's sensors occupy one contiguous
+// run of leaves — the implicit precondition of the paper's expansion step.
+func (a *Analysis) Contiguous(sat model.SatelliteID) bool { return len(a.bands[sat]) <= 1 }
+
+// AllContiguous reports whether every satellite is contiguous.
+func (a *Analysis) AllContiguous() bool {
+	for _, sat := range a.tree.Satellites() {
+		if !a.Contiguous(sat.ID) {
+			return false
+		}
+	}
+	return true
+}
+
+// FeasibleTopmost returns the "topmost" feasible assignment: exactly the
+// must-host closure on the host and every region entirely on its satellite.
+// This is the minimal-host-set assignment — the cut the §5.4 adapted
+// algorithm starts from — and doubles as the "maximal distribution"
+// heuristic baseline.
+func (a *Analysis) FeasibleTopmost() *model.Assignment {
+	asg := model.NewAssignment(a.tree)
+	for _, r := range a.regions {
+		a.placeSubtree(asg, r.Root, model.OnSatellite(r.Colour))
+	}
+	return asg
+}
+
+func (a *Analysis) placeSubtree(asg *model.Assignment, root model.NodeID, loc model.Location) {
+	stack := []model.NodeID{root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := a.tree.Node(id)
+		if n.Kind == model.Processing {
+			asg.Set(id, loc)
+		}
+		stack = append(stack, n.Children...)
+	}
+}
+
+// Report renders the colouring in the style of the paper's Figure 5: one
+// line per edge with its colour, then the conflict list and must-host set.
+func (a *Analysis) Report() string {
+	t := a.tree
+	var b strings.Builder
+	b.WriteString("edge colouring (parent -> child: colour):\n")
+	for _, id := range t.Preorder() {
+		n := t.Node(id)
+		if n.Parent == model.None {
+			continue
+		}
+		colour := "CONFLICT"
+		if !a.conflict[id] {
+			colour = t.SatelliteName(a.edgeColour[id])
+		}
+		fmt.Fprintf(&b, "  %s -> %s: %s\n", t.Node(n.Parent).Name, n.Name, colour)
+	}
+	var conflictNames, hostNames []string
+	for _, id := range a.Conflicts() {
+		conflictNames = append(conflictNames, t.Node(id).Name)
+	}
+	for _, id := range a.MustHostSet() {
+		hostNames = append(hostNames, t.Node(id).Name)
+	}
+	fmt.Fprintf(&b, "conflicting edges into: %s\n", strings.Join(conflictNames, " "))
+	fmt.Fprintf(&b, "must-host CRUs: %s\n", strings.Join(hostNames, " "))
+	var regionNames []string
+	for _, r := range a.regions {
+		regionNames = append(regionNames, fmt.Sprintf("%s@%s", t.Node(r.Root).Name, t.SatelliteName(r.Colour)))
+	}
+	sort.Strings(regionNames)
+	fmt.Fprintf(&b, "colour regions: %s\n", strings.Join(regionNames, " "))
+	return b.String()
+}

@@ -1,0 +1,263 @@
+package colouring
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// TestPaperTreeColouring is experiment E2: the colouring of the paper tree
+// must reproduce Figure 5 — conflicts exactly on ⟨CRU1,CRU2⟩ and
+// ⟨CRU1,CRU3⟩, must-host set exactly {CRU1, CRU2, CRU3}.
+func TestPaperTreeColouring(t *testing.T) {
+	tree := workload.PaperTree()
+	a := Analyse(tree)
+
+	var conflicts []string
+	for _, id := range a.Conflicts() {
+		conflicts = append(conflicts, tree.Node(id).Name)
+	}
+	if got := strings.Join(conflicts, " "); got != "CRU2 CRU3" {
+		t.Errorf("conflict edges into %q, want CRU2 CRU3 (Figure 5)", got)
+	}
+
+	var hosts []string
+	for _, id := range a.MustHostSet() {
+		hosts = append(hosts, tree.Node(id).Name)
+	}
+	if got := strings.Join(hosts, " "); got != "CRU1 CRU2 CRU3" {
+		t.Errorf("must-host = %q, want CRU1 CRU2 CRU3 (paper §5.1)", got)
+	}
+
+	// Edge colours per Figure 5.
+	wantColours := map[string]string{
+		"CRU4": "R", "CRU9": "R", "CRU10": "R", "CRU11": "R",
+		"CRU5": "B", "CRU6": "B", "CRU13": "B",
+		"CRU7": "Y",
+		"CRU8": "G", "CRU12": "G",
+	}
+	for name, want := range wantColours {
+		id, ok := tree.NodeByName(name)
+		if !ok {
+			t.Fatalf("missing node %s", name)
+		}
+		sat, conflict := a.EdgeColour(id)
+		if conflict {
+			t.Errorf("edge into %s conflicts, want colour %s", name, want)
+			continue
+		}
+		if got := tree.SatelliteName(sat); got != want {
+			t.Errorf("edge into %s coloured %s, want %s", name, got, want)
+		}
+	}
+}
+
+func TestPaperTreeRegions(t *testing.T) {
+	tree := workload.PaperTree()
+	a := Analyse(tree)
+	want := map[string]string{"CRU4": "R", "CRU5": "B", "CRU6": "B", "CRU7": "Y", "CRU8": "G"}
+	if len(a.Regions()) != len(want) {
+		t.Fatalf("regions = %d, want %d", len(a.Regions()), len(want))
+	}
+	for _, r := range a.Regions() {
+		name := tree.Node(r.Root).Name
+		if got := tree.SatelliteName(r.Colour); want[name] != got {
+			t.Errorf("region %s coloured %s, want %s", name, got, want[name])
+		}
+	}
+}
+
+func TestPaperTreeBandsContiguous(t *testing.T) {
+	tree := workload.PaperTree()
+	a := Analyse(tree)
+	if !a.AllContiguous() {
+		t.Fatal("paper tree colour bands must be contiguous (leaf order R R R B B Y G)")
+	}
+	// Colour B covers leaf positions 3..4 (sensor5, sensor13).
+	bID := model.SatelliteID(-1)
+	for _, s := range tree.Satellites() {
+		if s.Name == "B" {
+			bID = s.ID
+		}
+	}
+	bands := a.Bands(bID)
+	if len(bands) != 1 || bands[0].Lo != 3 || bands[0].Hi != 4 {
+		t.Errorf("B bands = %+v, want [{3 4}]", bands)
+	}
+}
+
+func TestScatteredColoursNotContiguous(t *testing.T) {
+	// Leaf order sat0, sat1, sat0: sat0 has two bands.
+	b := model.NewBuilder()
+	s0 := b.Satellite("s0")
+	s1 := b.Satellite("s1")
+	root := b.Root("root", 1, 1)
+	for i, sat := range []model.SatelliteID{s0, s1, s0} {
+		c := b.Child(root, "c"+string('0'+byte(i)), 1, 1, 1)
+		b.Sensor(c, "x"+string('0'+byte(i)), sat, 1)
+	}
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyse(tree)
+	if a.Contiguous(s0) {
+		t.Error("s0 should not be contiguous")
+	}
+	if !a.Contiguous(s1) {
+		t.Error("s1 should be contiguous")
+	}
+	if a.AllContiguous() {
+		t.Error("AllContiguous should be false")
+	}
+}
+
+func TestSingleSatelliteTree(t *testing.T) {
+	b := model.NewBuilder()
+	s0 := b.Satellite("only")
+	root := b.Root("root", 1, 1)
+	c := b.Child(root, "c", 1, 1, 1)
+	b.Sensor(c, "x", s0, 1)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyse(tree)
+	// No conflicts; only the root is pinned (application convention).
+	if len(a.Conflicts()) != 0 {
+		t.Errorf("conflicts = %v, want none", a.Conflicts())
+	}
+	hosts := a.MustHostSet()
+	if len(hosts) != 1 || hosts[0] != tree.Root() {
+		t.Errorf("must-host = %v, want root only", hosts)
+	}
+	if len(a.Regions()) != 1 || a.Regions()[0].Root != c {
+		t.Errorf("regions = %+v, want just c", a.Regions())
+	}
+}
+
+func TestSensorDirectlyUnderConflictNode(t *testing.T) {
+	// A sensor hanging directly off a must-host CRU forms a degenerate
+	// region (its edge is always cut).
+	b := model.NewBuilder()
+	s0 := b.Satellite("s0")
+	s1 := b.Satellite("s1")
+	root := b.Root("root", 1, 1)
+	b.Sensor(root, "direct", s0, 1)
+	c := b.Child(root, "c", 1, 1, 1)
+	b.Sensor(c, "x", s1, 1)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyse(tree)
+	direct, _ := tree.NodeByName("direct")
+	found := false
+	for _, r := range a.Regions() {
+		if r.Root == direct {
+			found = true
+			if r.Colour != s0 {
+				t.Errorf("direct sensor region coloured %v", r.Colour)
+			}
+		}
+	}
+	if !found {
+		t.Error("sensor under must-host CRU should be its own region")
+	}
+}
+
+func TestMustHostUpwardClosedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		spec := workload.DefaultRandomSpec(2+rng.Intn(30), 1+rng.Intn(5))
+		spec.Clustered = trial%2 == 0
+		tree := workload.Random(rng, spec)
+		a := Analyse(tree)
+		for _, id := range tree.Preorder() {
+			n := tree.Node(id)
+			if n.Kind != model.Processing || n.Parent == model.None {
+				continue
+			}
+			if a.MustHost(id) && !a.MustHost(n.Parent) {
+				t.Fatalf("must-host not upward closed at %s", n.Name)
+			}
+			// Edge colour consistency: conflict iff subtree spans >= 2 satellites.
+			_, conflict := a.EdgeColour(id)
+			if conflict != (len(tree.SubtreeSatellites(id)) >= 2) {
+				t.Fatalf("conflict flag inconsistent at %s", n.Name)
+			}
+		}
+	}
+}
+
+func TestRegionsPartitionNonHostNodesProperty(t *testing.T) {
+	// Every processing CRU is either must-host or inside exactly one region;
+	// every sensor is inside exactly one region or a child of a must-host CRU.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		tree := workload.Random(rng, workload.DefaultRandomSpec(2+rng.Intn(25), 1+rng.Intn(4)))
+		a := Analyse(tree)
+		covered := map[model.NodeID]int{}
+		for _, r := range a.Regions() {
+			stack := []model.NodeID{r.Root}
+			for len(stack) > 0 {
+				id := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				covered[id]++
+				stack = append(stack, tree.Node(id).Children...)
+			}
+		}
+		for _, id := range tree.Preorder() {
+			n := tree.Node(id)
+			switch {
+			case n.Kind == model.Processing && a.MustHost(id):
+				if covered[id] != 0 {
+					t.Fatalf("must-host %s inside a region", n.Name)
+				}
+			default:
+				if covered[id] != 1 {
+					t.Fatalf("node %s covered %d times, want 1", n.Name, covered[id])
+				}
+			}
+		}
+	}
+}
+
+func TestFeasibleTopmost(t *testing.T) {
+	tree := workload.PaperTree()
+	a := Analyse(tree)
+	asg := a.FeasibleTopmost()
+	if err := asg.Validate(tree); err != nil {
+		t.Fatalf("topmost assignment invalid: %v", err)
+	}
+	if got := len(asg.HostSet(tree)); got != 3 {
+		t.Errorf("topmost host set size = %d, want 3 (CRU1..3)", got)
+	}
+	// Property: topmost is valid on random instances too.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		spec := workload.DefaultRandomSpec(2+rng.Intn(30), 1+rng.Intn(5))
+		spec.Clustered = trial%2 == 0
+		tr := workload.Random(rng, spec)
+		an := Analyse(tr)
+		if err := an.FeasibleTopmost().Validate(tr); err != nil {
+			t.Fatalf("trial %d: invalid topmost: %v", trial, err)
+		}
+	}
+}
+
+func TestReport(t *testing.T) {
+	a := Analyse(workload.PaperTree())
+	r := a.Report()
+	for _, want := range []string{"CONFLICT", "must-host CRUs: CRU1 CRU2 CRU3", "CRU4@R", "colour regions"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("report missing %q:\n%s", want, r)
+		}
+	}
+	if a.Tree() == nil {
+		t.Error("Tree() returned nil")
+	}
+}

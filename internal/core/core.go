@@ -1,0 +1,169 @@
+// Package core is the solver facade: a single entry point dispatching to
+// every algorithm in the repository — the paper's adapted coloured SSB
+// (default), the exact coloured label search, the three independent exact
+// solvers, and the heuristic/extension solvers — with uniform timing and
+// optimality metadata. The public package repro re-exports this API.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/assign"
+	"repro/internal/dwg"
+	"repro/internal/eval"
+	"repro/internal/exact"
+	"repro/internal/heuristics"
+	"repro/internal/model"
+)
+
+// Algorithm names a solver.
+type Algorithm string
+
+// The registered algorithms.
+const (
+	// AdaptedSSB is the paper's §5.4 algorithm: coloured assignment graph +
+	// SSB path search with expansion. Exact; the default.
+	AdaptedSSB Algorithm = "adapted-ssb"
+	// LabelSearch is the exact dominance-pruned coloured path search.
+	LabelSearch Algorithm = "label-search"
+	// ParetoDP is the exact per-region Pareto dynamic program.
+	ParetoDP Algorithm = "pareto-dp"
+	// BruteForce enumerates every feasible assignment. Exact, exponential.
+	BruteForce Algorithm = "brute-force"
+	// BranchBound is the §6 future-work branch-and-bound, made exact.
+	BranchBound Algorithm = "branch-and-bound"
+	// AllHost keeps every CRU on the host (baseline).
+	AllHost Algorithm = "all-host"
+	// MaxDistribution sinks every region to its satellite (baseline).
+	MaxDistribution Algorithm = "max-distribution"
+	// GreedyHost hill-climbs from the all-host assignment.
+	GreedyHost Algorithm = "greedy-host"
+	// GreedyTop hill-climbs from the maximal distribution.
+	GreedyTop Algorithm = "greedy-top"
+	// Annealing is simulated annealing over the cut-move neighbourhood.
+	Annealing Algorithm = "annealing"
+	// Genetic is the §6 future-work genetic algorithm.
+	Genetic Algorithm = "genetic"
+)
+
+// Exactness reports whether an algorithm guarantees optimal delay.
+func (a Algorithm) Exact() bool {
+	switch a {
+	case AdaptedSSB, LabelSearch, ParetoDP, BruteForce, BranchBound:
+		return true
+	}
+	return false
+}
+
+// Algorithms returns all registered algorithm names, exact solvers first.
+func Algorithms() []Algorithm {
+	all := []Algorithm{
+		AdaptedSSB, LabelSearch, ParetoDP, BruteForce, BranchBound,
+		AllHost, MaxDistribution, GreedyHost, GreedyTop, Annealing, Genetic,
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Exact() && !all[j].Exact() })
+	return all
+}
+
+// Request describes one solve.
+type Request struct {
+	Tree      *model.Tree
+	Algorithm Algorithm   // empty selects AdaptedSSB
+	Weights   dwg.Weights // zero selects the S+B delay objective
+	Seed      int64       // randomised heuristics only
+	Budget    int         // node/frontier budget for exact searches (0 = default)
+}
+
+// Outcome is a uniform solver result.
+type Outcome struct {
+	Algorithm  Algorithm
+	Assignment *model.Assignment
+	Breakdown  *eval.Breakdown
+	Delay      float64
+	Exact      bool
+	Elapsed    time.Duration
+	Work       int           // algorithm-specific effort counter
+	Stats      *assign.Stats // populated by the graph-based solvers
+}
+
+// Solve dispatches the request.
+func Solve(req Request) (*Outcome, error) {
+	if req.Tree == nil {
+		return nil, fmt.Errorf("core: nil tree")
+	}
+	alg := req.Algorithm
+	if alg == "" {
+		alg = AdaptedSSB
+	}
+	start := time.Now()
+	out := &Outcome{Algorithm: alg, Exact: alg.Exact()}
+
+	switch alg {
+	case AdaptedSSB, LabelSearch:
+		g := assign.Build(req.Tree)
+		opt := assign.Options{Weights: req.Weights}
+		var sol *assign.Solution
+		var err error
+		if alg == AdaptedSSB {
+			sol, err = g.SolveAdapted(opt)
+		} else {
+			sol, err = g.SolveLabelSearch(opt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out.Assignment = sol.Assignment
+		out.Stats = &sol.Stats
+		out.Work = sol.Stats.Iterations + sol.Stats.Labels
+	case ParetoDP:
+		res, err := exact.Pareto(req.Tree, req.Budget)
+		if err != nil {
+			return nil, err
+		}
+		out.Assignment = res.Assignment
+		out.Work = res.Explored
+	case BruteForce:
+		res, err := exact.BruteForce(req.Tree, req.Budget)
+		if err != nil {
+			return nil, err
+		}
+		out.Assignment = res.Assignment
+		out.Work = res.Explored
+	case BranchBound:
+		res, err := exact.BranchAndBound(req.Tree, req.Budget)
+		if err != nil {
+			return nil, err
+		}
+		out.Assignment = res.Assignment
+		out.Work = res.Explored
+	case AllHost:
+		out.Assignment = heuristics.AllHost(req.Tree).Assignment
+	case MaxDistribution:
+		out.Assignment = heuristics.MaxDistribution(req.Tree).Assignment
+	case GreedyHost:
+		r := heuristics.Greedy(req.Tree, heuristics.FromHost)
+		out.Assignment, out.Work = r.Assignment, r.Work
+	case GreedyTop:
+		r := heuristics.Greedy(req.Tree, heuristics.FromTopmost)
+		out.Assignment, out.Work = r.Assignment, r.Work
+	case Annealing:
+		r := heuristics.Anneal(req.Tree, heuristics.AnnealConfig{Seed: req.Seed})
+		out.Assignment, out.Work = r.Assignment, r.Work
+	case Genetic:
+		r := heuristics.Genetic(req.Tree, heuristics.GeneticConfig{Seed: req.Seed})
+		out.Assignment, out.Work = r.Assignment, r.Work
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q (known: %v)", alg, Algorithms())
+	}
+	out.Elapsed = time.Since(start)
+
+	bd, err := eval.Evaluate(req.Tree, out.Assignment)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s produced an invalid assignment: %w", alg, err)
+	}
+	out.Breakdown = bd
+	out.Delay = bd.Delay
+	return out, nil
+}

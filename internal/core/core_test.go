@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestAllAlgorithmsRunOnPaperTree(t *testing.T) {
+	tree := workload.PaperTree()
+	var exactDelay float64
+	first := true
+	for _, alg := range Algorithms() {
+		out, err := Solve(Request{Tree: tree, Algorithm: alg, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if err := out.Assignment.Validate(tree); err != nil {
+			t.Fatalf("%s: invalid assignment: %v", alg, err)
+		}
+		if out.Breakdown == nil || out.Delay != out.Breakdown.Delay {
+			t.Fatalf("%s: inconsistent breakdown", alg)
+		}
+		if out.Exact {
+			if first {
+				exactDelay = out.Delay
+				first = false
+			} else if math.Abs(out.Delay-exactDelay) > 1e-9 {
+				t.Fatalf("%s: exact solver disagreement %v vs %v", alg, out.Delay, exactDelay)
+			}
+		} else if out.Delay < exactDelay-1e-9 {
+			t.Fatalf("%s: heuristic %v beats exact optimum %v", alg, out.Delay, exactDelay)
+		}
+	}
+}
+
+func TestDefaultAlgorithm(t *testing.T) {
+	out, err := Solve(Request{Tree: workload.Epilepsy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Algorithm != AdaptedSSB || !out.Exact {
+		t.Fatalf("default = %s exact=%v", out.Algorithm, out.Exact)
+	}
+	if out.Stats == nil {
+		t.Fatal("graph solver should report stats")
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	if _, err := Solve(Request{Tree: workload.Epilepsy(), Algorithm: "nope"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestNilTree(t *testing.T) {
+	if _, err := Solve(Request{}); err == nil {
+		t.Fatal("nil tree accepted")
+	}
+}
+
+func TestAlgorithmsOrderedExactFirst(t *testing.T) {
+	algs := Algorithms()
+	seenHeuristic := false
+	for _, a := range algs {
+		if !a.Exact() {
+			seenHeuristic = true
+		} else if seenHeuristic {
+			t.Fatalf("exact algorithm %s after heuristics", a)
+		}
+	}
+	if len(algs) != 11 {
+		t.Fatalf("registered algorithms = %d, want 11", len(algs))
+	}
+}

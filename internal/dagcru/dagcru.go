@@ -1,0 +1,526 @@
+// Package dagcru implements the generalisation the paper's §6 announces as
+// future work: context reasoning procedures whose structure is a DAG
+// rather than a tree (a processed context may feed several higher-level
+// CRUs), assigned onto the same host–satellites star network.
+//
+// The tree machinery does not transfer: a DAG has no Bokhari-style dual
+// graph, and §6 expects no polynomial exact algorithm. Following the
+// paper's own plan, the package provides an exact branch-and-bound for
+// small instances and a genetic algorithm for large ones, plus the direct
+// objective evaluation both are checked against. A tree-shaped DAG must
+// reproduce exactly the optimum of the tree solvers — the package's
+// anchoring property test.
+//
+// Model: nodes are processing CRUs or pinned sensors; edges point from
+// producer to consumer (context flows towards the single root consumer,
+// which runs on the host). A CRU may execute on satellite c only if every
+// sensor in its input cone is wired to c and every producer feeding it
+// runs on c too (satellites cannot talk to each other). The delay keeps
+// the paper's shape:
+//
+//	delay = Σ_{host CRUs} h + max_c ( Σ_{CRUs on c} s + Σ_{cross edges into the host} comm )
+//
+// with each producer-on-satellite → consumer-on-host edge paying its comm
+// once on the producer's uplink. A producer consumed by several host CRUs
+// uplinks its frame once.
+package dagcru
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// NodeID indexes a node of a Graph.
+type NodeID int
+
+// Node is one vertex. Semantics of the profile fields match the tree model
+// (h, s, per-edge comm is stored on the producer: one frame costs UpComm to
+// uplink regardless of how many host consumers read it).
+type Node struct {
+	ID        NodeID
+	Name      string
+	Kind      model.Kind
+	HostTime  float64
+	SatTime   float64
+	UpComm    float64
+	Satellite model.SatelliteID // sensors only
+	Consumers []NodeID
+	Producers []NodeID
+}
+
+// Graph is a validated DAG instance.
+type Graph struct {
+	nodes      []Node
+	satellites []model.Satellite
+	root       NodeID
+	topo       []NodeID                       // producers before consumers
+	cone       [][]model.SatelliteID          // per node: sorted satellites in its input cone
+	coneSat    []model.SatelliteID            // unique satellite or NoSatellite
+	sensorsOf  map[model.SatelliteID][]NodeID // pinned sensors per satellite
+}
+
+// Builder assembles a Graph.
+type Builder struct {
+	nodes      []Node
+	satellites []model.Satellite
+	err        error
+}
+
+// NewBuilder returns an empty DAG builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Satellite registers a satellite.
+func (b *Builder) Satellite(name string) model.SatelliteID {
+	id := model.SatelliteID(len(b.satellites))
+	b.satellites = append(b.satellites, model.Satellite{ID: id, Name: name})
+	return id
+}
+
+// CRU adds a processing node.
+func (b *Builder) CRU(name string, hostTime, satTime, upComm float64) NodeID {
+	return b.add(Node{
+		Name: name, Kind: model.Processing,
+		HostTime: hostTime, SatTime: satTime, UpComm: upComm,
+		Satellite: model.NoSatellite,
+	})
+}
+
+// Sensor adds a pinned sensor node.
+func (b *Builder) Sensor(name string, sat model.SatelliteID, rawComm float64) NodeID {
+	return b.add(Node{
+		Name: name, Kind: model.SensorKind, UpComm: rawComm, Satellite: sat,
+	})
+}
+
+// Feed declares that producer's output is consumed by consumer.
+func (b *Builder) Feed(producer, consumer NodeID) {
+	if b.err != nil {
+		return
+	}
+	if int(producer) >= len(b.nodes) || int(consumer) >= len(b.nodes) || producer < 0 || consumer < 0 {
+		b.err = fmt.Errorf("dagcru: Feed(%d, %d) out of range", producer, consumer)
+		return
+	}
+	if b.nodes[consumer].Kind == model.SensorKind {
+		b.err = fmt.Errorf("dagcru: sensor %q cannot consume", b.nodes[consumer].Name)
+		return
+	}
+	b.nodes[producer].Consumers = append(b.nodes[producer].Consumers, consumer)
+	b.nodes[consumer].Producers = append(b.nodes[consumer].Producers, producer)
+}
+
+func (b *Builder) add(n Node) NodeID {
+	n.ID = NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, n)
+	return n.ID
+}
+
+// Build validates: a single root consumer (a unique node without
+// consumers), acyclicity, sensors as sources only, every CRU reachable
+// from some sensor and reaching the root, non-negative profiles.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.nodes) == 0 {
+		return nil, errors.New("dagcru: empty graph")
+	}
+	g := &Graph{nodes: b.nodes, satellites: b.satellites, sensorsOf: map[model.SatelliteID][]NodeID{}}
+
+	root := NodeID(-1)
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		if n.HostTime < 0 || n.SatTime < 0 || n.UpComm < 0 ||
+			n.HostTime != n.HostTime || n.SatTime != n.SatTime || n.UpComm != n.UpComm {
+			return nil, fmt.Errorf("dagcru: node %q has invalid profile", n.Name)
+		}
+		switch n.Kind {
+		case model.SensorKind:
+			if len(n.Producers) > 0 {
+				return nil, fmt.Errorf("dagcru: sensor %q has producers", n.Name)
+			}
+			if int(n.Satellite) < 0 || int(n.Satellite) >= len(g.satellites) {
+				return nil, fmt.Errorf("dagcru: sensor %q pinned to unknown satellite", n.Name)
+			}
+			g.sensorsOf[n.Satellite] = append(g.sensorsOf[n.Satellite], n.ID)
+			if len(n.Consumers) == 0 {
+				return nil, fmt.Errorf("dagcru: sensor %q feeds nothing", n.Name)
+			}
+		default:
+			if len(n.Producers) == 0 {
+				return nil, fmt.Errorf("dagcru: CRU %q has no inputs", n.Name)
+			}
+			if len(n.Consumers) == 0 {
+				if root != -1 {
+					return nil, fmt.Errorf("dagcru: two roots: %q and %q", g.nodes[root].Name, n.Name)
+				}
+				root = n.ID
+			}
+		}
+	}
+	if root == -1 {
+		return nil, errors.New("dagcru: no root (every CRU has consumers: cycle?)")
+	}
+	g.root = root
+
+	// Kahn topological sort (also detects cycles).
+	indeg := make([]int, len(g.nodes))
+	for i := range g.nodes {
+		indeg[i] = len(g.nodes[i].Producers)
+	}
+	var queue []NodeID
+	for i := range g.nodes {
+		if indeg[i] == 0 {
+			queue = append(queue, NodeID(i))
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		g.topo = append(g.topo, id)
+		for _, c := range g.nodes[id].Consumers {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if len(g.topo) != len(g.nodes) {
+		return nil, errors.New("dagcru: cycle detected")
+	}
+
+	// Input cones: satellites feeding each node, in topo order.
+	g.cone = make([][]model.SatelliteID, len(g.nodes))
+	g.coneSat = make([]model.SatelliteID, len(g.nodes))
+	for _, id := range g.topo {
+		n := &g.nodes[id]
+		set := map[model.SatelliteID]bool{}
+		if n.Kind == model.SensorKind {
+			set[n.Satellite] = true
+		}
+		for _, p := range n.Producers {
+			for _, s := range g.cone[p] {
+				set[s] = true
+			}
+		}
+		if len(set) == 0 {
+			return nil, fmt.Errorf("dagcru: CRU %q has no sensor in its input cone", n.Name)
+		}
+		cone := make([]model.SatelliteID, 0, len(set))
+		for s := range set {
+			cone = append(cone, s)
+		}
+		sort.Slice(cone, func(i, j int) bool { return cone[i] < cone[j] })
+		g.cone[id] = cone
+		g.coneSat[id] = model.NoSatellite
+		if len(cone) == 1 {
+			g.coneSat[id] = cone[0]
+		}
+	}
+	return g, nil
+}
+
+// Len returns the node count.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Root returns the final consumer.
+func (g *Graph) Root() NodeID { return g.root }
+
+// Node returns node id.
+func (g *Graph) Node(id NodeID) *Node { return &g.nodes[id] }
+
+// Topo returns the topological order (shared slice).
+func (g *Graph) Topo() []NodeID { return g.topo }
+
+// Satellites returns the satellite set.
+func (g *Graph) Satellites() []model.Satellite { return g.satellites }
+
+// ConeSatellite returns the unique satellite that can host node id off the
+// host, or NoSatellite when its input cone spans several satellites.
+func (g *Graph) ConeSatellite(id NodeID) model.SatelliteID { return g.coneSat[id] }
+
+// Assignment places each node: Host or OnSatellite.
+type Assignment struct {
+	Loc []model.Location
+}
+
+// NewAssignment returns the all-host assignment (sensors pinned).
+func NewAssignment(g *Graph) *Assignment {
+	a := &Assignment{Loc: make([]model.Location, g.Len())}
+	for i := range g.nodes {
+		if g.nodes[i].Kind == model.SensorKind {
+			a.Loc[i] = model.OnSatellite(g.nodes[i].Satellite)
+		}
+	}
+	return a
+}
+
+// Clone deep-copies.
+func (a *Assignment) Clone() *Assignment {
+	return &Assignment{Loc: append([]model.Location(nil), a.Loc...)}
+}
+
+// Validate checks feasibility: sensors pinned, root hosted, a
+// satellite-resident CRU has a monochromatic cone matching its satellite
+// and all its producers on the same satellite.
+func (a *Assignment) Validate(g *Graph) error {
+	if len(a.Loc) != g.Len() {
+		return fmt.Errorf("dagcru: assignment covers %d of %d nodes", len(a.Loc), g.Len())
+	}
+	if !a.Loc[g.root].IsHost() {
+		return errors.New("dagcru: root must stay on the host")
+	}
+	for _, id := range g.topo {
+		n := &g.nodes[id]
+		loc := a.Loc[id]
+		if n.Kind == model.SensorKind {
+			if s, ok := loc.Satellite(); !ok || s != n.Satellite {
+				return fmt.Errorf("dagcru: sensor %q moved off its satellite", n.Name)
+			}
+			continue
+		}
+		sat, onSat := loc.Satellite()
+		if !onSat {
+			continue
+		}
+		if g.coneSat[id] != sat {
+			return fmt.Errorf("dagcru: CRU %q on satellite %d but its cone is %v", n.Name, sat, g.cone[id])
+		}
+		for _, p := range n.Producers {
+			if ps, ok := a.Loc[p].Satellite(); !ok || ps != sat {
+				return fmt.Errorf("dagcru: CRU %q on satellite %d consumes %q at %v",
+					n.Name, sat, g.nodes[p].Name, a.Loc[p])
+			}
+		}
+	}
+	return nil
+}
+
+// Delay evaluates the end-to-end objective (validating first).
+func Delay(g *Graph, a *Assignment) (float64, error) {
+	if err := a.Validate(g); err != nil {
+		return 0, err
+	}
+	var host float64
+	loads := map[model.SatelliteID]float64{}
+	for _, id := range g.topo {
+		n := &g.nodes[id]
+		loc := a.Loc[id]
+		if n.Kind == model.Processing {
+			if loc.IsHost() {
+				host += n.HostTime
+			} else if s, ok := loc.Satellite(); ok {
+				loads[s] += n.SatTime
+			}
+		}
+		// Uplink: a satellite-resident producer with at least one hosted
+		// consumer ships its frame once.
+		if s, onSat := loc.Satellite(); onSat {
+			for _, c := range n.Consumers {
+				if a.Loc[c].IsHost() {
+					loads[s] += n.UpComm
+					break
+				}
+			}
+		}
+	}
+	maxLoad := 0.0
+	for _, v := range loads {
+		if v > maxLoad {
+			maxLoad = v
+		}
+	}
+	return host + maxLoad, nil
+}
+
+// BruteForce enumerates every feasible assignment (processing nodes in
+// topological order: host, or the cone satellite if all producers sit
+// there). maxExplored caps the search (0 means 1<<22).
+func BruteForce(g *Graph, maxExplored int) (*Assignment, float64, error) {
+	if maxExplored <= 0 {
+		maxExplored = 1 << 22
+	}
+	asg := NewAssignment(g)
+	best := math.Inf(1)
+	var bestAsg *Assignment
+	explored := 0
+
+	var procs []NodeID
+	for _, id := range g.topo {
+		if g.nodes[id].Kind == model.Processing {
+			procs = append(procs, id)
+		}
+	}
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(procs) {
+			explored++
+			if explored > maxExplored {
+				return errors.New("dagcru: exploration budget exceeded")
+			}
+			d, err := Delay(g, asg)
+			if err != nil {
+				return fmt.Errorf("dagcru: enumeration built an invalid assignment: %w", err)
+			}
+			if d < best {
+				best = d
+				bestAsg = asg.Clone()
+			}
+			return nil
+		}
+		id := procs[i]
+		// Option host.
+		asg.Loc[id] = model.Host
+		if err := rec(i + 1); err != nil {
+			return err
+		}
+		// Option satellite, when feasible.
+		if sat := g.coneSat[id]; sat != model.NoSatellite && id != g.root {
+			ok := true
+			for _, p := range g.nodes[id].Producers {
+				if s, onSat := asg.Loc[p].Satellite(); !onSat || s != sat {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				asg.Loc[id] = model.OnSatellite(sat)
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+				asg.Loc[id] = model.Host
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, 0, err
+	}
+	return bestAsg, best, nil
+}
+
+// Genetic is the §6 heuristic for the DAG model: one gene per processing
+// node ("wants its satellite"), decoded in topological order with repair
+// (a node goes to its cone satellite only when its producers did).
+// Deterministic for a fixed seed.
+func Genetic(g *Graph, seed int64, population, generations int) (*Assignment, float64) {
+	if population <= 1 {
+		population = 40
+	}
+	if generations <= 0 {
+		generations = 60
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	var procs []NodeID
+	for _, id := range g.topo {
+		if g.nodes[id].Kind == model.Processing {
+			procs = append(procs, id)
+		}
+	}
+	decode := func(genome []bool) *Assignment {
+		asg := NewAssignment(g)
+		for gi, id := range procs {
+			if !genome[gi] || id == g.root {
+				continue
+			}
+			sat := g.coneSat[id]
+			if sat == model.NoSatellite {
+				continue
+			}
+			ok := true
+			for _, p := range g.nodes[id].Producers {
+				if s, onSat := asg.Loc[p].Satellite(); !onSat || s != sat {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				asg.Loc[id] = model.OnSatellite(sat)
+			}
+		}
+		return asg
+	}
+	type indiv struct {
+		genome []bool
+		delay  float64
+	}
+	evalG := func(genome []bool) indiv {
+		asg := decode(genome)
+		d, err := Delay(g, asg)
+		if err != nil {
+			panic(fmt.Sprintf("dagcru: repair failed: %v", err))
+		}
+		return indiv{genome: genome, delay: d}
+	}
+	pop := make([]indiv, population)
+	for i := range pop {
+		genome := make([]bool, len(procs))
+		for j := range genome {
+			genome[j] = rng.Intn(2) == 0
+		}
+		pop[i] = evalG(genome)
+	}
+	pop[0] = evalG(make([]bool, len(procs))) // all-host seed
+	for gen := 0; gen < generations; gen++ {
+		sort.Slice(pop, func(i, j int) bool { return pop[i].delay < pop[j].delay })
+		next := pop[:2:2] // elitism
+		next = append([]indiv(nil), next...)
+		for len(next) < population {
+			pick := func() indiv {
+				best := pop[rng.Intn(len(pop))]
+				for k := 0; k < 2; k++ {
+					if c := pop[rng.Intn(len(pop))]; c.delay < best.delay {
+						best = c
+					}
+				}
+				return best
+			}
+			a, b := pick(), pick()
+			child := make([]bool, len(procs))
+			for j := range child {
+				if rng.Intn(2) == 0 {
+					child[j] = a.genome[j]
+				} else {
+					child[j] = b.genome[j]
+				}
+				if rng.Float64() < 0.05 {
+					child[j] = !child[j]
+				}
+			}
+			next = append(next, evalG(child))
+		}
+		pop = next
+	}
+	sort.Slice(pop, func(i, j int) bool { return pop[i].delay < pop[j].delay })
+	return decode(pop[0].genome), pop[0].delay
+}
+
+// FromTree converts a tree instance into the DAG model (the anchoring
+// cross-check: the DAG solvers must reproduce the tree optimum).
+func FromTree(t *model.Tree) (*Graph, error) {
+	b := NewBuilder()
+	for _, s := range t.Satellites() {
+		b.Satellite(s.Name)
+	}
+	ids := make([]NodeID, t.Len())
+	for _, id := range t.Preorder() {
+		n := t.Node(id)
+		if n.Kind == model.SensorKind {
+			ids[id] = b.Sensor(n.Name, n.Satellite, n.UpComm)
+		} else {
+			ids[id] = b.CRU(n.Name, n.HostTime, n.SatTime, n.UpComm)
+		}
+	}
+	for _, id := range t.Preorder() {
+		if p := t.Node(id).Parent; p != model.None {
+			b.Feed(ids[id], ids[p])
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,314 @@
+package dagcru
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// diamond builds the canonical shared-subresult DAG:
+//
+//	sensorA(sat0) -> filter -> {featX, featY} -> fuse(root)
+//
+// filter's output feeds two CRUs — impossible to express as a tree.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	s0 := b.Satellite("s0")
+	filter := b.CRU("filter", 2, 5, 1)
+	fx := b.CRU("featX", 1.5, 4, 0.5)
+	fy := b.CRU("featY", 1.5, 4, 0.5)
+	fuse := b.CRU("fuse", 1, 3, 0)
+	sn := b.Sensor("probe", s0, 6)
+	b.Feed(sn, filter)
+	b.Feed(filter, fx)
+	b.Feed(filter, fy)
+	b.Feed(fx, fuse)
+	b.Feed(fy, fuse)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildDiamond(t *testing.T) {
+	g := diamond(t)
+	if g.Len() != 5 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	root := g.Root()
+	if g.Node(root).Name != "fuse" {
+		t.Fatalf("root = %s", g.Node(root).Name)
+	}
+	// Every node's cone is {s0}.
+	for _, id := range g.Topo() {
+		if g.Node(id).Kind == model.Processing && g.ConeSatellite(id) != 0 {
+			t.Errorf("cone of %s = %d", g.Node(id).Name, g.ConeSatellite(id))
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("cycle", func(t *testing.T) {
+		b := NewBuilder()
+		s := b.Satellite("s")
+		x := b.CRU("x", 1, 1, 1)
+		y := b.CRU("y", 1, 1, 1)
+		sn := b.Sensor("sn", s, 1)
+		b.Feed(sn, x)
+		b.Feed(x, y)
+		b.Feed(y, x)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("cycle accepted")
+		}
+	})
+	t.Run("two roots", func(t *testing.T) {
+		b := NewBuilder()
+		s := b.Satellite("s")
+		sn := b.Sensor("sn", s, 1)
+		x := b.CRU("x", 1, 1, 1)
+		y := b.CRU("y", 1, 1, 1)
+		b.Feed(sn, x)
+		b.Feed(sn, y)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("two roots accepted")
+		}
+	})
+	t.Run("sensor consumes", func(t *testing.T) {
+		b := NewBuilder()
+		s := b.Satellite("s")
+		sn := b.Sensor("sn", s, 1)
+		x := b.CRU("x", 1, 1, 1)
+		b.Feed(x, sn)
+		b.Feed(sn, x)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("sensor consumer accepted")
+		}
+	})
+	t.Run("cru without inputs", func(t *testing.T) {
+		b := NewBuilder()
+		b.Satellite("s")
+		b.CRU("x", 1, 1, 1)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("input-less CRU accepted")
+		}
+	})
+}
+
+func TestDiamondDelayHandComputed(t *testing.T) {
+	g := diamond(t)
+	// All host: host = 2+1.5+1.5+1 = 6; s0 uplinks the raw probe: 6 → 12.
+	all := NewAssignment(g)
+	d, err := Delay(g, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(d, 12) {
+		t.Fatalf("all-host delay %v, want 12", d)
+	}
+	// filter on s0: host 4, s0 = 5 (s) + 1 (uplink once, two consumers) = 6 → 10.
+	a2 := all.Clone()
+	filterID := NodeID(0)
+	a2.Loc[filterID] = model.OnSatellite(0)
+	d, err = Delay(g, a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(d, 10) {
+		t.Fatalf("filter-offloaded delay %v, want 10 (uplink paid once)", d)
+	}
+}
+
+func TestValidateRejectsBrokenProducerChain(t *testing.T) {
+	g := diamond(t)
+	a := NewAssignment(g)
+	// featX on satellite while filter stays hosted: infeasible.
+	var fx NodeID
+	for _, id := range g.Topo() {
+		if g.Node(id).Name == "featX" {
+			fx = id
+		}
+	}
+	a.Loc[fx] = model.OnSatellite(0)
+	if err := a.Validate(g); err == nil {
+		t.Fatal("broken producer chain accepted")
+	}
+}
+
+func TestBruteForceDiamond(t *testing.T) {
+	g := diamond(t)
+	asg, d, err := BruteForce(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asg.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Optimum: filter+featX+featY on s0: host 1, s0 = 5+4+4 + 0.5+0.5 = 14 → 15?
+	// vs filter only: 10. vs all-host 12. Exhaustive must be ≤ all options.
+	if d > 10+1e-9 {
+		t.Fatalf("optimum %v worse than known assignment 10", d)
+	}
+}
+
+// TestTreeShapedDAGMatchesTreeSolver anchors the DAG model to the paper's:
+// converting a tree instance must reproduce the tree optimum exactly.
+func TestTreeShapedDAGMatchesTreeSolver(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tree *model.Tree
+	}{
+		{"paper", workload.PaperTree()},
+		{"epilepsy", workload.Epilepsy()},
+		{"snmp", workload.SNMP()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := FromTree(tc.tree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, d, err := BruteForce(g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := exact.Pareto(tc.tree, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almost(d, want.Delay) {
+				t.Fatalf("DAG optimum %v != tree optimum %v", d, want.Delay)
+			}
+		})
+	}
+}
+
+func TestTreeShapedRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		spec := workload.DefaultRandomSpec(1+rng.Intn(9), 1+rng.Intn(3))
+		spec.Clustered = trial%2 == 0
+		tree := workload.Random(rng, spec)
+		g, err := FromTree(tree)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		_, d, err := BruteForce(g, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := exact.BruteForce(tree, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !almost(d, want.Delay) {
+			t.Fatalf("trial %d: DAG %v != tree %v\n%s", trial, d, want.Delay, tree.Render())
+		}
+	}
+}
+
+func TestGeneticOnDAGs(t *testing.T) {
+	g := diamond(t)
+	asg, d := Genetic(g, 11, 30, 40)
+	if err := asg.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := BruteForce(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < opt-1e-9 {
+		t.Fatalf("GA %v beats exact %v", d, opt)
+	}
+	if !almost(d, opt) {
+		t.Errorf("GA missed the optimum on the diamond: %v vs %v", d, opt)
+	}
+	// Determinism.
+	_, d2 := Genetic(g, 11, 30, 40)
+	if d != d2 {
+		t.Fatal("same seed, different GA results")
+	}
+}
+
+func TestGeneticNearOptimalOnRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	hits := 0
+	const trials = 15
+	for trial := 0; trial < trials; trial++ {
+		g := randomDAG(rng, 3+rng.Intn(8), 1+rng.Intn(3))
+		gaAsg, gaDelay := Genetic(g, int64(trial), 40, 60)
+		if err := gaAsg.Validate(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		_, opt, err := BruteForce(g, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if gaDelay < opt-1e-9 {
+			t.Fatalf("trial %d: GA %v beats exact %v", trial, gaDelay, opt)
+		}
+		if almost(gaDelay, opt) {
+			hits++
+		}
+	}
+	if hits < trials*2/3 {
+		t.Errorf("GA found the optimum on only %d/%d small DAGs", hits, trials)
+	}
+}
+
+// randomDAG builds a layered random DAG with one root.
+func randomDAG(rng *rand.Rand, crus, sats int) *Graph {
+	b := NewBuilder()
+	satIDs := make([]model.SatelliteID, sats)
+	for i := range satIDs {
+		satIDs[i] = b.Satellite("s" + string('0'+byte(i)))
+	}
+	// Sensors.
+	nSensors := 1 + rng.Intn(3)
+	sensors := make([]NodeID, nSensors)
+	for i := range sensors {
+		sensors[i] = b.Sensor("sn"+string('0'+byte(i)), satIDs[rng.Intn(sats)], 1+4*rng.Float64())
+	}
+	// CRUs in layers; each consumes 1-2 previous nodes.
+	prev := append([]NodeID(nil), sensors...)
+	var all []NodeID
+	for i := 0; i < crus; i++ {
+		h := 0.5 + 3*rng.Float64()
+		id := b.CRU("c"+string('0'+byte(i)), h, h*(1+2*rng.Float64()), 0.2+rng.Float64())
+		ins := 1 + rng.Intn(2)
+		seen := map[NodeID]bool{}
+		for k := 0; k < ins; k++ {
+			p := prev[rng.Intn(len(prev))]
+			if !seen[p] {
+				b.Feed(p, id)
+				seen[p] = true
+			}
+		}
+		prev = append(prev, id)
+		all = append(all, id)
+	}
+	// Everything sinkless feeds the root.
+	root := b.CRU("root", 1, 2, 0)
+	consumed := map[NodeID]bool{}
+	for _, id := range all {
+		for range b.nodes[id].Consumers {
+			consumed[id] = true
+		}
+	}
+	for _, id := range append(sensors, all...) {
+		if len(b.nodes[id].Consumers) == 0 {
+			b.Feed(id, root)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

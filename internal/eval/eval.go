@@ -1,0 +1,124 @@
+// Package eval computes the paper's objective function for a concrete
+// assignment: the end-to-end processing and communication delay
+//
+//	delay(A) = Σ_{CRU on host} h_i
+//	         + max over satellites c ( Σ_{CRU on c} s_i + Σ_{cut edges into c} comm )
+//
+// (§3: "minimize the summation of maximum processing time spent at the
+// satellite (including the time to transmit context from the satellite to
+// the host) and the processing time required at host machine").
+//
+// Every solver in this repository is validated against this function: the
+// S and coloured-B weights of an S→T path in the assignment graph must add
+// up to exactly the value computed here for the decoded assignment.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Breakdown itemises the delay of one assignment.
+type Breakdown struct {
+	HostTime   float64                       // Σ h_i over host CRUs
+	SatLoad    map[model.SatelliteID]float64 // per satellite: Σ s_i + Σ comm
+	SatProc    map[model.SatelliteID]float64 // processing part only
+	SatComm    map[model.SatelliteID]float64 // communication part only
+	Bottleneck model.SatelliteID             // satellite attaining MaxSatLoad (NoSatellite if none)
+	MaxSatLoad float64                       // max over satellites of SatLoad
+	Delay      float64                       // HostTime + MaxSatLoad
+	CutEdges   [][2]model.NodeID             // host→satellite crossings (parent, child)
+}
+
+// Evaluate validates the assignment and computes its delay breakdown.
+func Evaluate(t *model.Tree, a *model.Assignment) (*Breakdown, error) {
+	if err := a.Validate(t); err != nil {
+		return nil, err
+	}
+	return evaluateUnchecked(t, a), nil
+}
+
+// Delay is Evaluate reduced to the scalar objective.
+func Delay(t *model.Tree, a *model.Assignment) (float64, error) {
+	b, err := Evaluate(t, a)
+	if err != nil {
+		return 0, err
+	}
+	return b.Delay, nil
+}
+
+// MustDelay panics on invalid assignments; for use with solver outputs that
+// are validated by construction.
+func MustDelay(t *model.Tree, a *model.Assignment) float64 {
+	d, err := Delay(t, a)
+	if err != nil {
+		panic(fmt.Sprintf("eval: solver produced invalid assignment: %v", err))
+	}
+	return d
+}
+
+func evaluateUnchecked(t *model.Tree, a *model.Assignment) *Breakdown {
+	b := &Breakdown{
+		SatLoad:    map[model.SatelliteID]float64{},
+		SatProc:    map[model.SatelliteID]float64{},
+		SatComm:    map[model.SatelliteID]float64{},
+		Bottleneck: model.NoSatellite,
+	}
+	for _, id := range t.Preorder() {
+		n := t.Node(id)
+		loc := a.At(id)
+		if n.Kind == model.Processing {
+			if loc.IsHost() {
+				b.HostTime += n.HostTime
+			} else if sat, ok := loc.Satellite(); ok {
+				b.SatProc[sat] += n.SatTime
+			}
+		}
+		// Communication: edges crossing from a host parent into a
+		// satellite-resident child (processing results or raw frames must
+		// travel the satellite's uplink).
+		if n.Parent != model.None && a.At(n.Parent).IsHost() && !loc.IsHost() {
+			sat, _ := loc.Satellite()
+			b.SatComm[sat] += n.UpComm
+			b.CutEdges = append(b.CutEdges, [2]model.NodeID{n.Parent, id})
+		}
+	}
+	for sat := range b.SatProc {
+		b.SatLoad[sat] += b.SatProc[sat]
+	}
+	for sat := range b.SatComm {
+		b.SatLoad[sat] += b.SatComm[sat]
+	}
+	for sat, load := range b.SatLoad {
+		if load > b.MaxSatLoad || (load == b.MaxSatLoad && (b.Bottleneck == model.NoSatellite || sat < b.Bottleneck)) {
+			b.MaxSatLoad = load
+			b.Bottleneck = sat
+		}
+	}
+	b.Delay = b.HostTime + b.MaxSatLoad
+	return b
+}
+
+// Report renders the breakdown for CLIs and experiment tables.
+func (b *Breakdown) Report(t *model.Tree) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "host processing: %.4g\n", b.HostTime)
+	sats := make([]model.SatelliteID, 0, len(b.SatLoad))
+	for sat := range b.SatLoad {
+		sats = append(sats, sat)
+	}
+	sort.Slice(sats, func(i, j int) bool { return sats[i] < sats[j] })
+	for _, sat := range sats {
+		mark := ""
+		if sat == b.Bottleneck {
+			mark = "  <- bottleneck"
+		}
+		fmt.Fprintf(&sb, "satellite %-10s proc %.4g + comm %.4g = %.4g%s\n",
+			t.SatelliteName(sat), b.SatProc[sat], b.SatComm[sat], b.SatLoad[sat], mark)
+	}
+	fmt.Fprintf(&sb, "end-to-end delay: %.6g\n", b.Delay)
+	return sb.String()
+}

@@ -1,0 +1,172 @@
+package exact
+
+import (
+	"math"
+
+	"repro/internal/colouring"
+	"repro/internal/eval"
+	"repro/internal/model"
+)
+
+// BranchAndBound is the branch-and-bound search the paper's §6 proposes as
+// future work, implemented over the same decision tree as BruteForce (host
+// vs. sink-whole-subtree per monochromatic CRU) with four prunings:
+//
+//   - bound: partial host time + the largest committed satellite load +
+//     the host time of undecided CRUs that can never leave the host is a
+//     lower bound on any completion, so branches at or above the incumbent
+//     are cut;
+//   - seeding: the incumbent starts at the better of all-host and maximal
+//     distribution rather than +∞;
+//   - ordering: at each CRU the branch with the smaller immediate
+//     objective increase is explored first, so good incumbents appear
+//     early.
+//
+// maxNodes caps the number of search nodes (0 means 1<<22).
+func BranchAndBound(t *model.Tree, maxNodes int) (*Result, error) {
+	if maxNodes <= 0 {
+		maxNodes = 1 << 22
+	}
+	an := colouring.Analyse(t)
+	res := &Result{Delay: math.Inf(1)}
+
+	// forcedSub[v] = Σ h over the multi-colour CRUs in v's subtree: they
+	// can never leave the host, so their host time is a certain future
+	// cost as long as v is undecided.
+	forcedSub := make([]float64, t.Len())
+	for _, id := range t.Postorder() {
+		n := t.Node(id)
+		if n.Kind != model.Processing {
+			continue
+		}
+		if _, mono := t.CorrespondentSatellite(id); !mono || id == t.Root() {
+			forcedSub[id] = n.HostTime
+		}
+		for _, c := range n.Children {
+			forcedSub[id] += forcedSub[c]
+		}
+	}
+
+	// Seed the incumbent with the better of the two trivial baselines so
+	// pruning bites from the first branches.
+	for _, seed := range []*model.Assignment{an.FeasibleTopmost(), model.NewAssignment(t)} {
+		if d, err := eval.Delay(t, seed); err == nil && d < res.Delay {
+			res.Delay = d
+			res.Assignment = seed
+		}
+	}
+
+	asg := model.NewAssignment(t)
+	loads := map[model.SatelliteID]float64{}
+	// Raw-frame uplinks of sensors below hosted leaf CRUs accrue when the
+	// sensor's parent is decided; track incrementally.
+	var hostTime float64
+	var forcedRemaining = forcedSub[t.Root()]
+	budgetHit := false
+
+	maxLoad := func() float64 {
+		m := 0.0
+		for _, v := range loads {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+
+	// Explicit shared stack with push/pop discipline (see BruteForce for
+	// why re-sliced frontier arguments would alias).
+	stack := []model.NodeID{t.Root()}
+	var rec func()
+	rec = func() {
+		if budgetHit {
+			return
+		}
+		res.Explored++
+		if res.Explored > maxNodes {
+			budgetHit = true
+			return
+		}
+		bound := hostTime + forcedRemaining + maxLoad()
+		if bound >= res.Delay {
+			return // cannot beat the incumbent
+		}
+		if len(stack) == 0 {
+			// Complete assignment; the committed terms are now exact.
+			if d := hostTime + maxLoad(); d < res.Delay {
+				res.Delay = d
+				res.Assignment = asg.Clone()
+			}
+			return
+		}
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		forcedRemaining -= forcedSub[id]
+		defer func() { // restore for the caller
+			stack = append(stack, id)
+			forcedRemaining += forcedSub[id]
+		}()
+		n := t.Node(id)
+
+		if n.Kind == model.SensorKind {
+			// Parent is hosted (sensors under sunk subtrees are never on
+			// the stack): the raw frame crosses the uplink.
+			loads[n.Satellite] += n.UpComm
+			rec()
+			loads[n.Satellite] -= n.UpComm
+			return
+		}
+
+		sat, sinkable := t.CorrespondentSatellite(id)
+		if id == t.Root() {
+			sinkable = false
+		}
+		sink := func() {
+			delta := t.SubtreeSatTime(id) + n.UpComm
+			loads[sat] += delta
+			placeSubtree(t, asg, id, model.OnSatellite(sat))
+			rec()
+			resetSubtree(t, asg, id)
+			loads[sat] -= delta
+		}
+		host := func() {
+			hostTime += n.HostTime
+			asg.Set(id, model.Host)
+			stack = append(stack, n.Children...)
+			// Children re-enter the forced estimate individually.
+			for _, c := range n.Children {
+				forcedRemaining += forcedSub[c]
+			}
+			rec()
+			for _, c := range n.Children {
+				forcedRemaining -= forcedSub[c]
+			}
+			stack = stack[:len(stack)-len(n.Children)]
+			hostTime -= n.HostTime
+		}
+		if !sinkable {
+			host()
+			return
+		}
+		// Explore the branch with the smaller immediate objective increase
+		// first so strong incumbents appear early.
+		cur := maxLoad()
+		sinkDelta := math.Max(cur, loads[sat]+t.SubtreeSatTime(id)+n.UpComm) - cur
+		if sinkDelta <= n.HostTime {
+			sink()
+			host()
+		} else {
+			host()
+			sink()
+		}
+	}
+	rec()
+	if budgetHit {
+		return nil, ErrBudget
+	}
+	if math.IsInf(res.Delay, 1) {
+		// Cannot happen for valid trees (all-host is always feasible).
+		return nil, ErrBudget
+	}
+	return res, nil
+}

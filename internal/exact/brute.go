@@ -1,0 +1,144 @@
+// Package exact provides three independent exact solvers for the
+// tree-to-host-satellites assignment problem, used as ground truth for the
+// paper's graph-based algorithm and as the baselines of experiments E9/E10:
+//
+//   - BruteForce enumerates every feasible assignment (exponential; small
+//     instances only);
+//   - Pareto solves by dynamic programming over per-region Pareto frontiers
+//     of (host-time, satellite-load) pairs — polynomial for bounded
+//     frontier sizes and fully independent of the dual-graph machinery;
+//   - BranchAndBound prunes the brute-force tree with delay lower bounds —
+//     one of the two heuristic directions the paper's §6 names for future
+//     work (here made exact because the objective admits a monotone bound).
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/eval"
+	"repro/internal/model"
+)
+
+// Result is an exact optimum with search statistics.
+type Result struct {
+	Assignment *model.Assignment
+	Delay      float64
+	Explored   int // assignments (BruteForce) or search nodes (BranchAndBound) visited
+}
+
+// ErrBudget is returned when a solver exceeds its exploration budget.
+var ErrBudget = errors.New("exact: exploration budget exceeded")
+
+// BruteForce enumerates all feasible assignments: walking the tree top-down,
+// every CRU whose subtree is monochromatic may either take its whole subtree
+// to the correspondent satellite or stay on the host and let each child
+// decide. maxExplored caps the enumeration (0 means 2^22).
+func BruteForce(t *model.Tree, maxExplored int) (*Result, error) {
+	if maxExplored <= 0 {
+		maxExplored = 1 << 22
+	}
+	res := &Result{Delay: math.Inf(1)}
+	asg := model.NewAssignment(t)
+
+	root := t.Root()
+	// Explicit shared stack with push/pop discipline: passing re-sliced
+	// frontiers into the recursion would let a deeper append clobber the
+	// caller's pending entries through the shared backing array.
+	stack := []model.NodeID{root}
+	var rec func() error
+	rec = func() error {
+		if len(stack) == 0 {
+			res.Explored++
+			if res.Explored > maxExplored {
+				return ErrBudget
+			}
+			d, err := eval.Delay(t, asg)
+			if err != nil {
+				return fmt.Errorf("exact: enumeration produced invalid assignment: %w", err)
+			}
+			if d < res.Delay {
+				res.Delay = d
+				res.Assignment = asg.Clone()
+			}
+			return nil
+		}
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		defer func() { stack = append(stack, id) }() // restore for the caller
+		n := t.Node(id)
+
+		if n.Kind == model.SensorKind {
+			// Sensors are pinned; nothing to decide.
+			return rec()
+		}
+
+		// Choice 1: id stays on the host, children decide independently.
+		asg.Set(id, model.Host)
+		stack = append(stack, n.Children...)
+		err := rec()
+		stack = stack[:len(stack)-len(n.Children)]
+		if err != nil {
+			return err
+		}
+
+		// Choice 2: id (and its whole subtree) moves to its correspondent
+		// satellite — only feasible for monochromatic non-root subtrees.
+		if id != root {
+			if sat, ok := t.CorrespondentSatellite(id); ok {
+				placeSubtree(t, asg, id, model.OnSatellite(sat))
+				if err := rec(); err != nil {
+					return err
+				}
+				// Restore: host for CRUs (the next branch will overwrite).
+				resetSubtree(t, asg, id)
+			}
+		}
+		return nil
+	}
+	if err := rec(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func placeSubtree(t *model.Tree, asg *model.Assignment, root model.NodeID, loc model.Location) {
+	stack := []model.NodeID{root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if t.Node(id).Kind == model.Processing {
+			asg.Set(id, loc)
+		}
+		stack = append(stack, t.Node(id).Children...)
+	}
+}
+
+func resetSubtree(t *model.Tree, asg *model.Assignment, root model.NodeID) {
+	placeSubtree(t, asg, root, model.Host)
+}
+
+// CountAssignments returns the number of feasible assignments of t without
+// materialising them — the search-space size reported in EXPERIMENTS.md.
+func CountAssignments(t *model.Tree) float64 {
+	// ways(v) = number of cuts of the subtree at v, counting "v goes to its
+	// satellite" (if monochromatic) plus the product of children's ways
+	// when v stays hosted. Sensors contribute 1.
+	var ways func(id model.NodeID) float64
+	ways = func(id model.NodeID) float64 {
+		n := t.Node(id)
+		if n.Kind == model.SensorKind {
+			return 1
+		}
+		prod := 1.0
+		for _, c := range n.Children {
+			prod *= ways(c)
+		}
+		if _, mono := t.CorrespondentSatellite(id); mono && id != t.Root() {
+			prod++
+		}
+		return prod
+	}
+	return ways(t.Root())
+}

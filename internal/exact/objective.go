@@ -1,0 +1,83 @@
+package exact
+
+import (
+	"math"
+
+	"repro/internal/eval"
+	"repro/internal/model"
+)
+
+// Objective maps a delay breakdown to the scalar being minimised.
+// DelayObjective is the paper's end-to-end delay; BottleneckObjective is
+// Bokhari's original minimax criterion, used as the baseline the paper
+// argues against (experiment E6).
+type Objective func(*eval.Breakdown) float64
+
+// DelayObjective returns the end-to-end delay S + B.
+func DelayObjective(b *eval.Breakdown) float64 { return b.Delay }
+
+// BottleneckObjective returns max(host time, max satellite load) — the
+// "bottleneck processing time" minimised by Bokhari's SB algorithm.
+func BottleneckObjective(b *eval.Breakdown) float64 {
+	return math.Max(b.HostTime, b.MaxSatLoad)
+}
+
+// BruteForceObjective enumerates every feasible assignment minimising an
+// arbitrary objective. Same enumeration and budget semantics as BruteForce.
+func BruteForceObjective(t *model.Tree, obj Objective, maxExplored int) (*Result, error) {
+	if maxExplored <= 0 {
+		maxExplored = 1 << 22
+	}
+	res := &Result{Delay: math.Inf(1)}
+	best := math.Inf(1)
+	asg := model.NewAssignment(t)
+	root := t.Root()
+	stack := []model.NodeID{root}
+	var rec func() error
+	rec = func() error {
+		if len(stack) == 0 {
+			res.Explored++
+			if res.Explored > maxExplored {
+				return ErrBudget
+			}
+			bd, err := eval.Evaluate(t, asg)
+			if err != nil {
+				return err
+			}
+			if v := obj(bd); v < best {
+				best = v
+				res.Delay = bd.Delay // reported delay stays the E2E delay
+				res.Assignment = asg.Clone()
+			}
+			return nil
+		}
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		defer func() { stack = append(stack, id) }()
+		n := t.Node(id)
+		if n.Kind == model.SensorKind {
+			return rec()
+		}
+		asg.Set(id, model.Host)
+		stack = append(stack, n.Children...)
+		err := rec()
+		stack = stack[:len(stack)-len(n.Children)]
+		if err != nil {
+			return err
+		}
+		if id != root {
+			if sat, ok := t.CorrespondentSatellite(id); ok {
+				placeSubtree(t, asg, id, model.OnSatellite(sat))
+				if err := rec(); err != nil {
+					return err
+				}
+				resetSubtree(t, asg, id)
+			}
+		}
+		return nil
+	}
+	if err := rec(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

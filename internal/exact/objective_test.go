@@ -1,0 +1,90 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func TestBruteForceObjectiveDelayMatchesBruteForce(t *testing.T) {
+	tree := workload.PaperTree()
+	plain, err := BruteForce(tree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaObj, err := BruteForceObjective(tree, DelayObjective, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Delay-viaObj.Delay) > 1e-9 {
+		t.Fatalf("delay objective %v != plain brute force %v", viaObj.Delay, plain.Delay)
+	}
+}
+
+func TestBottleneckObjectiveDiffersFromDelay(t *testing.T) {
+	// On the epilepsy scenario the two objectives select different optima;
+	// the bottleneck optimum's delay must be >= the delay optimum (it
+	// optimises the wrong thing) and its bottleneck <= the delay optimum's
+	// bottleneck (it optimises its own thing).
+	tree := workload.Epilepsy()
+	delayOpt, err := BruteForceObjective(tree, DelayObjective, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbOpt, err := BruteForceObjective(tree, BottleneckObjective, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sbOpt.Delay+1e-9 < delayOpt.Delay {
+		t.Fatalf("bottleneck optimum has smaller delay (%v < %v)", sbOpt.Delay, delayOpt.Delay)
+	}
+	bdDelay, err := eval.Evaluate(tree, delayOpt.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdSB, err := eval.Evaluate(tree, sbOpt.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if BottleneckObjective(bdSB) > BottleneckObjective(bdDelay)+1e-9 {
+		t.Fatalf("bottleneck optimum %v worse than delay optimum's bottleneck %v",
+			BottleneckObjective(bdSB), BottleneckObjective(bdDelay))
+	}
+}
+
+func TestBruteForceObjectiveBudget(t *testing.T) {
+	tree := workload.PaperTree()
+	if _, err := BruteForceObjective(tree, DelayObjective, 2); err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestBottleneckObjectiveConsistencyProperty(t *testing.T) {
+	// The bottleneck optimum can never beat Bokhari-style lower bounds on
+	// random instances: max(host, maxSat) of ANY assignment >= the optimum.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		tree := workload.Random(rng, workload.DefaultRandomSpec(1+rng.Intn(8), 1+rng.Intn(3)))
+		opt, err := BruteForceObjective(tree, BottleneckObjective, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bdOpt, err := eval.Evaluate(tree, opt.Assignment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allHost := model.NewAssignment(tree)
+		bdAll, err := eval.Evaluate(tree, allHost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if BottleneckObjective(bdOpt) > BottleneckObjective(bdAll)+1e-9 {
+			t.Fatalf("trial %d: optimum %v beaten by all-host %v",
+				trial, BottleneckObjective(bdOpt), BottleneckObjective(bdAll))
+		}
+	}
+}

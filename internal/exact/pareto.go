@@ -1,0 +1,209 @@
+package exact
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/colouring"
+	"repro/internal/eval"
+	"repro/internal/model"
+)
+
+// paretoOption is one way to cut a (sub)region: hosting the top part costs
+// host extra h; the satellite receives load (processing + uplink of the cut
+// edges); cut lists the tree-edge children crossed.
+type paretoOption struct {
+	h    float64
+	load float64
+	cut  []model.NodeID
+}
+
+// Pareto solves the problem exactly by per-region dynamic programming,
+// completely independent of the assignment graph:
+//
+//  1. colour the tree; the must-host closure contributes a fixed host time;
+//  2. for every maximal monochromatic region compute the Pareto frontier of
+//     (extra host time, satellite load) over all cuts of that region;
+//  3. merge frontiers of regions sharing a colour (Minkowski sum, pruned);
+//  4. the optimum is min over candidate bottleneck values B of
+//     coreHost + Σ_colours minHost(load ≤ B) + B.
+//
+// maxFrontier caps each frontier's size (0 means 1<<20) — exceeded only on
+// adversarially profiled instances; ErrBudget is returned then.
+func Pareto(t *model.Tree, maxFrontier int) (*Result, error) {
+	if maxFrontier <= 0 {
+		maxFrontier = 1 << 20
+	}
+	an := colouring.Analyse(t)
+
+	coreHost := 0.0
+	for _, id := range an.MustHostSet() {
+		coreHost += t.Node(id).HostTime
+	}
+
+	// Per-colour merged frontiers.
+	byColour := map[model.SatelliteID][]paretoOption{}
+	for _, region := range an.Regions() {
+		opts, err := regionFrontier(t, region.Root, maxFrontier)
+		if err != nil {
+			return nil, err
+		}
+		if existing, ok := byColour[region.Colour]; ok {
+			merged, err := minkowski(existing, opts, maxFrontier)
+			if err != nil {
+				return nil, err
+			}
+			byColour[region.Colour] = merged
+		} else {
+			byColour[region.Colour] = opts
+		}
+	}
+
+	colours := make([]model.SatelliteID, 0, len(byColour))
+	for c := range byColour {
+		colours = append(colours, c)
+	}
+	sort.Slice(colours, func(i, j int) bool { return colours[i] < colours[j] })
+
+	if len(colours) == 0 {
+		// Degenerate: no regions (tree is all must-host — impossible since
+		// sensor edges always form regions, but handle defensively).
+		asg := model.NewAssignment(t)
+		d, err := eval.Delay(t, asg)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Assignment: asg, Delay: d}, nil
+	}
+
+	// Candidate bottleneck values: every achievable per-colour load.
+	candidates := map[float64]bool{}
+	for _, opts := range byColour {
+		for _, o := range opts {
+			candidates[o.load] = true
+		}
+	}
+
+	best := math.Inf(1)
+	var bestChoice map[model.SatelliteID]*paretoOption
+	for b := range candidates {
+		total := coreHost + b
+		choice := map[model.SatelliteID]*paretoOption{}
+		feasible := true
+		for _, c := range colours {
+			var pick *paretoOption
+			opts := byColour[c]
+			for i := range opts {
+				if opts[i].load <= b && (pick == nil || opts[i].h < pick.h) {
+					pick = &opts[i]
+				}
+			}
+			if pick == nil {
+				feasible = false
+				break
+			}
+			total += pick.h
+			choice[c] = pick
+		}
+		if feasible && total < best {
+			best = total
+			bestChoice = choice
+		}
+	}
+	if bestChoice == nil {
+		return nil, fmt.Errorf("exact: no feasible bottleneck candidate (tree has %d colours)", len(colours))
+	}
+
+	// Materialise the assignment from the chosen cuts.
+	asg := model.NewAssignment(t)
+	for c, pick := range bestChoice {
+		for _, child := range pick.cut {
+			placeSubtree(t, asg, child, model.OnSatellite(c))
+		}
+	}
+	d, err := eval.Delay(t, asg)
+	if err != nil {
+		return nil, fmt.Errorf("exact: pareto assignment invalid: %w", err)
+	}
+	// The enumeration bound equals the achieved delay (see DESIGN.md): the
+	// chosen B is the max load candidate; the realised max load may be
+	// smaller, making the realised delay ≤ bound; both are optimal.
+	if d > best+1e-9 {
+		return nil, fmt.Errorf("exact: pareto bound %v < realised delay %v", best, d)
+	}
+	return &Result{Assignment: asg, Delay: d}, nil
+}
+
+// regionFrontier computes the Pareto frontier of cuts of the monochromatic
+// subtree rooted at v (v's parent is in the must-host closure).
+func regionFrontier(t *model.Tree, v model.NodeID, maxFrontier int) ([]paretoOption, error) {
+	n := t.Node(v)
+	// Option A: cut the edge above v — the whole subtree goes to the
+	// satellite: no extra host time, load = subtree satellite time + uplink.
+	cutHere := paretoOption{
+		h:    0,
+		load: t.SubtreeSatTime(v) + n.UpComm,
+		cut:  []model.NodeID{v},
+	}
+	if n.Kind == model.SensorKind {
+		// A sensor cannot be hosted: cutting is the only option.
+		return []paretoOption{cutHere}, nil
+	}
+
+	// Option B: host v; combine children frontiers (Minkowski sum).
+	combined := []paretoOption{{h: n.HostTime}}
+	for _, c := range n.Children {
+		childOpts, err := regionFrontier(t, c, maxFrontier)
+		if err != nil {
+			return nil, err
+		}
+		merged, err := minkowski(combined, childOpts, maxFrontier)
+		if err != nil {
+			return nil, err
+		}
+		combined = merged
+	}
+	return prune(append(combined, cutHere), maxFrontier)
+}
+
+// minkowski combines two frontiers by pairwise addition and prunes.
+func minkowski(a, b []paretoOption, maxFrontier int) ([]paretoOption, error) {
+	out := make([]paretoOption, 0, len(a)*len(b))
+	for i := range a {
+		for j := range b {
+			cut := make([]model.NodeID, 0, len(a[i].cut)+len(b[j].cut))
+			cut = append(cut, a[i].cut...)
+			cut = append(cut, b[j].cut...)
+			out = append(out, paretoOption{
+				h:    a[i].h + b[j].h,
+				load: a[i].load + b[j].load,
+				cut:  cut,
+			})
+		}
+	}
+	return prune(out, maxFrontier)
+}
+
+// prune removes dominated options ((h,load) both ≥ another's) and sorts by
+// load ascending / h descending.
+func prune(opts []paretoOption, maxFrontier int) ([]paretoOption, error) {
+	sort.Slice(opts, func(i, j int) bool {
+		if opts[i].load != opts[j].load {
+			return opts[i].load < opts[j].load
+		}
+		return opts[i].h < opts[j].h
+	})
+	kept := opts[:0]
+	bestH := math.Inf(1)
+	for _, o := range opts {
+		if o.h < bestH {
+			kept = append(kept, o)
+			bestH = o.h
+		}
+	}
+	if len(kept) > maxFrontier {
+		return nil, ErrBudget
+	}
+	return kept, nil
+}

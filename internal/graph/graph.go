@@ -1,0 +1,347 @@
+// Package graph provides the small graph toolkit the assignment algorithms
+// are built on: a weighted directed multigraph with stable edge identities
+// (needed because doubly weighted assignment graphs contain parallel edges
+// that must be eliminated individually), shortest-path searches (binary-heap
+// Dijkstra, the array-scan Dijkstra variant discussed by Hansen & Lih for
+// dense graphs, and a linear-time pass for DAGs with monotone node order),
+// and reachability helpers.
+//
+// Everything uses the standard library only; the heap is hand-rolled rather
+// than container/heap to keep the inner loop allocation-free.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Edge is one directed edge of a Multigraph. Weight is the cost used by the
+// shortest-path searches; callers attach any extra payload by edge ID.
+type Edge struct {
+	ID     int
+	From   int
+	To     int
+	Weight float64
+}
+
+// Multigraph is a directed multigraph over nodes 0..N-1. Parallel edges and
+// self-loops are allowed; edges can be disabled (soft-deleted) individually,
+// which is how the SSB elimination loop shrinks the graph without rebuilding
+// adjacency.
+type Multigraph struct {
+	n        int
+	edges    []Edge
+	disabled []bool
+	adj      [][]int // node -> edge IDs leaving it
+}
+
+// NewMultigraph returns an empty multigraph with n nodes.
+func NewMultigraph(n int) *Multigraph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Multigraph{n: n, adj: make([][]int, n)}
+}
+
+// NumNodes returns the node count.
+func (g *Multigraph) NumNodes() int { return g.n }
+
+// NumEdges returns the total edge count, including disabled edges.
+func (g *Multigraph) NumEdges() int { return len(g.edges) }
+
+// NumEnabled returns the count of enabled edges.
+func (g *Multigraph) NumEnabled() int {
+	c := 0
+	for _, d := range g.disabled {
+		if !d {
+			c++
+		}
+	}
+	return c
+}
+
+// AddEdge inserts a directed edge and returns its ID.
+func (g *Multigraph) AddEdge(from, to int, weight float64) int {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) outside [0,%d)", from, to, g.n))
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Weight: weight})
+	g.disabled = append(g.disabled, false)
+	g.adj[from] = append(g.adj[from], id)
+	return id
+}
+
+// Edge returns the edge with the given ID.
+func (g *Multigraph) Edge(id int) Edge { return g.edges[id] }
+
+// SetWeight updates the weight of edge id.
+func (g *Multigraph) SetWeight(id int, w float64) { g.edges[id].Weight = w }
+
+// Disable soft-deletes edge id; searches skip it.
+func (g *Multigraph) Disable(id int) { g.disabled[id] = true }
+
+// Enable restores a disabled edge.
+func (g *Multigraph) Enable(id int) { g.disabled[id] = false }
+
+// Disabled reports whether edge id is disabled.
+func (g *Multigraph) Disabled(id int) bool { return g.disabled[id] }
+
+// EnabledOut calls fn for every enabled edge leaving node u.
+func (g *Multigraph) EnabledOut(u int, fn func(Edge)) {
+	for _, id := range g.adj[u] {
+		if !g.disabled[id] {
+			fn(g.edges[id])
+		}
+	}
+}
+
+// Clone returns an independent copy (edge enable/disable state included).
+func (g *Multigraph) Clone() *Multigraph {
+	cp := &Multigraph{
+		n:        g.n,
+		edges:    append([]Edge(nil), g.edges...),
+		disabled: append([]bool(nil), g.disabled...),
+		adj:      make([][]int, g.n),
+	}
+	for i, a := range g.adj {
+		cp.adj[i] = append([]int(nil), a...)
+	}
+	return cp
+}
+
+// Path is a directed walk described by its edge IDs plus the accumulated
+// weight. An empty path (Edges == nil, Weight == 0) is the trivial path from
+// a node to itself.
+type Path struct {
+	Edges  []int
+	Weight float64
+}
+
+// Inf is the weight reported for unreachable targets.
+var Inf = math.Inf(1)
+
+// ShortestPath runs binary-heap Dijkstra from src to dst over enabled edges
+// and returns the path and true, or a zero Path and false when dst is
+// unreachable. Weights must be non-negative (panics otherwise: the callers
+// construct weights from times, so a negative weight is a programming error).
+func (g *Multigraph) ShortestPath(src, dst int) (Path, bool) {
+	dist, via := g.dijkstra(src, dst)
+	return g.assemble(src, dst, dist, via)
+}
+
+// ShortestPathDense is the array-scan Dijkstra variant: O(V^2 + E) without a
+// heap, which wins on the dense assignment graphs the paper's §4.2
+// complexity analysis assumes (it cites the Edmonds–Karp O(|V|^2) bound).
+// Results are identical to ShortestPath.
+func (g *Multigraph) ShortestPathDense(src, dst int) (Path, bool) {
+	dist := make([]float64, g.n)
+	via := make([]int, g.n)
+	done := make([]bool, g.n)
+	for i := range dist {
+		dist[i] = Inf
+		via[i] = -1
+	}
+	dist[src] = 0
+	for {
+		u, best := -1, Inf
+		for i := 0; i < g.n; i++ {
+			if !done[i] && dist[i] < best {
+				u, best = i, dist[i]
+			}
+		}
+		if u == -1 || u == dst {
+			break
+		}
+		done[u] = true
+		for _, id := range g.adj[u] {
+			if g.disabled[id] {
+				continue
+			}
+			e := g.edges[id]
+			if e.Weight < 0 {
+				panic("graph: negative edge weight")
+			}
+			if nd := dist[u] + e.Weight; nd < dist[e.To] {
+				dist[e.To] = nd
+				via[e.To] = id
+			}
+		}
+	}
+	return g.assemble(src, dst, dist, via)
+}
+
+func (g *Multigraph) dijkstra(src, dst int) (dist []float64, via []int) {
+	dist = make([]float64, g.n)
+	via = make([]int, g.n)
+	for i := range dist {
+		dist[i] = Inf
+		via[i] = -1
+	}
+	dist[src] = 0
+	pq := newHeap(g.n)
+	pq.push(src, 0)
+	for pq.len() > 0 {
+		u, du := pq.pop()
+		if du > dist[u] {
+			continue // stale entry
+		}
+		if u == dst {
+			return dist, via
+		}
+		for _, id := range g.adj[u] {
+			if g.disabled[id] {
+				continue
+			}
+			e := g.edges[id]
+			if e.Weight < 0 {
+				panic("graph: negative edge weight")
+			}
+			if nd := du + e.Weight; nd < dist[e.To] {
+				dist[e.To] = nd
+				via[e.To] = id
+				pq.push(e.To, nd)
+			}
+		}
+	}
+	return dist, via
+}
+
+// ShortestPathDAGMonotone computes the shortest src->dst path assuming every
+// enabled edge satisfies From < To, i.e. the natural node order is a
+// topological order. This is the case for directed assignment graphs (faces
+// are numbered left to right), so one O(V+E) sweep replaces Dijkstra — the
+// "skip the shortest-path search" optimisation of §5.4.
+func (g *Multigraph) ShortestPathDAGMonotone(src, dst int) (Path, bool) {
+	dist := make([]float64, g.n)
+	via := make([]int, g.n)
+	for i := range dist {
+		dist[i] = Inf
+		via[i] = -1
+	}
+	dist[src] = 0
+	for u := src; u <= dst && u < g.n; u++ {
+		if dist[u] == Inf {
+			continue
+		}
+		for _, id := range g.adj[u] {
+			if g.disabled[id] {
+				continue
+			}
+			e := g.edges[id]
+			if e.To <= u {
+				panic(fmt.Sprintf("graph: edge %d->%d violates monotone DAG order", e.From, e.To))
+			}
+			if nd := dist[u] + e.Weight; nd < dist[e.To] {
+				dist[e.To] = nd
+				via[e.To] = id
+			}
+		}
+	}
+	return g.assemble(src, dst, dist, via)
+}
+
+func (g *Multigraph) assemble(src, dst int, dist []float64, via []int) (Path, bool) {
+	if dist[dst] == Inf {
+		return Path{}, false
+	}
+	var ids []int
+	for v := dst; v != src; {
+		id := via[v]
+		if id < 0 {
+			return Path{}, false
+		}
+		ids = append(ids, id)
+		v = g.edges[id].From
+	}
+	// Reverse into forward order.
+	for i, j := 0, len(ids)-1; i < j; i, j = i+1, j-1 {
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+	return Path{Edges: ids, Weight: dist[dst]}, true
+}
+
+// Connected reports whether dst is reachable from src over enabled edges.
+func (g *Multigraph) Connected(src, dst int) bool {
+	if src == dst {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{src}
+	seen[src] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, id := range g.adj[u] {
+			if g.disabled[id] {
+				continue
+			}
+			v := g.edges[id].To
+			if v == dst {
+				return true
+			}
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return false
+}
+
+// nodeHeap is a minimal binary min-heap of (node, priority) pairs with lazy
+// deletion (duplicates allowed; stale entries skipped by the caller).
+type nodeHeap struct {
+	node []int
+	prio []float64
+}
+
+func newHeap(capacity int) *nodeHeap {
+	return &nodeHeap{node: make([]int, 0, capacity), prio: make([]float64, 0, capacity)}
+}
+
+func (h *nodeHeap) len() int { return len(h.node) }
+
+func (h *nodeHeap) push(n int, p float64) {
+	h.node = append(h.node, n)
+	h.prio = append(h.prio, p)
+	i := len(h.node) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.prio[parent] <= h.prio[i] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *nodeHeap) pop() (int, float64) {
+	n, p := h.node[0], h.prio[0]
+	last := len(h.node) - 1
+	h.swap(0, last)
+	h.node = h.node[:last]
+	h.prio = h.prio[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.prio[l] < h.prio[small] {
+			small = l
+		}
+		if r < last && h.prio[r] < h.prio[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.swap(i, small)
+		i = small
+	}
+	return n, p
+}
+
+func (h *nodeHeap) swap(i, j int) {
+	h.node[i], h.node[j] = h.node[j], h.node[i]
+	h.prio[i], h.prio[j] = h.prio[j], h.prio[i]
+}

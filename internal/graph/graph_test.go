@@ -1,0 +1,265 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func diamond() *Multigraph {
+	// 0 -> 1 -> 3 (cost 1+1) and 0 -> 2 -> 3 (cost 5+1), plus direct 0->3 (cost 10).
+	g := NewMultigraph(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(0, 2, 5)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(0, 3, 10)
+	return g
+}
+
+func TestShortestPathBasic(t *testing.T) {
+	g := diamond()
+	p, ok := g.ShortestPath(0, 3)
+	if !ok || p.Weight != 2 {
+		t.Fatalf("ShortestPath = %+v ok=%v, want weight 2", p, ok)
+	}
+	if len(p.Edges) != 2 || g.Edge(p.Edges[0]).To != 1 {
+		t.Errorf("path edges = %v", p.Edges)
+	}
+}
+
+func TestShortestPathAfterDisable(t *testing.T) {
+	g := diamond()
+	g.Disable(0) // kill 0->1
+	p, ok := g.ShortestPath(0, 3)
+	if !ok || p.Weight != 6 {
+		t.Fatalf("after disable, weight = %v, want 6", p.Weight)
+	}
+	g.Disable(2) // kill 0->2
+	p, ok = g.ShortestPath(0, 3)
+	if !ok || p.Weight != 10 {
+		t.Fatalf("after two disables, weight = %v, want 10", p.Weight)
+	}
+	g.Disable(4)
+	if _, ok = g.ShortestPath(0, 3); ok {
+		t.Fatal("expected unreachable")
+	}
+	if g.Connected(0, 3) {
+		t.Fatal("Connected should be false")
+	}
+	g.Enable(4)
+	if !g.Connected(0, 3) {
+		t.Fatal("Connected should be true after Enable")
+	}
+}
+
+func TestParallelEdges(t *testing.T) {
+	g := NewMultigraph(2)
+	e1 := g.AddEdge(0, 1, 5)
+	e2 := g.AddEdge(0, 1, 3)
+	p, ok := g.ShortestPath(0, 1)
+	if !ok || p.Weight != 3 || p.Edges[0] != e2 {
+		t.Fatalf("parallel edge selection wrong: %+v", p)
+	}
+	g.Disable(e2)
+	p, ok = g.ShortestPath(0, 1)
+	if !ok || p.Edges[0] != e1 {
+		t.Fatalf("should fall back to e1: %+v", p)
+	}
+}
+
+func TestSelfPath(t *testing.T) {
+	g := NewMultigraph(3)
+	p, ok := g.ShortestPath(1, 1)
+	if !ok || p.Weight != 0 || len(p.Edges) != 0 {
+		t.Fatalf("self path = %+v ok=%v", p, ok)
+	}
+	if !g.Connected(1, 1) {
+		t.Fatal("node must be connected to itself")
+	}
+}
+
+func TestZeroWeightEdges(t *testing.T) {
+	g := NewMultigraph(3)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 0)
+	p, ok := g.ShortestPath(0, 2)
+	if !ok || p.Weight != 0 || len(p.Edges) != 2 {
+		t.Fatalf("zero-weight path = %+v", p)
+	}
+}
+
+func TestDAGMonotone(t *testing.T) {
+	g := diamond()
+	p1, ok1 := g.ShortestPath(0, 3)
+	p2, ok2 := g.ShortestPathDAGMonotone(0, 3)
+	if ok1 != ok2 || p1.Weight != p2.Weight {
+		t.Fatalf("DAG pass disagrees: %v vs %v", p1, p2)
+	}
+}
+
+func TestDAGMonotonePanicsOnBackEdge(t *testing.T) {
+	g := NewMultigraph(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 0, 1) // back edge inside the swept range
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on back edge")
+		}
+	}()
+	g.ShortestPathDAGMonotone(0, 2)
+}
+
+func TestNegativeWeightPanics(t *testing.T) {
+	g := NewMultigraph(2)
+	g.AddEdge(0, 1, -1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative weight")
+		}
+	}()
+	g.ShortestPath(0, 1)
+}
+
+func TestClone(t *testing.T) {
+	g := diamond()
+	cp := g.Clone()
+	cp.Disable(0)
+	if g.Disabled(0) {
+		t.Fatal("Clone shares disabled state")
+	}
+	cp.AddEdge(3, 0, 1)
+	if g.NumEdges() == cp.NumEdges() {
+		t.Fatal("Clone shares edge storage")
+	}
+	if g.NumEnabled() != 5 {
+		t.Fatalf("NumEnabled = %d, want 5", g.NumEnabled())
+	}
+}
+
+// randomDAG builds a random monotone DAG for cross-validation.
+func randomDAG(rng *rand.Rand, n, extra int) *Multigraph {
+	g := NewMultigraph(n)
+	// Spine so dst is reachable.
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, float64(rng.Intn(20)))
+	}
+	for k := 0; k < extra; k++ {
+		u := rng.Intn(n - 1)
+		v := u + 1 + rng.Intn(n-u-1)
+		g.AddEdge(u, v, float64(rng.Intn(20)))
+	}
+	return g
+}
+
+func TestDijkstraVariantsAgreeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	f := func(seed int64, nRaw, extraRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%30
+		extra := int(extraRaw) % 60
+		g := randomDAG(r, n, extra)
+		// Randomly disable some edges but keep reachability optional.
+		for i := 0; i < g.NumEdges(); i++ {
+			if r.Intn(5) == 0 {
+				g.Disable(i)
+			}
+		}
+		pHeap, okHeap := g.ShortestPath(0, n-1)
+		pDense, okDense := g.ShortestPathDense(0, n-1)
+		if okHeap != okDense {
+			return false
+		}
+		if okHeap && pHeap.Weight != pDense.Weight {
+			return false
+		}
+		pDAG, okDAG := g.ShortestPathDAGMonotone(0, n-1)
+		if okHeap != okDAG {
+			return false
+		}
+		if okHeap && pHeap.Weight != pDAG.Weight {
+			return false
+		}
+		// Path weights must equal the sum of their edges.
+		sum := 0.0
+		for _, id := range pHeap.Edges {
+			sum += g.Edge(id).Weight
+		}
+		return !okHeap || sum == pHeap.Weight
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathEdgeChainProperty(t *testing.T) {
+	// The returned edge list must be a contiguous chain from src to dst.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(40)
+		g := randomDAG(rng, n, rng.Intn(80))
+		p, ok := g.ShortestPath(0, n-1)
+		if !ok {
+			t.Fatal("spine guarantees reachability")
+		}
+		at := 0
+		for _, id := range p.Edges {
+			e := g.Edge(id)
+			if e.From != at {
+				t.Fatalf("broken chain at edge %d: from %d, at %d", id, e.From, at)
+			}
+			at = e.To
+		}
+		if at != n-1 {
+			t.Fatalf("chain ends at %d, want %d", at, n-1)
+		}
+	}
+}
+
+func TestEnabledOut(t *testing.T) {
+	g := diamond()
+	g.Disable(0)
+	var seen []int
+	g.EnabledOut(0, func(e Edge) { seen = append(seen, e.ID) })
+	if len(seen) != 2 {
+		t.Fatalf("EnabledOut saw %v, want 2 edges", seen)
+	}
+}
+
+func TestAddEdgePanicsOutOfRange(t *testing.T) {
+	g := NewMultigraph(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.AddEdge(0, 5, 1)
+}
+
+func TestHeapOrderProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		h := newHeap(len(vals))
+		for i, v := range vals {
+			if v < 0 {
+				v = -v
+			}
+			if v != v { // NaN would poison ordering; skip
+				v = 0
+			}
+			h.push(i, v)
+		}
+		prev := -1.0
+		for h.len() > 0 {
+			_, p := h.pop()
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package heuristics
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/eval"
+	"repro/internal/model"
+)
+
+// GeneticConfig tunes Genetic. Zero values select the defaults noted below.
+type GeneticConfig struct {
+	Seed        int64
+	Population  int     // default 40
+	Generations int     // default 60
+	Crossover   float64 // probability per child, default 0.9
+	Mutation    float64 // per-gene flip probability, default 0.05
+	Elite       int     // survivors copied verbatim, default 2
+	Tournament  int     // tournament size, default 3
+}
+
+func (c GeneticConfig) withDefaults() GeneticConfig {
+	if c.Population <= 1 {
+		c.Population = 40
+	}
+	if c.Generations <= 0 {
+		c.Generations = 60
+	}
+	if c.Crossover <= 0 {
+		c.Crossover = 0.9
+	}
+	if c.Mutation <= 0 {
+		c.Mutation = 0.05
+	}
+	if c.Elite <= 0 {
+		c.Elite = 2
+	}
+	if c.Tournament <= 1 {
+		c.Tournament = 3
+	}
+	return c
+}
+
+// Genetic runs the genetic algorithm the paper's §6 cites (Wang et al.'s
+// GA-based matching and scheduling) adapted to the tree problem. A genome
+// has one "cut here" bit per monochromatic processing CRU; decoding walks
+// the tree top-down and sinks the subtree at the first set bit, which maps
+// every genome to a feasible assignment (genes below a cut are ignored, so
+// the representation is redundant but never invalid). Deterministic for a
+// fixed seed.
+func Genetic(t *model.Tree, cfg GeneticConfig) *Result {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Gene sites: monochromatic non-root processing CRUs.
+	var sites []model.NodeID
+	for _, id := range t.Preorder() {
+		n := t.Node(id)
+		if n.Kind != model.Processing || id == t.Root() {
+			continue
+		}
+		if _, mono := t.CorrespondentSatellite(id); mono {
+			sites = append(sites, id)
+		}
+	}
+	siteIdx := map[model.NodeID]int{}
+	for i, id := range sites {
+		siteIdx[id] = i
+	}
+
+	decode := func(genome []bool) *model.Assignment {
+		asg := model.NewAssignment(t)
+		var walk func(id model.NodeID)
+		walk = func(id model.NodeID) {
+			n := t.Node(id)
+			if n.Kind != model.Processing {
+				return
+			}
+			if i, isSite := siteIdx[id]; isSite && genome[i] {
+				sat, _ := t.CorrespondentSatellite(id)
+				stack := []model.NodeID{id}
+				for len(stack) > 0 {
+					v := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					if t.Node(v).Kind == model.Processing {
+						asg.Set(v, model.OnSatellite(sat))
+					}
+					stack = append(stack, t.Node(v).Children...)
+				}
+				return
+			}
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		walk(t.Root())
+		return asg
+	}
+
+	type individual struct {
+		genome []bool
+		delay  float64
+	}
+	evalGenome := func(g []bool) individual {
+		asg := decode(g)
+		return individual{genome: g, delay: eval.MustDelay(t, asg)}
+	}
+
+	if len(sites) == 0 {
+		asg := model.NewAssignment(t)
+		return &Result{Assignment: asg, Delay: eval.MustDelay(t, asg)}
+	}
+
+	pop := make([]individual, cfg.Population)
+	for i := range pop {
+		g := make([]bool, len(sites))
+		for j := range g {
+			g[j] = rng.Intn(2) == 0
+		}
+		pop[i] = evalGenome(g)
+	}
+	// Seed the population with both trivial baselines.
+	allHost := make([]bool, len(sites))
+	pop[0] = evalGenome(allHost)
+	topmost := make([]bool, len(sites))
+	for j := range topmost {
+		topmost[j] = true // redundant bits are ignored below the first cut
+	}
+	if len(pop) > 1 {
+		pop[1] = evalGenome(topmost)
+	}
+
+	byDelay := func() { sort.Slice(pop, func(i, j int) bool { return pop[i].delay < pop[j].delay }) }
+	tournament := func() individual {
+		best := pop[rng.Intn(len(pop))]
+		for k := 1; k < cfg.Tournament; k++ {
+			c := pop[rng.Intn(len(pop))]
+			if c.delay < best.delay {
+				best = c
+			}
+		}
+		return best
+	}
+
+	evaluations := len(pop)
+	for gen := 0; gen < cfg.Generations; gen++ {
+		byDelay()
+		next := make([]individual, 0, cfg.Population)
+		for e := 0; e < cfg.Elite && e < len(pop); e++ {
+			next = append(next, pop[e])
+		}
+		for len(next) < cfg.Population {
+			a, b := tournament(), tournament()
+			child := make([]bool, len(sites))
+			if rng.Float64() < cfg.Crossover {
+				// Uniform crossover.
+				for j := range child {
+					if rng.Intn(2) == 0 {
+						child[j] = a.genome[j]
+					} else {
+						child[j] = b.genome[j]
+					}
+				}
+			} else {
+				copy(child, a.genome)
+			}
+			for j := range child {
+				if rng.Float64() < cfg.Mutation {
+					child[j] = !child[j]
+				}
+			}
+			next = append(next, evalGenome(child))
+			evaluations++
+		}
+		pop = next
+	}
+	byDelay()
+	best := pop[0]
+	return &Result{Assignment: decode(best.genome), Delay: best.delay, Work: evaluations}
+}

@@ -1,0 +1,193 @@
+// Package heuristics implements non-exact solvers for the assignment
+// problem: the two trivial baselines (everything on the host, maximal
+// distribution), greedy hill-climbing over cut moves, simulated annealing,
+// and the genetic algorithm the paper's §6 proposes as future work for the
+// general (DAG) problem. They are evaluated against the exact optimum in
+// experiment E10.
+package heuristics
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/colouring"
+	"repro/internal/eval"
+	"repro/internal/model"
+)
+
+// Result is a heuristic solution: a feasible assignment, its delay and a
+// work counter (moves, iterations or generations depending on the solver).
+type Result struct {
+	Assignment *model.Assignment
+	Delay      float64
+	Work       int
+}
+
+// AllHost returns the trivial everything-on-host baseline.
+func AllHost(t *model.Tree) *Result {
+	asg := model.NewAssignment(t)
+	return &Result{Assignment: asg, Delay: eval.MustDelay(t, asg)}
+}
+
+// MaxDistribution returns the topmost-cut baseline: only the must-host
+// closure stays on the host, every region runs on its satellite.
+func MaxDistribution(t *model.Tree) *Result {
+	asg := colouring.Analyse(t).FeasibleTopmost()
+	return &Result{Assignment: asg, Delay: eval.MustDelay(t, asg)}
+}
+
+// Start selects the initial assignment of Greedy and Anneal.
+type Start int
+
+const (
+	// FromHost starts with everything on the host and mostly sinks.
+	FromHost Start = iota
+	// FromTopmost starts maximally distributed and mostly lifts.
+	FromTopmost
+)
+
+// Greedy hill-climbs from the given start, applying the single best
+// sink/lift move until no move improves the delay. The result is a local
+// optimum of the move neighbourhood.
+func Greedy(t *model.Tree, start Start) *Result {
+	asg := startAssignment(t, start)
+	delay := eval.MustDelay(t, asg)
+	moves := 0
+	for {
+		bestDelta := -1e-12
+		var bestApply func()
+		for _, mv := range legalMoves(t, asg) {
+			next := asg.Clone()
+			mv.apply(next)
+			d := eval.MustDelay(t, next)
+			if delta := d - delay; delta < bestDelta {
+				bestDelta = delta
+				applied := next
+				newDelay := d
+				bestApply = func() { asg = applied; delay = newDelay }
+			}
+		}
+		if bestApply == nil {
+			break
+		}
+		bestApply()
+		moves++
+	}
+	return &Result{Assignment: asg, Delay: delay, Work: moves}
+}
+
+// AnnealConfig tunes Anneal. Zero values select the defaults noted below.
+type AnnealConfig struct {
+	Seed     int64
+	Steps    int     // default 2000
+	StartT   float64 // default: 10% of the all-host delay
+	CoolRate float64 // geometric factor per step, default 0.995
+	Start    Start
+}
+
+// Anneal runs simulated annealing over the sink/lift move neighbourhood.
+// Deterministic for a fixed seed.
+func Anneal(t *model.Tree, cfg AnnealConfig) *Result {
+	steps := cfg.Steps
+	if steps <= 0 {
+		steps = 2000
+	}
+	cool := cfg.CoolRate
+	if cool <= 0 || cool >= 1 {
+		cool = 0.995
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	asg := startAssignment(t, cfg.Start)
+	delay := eval.MustDelay(t, asg)
+	temp := cfg.StartT
+	if temp <= 0 {
+		temp = 0.1 * (eval.MustDelay(t, model.NewAssignment(t)) + 1)
+	}
+
+	best := asg.Clone()
+	bestDelay := delay
+	for step := 0; step < steps; step++ {
+		moves := legalMoves(t, asg)
+		if len(moves) == 0 {
+			break
+		}
+		mv := moves[rng.Intn(len(moves))]
+		next := asg.Clone()
+		mv.apply(next)
+		d := eval.MustDelay(t, next)
+		if delta := d - delay; delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			asg, delay = next, d
+			if delay < bestDelay {
+				best, bestDelay = asg.Clone(), delay
+			}
+		}
+		temp *= cool
+	}
+	return &Result{Assignment: best, Delay: bestDelay, Work: steps}
+}
+
+// move is a reversible local change of the cut.
+type move struct {
+	apply func(*model.Assignment)
+}
+
+// legalMoves enumerates the sink/lift neighbourhood of asg:
+//
+//   - sink(v): v is hosted, non-root, its subtree is monochromatic, and
+//     every processing child of v is already on v's correspondent
+//     satellite (or v's children are sensors) → move v to the satellite;
+//   - lift(v): v is on a satellite and its parent is hosted → move v (and
+//     only v; its children stay) to the host... which requires v's children
+//     to move too if they are satellite-resident? No: lifting v alone keeps
+//     children on the satellite, which stays feasible (host set stays
+//     upward-closed).
+func legalMoves(t *model.Tree, asg *model.Assignment) []move {
+	var out []move
+	for _, id := range t.Preorder() {
+		id := id
+		n := t.Node(id)
+		if n.Kind != model.Processing {
+			continue
+		}
+		if asg.At(id).IsHost() {
+			if id == t.Root() {
+				continue
+			}
+			sat, mono := t.CorrespondentSatellite(id)
+			if !mono {
+				continue
+			}
+			if !asg.At(n.Parent).IsHost() {
+				continue
+			}
+			ok := true
+			for _, c := range n.Children {
+				cn := t.Node(c)
+				if cn.Kind == model.Processing {
+					if s, onSat := asg.At(c).Satellite(); !onSat || s != sat {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				out = append(out, move{apply: func(a *model.Assignment) {
+					a.Set(id, model.OnSatellite(sat))
+				}})
+			}
+		} else if n.Parent != model.None && asg.At(n.Parent).IsHost() {
+			// lift: v returns to the host; children keep their location.
+			out = append(out, move{apply: func(a *model.Assignment) {
+				a.Set(id, model.Host)
+			}})
+		}
+	}
+	return out
+}
+
+func startAssignment(t *model.Tree, s Start) *model.Assignment {
+	if s == FromTopmost {
+		return colouring.Analyse(t).FeasibleTopmost()
+	}
+	return model.NewAssignment(t)
+}

@@ -1,0 +1,153 @@
+package heuristics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func TestBaselinesValid(t *testing.T) {
+	tree := workload.PaperTree()
+	for name, r := range map[string]*Result{
+		"all-host": AllHost(tree),
+		"max-dist": MaxDistribution(tree),
+	} {
+		if err := r.Assignment.Validate(tree); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if r.Delay <= 0 {
+			t.Errorf("%s: delay %v", name, r.Delay)
+		}
+	}
+}
+
+func TestGreedyImprovesOverStart(t *testing.T) {
+	tree := workload.PaperTree()
+	fromHost := Greedy(tree, FromHost)
+	if fromHost.Delay > AllHost(tree).Delay {
+		t.Errorf("greedy-from-host %v worse than all-host %v", fromHost.Delay, AllHost(tree).Delay)
+	}
+	fromTop := Greedy(tree, FromTopmost)
+	if fromTop.Delay > MaxDistribution(tree).Delay {
+		t.Errorf("greedy-from-top %v worse than max-dist %v", fromTop.Delay, MaxDistribution(tree).Delay)
+	}
+	for _, r := range []*Result{fromHost, fromTop} {
+		if err := r.Assignment.Validate(tree); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGreedyNeverWorseThanBaselinesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		spec := workload.DefaultRandomSpec(1+rng.Intn(20), 1+rng.Intn(4))
+		spec.Clustered = trial%2 == 0
+		tree := workload.Random(rng, spec)
+		opt, err := exact.Pareto(tree, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, r := range map[string]*Result{
+			"greedy-host": Greedy(tree, FromHost),
+			"greedy-top":  Greedy(tree, FromTopmost),
+		} {
+			if err := r.Assignment.Validate(tree); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			if r.Delay < opt.Delay-1e-9 {
+				t.Fatalf("trial %d %s: heuristic %v beats exact %v", trial, name, r.Delay, opt.Delay)
+			}
+		}
+	}
+}
+
+func TestAnnealDeterministicAndValid(t *testing.T) {
+	tree := workload.Epilepsy()
+	r1 := Anneal(tree, AnnealConfig{Seed: 42, Steps: 500})
+	r2 := Anneal(tree, AnnealConfig{Seed: 42, Steps: 500})
+	if r1.Delay != r2.Delay {
+		t.Fatalf("same seed, different delays: %v vs %v", r1.Delay, r2.Delay)
+	}
+	if err := r1.Assignment.Validate(tree); err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := exact.Pareto(tree, 0)
+	if r1.Delay < opt.Delay-1e-9 {
+		t.Fatalf("anneal %v beats exact %v", r1.Delay, opt.Delay)
+	}
+}
+
+func TestGeneticFindsOptimumOnSmallInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	hits := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		tree := workload.Random(rng, workload.DefaultRandomSpec(1+rng.Intn(8), 1+rng.Intn(3)))
+		opt, err := exact.BruteForce(tree, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ga := Genetic(tree, GeneticConfig{Seed: int64(trial)})
+		if err := ga.Assignment.Validate(tree); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if ga.Delay < opt.Delay-1e-9 {
+			t.Fatalf("trial %d: GA %v beats exact %v", trial, ga.Delay, opt.Delay)
+		}
+		if math.Abs(ga.Delay-opt.Delay) < 1e-9 {
+			hits++
+		}
+	}
+	// On tiny instances the GA should almost always find the optimum.
+	if hits < trials*3/4 {
+		t.Errorf("GA hit the optimum on %d/%d tiny instances", hits, trials)
+	}
+}
+
+func TestGeneticDeterministic(t *testing.T) {
+	tree := workload.SNMP()
+	r1 := Genetic(tree, GeneticConfig{Seed: 9})
+	r2 := Genetic(tree, GeneticConfig{Seed: 9})
+	if r1.Delay != r2.Delay {
+		t.Fatalf("same seed, different results: %v vs %v", r1.Delay, r2.Delay)
+	}
+}
+
+func TestGeneticSingleSensorDegenerate(t *testing.T) {
+	b := model.NewBuilder()
+	s := b.Satellite("s")
+	root := b.Root("root", 2, 0)
+	b.Sensor(root, "x", s, 3)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Genetic(tree, GeneticConfig{Seed: 1})
+	if math.Abs(r.Delay-5) > 1e-9 {
+		t.Fatalf("delay = %v, want 5", r.Delay)
+	}
+}
+
+func TestMovesKeepFeasibilityProperty(t *testing.T) {
+	// Applying any legal move to a feasible assignment keeps it feasible.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		tree := workload.Random(rng, workload.DefaultRandomSpec(1+rng.Intn(15), 1+rng.Intn(4)))
+		asg := model.NewAssignment(tree)
+		for step := 0; step < 20; step++ {
+			moves := legalMoves(tree, asg)
+			if len(moves) == 0 {
+				break
+			}
+			moves[rng.Intn(len(moves))].apply(asg)
+			if err := asg.Validate(tree); err != nil {
+				t.Fatalf("trial %d step %d: move broke feasibility: %v", trial, step, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package model
+
+import (
+	"fmt"
+)
+
+// Builder assembles a Tree incrementally. It is the only supported way to
+// construct trees programmatically; Build validates all invariants and
+// freezes the derived caches.
+//
+//	b := model.NewBuilder()
+//	root := b.Root("fuse", 4, 0)           // h=4 (s irrelevant: root stays on host)
+//	ecg := b.Child(root, "ecg", 2, 3, 1)   // h=2 s=3 c(ecg->fuse)=1
+//	sat := b.Satellite("box-1")
+//	b.Sensor(ecg, "ecg-probe", sat, 0.5)   // raw frame costs 0.5 to uplink
+//	tree, err := b.Build()
+type Builder struct {
+	nodes      []Node
+	satellites []Satellite
+	rootSet    bool
+	err        error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Satellite registers a satellite and returns its ID. Names should be unique
+// for readable reports, but uniqueness is not required by the model.
+func (b *Builder) Satellite(name string) SatelliteID {
+	id := SatelliteID(len(b.satellites))
+	b.satellites = append(b.satellites, Satellite{ID: id, Name: name})
+	return id
+}
+
+// Root creates the root CRU. Calling Root twice records an error that Build
+// reports.
+func (b *Builder) Root(name string, hostTime, satTime float64) NodeID {
+	if b.rootSet {
+		b.fail(fmt.Errorf("model: Root called twice (%q)", name))
+		return None
+	}
+	b.rootSet = true
+	return b.addNode(Node{
+		Name:      name,
+		Kind:      Processing,
+		Parent:    None,
+		HostTime:  hostTime,
+		SatTime:   satTime,
+		Satellite: NoSatellite,
+	})
+}
+
+// Child creates a processing CRU under parent. upComm is c_{child,parent}:
+// the cost of shipping one processed frame from the child to the parent when
+// the tree is cut between them.
+func (b *Builder) Child(parent NodeID, name string, hostTime, satTime, upComm float64) NodeID {
+	if !b.checkParent(parent, name) {
+		return None
+	}
+	id := b.addNode(Node{
+		Name:      name,
+		Kind:      Processing,
+		Parent:    parent,
+		HostTime:  hostTime,
+		SatTime:   satTime,
+		UpComm:    upComm,
+		Satellite: NoSatellite,
+	})
+	b.nodes[parent].Children = append(b.nodes[parent].Children, id)
+	return id
+}
+
+// Sensor creates a sensor leaf under parent, physically attached to sat.
+// rawComm is c_{s,parent}: the cost of shipping one raw frame to the parent
+// CRU when the parent runs on the host.
+func (b *Builder) Sensor(parent NodeID, name string, sat SatelliteID, rawComm float64) NodeID {
+	if !b.checkParent(parent, name) {
+		return None
+	}
+	id := b.addNode(Node{
+		Name:      name,
+		Kind:      SensorKind,
+		Parent:    parent,
+		UpComm:    rawComm,
+		Satellite: sat,
+	})
+	b.nodes[parent].Children = append(b.nodes[parent].Children, id)
+	return id
+}
+
+// Build validates and returns the tree. The Builder must not be reused after
+// a successful Build (the node slice is handed to the Tree).
+func (b *Builder) Build() (*Tree, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if !b.rootSet {
+		return nil, ErrNoRoot
+	}
+	t := &Tree{nodes: b.nodes, root: 0, satellites: b.satellites}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	t.refreshCaches()
+	return t, nil
+}
+
+// MustBuild is Build for workloads that are known-valid by construction
+// (e.g. the canonical paper tree); it panics on error.
+func (b *Builder) MustBuild() *Tree {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (b *Builder) addNode(n Node) NodeID {
+	n.ID = NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, n)
+	return n.ID
+}
+
+func (b *Builder) checkParent(parent NodeID, name string) bool {
+	if parent == None {
+		// Propagated failure from an earlier builder call: keep the first error.
+		if b.err == nil {
+			b.fail(fmt.Errorf("model: node %q attached to failed parent", name))
+		}
+		return false
+	}
+	if parent < 0 || int(parent) >= len(b.nodes) {
+		b.fail(fmt.Errorf("model: node %q attached to unknown parent %d", name, parent))
+		return false
+	}
+	if b.nodes[parent].Kind == SensorKind {
+		b.fail(fmt.Errorf("model: node %q attached to sensor %q", name, b.nodes[parent].Name))
+		return false
+	}
+	return true
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}

@@ -1,0 +1,459 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// smallTree builds:
+//
+//	root
+//	├── a ── sensorA (sat0)
+//	└── b
+//	    ├── sensorB1 (sat0)
+//	    └── sensorB2 (sat1)
+func smallTree(t *testing.T) *Tree {
+	t.Helper()
+	b := NewBuilder()
+	s0 := b.Satellite("S0")
+	s1 := b.Satellite("S1")
+	root := b.Root("root", 5, 0)
+	a := b.Child(root, "a", 2, 3, 1)
+	bb := b.Child(root, "b", 4, 6, 2)
+	b.Sensor(a, "sensorA", s0, 0.5)
+	b.Sensor(bb, "sensorB1", s0, 0.25)
+	b.Sensor(bb, "sensorB2", s1, 0.75)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return tree
+}
+
+func TestBuilderBasics(t *testing.T) {
+	tree := smallTree(t)
+	if got := tree.Len(); got != 6 {
+		t.Fatalf("Len = %d, want 6", got)
+	}
+	if got := tree.ProcessingCount(); got != 3 {
+		t.Errorf("ProcessingCount = %d, want 3", got)
+	}
+	if got := tree.SensorCount(); got != 3 {
+		t.Errorf("SensorCount = %d, want 3", got)
+	}
+	if got := len(tree.Satellites()); got != 2 {
+		t.Errorf("satellites = %d, want 2", got)
+	}
+	root := tree.Node(tree.Root())
+	if root.Name != "root" || root.Parent != None {
+		t.Errorf("bad root: %+v", root)
+	}
+}
+
+func TestTraversalOrders(t *testing.T) {
+	tree := smallTree(t)
+	names := func(ids []NodeID) string {
+		parts := make([]string, len(ids))
+		for i, id := range ids {
+			parts[i] = tree.Node(id).Name
+		}
+		return strings.Join(parts, " ")
+	}
+	if got := names(tree.Preorder()); got != "root a sensorA b sensorB1 sensorB2" {
+		t.Errorf("preorder = %q", got)
+	}
+	if got := names(tree.Postorder()); got != "sensorA a sensorB1 sensorB2 b root" {
+		t.Errorf("postorder = %q", got)
+	}
+	if got := names(tree.Leaves()); got != "sensorA sensorB1 sensorB2" {
+		t.Errorf("leaves = %q", got)
+	}
+}
+
+func TestLeafRanges(t *testing.T) {
+	tree := smallTree(t)
+	cases := map[string][2]int{
+		"root":     {0, 2},
+		"a":        {0, 0},
+		"b":        {1, 2},
+		"sensorA":  {0, 0},
+		"sensorB1": {1, 1},
+		"sensorB2": {2, 2},
+	}
+	for name, want := range cases {
+		id, ok := tree.NodeByName(name)
+		if !ok {
+			t.Fatalf("node %q missing", name)
+		}
+		lo, hi := tree.LeafRange(id)
+		if lo != want[0] || hi != want[1] {
+			t.Errorf("LeafRange(%s) = [%d,%d], want %v", name, lo, hi, want)
+		}
+	}
+}
+
+func TestSubtreeSatellites(t *testing.T) {
+	tree := smallTree(t)
+	a, _ := tree.NodeByName("a")
+	if sat, ok := tree.CorrespondentSatellite(a); !ok || sat != 0 {
+		t.Errorf("a correspondent = %v/%v, want 0/true", sat, ok)
+	}
+	b, _ := tree.NodeByName("b")
+	if _, ok := tree.CorrespondentSatellite(b); ok {
+		t.Errorf("b should have no correspondent satellite (spans 2)")
+	}
+	if got := tree.SubtreeSatellites(b); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("SubtreeSatellites(b) = %v", got)
+	}
+	if got := tree.SubtreeSatellites(tree.Root()); len(got) != 2 {
+		t.Errorf("SubtreeSatellites(root) = %v", got)
+	}
+}
+
+func TestSubtreeSatTime(t *testing.T) {
+	tree := smallTree(t)
+	b, _ := tree.NodeByName("b")
+	if got := tree.SubtreeSatTime(b); got != 6 {
+		t.Errorf("SubtreeSatTime(b) = %v, want 6", got)
+	}
+	if got := tree.SubtreeSatTime(tree.Root()); got != 9 {
+		t.Errorf("SubtreeSatTime(root) = %v, want 9", got)
+	}
+}
+
+func TestIsAncestorOrSelf(t *testing.T) {
+	tree := smallTree(t)
+	root := tree.Root()
+	a, _ := tree.NodeByName("a")
+	b, _ := tree.NodeByName("b")
+	sb2, _ := tree.NodeByName("sensorB2")
+	for _, tc := range []struct {
+		a, b NodeID
+		want bool
+	}{
+		{root, a, true}, {root, sb2, true}, {b, sb2, true},
+		{a, sb2, false}, {sb2, b, false}, {a, a, true}, {a, b, false},
+	} {
+		if got := tree.IsAncestorOrSelf(tc.a, tc.b); got != tc.want {
+			t.Errorf("IsAncestorOrSelf(%d,%d) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestDepth(t *testing.T) {
+	tree := smallTree(t)
+	sb2, _ := tree.NodeByName("sensorB2")
+	if got := tree.Depth(tree.Root()); got != 0 {
+		t.Errorf("Depth(root) = %d", got)
+	}
+	if got := tree.Depth(sb2); got != 2 {
+		t.Errorf("Depth(sensorB2) = %d, want 2", got)
+	}
+}
+
+func TestTotalHostTime(t *testing.T) {
+	tree := smallTree(t)
+	if got := tree.TotalHostTime(); got != 11 {
+		t.Errorf("TotalHostTime = %v, want 11", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tree := smallTree(t)
+	cp := tree.Clone()
+	cp.Node(cp.Root()).HostTime = 99
+	if tree.Node(tree.Root()).HostTime == 99 {
+		t.Fatal("Clone shares node storage with original")
+	}
+	if cp.Len() != tree.Len() || cp.SensorCount() != tree.SensorCount() {
+		t.Fatal("Clone lost nodes")
+	}
+}
+
+func TestScaleProfiles(t *testing.T) {
+	tree := smallTree(t)
+	scaled := tree.ScaleProfiles(2, 3, 0.5)
+	a, _ := scaled.NodeByName("a")
+	n := scaled.Node(a)
+	if n.HostTime != 4 || n.SatTime != 9 || n.UpComm != 0.5 {
+		t.Errorf("scaled a = h%v s%v c%v", n.HostTime, n.SatTime, n.UpComm)
+	}
+	// Caches must be refreshed.
+	b, _ := scaled.NodeByName("b")
+	if got := scaled.SubtreeSatTime(b); got != 18 {
+		t.Errorf("scaled SubtreeSatTime(b) = %v, want 18", got)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("double root", func(t *testing.T) {
+		b := NewBuilder()
+		b.Root("r1", 1, 1)
+		b.Root("r2", 1, 1)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected error for double root")
+		}
+	})
+	t.Run("no root", func(t *testing.T) {
+		b := NewBuilder()
+		if _, err := b.Build(); err != ErrNoRoot {
+			t.Fatalf("got %v, want ErrNoRoot", err)
+		}
+	})
+	t.Run("child of sensor", func(t *testing.T) {
+		b := NewBuilder()
+		s := b.Satellite("s")
+		r := b.Root("r", 1, 1)
+		sn := b.Sensor(r, "sn", s, 0)
+		b.Child(sn, "bad", 1, 1, 1)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected error for child of sensor")
+		}
+	})
+	t.Run("leaf not sensor", func(t *testing.T) {
+		b := NewBuilder()
+		b.Satellite("s")
+		r := b.Root("r", 1, 1)
+		b.Child(r, "leafcru", 1, 1, 1)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected ErrLeafNotSensor")
+		}
+	})
+	t.Run("negative time", func(t *testing.T) {
+		b := NewBuilder()
+		s := b.Satellite("s")
+		r := b.Root("r", -1, 0)
+		b.Sensor(r, "sn", s, 0)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected ErrNegativeTime")
+		}
+	})
+	t.Run("NaN time", func(t *testing.T) {
+		b := NewBuilder()
+		s := b.Satellite("s")
+		r := b.Root("r", math.NaN(), 0)
+		b.Sensor(r, "sn", s, 0)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected error for NaN time")
+		}
+	})
+	t.Run("unknown satellite", func(t *testing.T) {
+		b := NewBuilder()
+		r := b.Root("r", 1, 0)
+		b.Sensor(r, "sn", SatelliteID(7), 0)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected ErrUnknownSat")
+		}
+	})
+	t.Run("child of failed parent", func(t *testing.T) {
+		b := NewBuilder()
+		b.Satellite("s")
+		bad := b.Child(None, "orphan", 1, 1, 1)
+		if bad != None {
+			t.Fatal("expected None for orphan child")
+		}
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected error")
+		}
+	})
+}
+
+func TestValidateCorruption(t *testing.T) {
+	tree := smallTree(t)
+	// Corrupt: point node b's parent at a non-parent.
+	b, _ := tree.NodeByName("b")
+	tree.Node(b).Parent = b
+	if err := tree.Validate(); err == nil {
+		t.Fatal("expected validation failure after corruption")
+	}
+}
+
+func TestAssignmentValidate(t *testing.T) {
+	tree := smallTree(t)
+	a := NewAssignment(tree)
+	if err := a.Validate(tree); err != nil {
+		t.Fatalf("all-host assignment invalid: %v", err)
+	}
+	nodeA, _ := tree.NodeByName("a")
+	nodeB, _ := tree.NodeByName("b")
+
+	// Valid: a -> its correspondent satellite 0.
+	a2 := a.Clone()
+	a2.Set(nodeA, OnSatellite(0))
+	if err := a2.Validate(tree); err != nil {
+		t.Errorf("a on sat0 should be valid: %v", err)
+	}
+
+	// Invalid: a on the wrong satellite.
+	a3 := a.Clone()
+	a3.Set(nodeA, OnSatellite(1))
+	if err := a3.Validate(tree); err == nil {
+		t.Error("a on sat1 should be invalid (correspondent is sat0)")
+	}
+
+	// Invalid: b spans two satellites.
+	a4 := a.Clone()
+	a4.Set(nodeB, OnSatellite(0))
+	if err := a4.Validate(tree); err == nil {
+		t.Error("b off-host should be invalid (conflict)")
+	}
+
+	// Invalid: root off host.
+	a5 := a.Clone()
+	a5.Set(tree.Root(), OnSatellite(0))
+	if err := a5.Validate(tree); err == nil {
+		t.Error("root off host should be invalid")
+	}
+
+	// Invalid: sensor moved.
+	a6 := a.Clone()
+	sb2, _ := tree.NodeByName("sensorB2")
+	a6.Set(sb2, Host)
+	if err := a6.Validate(tree); err == nil {
+		t.Error("sensor on host should be invalid")
+	}
+}
+
+func TestAssignmentCutEdges(t *testing.T) {
+	tree := smallTree(t)
+	a := NewAssignment(tree) // all CRUs on host -> cut = all sensor edges
+	cut := a.CutEdges(tree)
+	if len(cut) != 3 {
+		t.Fatalf("cut = %v, want 3 sensor edges", cut)
+	}
+	nodeA, _ := tree.NodeByName("a")
+	a.Set(nodeA, OnSatellite(0))
+	cut = a.CutEdges(tree)
+	// Now the cut is root->a plus b's two sensor edges.
+	if len(cut) != 3 {
+		t.Fatalf("cut = %v, want 3 edges", cut)
+	}
+	if cut[0][1] != nodeA {
+		t.Errorf("first cut edge should end at a, got %v", cut[0])
+	}
+}
+
+func TestAssignmentHostSetAndKey(t *testing.T) {
+	tree := smallTree(t)
+	a := NewAssignment(tree)
+	if got := len(a.HostSet(tree)); got != 3 {
+		t.Errorf("HostSet = %d entries, want 3", got)
+	}
+	k1 := a.Key()
+	nodeA, _ := tree.NodeByName("a")
+	a.Set(nodeA, OnSatellite(0))
+	if a.Key() == k1 {
+		t.Error("Key must change when assignment changes")
+	}
+	if !strings.Contains(a.Describe(tree), "host") {
+		t.Error("Describe should mention host")
+	}
+}
+
+func TestLocation(t *testing.T) {
+	if !Host.IsHost() {
+		t.Fatal("Host.IsHost() = false")
+	}
+	var zero Location
+	if !zero.IsHost() {
+		t.Fatal("zero Location must be the host")
+	}
+	l := OnSatellite(3)
+	if l.IsHost() {
+		t.Fatal("OnSatellite(3).IsHost() = true")
+	}
+	if s, ok := l.Satellite(); !ok || s != 3 {
+		t.Fatalf("Satellite() = %v,%v", s, ok)
+	}
+	if l.String() != "sat(3)" || Host.String() != "host" {
+		t.Errorf("String: %q %q", l.String(), Host.String())
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	tree := smallTree(t)
+	var buf bytes.Buffer
+	if err := WriteSpec(&buf, tree, "small"); err != nil {
+		t.Fatalf("WriteSpec: %v", err)
+	}
+	back, err := ReadSpec(&buf)
+	if err != nil {
+		t.Fatalf("ReadSpec: %v", err)
+	}
+	if back.Len() != tree.Len() || back.SensorCount() != tree.SensorCount() {
+		t.Fatalf("round trip changed shape: %v vs %v", back, tree)
+	}
+	for _, id := range tree.Preorder() {
+		want := tree.Node(id)
+		gotID, ok := back.NodeByName(want.Name)
+		if !ok {
+			t.Fatalf("node %q lost in round trip", want.Name)
+		}
+		got := back.Node(gotID)
+		if got.HostTime != want.HostTime || got.SatTime != want.SatTime || got.UpComm != want.UpComm {
+			t.Errorf("node %q profile changed: %+v vs %+v", want.Name, got, want)
+		}
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"forward parent", Spec{
+			Satellites: []string{"s"},
+			CRUs:       []SpecCRU{{Name: "child", Parent: "root"}, {Name: "root", HostTime: 1}},
+		}},
+		{"unknown satellite", Spec{
+			Satellites: []string{"s"},
+			CRUs:       []SpecCRU{{Name: "root", HostTime: 1}},
+			Sensors:    []SpecSensor{{Name: "x", Parent: "root", Satellite: "nope"}},
+		}},
+		{"duplicate name", Spec{
+			Satellites: []string{"s"},
+			CRUs:       []SpecCRU{{Name: "root", HostTime: 1}, {Name: "root", Parent: "root"}},
+		}},
+		{"duplicate satellite", Spec{
+			Satellites: []string{"s", "s"},
+			CRUs:       []SpecCRU{{Name: "root", HostTime: 1}},
+		}},
+		{"unnamed cru", Spec{
+			Satellites: []string{"s"},
+			CRUs:       []SpecCRU{{HostTime: 1}},
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := FromSpec(&tc.spec); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestReadSpecRejectsGarbage(t *testing.T) {
+	if _, err := ReadSpec(strings.NewReader("{ not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := ReadSpec(strings.NewReader(`{"bogus_field": 1}`)); err == nil {
+		t.Fatal("expected unknown-field error")
+	}
+}
+
+func TestDOTAndRender(t *testing.T) {
+	tree := smallTree(t)
+	dot := DOT(tree, "small")
+	for _, want := range []string{"digraph", "sensorB2", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	r := tree.Render()
+	if !strings.Contains(r, "root") || !strings.Contains(r, "@S1") {
+		t.Errorf("Render output unexpected:\n%s", r)
+	}
+	if tree.String() == "" || Processing.String() != "cru" || SensorKind.String() != "sensor" {
+		t.Error("String() helpers broken")
+	}
+}

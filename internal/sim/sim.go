@@ -1,0 +1,376 @@
+// Package sim is the discrete-event simulator of the host–satellites
+// execution platform — the synthetic testbed substituting for the paper's
+// physical sensor boxes and mobile terminal (see DESIGN.md). Given a CRU
+// tree and an assignment it simulates frames of context flowing bottom-up:
+// satellite CPUs execute their CRUs, uplinks ship cut-edge traffic to the
+// host, and the host CPU performs the final reasoning.
+//
+// Two timing models are provided:
+//
+//   - PaperBarrier reproduces the paper's §3 analytic model exactly: each
+//     satellite serialises its processing and transmissions on one resource,
+//     and the host only starts once every satellite-side activity of the
+//     frame has finished. The simulated makespan of a single frame equals
+//     eval.Delay to the last bit — the integration test of the whole model.
+//   - Overlapped is the event-driven refinement: a CRU starts as soon as
+//     its inputs are available and its resource is free, and uplinks are
+//     separate resources from satellite CPUs. Its makespan never exceeds
+//     the PaperBarrier one; the gap measures how conservative the paper's
+//     objective is (experiment E13).
+//
+// Multiple frames can be pushed through with a configurable inter-arrival
+// interval to study pipelining/throughput, an extension beyond the paper.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Mode selects the timing model.
+type Mode int
+
+const (
+	// PaperBarrier is the paper's analytic model (see package comment).
+	PaperBarrier Mode = iota
+	// Overlapped is the event-driven refinement.
+	Overlapped
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case PaperBarrier:
+		return "paper-barrier"
+	case Overlapped:
+		return "overlapped"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config parameterises a simulation run.
+type Config struct {
+	Mode     Mode
+	Frames   int     // number of frames; 0 means 1
+	Interval float64 // inter-arrival time between frames (0 = all at t=0)
+}
+
+// FrameStat records one frame's release and completion times.
+type FrameStat struct {
+	Release float64
+	Done    float64
+}
+
+// Latency returns the frame's end-to-end latency.
+func (f FrameStat) Latency() float64 { return f.Done - f.Release }
+
+// Result summarises a simulation.
+type Result struct {
+	Makespan   float64
+	Frames     []FrameStat
+	BusyHost   float64
+	BusySat    map[model.SatelliteID]float64 // CPU + uplink busy time per satellite
+	Tasks      int
+	Throughput float64 // frames per unit time over the makespan
+}
+
+// ErrConfig reports an invalid configuration.
+var ErrConfig = errors.New("sim: invalid configuration")
+
+// task is one schedulable unit (CRU execution or uplink transmission).
+type task struct {
+	id    int
+	res   int // resource index
+	dur   float64
+	deps  int
+	nexts []int
+	frame int
+	ready float64
+}
+
+// Run simulates cfg.Frames frames of the reasoning procedure under the
+// given assignment. The assignment is validated first.
+func Run(t *model.Tree, asg *model.Assignment, cfg Config) (*Result, error) {
+	if err := asg.Validate(t); err != nil {
+		return nil, err
+	}
+	frames := cfg.Frames
+	if frames <= 0 {
+		frames = 1
+	}
+	if cfg.Interval < 0 {
+		return nil, fmt.Errorf("%w: negative interval", ErrConfig)
+	}
+
+	// Resource layout: 0 = host CPU; per satellite i: 1+2i = CPU,
+	// 2+2i = uplink. In PaperBarrier mode the uplink maps onto the CPU
+	// resource (the paper serialises them).
+	numSats := len(t.Satellites())
+	numRes := 1 + 2*numSats
+	hostRes := 0
+	cpuRes := func(s model.SatelliteID) int { return 1 + 2*int(s) }
+	linkRes := func(s model.SatelliteID) int {
+		if cfg.Mode == PaperBarrier {
+			return cpuRes(s)
+		}
+		return 2 + 2*int(s)
+	}
+
+	var tasks []*task
+	addTask := func(res int, dur float64, frame int) *task {
+		tk := &task{id: len(tasks), res: res, dur: dur, frame: frame}
+		tasks = append(tasks, tk)
+		return tk
+	}
+	dep := func(before, after *task) {
+		before.nexts = append(before.nexts, after.id)
+		after.deps++
+	}
+
+	frameDone := make([]*task, frames)
+	for f := 0; f < frames; f++ {
+		release := float64(f) * cfg.Interval
+
+		// Execution task per processing CRU; uplink task per cut edge.
+		exec := make(map[model.NodeID]*task, t.Len())
+		uplink := make(map[model.NodeID]*task)
+		var satSide []*task // all satellite-side tasks of this frame (for the barrier)
+
+		for _, id := range t.Preorder() {
+			n := t.Node(id)
+			if n.Kind != model.Processing {
+				continue
+			}
+			if asg.At(id).IsHost() {
+				exec[id] = addTask(hostRes, n.HostTime, f)
+			} else {
+				sat, _ := asg.At(id).Satellite()
+				tk := addTask(cpuRes(sat), n.SatTime, f)
+				exec[id] = tk
+				satSide = append(satSide, tk)
+			}
+		}
+		// Wire dependencies child -> parent, inserting uplink tasks on cut
+		// edges (including sensor raw-frame uplinks).
+		for _, id := range t.Preorder() {
+			n := t.Node(id)
+			if n.Parent == model.None {
+				continue
+			}
+			parentTask := exec[n.Parent]
+			if parentTask == nil {
+				continue // parent on satellite with child on same satellite handled below
+			}
+			// Parent is either hosted or satellite-resident with a task.
+			if n.Kind == model.SensorKind {
+				if asg.At(n.Parent).IsHost() {
+					// Raw frame crosses the uplink of the sensor's satellite.
+					up := addTask(linkRes(n.Satellite), n.UpComm, f)
+					up.ready = release
+					uplink[id] = up
+					satSide = append(satSide, up)
+					dep(up, parentTask)
+				}
+				// Sensor feeding a satellite-resident CRU: data is local at
+				// release time; no task needed.
+				continue
+			}
+			childTask := exec[id]
+			if asg.At(n.Parent).IsHost() && !asg.At(id).IsHost() {
+				sat, _ := asg.At(id).Satellite()
+				up := addTask(linkRes(sat), n.UpComm, f)
+				uplink[id] = up
+				satSide = append(satSide, up)
+				dep(childTask, up)
+				dep(up, parentTask)
+			} else {
+				dep(childTask, parentTask)
+			}
+		}
+		if cfg.Mode == PaperBarrier {
+			// The host may not start before every satellite-side activity
+			// of the frame has completed (§3's assumption).
+			for _, id := range t.Preorder() {
+				if t.Node(id).Kind != model.Processing || !asg.At(id).IsHost() {
+					continue
+				}
+				for _, st := range satSide {
+					dep(st, exec[id])
+				}
+			}
+			// Host CRUs serialise in post-order (children before parents is
+			// already implied; pre-order list order pins ties).
+			var prev *task
+			for _, id := range t.Postorder() {
+				if t.Node(id).Kind != model.Processing || !asg.At(id).IsHost() {
+					continue
+				}
+				if prev != nil {
+					dep(prev, exec[id])
+				}
+				prev = exec[id]
+			}
+		}
+		// Source readiness: tasks with no dependencies start at the
+		// frame's release time.
+		for _, tk := range exec {
+			tk.ready = release
+		}
+		for _, tk := range uplink {
+			if tk.ready < release {
+				tk.ready = release
+			}
+		}
+		frameDone[f] = exec[t.Root()]
+	}
+
+	res := engine(tasks, numRes)
+	out := &Result{
+		Makespan: res.makespan,
+		BusyHost: res.busy[hostRes],
+		BusySat:  map[model.SatelliteID]float64{},
+		Tasks:    len(tasks),
+	}
+	for _, s := range t.Satellites() {
+		out.BusySat[s.ID] = res.busy[cpuRes(s.ID)]
+		if cfg.Mode == Overlapped {
+			out.BusySat[s.ID] += res.busy[linkRes(s.ID)]
+		}
+	}
+	for f := 0; f < frames; f++ {
+		out.Frames = append(out.Frames, FrameStat{
+			Release: float64(f) * cfg.Interval,
+			Done:    res.done[frameDone[f].id],
+		})
+	}
+	if out.Makespan > 0 {
+		out.Throughput = float64(frames) / out.Makespan
+	}
+	return out, nil
+}
+
+type engineResult struct {
+	makespan float64
+	busy     []float64
+	done     []float64
+}
+
+// engine runs deterministic list scheduling: each resource serves ready
+// tasks FIFO by (ready time, task id).
+func engine(tasks []*task, numRes int) engineResult {
+	res := engineResult{
+		busy: make([]float64, numRes),
+		done: make([]float64, len(tasks)),
+	}
+	freeAt := make([]float64, numRes)
+	queues := make([]taskQueue, numRes)
+	remaining := 0
+
+	var events eventQueue
+	enqueueReady := func(tk *task, now float64) {
+		if tk.ready < now {
+			tk.ready = now
+		}
+		heap.Push(&queues[tk.res], queued{ready: tk.ready, id: tk.id})
+	}
+	// Seed: all zero-dep tasks.
+	for _, tk := range tasks {
+		remaining++
+		if tk.deps == 0 {
+			enqueueReady(tk, tk.ready)
+		}
+	}
+	// tryStart launches the front task of a resource if it is free.
+	tryStart := func(r int, now float64) {
+		for queues[r].Len() > 0 {
+			front := queues[r].peek()
+			start := front.ready
+			if freeAt[r] > start {
+				start = freeAt[r]
+			}
+			if start > now {
+				// Not startable yet: schedule a wake-up at its start time.
+				heap.Push(&events, event{time: start, res: r})
+				return
+			}
+			heap.Pop(&queues[r])
+			tk := tasks[front.id]
+			end := start + tk.dur
+			freeAt[r] = end
+			res.busy[r] += tk.dur
+			heap.Push(&events, event{time: end, res: r, taskID: tk.id, completion: true})
+			if end > res.makespan {
+				res.makespan = end
+			}
+			res.done[tk.id] = end
+			return // resource busy until end; the completion event resumes it
+		}
+	}
+	for r := 0; r < numRes; r++ {
+		tryStart(r, 0)
+	}
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(event)
+		if ev.completion {
+			tk := tasks[ev.taskID]
+			remaining--
+			for _, nid := range tk.nexts {
+				nt := tasks[nid]
+				nt.deps--
+				if nt.deps == 0 {
+					enqueueReady(nt, ev.time)
+					tryStart(nt.res, ev.time)
+				}
+			}
+		}
+		tryStart(ev.res, ev.time)
+	}
+	return res
+}
+
+// queued is a ready task waiting for its resource.
+type queued struct {
+	ready float64
+	id    int
+}
+
+type taskQueue []queued
+
+func (q taskQueue) Len() int { return len(q) }
+func (q taskQueue) Less(i, j int) bool {
+	if q[i].ready != q[j].ready {
+		return q[i].ready < q[j].ready
+	}
+	return q[i].id < q[j].id
+}
+func (q taskQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *taskQueue) Push(x any)   { *q = append(*q, x.(queued)) }
+func (q *taskQueue) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+func (q taskQueue) peek() queued  { return q[0] }
+
+type event struct {
+	time       float64
+	res        int
+	taskID     int
+	completion bool
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	if q[i].completion != q[j].completion {
+		return q[i].completion // completions first at equal times
+	}
+	return q[i].taskID < q[j].taskID
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }

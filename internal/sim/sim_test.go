@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/assign"
+	"repro/internal/eval"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestBarrierMatchesAnalyticDelayProperty is the central model-validation
+// property (experiment E13): under the paper's timing assumptions the
+// simulated single-frame makespan equals the analytic objective exactly,
+// for random trees and random feasible assignments.
+func TestBarrierMatchesAnalyticDelayProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 60; trial++ {
+		spec := workload.DefaultRandomSpec(1+rng.Intn(20), 1+rng.Intn(5))
+		spec.Clustered = trial%2 == 0
+		tree := workload.Random(rng, spec)
+
+		asgs := []*model.Assignment{model.NewAssignment(tree)}
+		if sol, err := assign.Solve(tree); err == nil {
+			asgs = append(asgs, sol.Assignment)
+		}
+		for _, asg := range asgs {
+			want, err := eval.Delay(tree, asg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(tree, asg, Config{Mode: PaperBarrier})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almost(res.Makespan, want) {
+				t.Fatalf("trial %d: simulated %v != analytic %v\n%s",
+					trial, res.Makespan, want, tree.Render())
+			}
+		}
+	}
+}
+
+func TestOverlappedNoWorseOnScenarios(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tree *model.Tree
+	}{
+		{"paper", workload.PaperTree()},
+		{"epilepsy", workload.Epilepsy()},
+		{"snmp", workload.SNMP()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sol, err := assign.Solve(tc.tree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			barrier, err := Run(tc.tree, sol.Assignment, Config{Mode: PaperBarrier})
+			if err != nil {
+				t.Fatal(err)
+			}
+			over, err := Run(tc.tree, sol.Assignment, Config{Mode: Overlapped})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if over.Makespan > barrier.Makespan+1e-9 {
+				t.Errorf("overlapped %v > barrier %v", over.Makespan, barrier.Makespan)
+			}
+			if over.Makespan <= 0 {
+				t.Errorf("overlapped makespan %v", over.Makespan)
+			}
+		})
+	}
+}
+
+func TestMakespanAtLeastResourceBusy(t *testing.T) {
+	tree := workload.PaperTree()
+	sol, err := assign.Solve(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{PaperBarrier, Overlapped} {
+		res, err := Run(tree, sol.Assignment, Config{Mode: mode, Frames: 3, Interval: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan < res.BusyHost-1e-9 {
+			t.Errorf("%v: makespan %v < host busy %v", mode, res.Makespan, res.BusyHost)
+		}
+		for sat, busy := range res.BusySat {
+			if res.Makespan < busy-1e-9 {
+				t.Errorf("%v: makespan %v < sat %d busy %v", mode, res.Makespan, sat, busy)
+			}
+		}
+	}
+}
+
+func TestMultiFrameLatencyMonotone(t *testing.T) {
+	tree := workload.Epilepsy()
+	sol, err := assign.Solve(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tree, sol.Assignment, Config{Mode: Overlapped, Frames: 5, Interval: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frames) != 5 {
+		t.Fatalf("frames = %d", len(res.Frames))
+	}
+	prevDone := -1.0
+	for i, f := range res.Frames {
+		if f.Done < f.Release {
+			t.Errorf("frame %d done %v before release %v", i, f.Done, f.Release)
+		}
+		if f.Done < prevDone {
+			t.Errorf("frame %d completes before frame %d (FIFO resources)", i, i-1)
+		}
+		prevDone = f.Done
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("throughput = %v", res.Throughput)
+	}
+}
+
+func TestBackToBackFramesQueue(t *testing.T) {
+	// All frames released at t=0: makespan grows with frame count, and with
+	// a saturated bottleneck it grows at least linearly in the bottleneck's
+	// per-frame busy time.
+	tree := workload.SNMP()
+	asg := model.NewAssignment(tree) // all host: host CPU is the bottleneck
+	r1, err := Run(tree, asg, Config{Mode: Overlapped, Frames: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Run(tree, asg, Config{Mode: Overlapped, Frames: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perFrameHost := r1.BusyHost
+	if r4.Makespan < 4*perFrameHost-1e-9 {
+		t.Errorf("4-frame makespan %v < 4×host busy %v", r4.Makespan, 4*perFrameHost)
+	}
+}
+
+func TestInvalidConfigAndAssignment(t *testing.T) {
+	tree := workload.PaperTree()
+	asg := model.NewAssignment(tree)
+	if _, err := Run(tree, asg, Config{Interval: -1}); err == nil {
+		t.Error("negative interval accepted")
+	}
+	bad := asg.Clone()
+	cru2, _ := tree.NodeByName("CRU2")
+	bad.Set(cru2, model.OnSatellite(0))
+	if _, err := Run(tree, bad, Config{}); err == nil {
+		t.Error("invalid assignment accepted")
+	}
+}
+
+func TestBarrierHostStartsAfterAllSatellites(t *testing.T) {
+	// Handmade check: host time 2, two satellites with loads 3 and 7
+	// (raw uplinks only) → makespan 2+7 = 9 in barrier mode.
+	b := model.NewBuilder()
+	s0 := b.Satellite("s0")
+	s1 := b.Satellite("s1")
+	root := b.Root("root", 2, 0)
+	c0 := b.Child(root, "c0", 0, 0, 0)
+	b.Sensor(c0, "x0", s0, 3)
+	c1 := b.Child(root, "c1", 0, 0, 0)
+	b.Sensor(c1, "x1", s1, 7)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tree, model.NewAssignment(tree), Config{Mode: PaperBarrier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Makespan, 9) {
+		t.Fatalf("makespan = %v, want 9", res.Makespan)
+	}
+	// Overlapped mode can do no better here (same critical path).
+	over, err := Run(tree, model.NewAssignment(tree), Config{Mode: Overlapped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(over.Makespan, 9) {
+		t.Fatalf("overlapped makespan = %v, want 9", over.Makespan)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if PaperBarrier.String() != "paper-barrier" || Overlapped.String() != "overlapped" {
+		t.Error("mode strings")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode string empty")
+	}
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dwg"
+	"repro/internal/model"
+)
+
+// RandomSpec parameterises Random. The zero value is not valid; use the
+// fields below or DefaultRandomSpec.
+type RandomSpec struct {
+	CRUs       int  // number of processing CRUs, >= 1
+	MaxArity   int  // maximum children per CRU, >= 1
+	Satellites int  // number of satellites, >= 1
+	Clustered  bool // contiguous satellite blocks (paper regime) vs scattered sensors
+
+	// Profile scales. Host times are U(1,4)·HostScale; satellite times are
+	// host·SatRatio·U(0.8,1.2); upward comms are U(0.2,1)·CommScale; raw
+	// sensor frames cost RawFactor× their CRU's comm.
+	HostScale float64
+	SatRatio  float64
+	CommScale float64
+	RawFactor float64
+}
+
+// DefaultRandomSpec returns a sensible spec for n CRUs and k satellites in
+// the paper's regime (satellites ~3× slower, raw frames ~4× bulkier).
+func DefaultRandomSpec(n, k int) RandomSpec {
+	return RandomSpec{
+		CRUs: n, MaxArity: 3, Satellites: k, Clustered: true,
+		HostScale: 1, SatRatio: 3, CommScale: 1, RawFactor: 4,
+	}
+}
+
+// Random generates a random valid problem instance. The same rng state
+// always yields the same tree (experiments pass seeded generators).
+func Random(rng *rand.Rand, spec RandomSpec) *model.Tree {
+	if spec.CRUs < 1 || spec.MaxArity < 1 || spec.Satellites < 1 {
+		panic(fmt.Sprintf("workload: invalid RandomSpec %+v", spec))
+	}
+	b := model.NewBuilder()
+	sats := make([]model.SatelliteID, spec.Satellites)
+	for i := range sats {
+		sats[i] = b.Satellite(fmt.Sprintf("sat-%d", i))
+	}
+	u := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+
+	h := u(1, 4) * spec.HostScale
+	root := b.Root("cru-0", h, h*spec.SatRatio*u(0.8, 1.2))
+	opens := []model.NodeID{root}
+	children := map[model.NodeID][]model.NodeID{}
+	comm := map[model.NodeID]float64{root: u(0.2, 1) * spec.CommScale}
+
+	for i := 1; i < spec.CRUs; i++ {
+		// Attach to a random open slot; retire slots at MaxArity.
+		j := rng.Intn(len(opens))
+		parent := opens[j]
+		h := u(1, 4) * spec.HostScale
+		c := u(0.2, 1) * spec.CommScale
+		id := b.Child(parent, fmt.Sprintf("cru-%d", i), h, h*spec.SatRatio*u(0.8, 1.2), c)
+		comm[id] = c
+		children[parent] = append(children[parent], id)
+		if len(children[parent]) >= spec.MaxArity {
+			opens[j] = opens[len(opens)-1]
+			opens = opens[:len(opens)-1]
+		}
+		opens = append(opens, id)
+	}
+
+	// Every childless CRU gets 1–2 sensors, collected in planar (DFS)
+	// order so that clustered satellite blocks produce contiguous colour
+	// bands, the paper's regime.
+	var leafCRUs []model.NodeID
+	var dfs func(id model.NodeID)
+	dfs = func(id model.NodeID) {
+		if len(children[id]) == 0 {
+			leafCRUs = append(leafCRUs, id)
+			return
+		}
+		for _, c := range children[id] {
+			dfs(c)
+		}
+	}
+	dfs(root)
+
+	sensorTotal := 0
+	counts := make([]int, len(leafCRUs))
+	for i := range leafCRUs {
+		counts[i] = 1 + rng.Intn(2)
+		sensorTotal += counts[i]
+	}
+	pos := 0
+	for i, id := range leafCRUs {
+		for k := 0; k < counts[i]; k++ {
+			var sat model.SatelliteID
+			if spec.Clustered {
+				sat = sats[pos*spec.Satellites/sensorTotal]
+			} else {
+				sat = sats[rng.Intn(len(sats))]
+			}
+			b.Sensor(id, fmt.Sprintf("sensor-%d-%d", i, k), sat, comm[id]*spec.RawFactor*u(0.8, 1.2))
+			pos++
+		}
+	}
+	return b.MustBuild()
+}
+
+// RandomDWG generates a layered random doubly weighted graph with the given
+// node budget, used by the generic-SSB scaling experiment (E7). It returns
+// the graph and its two terminals. Every instance is connected.
+func RandomDWG(rng *rand.Rand, nodes, extraEdges int) (g *dwg.Graph, src, dst int) {
+	if nodes < 2 {
+		nodes = 2
+	}
+	g = dwg.New(nodes)
+	src, dst = 0, nodes-1
+	// Hamiltonian spine guarantees connectivity.
+	for v := 0; v+1 < nodes; v++ {
+		g.AddEdge(v, v+1, float64(1+rng.Intn(20)), float64(1+rng.Intn(30)))
+	}
+	for k := 0; k < extraEdges; k++ {
+		u := rng.Intn(nodes - 1)
+		v := u + 1 + rng.Intn(nodes-1-u)
+		g.AddEdge(u, v, float64(1+rng.Intn(20)), float64(1+rng.Intn(30)))
+	}
+	return g, src, dst
+}

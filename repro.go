@@ -1,0 +1,129 @@
+// Package repro is the public API of this reproduction of
+//
+//	Mei, Pawar, Widya — "Optimal Assignment of a Tree-Structured Context
+//	Reasoning Procedure onto a Host-Satellites System", IPPS 2007.
+//
+// It finds the assignment of a tree of Context Reasoning Units (CRUs) onto
+// a host–satellites star network that minimises the end-to-end processing
+// and communication delay, using the paper's coloured doubly weighted
+// assignment graph and adapted SSB path search, plus a collection of
+// independent exact solvers, heuristics, a discrete-event simulator, and
+// the workloads and experiments that regenerate every figure of the paper.
+//
+// # Quick start
+//
+//	b := repro.NewBuilder()
+//	box := b.Satellite("sensor-box")
+//	root := b.Root("fuse", 3, 0)       // h=3 on the host
+//	f := b.Child(root, "features", 2, 6, 0.5)
+//	b.Sensor(f, "probe", box, 4)       // raw frames cost 4 to uplink
+//	tree, err := b.Build()
+//	...
+//	sol, err := repro.Solve(tree)
+//	fmt.Println(sol.Delay, sol.Assignment.Describe(tree))
+//
+// Use SolveWith to select other algorithms (exact baselines, heuristics),
+// Simulate to replay an assignment on the discrete-event testbed, and the
+// cmd/ tools (crassign, crsim, crgen, crbench) for file-driven workflows.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Re-exported model types. The aliases make the internal packages' types
+// part of the public API without duplicating them.
+type (
+	// Tree is a validated CRU tree with its satellite set.
+	Tree = model.Tree
+	// Builder assembles a Tree.
+	Builder = model.Builder
+	// NodeID identifies a node of a Tree.
+	NodeID = model.NodeID
+	// SatelliteID identifies a satellite.
+	SatelliteID = model.SatelliteID
+	// Location is the host or one satellite.
+	Location = model.Location
+	// Assignment places CRUs onto locations.
+	Assignment = model.Assignment
+	// Spec is the JSON interchange form of a problem instance.
+	Spec = model.Spec
+	// Breakdown itemises an assignment's delay.
+	Breakdown = eval.Breakdown
+	// Algorithm names a registered solver.
+	Algorithm = core.Algorithm
+	// Outcome is a uniform solver result.
+	Outcome = core.Outcome
+	// Request is a parameterised solve call.
+	Request = core.Request
+	// SimConfig parameterises the discrete-event simulator.
+	SimConfig = sim.Config
+	// SimResult is a simulation outcome.
+	SimResult = sim.Result
+)
+
+// Algorithm names; see core for semantics. AdaptedSSB (the paper's
+// algorithm) is the default.
+const (
+	AdaptedSSB      = core.AdaptedSSB
+	LabelSearch     = core.LabelSearch
+	ParetoDP        = core.ParetoDP
+	BruteForce      = core.BruteForce
+	BranchBound     = core.BranchBound
+	AllHost         = core.AllHost
+	MaxDistribution = core.MaxDistribution
+	GreedyHost      = core.GreedyHost
+	GreedyTop       = core.GreedyTop
+	Annealing       = core.Annealing
+	Genetic         = core.Genetic
+)
+
+// Simulator timing models.
+const (
+	// PaperBarrier reproduces the paper's analytic timing exactly.
+	PaperBarrier = sim.PaperBarrier
+	// Overlapped is the event-driven refinement.
+	Overlapped = sim.Overlapped
+)
+
+// NewBuilder returns an empty tree builder.
+func NewBuilder() *Builder { return model.NewBuilder() }
+
+// FromSpec builds a validated tree from its JSON interchange form.
+func FromSpec(s *Spec) (*Tree, error) { return model.FromSpec(s) }
+
+// ToSpec converts a tree back to its interchange form.
+func ToSpec(t *Tree, name string) *Spec { return model.ToSpec(t, name) }
+
+// NewAssignment returns the everything-on-host assignment for t.
+func NewAssignment(t *Tree) *Assignment { return model.NewAssignment(t) }
+
+// OnSatellite returns the location of the given satellite.
+func OnSatellite(id SatelliteID) Location { return model.OnSatellite(id) }
+
+// Host is the host machine's location.
+var Host = model.Host
+
+// Solve finds the minimum end-to-end-delay assignment of t with the
+// paper's adapted SSB algorithm.
+func Solve(t *Tree) (*Outcome, error) {
+	return core.Solve(core.Request{Tree: t})
+}
+
+// SolveWith dispatches a fully parameterised solve (algorithm choice,
+// objective weights, seeds, budgets).
+func SolveWith(req Request) (*Outcome, error) { return core.Solve(req) }
+
+// Algorithms lists every registered solver, exact ones first.
+func Algorithms() []Algorithm { return core.Algorithms() }
+
+// Evaluate computes the delay breakdown of an assignment.
+func Evaluate(t *Tree, a *Assignment) (*Breakdown, error) { return eval.Evaluate(t, a) }
+
+// Simulate replays an assignment on the discrete-event testbed.
+func Simulate(t *Tree, a *Assignment, cfg SimConfig) (*SimResult, error) {
+	return sim.Run(t, a, cfg)
+}
