@@ -1,31 +1,36 @@
 // Command crassign solves a problem instance: it reads a JSON spec (see
-// internal/model.Spec), runs the selected algorithm and prints the optimal
-// assignment with its delay breakdown.
+// repro.Spec), runs the selected algorithm through the repro.Solver service
+// and prints the optimal assignment with its delay breakdown. Ctrl-C and
+// -timeout cancel in-flight solves cleanly.
 //
 // Usage:
 //
-//	crassign -spec problem.json [-algorithm adapted-ssb] [-all] [-dot out.dot]
+//	crassign -spec problem.json [-algorithm adapted-ssb] [-all] [-timeout 30s] [-dot out.dot]
 //	crgen -crus 20 -satellites 3 | crassign -spec -
 //
-// With -all, every registered algorithm is run and tabulated.
+// With -all, every registered algorithm is run and tabulated with its
+// capability metadata.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"text/tabwriter"
 
-	"repro/internal/core"
-	"repro/internal/model"
+	"repro"
 )
 
 func main() {
 	specPath := flag.String("spec", "", "problem spec JSON file ('-' for stdin)")
-	algorithm := flag.String("algorithm", string(core.AdaptedSSB), "solver to run")
+	algorithm := flag.String("algorithm", string(repro.AdaptedSSB), "solver to run")
 	all := flag.Bool("all", false, "run every registered algorithm and compare")
 	seed := flag.Int64("seed", 1, "seed for randomised heuristics")
+	budget := flag.Int("budget", 0, "exploration budget for budgeted exact searches (0 = default)")
+	timeout := flag.Duration("timeout", 0, "per-solve deadline (0 = none)")
 	dot := flag.String("dot", "", "also write the tree as Graphviz DOT to this file")
 	flag.Parse()
 
@@ -39,29 +44,47 @@ func main() {
 		fatal(err)
 	}
 	if *dot != "" {
-		if err := os.WriteFile(*dot, []byte(model.DOT(tree, "problem")), 0o644); err != nil {
+		if err := os.WriteFile(*dot, []byte(repro.DOT(tree, "problem")), 0o644); err != nil {
 			fatal(err)
 		}
 	}
 	fmt.Printf("problem: %v\n%s\n", tree, tree.Render())
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	solver := repro.NewSolver(
+		repro.WithSeed(*seed),
+		repro.WithBudget(*budget),
+		repro.WithTimeout(*timeout),
+	)
+
 	if *all {
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(w, "algorithm\texact\tdelay\thost\tmax sat\telapsed")
-		for _, alg := range core.Algorithms() {
-			out, err := core.Solve(core.Request{Tree: tree, Algorithm: alg, Seed: *seed})
+		fmt.Fprintln(w, "algorithm\texact\tdelay\thost\tmax sat\telapsed\tcapabilities")
+		for _, alg := range repro.Algorithms() {
+			// An interrupt cancels the whole comparison, not just the
+			// in-flight algorithm: stop tabulating and fail the run.
+			if ctx.Err() != nil {
+				break
+			}
+			caps, _ := repro.Capability(alg)
+			out, err := solver.Solve(ctx, tree, repro.WithAlgorithm(alg))
 			if err != nil {
 				fmt.Fprintf(w, "%s\t-\tERROR: %v\n", alg, err)
 				continue
 			}
-			fmt.Fprintf(w, "%s\t%v\t%.6g\t%.6g\t%.6g\t%v\n",
-				alg, out.Exact, out.Delay, out.Breakdown.HostTime, out.Breakdown.MaxSatLoad, out.Elapsed)
+			fmt.Fprintf(w, "%s\t%v\t%.6g\t%.6g\t%.6g\t%v\t%s\n",
+				alg, out.Exact, out.Delay, out.Breakdown.HostTime, out.Breakdown.MaxSatLoad,
+				out.Elapsed, capsString(caps))
 		}
 		w.Flush()
+		if err := ctx.Err(); err != nil {
+			fatal(fmt.Errorf("comparison interrupted: %w", err))
+		}
 		return
 	}
 
-	out, err := core.Solve(core.Request{Tree: tree, Algorithm: core.Algorithm(*algorithm), Seed: *seed})
+	out, err := solver.Solve(ctx, tree, repro.WithAlgorithm(repro.Algorithm(*algorithm)))
 	if err != nil {
 		fatal(err)
 	}
@@ -71,7 +94,24 @@ func main() {
 	fmt.Print(out.Breakdown.Report(tree))
 }
 
-func readTree(path string) (*model.Tree, error) {
+func capsString(c repro.Capabilities) string {
+	s := ""
+	if c.Budget {
+		s += "budget "
+	}
+	if c.Seeded {
+		s += "seeded "
+	}
+	if c.Weighted {
+		s += "weighted "
+	}
+	if s == "" {
+		return "-"
+	}
+	return s[:len(s)-1]
+}
+
+func readTree(path string) (*repro.Tree, error) {
 	var r io.Reader = os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -81,7 +121,7 @@ func readTree(path string) (*model.Tree, error) {
 		defer f.Close()
 		r = f
 	}
-	return model.ReadSpec(r)
+	return repro.ReadSpec(r)
 }
 
 func fatal(err error) {

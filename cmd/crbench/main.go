@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/bench"
@@ -22,7 +24,16 @@ import (
 func main() {
 	id := flag.String("id", "", "run a single experiment (E1..E13)")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
+	timeout := flag.Duration("timeout", 0, "overall deadline; pending experiments are skipped once it expires (0 = none)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	experiments := bench.All()
 	if *id != "" {
@@ -36,6 +47,11 @@ func main() {
 
 	failed := 0
 	for _, e := range experiments {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "crbench: stopping before %s: %v\n", e.ID, err)
+			failed++
+			break
+		}
 		start := time.Now()
 		tbl, err := e.Run()
 		if err != nil {

@@ -14,7 +14,7 @@ import (
 	"math/rand"
 	"os"
 
-	"repro/internal/model"
+	"repro"
 	"repro/internal/workload"
 )
 
@@ -30,7 +30,7 @@ func main() {
 	dot := flag.String("dot", "", "also write Graphviz DOT to this file")
 	flag.Parse()
 
-	var tree *model.Tree
+	var tree *repro.Tree
 	name := *scenario
 	switch *scenario {
 	case "paper":
@@ -55,11 +55,11 @@ func main() {
 	}
 
 	if *dot != "" {
-		if err := os.WriteFile(*dot, []byte(model.DOT(tree, name)), 0o644); err != nil {
+		if err := os.WriteFile(*dot, []byte(repro.DOT(tree, name)), 0o644); err != nil {
 			fatal(err)
 		}
 	}
-	if err := model.WriteSpec(os.Stdout, tree, name); err != nil {
+	if err := repro.WriteSpec(os.Stdout, tree, name); err != nil {
 		fatal(err)
 	}
 }

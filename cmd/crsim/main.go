@@ -1,30 +1,32 @@
-// Command crsim solves a problem instance and replays the optimal
-// assignment on the discrete-event simulator, in both timing models, with
-// optional multi-frame pipelining.
+// Command crsim solves a problem instance through the repro.Solver service
+// and replays the optimal assignment on the discrete-event simulator, in
+// both timing models, with optional multi-frame pipelining. Ctrl-C and
+// -timeout cancel an in-flight solve cleanly.
 //
 // Usage:
 //
-//	crsim -spec problem.json [-frames 10] [-interval 0.5] [-algorithm adapted-ssb]
+//	crsim -spec problem.json [-frames 10] [-interval 0.5] [-algorithm adapted-ssb] [-timeout 30s]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 
-	"repro/internal/core"
-	"repro/internal/model"
-	"repro/internal/sim"
+	"repro"
 )
 
 func main() {
 	specPath := flag.String("spec", "", "problem spec JSON file ('-' for stdin)")
-	algorithm := flag.String("algorithm", string(core.AdaptedSSB), "solver for the assignment")
+	algorithm := flag.String("algorithm", string(repro.AdaptedSSB), "solver for the assignment")
 	frames := flag.Int("frames", 1, "frames to push through the pipeline")
 	interval := flag.Float64("interval", 0, "inter-frame arrival time")
 	seed := flag.Int64("seed", 1, "seed for randomised heuristics")
+	timeout := flag.Duration("timeout", 0, "solve deadline (0 = none)")
 	flag.Parse()
 
 	if *specPath == "" {
@@ -36,24 +38,29 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	out, err := core.Solve(core.Request{Tree: tree, Algorithm: core.Algorithm(*algorithm), Seed: *seed})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	solver := repro.NewSolver(repro.WithSeed(*seed), repro.WithTimeout(*timeout))
+	out, err := solver.Solve(ctx, tree, repro.WithAlgorithm(repro.Algorithm(*algorithm)))
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("assignment by %s (analytic delay %.6g):\n%s\n",
 		out.Algorithm, out.Delay, out.Assignment.Describe(tree))
 
-	for _, mode := range []sim.Mode{sim.PaperBarrier, sim.Overlapped} {
-		res, err := sim.Run(tree, out.Assignment, sim.Config{
-			Mode: mode, Frames: *frames, Interval: *interval,
-		})
+	for _, mode := range []repro.SimConfig{{Mode: repro.PaperBarrier}, {Mode: repro.Overlapped}} {
+		cfg := mode
+		cfg.Frames = *frames
+		cfg.Interval = *interval
+		res, err := repro.Simulate(tree, out.Assignment, cfg)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("[%s] makespan=%.6g throughput=%.4g fps tasks=%d\n",
-			mode, res.Makespan, res.Throughput, res.Tasks)
+			cfg.Mode, res.Makespan, res.Throughput, res.Tasks)
 		fmt.Printf("  host busy %.6g", res.BusyHost)
-		sats := make([]model.SatelliteID, 0, len(res.BusySat))
+		sats := make([]repro.SatelliteID, 0, len(res.BusySat))
 		for s := range res.BusySat {
 			sats = append(sats, s)
 		}
@@ -69,7 +76,7 @@ func main() {
 	}
 }
 
-func readTree(path string) (*model.Tree, error) {
+func readTree(path string) (*repro.Tree, error) {
 	var r io.Reader = os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -79,7 +86,7 @@ func readTree(path string) (*model.Tree, error) {
 		defer f.Close()
 		r = f
 	}
-	return model.ReadSpec(r)
+	return repro.ReadSpec(r)
 }
 
 func fatal(err error) {

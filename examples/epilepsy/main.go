@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,8 +24,11 @@ func main() {
 	fmt.Println("Epilepsy tele-monitoring reasoning procedure (paper Figure 1):")
 	fmt.Println(tree.Render())
 
+	ctx := context.Background()
+	solver := repro.NewSolver(repro.WithSeed(7))
+
 	// The paper's algorithm: minimise end-to-end delay.
-	opt, err := repro.Solve(tree)
+	opt, err := solver.Solve(ctx, tree)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +44,7 @@ func main() {
 	}
 	show("adapted-ssb (paper)", opt.Delay)
 	for _, alg := range []repro.Algorithm{repro.AllHost, repro.MaxDistribution, repro.GreedyHost, repro.Genetic} {
-		out, err := repro.SolveWith(repro.Request{Tree: tree, Algorithm: alg, Seed: 7})
+		out, err := solver.Solve(ctx, tree, repro.WithAlgorithm(alg))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,11 +1,13 @@
 // Quickstart: build a small context reasoning tree by hand, solve it with
-// the paper's algorithm, and inspect the assignment — the five-minute tour
-// of the public API.
+// the paper's algorithm through the Solver service, and inspect the
+// assignment — the five-minute tour of the public API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 )
@@ -28,8 +30,14 @@ func main() {
 	}
 	fmt.Println(tree.Render())
 
-	// Solve with the paper's adapted SSB algorithm (exact).
-	sol, err := repro.Solve(tree)
+	// The Solver service is reusable and concurrency-safe; its defaults
+	// (here: a guard deadline) apply to every call and can be overridden
+	// per call with the same functional options.
+	ctx := context.Background()
+	solver := repro.NewSolver(repro.WithTimeout(5 * time.Second))
+
+	// Solve with the paper's adapted SSB algorithm (exact, the default).
+	sol, err := solver.Solve(ctx, tree)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +47,7 @@ func main() {
 
 	// Compare against the two trivial placements.
 	for _, alg := range []repro.Algorithm{repro.AllHost, repro.MaxDistribution} {
-		out, err := repro.SolveWith(repro.Request{Tree: tree, Algorithm: alg})
+		out, err := solver.Solve(ctx, tree, repro.WithAlgorithm(alg))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -17,18 +18,21 @@ import (
 func main() {
 	fmt.Printf("%-8s %-12s %-14s %-12s %-12s %-12s\n",
 		"CRUs", "sensors", "search space", "adapted-ssb", "pareto-dp", "genetic")
+	ctx := context.Background()
+	// One service for the whole sweep: the seed and the guard deadline are
+	// defaults; the algorithm varies per call.
+	solver := repro.NewSolver(repro.WithSeed(5), repro.WithTimeout(time.Minute))
 	rng := rand.New(rand.NewSource(99))
 	for _, n := range []int{15, 31, 63, 127, 255} {
 		tree := workload.Random(rng, workload.DefaultRandomSpec(n, 4))
 		space := exact.CountAssignments(tree)
 
 		timeIt := func(alg repro.Algorithm) (time.Duration, float64) {
-			start := time.Now()
-			out, err := repro.SolveWith(repro.Request{Tree: tree, Algorithm: alg, Seed: 5})
+			out, err := solver.Solve(ctx, tree, repro.WithAlgorithm(alg))
 			if err != nil {
 				log.Fatalf("%s at n=%d: %v", alg, n, err)
 			}
-			return time.Since(start).Round(time.Microsecond), out.Delay
+			return out.Elapsed.Round(time.Microsecond), out.Delay
 		}
 		tSSB, dSSB := timeIt(repro.AdaptedSSB)
 		tPar, dPar := timeIt(repro.ParetoDP)

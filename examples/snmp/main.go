@@ -4,10 +4,13 @@
 // moves as the routers' spare CPU shrinks: with idle routers the smoothing
 // runs on the agents; once the routers are loaded (their effective speed
 // drops), the optimum pulls work back to the station — the heterogeneity
-// trade-off the paper motivates.
+// trade-off the paper motivates. The whole slowdown sweep is one
+// SolveBatch call per policy: every variant solves concurrently on the
+// Solver service's worker pool, with results in sweep order.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,34 +24,47 @@ func main() {
 	fmt.Println("SNMP monitoring reasoning procedure:")
 	fmt.Println(base.Render())
 
+	slowdowns := []float64{0.5, 1, 2, 4, 8}
+	trees := make([]*repro.Tree, len(slowdowns))
+	for i, s := range slowdowns {
+		trees[i] = base.ScaleProfiles(1, s, 1)
+	}
+
+	ctx := context.Background()
+	solver := repro.NewSolver(repro.WithParallelism(len(trees)))
+	batch := func(alg repro.Algorithm) []repro.BatchResult {
+		results, err := solver.SolveBatch(ctx, trees, repro.WithAlgorithm(alg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				log.Fatalf("%s at x%.2g: %v", alg, slowdowns[i], r.Err)
+			}
+		}
+		return results
+	}
+	optimal := batch(repro.AdaptedSSB)
+	allHost := batch(repro.AllHost)
+	maxDist := batch(repro.MaxDistribution)
+
 	fmt.Printf("%-22s %10s %10s %10s %12s\n",
 		"router slowdown", "optimal", "all-host", "max-dist", "CRUs offloaded")
-	for _, slowdown := range []float64{0.5, 1, 2, 4, 8} {
-		tree := base.ScaleProfiles(1, slowdown, 1)
-		opt, err := repro.Solve(tree)
-		if err != nil {
-			log.Fatal(err)
-		}
-		allHost, err := repro.SolveWith(repro.Request{Tree: tree, Algorithm: repro.AllHost})
-		if err != nil {
-			log.Fatal(err)
-		}
-		maxDist, err := repro.SolveWith(repro.Request{Tree: tree, Algorithm: repro.MaxDistribution})
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, slowdown := range slowdowns {
+		opt := optimal[i].Outcome
 		offloaded := 0
-		for _, id := range tree.Preorder() {
-			if tree.Node(id).Kind == model.Processing && !opt.Assignment.At(id).IsHost() {
+		for _, id := range trees[i].Preorder() {
+			if trees[i].Node(id).Kind == model.Processing && !opt.Assignment.At(id).IsHost() {
 				offloaded++
 			}
 		}
 		fmt.Printf("%-22s %10.4g %10.4g %10.4g %12d\n",
-			fmt.Sprintf("x%.2g", slowdown), opt.Delay, allHost.Delay, maxDist.Delay, offloaded)
+			fmt.Sprintf("x%.2g", slowdown),
+			opt.Delay, allHost[i].Outcome.Delay, maxDist[i].Outcome.Delay, offloaded)
 	}
 
 	// Detail view at the default profile.
-	opt, err := repro.Solve(base)
+	opt, err := solver.Solve(ctx, base)
 	if err != nil {
 		log.Fatal(err)
 	}

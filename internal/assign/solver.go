@@ -1,11 +1,14 @@
 package assign
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/colouring"
+	"repro/internal/core"
 	"repro/internal/dwg"
 	"repro/internal/model"
 )
@@ -49,15 +52,10 @@ func (o Options) maxExpanded() int {
 	return o.MaxExpandedEdges
 }
 
-// Stats reports how the solve went.
-type Stats struct {
-	Iterations int  // elimination rounds (adapted SSB)
-	Expansions int  // band expansions performed
-	SuperEdges int  // super-edges created by expansions
-	FinalEdges int  // enabled edges at termination — the |E'| of §5.4
-	FellBack   bool // adapted SSB handed over to the label search
-	Labels     int  // labels explored by the label search (0 if unused)
-}
+// Stats reports how the solve went. It is an alias of core.SearchStats so
+// the registry's uniform Outcome can carry it without core depending on
+// this package.
+type Stats = core.SearchStats
 
 // TraceEntry records one iteration of the adapted SSB loop (experiment E5).
 type TraceEntry struct {
@@ -201,6 +199,14 @@ func (w *workGraph) measures(ids []int) (s float64, perColour map[model.Satellit
 // exact coloured label search on the already-reduced graph, which is sound
 // because eliminated edges cannot carry a path beating the candidate.
 func (g *Graph) SolveAdapted(opt Options) (*Solution, error) {
+	return g.SolveAdaptedContext(context.Background(), opt)
+}
+
+// SolveAdaptedContext is SolveAdapted with cancellation: the context is
+// checked once per elimination round and inside the label-search fallback,
+// so deadlines stop the solve promptly. On cancellation the returned error
+// is the context's.
+func (g *Graph) SolveAdaptedContext(ctx context.Context, opt Options) (*Solution, error) {
 	wts := opt.weights()
 	if !wts.Valid() {
 		return nil, dwg.ErrBadWeights
@@ -211,6 +217,9 @@ func (g *Graph) SolveAdapted(opt Options) (*Solution, error) {
 	expanded := map[model.SatelliteID]bool{}
 
 	for iter := 1; ; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sol.Stats.Iterations = iter
 		path, ok := w.minSigmaPath()
 		if !ok {
@@ -268,14 +277,14 @@ func (g *Graph) SolveAdapted(opt Options) (*Solution, error) {
 				entry.Note = "fallback"
 				sol.Trace = append(sol.Trace, entry)
 				sol.Stats.FellBack = true
-				return g.finishWithLabelSearch(w, sol, bestEdges, wts, opt)
+				return g.finishWithLabelSearch(ctx, w, sol, bestEdges, wts, opt)
 			}
 			created, ok := w.expandColour(g, bottleneck, opt.maxExpanded())
 			if !ok {
 				entry.Note = "fallback"
 				sol.Trace = append(sol.Trace, entry)
 				sol.Stats.FellBack = true
-				return g.finishWithLabelSearch(w, sol, bestEdges, wts, opt)
+				return g.finishWithLabelSearch(ctx, w, sol, bestEdges, wts, opt)
 			}
 			expanded[bottleneck] = true
 			sol.Stats.Expansions++
@@ -376,9 +385,12 @@ func (w *workGraph) expandColour(g *Graph, colour model.SatelliteID, budget int)
 // finishWithLabelSearch completes a stalled adapted solve exactly: the best
 // path in the reduced graph is compared against the candidate found so far
 // (sound because eliminated edges cannot be on a better path).
-func (g *Graph) finishWithLabelSearch(w *workGraph, sol *Solution, bestEdges []int, wts dwg.Weights, opt Options) (*Solution, error) {
-	res, labels, err := labelSearch(w, len(g.tree.Satellites()), wts, sol.Objective)
+func (g *Graph) finishWithLabelSearch(ctx context.Context, w *workGraph, sol *Solution, bestEdges []int, wts dwg.Weights, opt Options) (*Solution, error) {
+	res, labels, err := labelSearch(ctx, w, len(g.tree.Satellites()), wts, sol.Objective)
 	sol.Stats.Labels = labels
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return nil, err
+	}
 	sol.Stats.FinalEdges = w.enabledCount()
 	if err == nil && res.objective < sol.Objective {
 		sol.Objective = res.objective
@@ -428,6 +440,13 @@ func (g *Graph) packageSolution(w *workGraph, sol *Solution, bestEdges []int) (*
 // while remaining exact (the incumbent itself is returned when nothing
 // beats it).
 func (g *Graph) SolveLabelSearch(opt Options) (*Solution, error) {
+	return g.SolveLabelSearchContext(context.Background(), opt)
+}
+
+// SolveLabelSearchContext is SolveLabelSearch with cancellation: the
+// context is checked periodically inside the label sweep. On cancellation
+// the returned error is the context's.
+func (g *Graph) SolveLabelSearchContext(ctx context.Context, opt Options) (*Solution, error) {
 	wts := opt.weights()
 	if !wts.Valid() {
 		return nil, dwg.ErrBadWeights
@@ -441,8 +460,11 @@ func (g *Graph) SolveLabelSearch(opt Options) (*Solution, error) {
 		sol.S, sol.B = s, b
 		seedEdges = append(seedEdges, path...)
 	}
-	res, labels, err := labelSearch(w, len(g.tree.Satellites()), wts, sol.Objective)
+	res, labels, err := labelSearch(ctx, w, len(g.tree.Satellites()), wts, sol.Objective)
 	sol.Stats.Labels = labels
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return nil, err
+	}
 	sol.Stats.FinalEdges = w.enabledCount()
 	switch {
 	case err == nil && res.objective < sol.Objective:
@@ -470,8 +492,10 @@ type label struct {
 
 // labelSearch sweeps faces left to right maintaining Pareto-minimal labels
 // (S, per-colour loads). upperBound prunes labels that already cannot beat
-// the incumbent candidate.
-func labelSearch(w *workGraph, numColours int, wts dwg.Weights, upperBound float64) (labelResult, int, error) {
+// the incumbent candidate. The context is checked every checkEvery explored
+// labels so runaway sweeps stop at deadlines.
+func labelSearch(ctx context.Context, w *workGraph, numColours int, wts dwg.Weights, upperBound float64) (labelResult, int, error) {
+	const checkEvery = 1024
 	perFace := make([][]label, w.faces)
 	perFace[0] = []label{{loads: make([]float64, numColours), via: -1, prev: -1}}
 	explored := 0
@@ -499,6 +523,11 @@ func labelSearch(w *workGraph, numColours int, wts dwg.Weights, upperBound float
 	for f := 0; f < w.faces-1; f++ {
 		for li := 0; li < len(perFace[f]); li++ {
 			explored++
+			if explored%checkEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return labelResult{}, explored, err
+				}
+			}
 			// Copy the label: perFace[f] may grow while iterating (it
 			// cannot — edges go strictly forward — but keep index safety).
 			src := perFace[f][li]

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	_ "repro/internal/algorithms" // every experiment solves through the registry
 	"repro/internal/assign"
 	"repro/internal/colouring"
 	"repro/internal/core"

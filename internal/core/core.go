@@ -1,27 +1,31 @@
-// Package core is the solver facade: a single entry point dispatching to
-// every algorithm in the repository — the paper's adapted coloured SSB
-// (default), the exact coloured label search, the three independent exact
-// solvers, and the heuristic/extension solvers — with uniform timing and
-// optimality metadata. The public package repro re-exports this API.
+// Package core is the solver facade: a single context-aware entry point
+// dispatching through a self-registering algorithm registry — the paper's
+// adapted coloured SSB (default), the exact coloured label search, the
+// three independent exact solvers, and the heuristic/extension solvers —
+// with uniform timing and optimality metadata. The solver packages
+// (internal/assign, internal/exact, internal/heuristics) register
+// themselves via Register; importing repro/internal/algorithms for side
+// effects links the full built-in set. The public package repro re-exports
+// this API.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"sort"
 	"time"
 
-	"repro/internal/assign"
 	"repro/internal/dwg"
 	"repro/internal/eval"
-	"repro/internal/exact"
-	"repro/internal/heuristics"
 	"repro/internal/model"
 )
 
 // Algorithm names a solver.
 type Algorithm string
 
-// The registered algorithms.
+// Names of the built-in algorithms. The constants are only names: dispatch
+// is by registry lookup, and external packages may Register further
+// algorithms under new names without touching this package.
 const (
 	// AdaptedSSB is the paper's §5.4 algorithm: coloured assignment graph +
 	// SSB path search with expansion. Exact; the default.
@@ -48,25 +52,6 @@ const (
 	Genetic Algorithm = "genetic"
 )
 
-// Exactness reports whether an algorithm guarantees optimal delay.
-func (a Algorithm) Exact() bool {
-	switch a {
-	case AdaptedSSB, LabelSearch, ParetoDP, BruteForce, BranchBound:
-		return true
-	}
-	return false
-}
-
-// Algorithms returns all registered algorithm names, exact solvers first.
-func Algorithms() []Algorithm {
-	all := []Algorithm{
-		AdaptedSSB, LabelSearch, ParetoDP, BruteForce, BranchBound,
-		AllHost, MaxDistribution, GreedyHost, GreedyTop, Annealing, Genetic,
-	}
-	sort.SliceStable(all, func(i, j int) bool { return all[i].Exact() && !all[j].Exact() })
-	return all
-}
-
 // Request describes one solve.
 type Request struct {
 	Tree      *model.Tree
@@ -76,6 +61,16 @@ type Request struct {
 	Budget    int         // node/frontier budget for exact searches (0 = default)
 }
 
+// SearchStats reports how a graph-based solve went.
+type SearchStats struct {
+	Iterations int  // elimination rounds (adapted SSB)
+	Expansions int  // band expansions performed
+	SuperEdges int  // super-edges created by expansions
+	FinalEdges int  // enabled edges at termination — the |E'| of §5.4
+	FellBack   bool // adapted SSB handed over to the label search
+	Labels     int  // labels explored by the label search (0 if unused)
+}
+
 // Outcome is a uniform solver result.
 type Outcome struct {
 	Algorithm  Algorithm
@@ -83,87 +78,65 @@ type Outcome struct {
 	Breakdown  *eval.Breakdown
 	Delay      float64
 	Exact      bool
-	Elapsed    time.Duration
+	Elapsed    time.Duration // solve plus evaluation wall time
 	Work       int           // algorithm-specific effort counter
-	Stats      *assign.Stats // populated by the graph-based solvers
+	Stats      *SearchStats  // populated by the graph-based solvers
 }
 
-// Solve dispatches the request.
+// Solve dispatches the request without cancellation support.
+//
+// Deprecated: use SolveContext (or the public repro.Solver service), which
+// honours deadlines and cancellation.
 func Solve(req Request) (*Outcome, error) {
+	return SolveContext(context.Background(), req)
+}
+
+// SolveContext dispatches the request through the algorithm registry. The
+// context cancels the solver's hot loops: on cancellation the returned
+// error matches ErrCanceled as well as the context cause.
+func SolveContext(ctx context.Context, req Request) (*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if req.Tree == nil {
-		return nil, fmt.Errorf("core: nil tree")
+		return nil, fmt.Errorf("%w: nil tree", ErrInvalidTree)
 	}
 	alg := req.Algorithm
 	if alg == "" {
 		alg = AdaptedSSB
 	}
-	start := time.Now()
-	out := &Outcome{Algorithm: alg, Exact: alg.Exact()}
-
-	switch alg {
-	case AdaptedSSB, LabelSearch:
-		g := assign.Build(req.Tree)
-		opt := assign.Options{Weights: req.Weights}
-		var sol *assign.Solution
-		var err error
-		if alg == AdaptedSSB {
-			sol, err = g.SolveAdapted(opt)
-		} else {
-			sol, err = g.SolveLabelSearch(opt)
-		}
-		if err != nil {
-			return nil, err
-		}
-		out.Assignment = sol.Assignment
-		out.Stats = &sol.Stats
-		out.Work = sol.Stats.Iterations + sol.Stats.Labels
-	case ParetoDP:
-		res, err := exact.Pareto(req.Tree, req.Budget)
-		if err != nil {
-			return nil, err
-		}
-		out.Assignment = res.Assignment
-		out.Work = res.Explored
-	case BruteForce:
-		res, err := exact.BruteForce(req.Tree, req.Budget)
-		if err != nil {
-			return nil, err
-		}
-		out.Assignment = res.Assignment
-		out.Work = res.Explored
-	case BranchBound:
-		res, err := exact.BranchAndBound(req.Tree, req.Budget)
-		if err != nil {
-			return nil, err
-		}
-		out.Assignment = res.Assignment
-		out.Work = res.Explored
-	case AllHost:
-		out.Assignment = heuristics.AllHost(req.Tree).Assignment
-	case MaxDistribution:
-		out.Assignment = heuristics.MaxDistribution(req.Tree).Assignment
-	case GreedyHost:
-		r := heuristics.Greedy(req.Tree, heuristics.FromHost)
-		out.Assignment, out.Work = r.Assignment, r.Work
-	case GreedyTop:
-		r := heuristics.Greedy(req.Tree, heuristics.FromTopmost)
-		out.Assignment, out.Work = r.Assignment, r.Work
-	case Annealing:
-		r := heuristics.Anneal(req.Tree, heuristics.AnnealConfig{Seed: req.Seed})
-		out.Assignment, out.Work = r.Assignment, r.Work
-	case Genetic:
-		r := heuristics.Genetic(req.Tree, heuristics.GeneticConfig{Seed: req.Seed})
-		out.Assignment, out.Work = r.Assignment, r.Work
-	default:
-		return nil, fmt.Errorf("core: unknown algorithm %q (known: %v)", alg, Algorithms())
+	caps, fn, ok := Lookup(alg)
+	if !ok {
+		return nil, &UnknownAlgorithmError{Name: alg, Known: Algorithms()}
 	}
-	out.Elapsed = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, &CanceledError{Algorithm: alg, Cause: err}
+	}
 
+	start := time.Now()
+	finding, err := fn(ctx, req)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, &CanceledError{Algorithm: alg, Cause: err}
+		}
+		return nil, err
+	}
+
+	out := &Outcome{
+		Algorithm:  alg,
+		Assignment: finding.Assignment,
+		Exact:      caps.Exact,
+		Work:       finding.Work,
+		Stats:      finding.Stats,
+	}
 	bd, err := eval.Evaluate(req.Tree, out.Assignment)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s produced an invalid assignment: %w", alg, err)
 	}
 	out.Breakdown = bd
 	out.Delay = bd.Delay
+	// Stamp after evaluation: the reported solve time covers the full
+	// request, not just the search.
+	out.Elapsed = time.Since(start)
 	return out, nil
 }

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Structured sentinel errors of the solver service. Callers classify
+// failures with errors.Is; the wrapping error types below carry the richer
+// context (which algorithm, which cause) and are matched with errors.As.
+var (
+	// ErrUnknownAlgorithm reports a Request naming no registered solver.
+	ErrUnknownAlgorithm = errors.New("core: unknown algorithm")
+
+	// ErrBudgetExceeded reports an exact search that hit its exploration
+	// budget (Request.Budget) before proving optimality.
+	ErrBudgetExceeded = errors.New("core: exploration budget exceeded")
+
+	// ErrCanceled reports a solve stopped by its context — cancellation or
+	// deadline. The wrapping CanceledError preserves the context cause, so
+	// errors.Is also matches context.Canceled / context.DeadlineExceeded.
+	ErrCanceled = errors.New("core: solve canceled")
+
+	// ErrInvalidTree reports a nil or structurally invalid problem tree.
+	ErrInvalidTree = errors.New("core: invalid tree")
+)
+
+// UnknownAlgorithmError is the error returned when a Request names an
+// algorithm absent from the registry. It matches ErrUnknownAlgorithm.
+type UnknownAlgorithmError struct {
+	Name  Algorithm   // the requested name
+	Known []Algorithm // the registered names, exact solvers first
+}
+
+func (e *UnknownAlgorithmError) Error() string {
+	return fmt.Sprintf("core: unknown algorithm %q (known: %v)", e.Name, e.Known)
+}
+
+func (e *UnknownAlgorithmError) Unwrap() error { return ErrUnknownAlgorithm }
+
+// CanceledError is the error returned when a solve is stopped by its
+// context. It matches both ErrCanceled and the context cause
+// (context.Canceled or context.DeadlineExceeded).
+type CanceledError struct {
+	Algorithm Algorithm
+	Cause     error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("core: %s canceled: %v", e.Algorithm, e.Cause)
+}
+
+func (e *CanceledError) Unwrap() []error { return []error{ErrCanceled, e.Cause} }

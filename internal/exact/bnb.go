@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/colouring"
@@ -24,6 +25,13 @@ import (
 //
 // maxNodes caps the number of search nodes (0 means 1<<22).
 func BranchAndBound(t *model.Tree, maxNodes int) (*Result, error) {
+	return BranchAndBoundContext(context.Background(), t, maxNodes)
+}
+
+// BranchAndBoundContext is BranchAndBound with cancellation: the context is
+// checked every few hundred search nodes. On cancellation the returned
+// error is the context's.
+func BranchAndBoundContext(ctx context.Context, t *model.Tree, maxNodes int) (*Result, error) {
 	if maxNodes <= 0 {
 		maxNodes = 1 << 22
 	}
@@ -63,6 +71,7 @@ func BranchAndBound(t *model.Tree, maxNodes int) (*Result, error) {
 	var hostTime float64
 	var forcedRemaining = forcedSub[t.Root()]
 	budgetHit := false
+	var ctxErr error
 
 	maxLoad := func() float64 {
 		m := 0.0
@@ -79,13 +88,19 @@ func BranchAndBound(t *model.Tree, maxNodes int) (*Result, error) {
 	stack := []model.NodeID{t.Root()}
 	var rec func()
 	rec = func() {
-		if budgetHit {
+		if budgetHit || ctxErr != nil {
 			return
 		}
 		res.Explored++
 		if res.Explored > maxNodes {
 			budgetHit = true
 			return
+		}
+		if res.Explored&0xff == 0 {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				return
+			}
 		}
 		bound := hostTime + forcedRemaining + maxLoad()
 		if bound >= res.Delay {
@@ -161,6 +176,9 @@ func BranchAndBound(t *model.Tree, maxNodes int) (*Result, error) {
 		}
 	}
 	rec()
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
 	if budgetHit {
 		return nil, ErrBudget
 	}

@@ -13,10 +13,11 @@
 package exact
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/model"
 )
@@ -28,14 +29,24 @@ type Result struct {
 	Explored   int // assignments (BruteForce) or search nodes (BranchAndBound) visited
 }
 
-// ErrBudget is returned when a solver exceeds its exploration budget.
-var ErrBudget = errors.New("exact: exploration budget exceeded")
+// ErrBudget is returned when a solver exceeds its exploration budget. It
+// is the core registry's structured sentinel, so errors.Is matches it under
+// either name.
+var ErrBudget = core.ErrBudgetExceeded
 
 // BruteForce enumerates all feasible assignments: walking the tree top-down,
 // every CRU whose subtree is monochromatic may either take its whole subtree
 // to the correspondent satellite or stay on the host and let each child
 // decide. maxExplored caps the enumeration (0 means 2^22).
 func BruteForce(t *model.Tree, maxExplored int) (*Result, error) {
+	return BruteForceContext(context.Background(), t, maxExplored)
+}
+
+// BruteForceContext is BruteForce with cancellation: the context is checked
+// every few hundred enumerated assignments, so deadlines stop the
+// exponential search promptly. On cancellation the returned error is the
+// context's.
+func BruteForceContext(ctx context.Context, t *model.Tree, maxExplored int) (*Result, error) {
 	if maxExplored <= 0 {
 		maxExplored = 1 << 22
 	}
@@ -53,6 +64,11 @@ func BruteForce(t *model.Tree, maxExplored int) (*Result, error) {
 			res.Explored++
 			if res.Explored > maxExplored {
 				return ErrBudget
+			}
+			if res.Explored&0xff == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 			}
 			d, err := eval.Delay(t, asg)
 			if err != nil {

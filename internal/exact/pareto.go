@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -32,6 +33,14 @@ type paretoOption struct {
 // maxFrontier caps each frontier's size (0 means 1<<20) — exceeded only on
 // adversarially profiled instances; ErrBudget is returned then.
 func Pareto(t *model.Tree, maxFrontier int) (*Result, error) {
+	return ParetoContext(context.Background(), t, maxFrontier)
+}
+
+// ParetoContext is Pareto with cancellation: the context is checked per
+// region, per frontier merge, and per bottleneck candidate, so deadlines
+// stop adversarially large instances. On cancellation the returned error is
+// the context's.
+func ParetoContext(ctx context.Context, t *model.Tree, maxFrontier int) (*Result, error) {
 	if maxFrontier <= 0 {
 		maxFrontier = 1 << 20
 	}
@@ -45,12 +54,12 @@ func Pareto(t *model.Tree, maxFrontier int) (*Result, error) {
 	// Per-colour merged frontiers.
 	byColour := map[model.SatelliteID][]paretoOption{}
 	for _, region := range an.Regions() {
-		opts, err := regionFrontier(t, region.Root, maxFrontier)
+		opts, err := regionFrontier(ctx, t, region.Root, maxFrontier)
 		if err != nil {
 			return nil, err
 		}
 		if existing, ok := byColour[region.Colour]; ok {
-			merged, err := minkowski(existing, opts, maxFrontier)
+			merged, err := minkowski(ctx, existing, opts, maxFrontier)
 			if err != nil {
 				return nil, err
 			}
@@ -87,7 +96,14 @@ func Pareto(t *model.Tree, maxFrontier int) (*Result, error) {
 
 	best := math.Inf(1)
 	var bestChoice map[model.SatelliteID]*paretoOption
+	checked := 0
 	for b := range candidates {
+		checked++
+		if checked&0xff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		total := coreHost + b
 		choice := map[model.SatelliteID]*paretoOption{}
 		feasible := true
@@ -137,7 +153,10 @@ func Pareto(t *model.Tree, maxFrontier int) (*Result, error) {
 
 // regionFrontier computes the Pareto frontier of cuts of the monochromatic
 // subtree rooted at v (v's parent is in the must-host closure).
-func regionFrontier(t *model.Tree, v model.NodeID, maxFrontier int) ([]paretoOption, error) {
+func regionFrontier(ctx context.Context, t *model.Tree, v model.NodeID, maxFrontier int) ([]paretoOption, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := t.Node(v)
 	// Option A: cut the edge above v — the whole subtree goes to the
 	// satellite: no extra host time, load = subtree satellite time + uplink.
@@ -154,11 +173,11 @@ func regionFrontier(t *model.Tree, v model.NodeID, maxFrontier int) ([]paretoOpt
 	// Option B: host v; combine children frontiers (Minkowski sum).
 	combined := []paretoOption{{h: n.HostTime}}
 	for _, c := range n.Children {
-		childOpts, err := regionFrontier(t, c, maxFrontier)
+		childOpts, err := regionFrontier(ctx, t, c, maxFrontier)
 		if err != nil {
 			return nil, err
 		}
-		merged, err := minkowski(combined, childOpts, maxFrontier)
+		merged, err := minkowski(ctx, combined, childOpts, maxFrontier)
 		if err != nil {
 			return nil, err
 		}
@@ -167,10 +186,21 @@ func regionFrontier(t *model.Tree, v model.NodeID, maxFrontier int) ([]paretoOpt
 	return prune(append(combined, cutHere), maxFrontier)
 }
 
-// minkowski combines two frontiers by pairwise addition and prunes.
-func minkowski(a, b []paretoOption, maxFrontier int) ([]paretoOption, error) {
+// minkowski combines two frontiers by pairwise addition and prunes. The
+// product can reach the frontier cap squared on adversarial instances, so
+// the context is checked every few thousand pair-sums regardless of how
+// the work is distributed across rows.
+func minkowski(ctx context.Context, a, b []paretoOption, maxFrontier int) ([]paretoOption, error) {
 	out := make([]paretoOption, 0, len(a)*len(b))
+	sinceCheck := 0
 	for i := range a {
+		sinceCheck += len(b)
+		if sinceCheck >= 1<<14 {
+			sinceCheck = 0
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for j := range b {
 			cut := make([]model.NodeID, 0, len(a[i].cut)+len(b[j].cut))
 			cut = append(cut, a[i].cut...)

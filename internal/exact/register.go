@@ -1,0 +1,41 @@
+package exact
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// The three independent exact solvers register themselves with the core
+// registry; importing this package (directly or via
+// repro/internal/algorithms) makes them dispatchable by name.
+func init() {
+	core.Register(core.ParetoDP, core.Capabilities{
+		Exact:   true,
+		Budget:  true,
+		Summary: "exact per-region Pareto dynamic programming (frontier budget)",
+	}, exactSolver(ParetoContext))
+	core.Register(core.BruteForce, core.Capabilities{
+		Exact:   true,
+		Budget:  true,
+		Summary: "exhaustive enumeration of feasible assignments (node budget)",
+	}, exactSolver(BruteForceContext))
+	core.Register(core.BranchBound, core.Capabilities{
+		Exact:   true,
+		Budget:  true,
+		Summary: "branch-and-bound over the cut decision tree (node budget)",
+	}, exactSolver(BranchAndBoundContext))
+}
+
+// exactSolver adapts one of the exact entry points to the registry's
+// SolveFunc shape; Request.Budget maps onto the solver's exploration cap.
+func exactSolver(solve func(context.Context, *model.Tree, int) (*Result, error)) core.SolveFunc {
+	return func(ctx context.Context, req core.Request) (core.Finding, error) {
+		res, err := solve(ctx, req.Tree, req.Budget)
+		if err != nil {
+			return core.Finding{}, err
+		}
+		return core.Finding{Assignment: res.Assignment, Work: res.Explored}, nil
+	}
+}

@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -49,6 +50,14 @@ func (c GeneticConfig) withDefaults() GeneticConfig {
 // the representation is redundant but never invalid). Deterministic for a
 // fixed seed.
 func Genetic(t *model.Tree, cfg GeneticConfig) *Result {
+	r, _ := GeneticContext(context.Background(), t, cfg)
+	return r
+}
+
+// GeneticContext is Genetic with cancellation: the context is checked once
+// per generation. On cancellation the returned error is the context's and
+// the result is nil.
+func GeneticContext(ctx context.Context, t *model.Tree, cfg GeneticConfig) (*Result, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -108,7 +117,7 @@ func Genetic(t *model.Tree, cfg GeneticConfig) *Result {
 
 	if len(sites) == 0 {
 		asg := model.NewAssignment(t)
-		return &Result{Assignment: asg, Delay: eval.MustDelay(t, asg)}
+		return &Result{Assignment: asg, Delay: eval.MustDelay(t, asg)}, nil
 	}
 
 	pop := make([]individual, cfg.Population)
@@ -144,6 +153,9 @@ func Genetic(t *model.Tree, cfg GeneticConfig) *Result {
 
 	evaluations := len(pop)
 	for gen := 0; gen < cfg.Generations; gen++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		byDelay()
 		next := make([]individual, 0, cfg.Population)
 		for e := 0; e < cfg.Elite && e < len(pop); e++ {
@@ -176,5 +188,5 @@ func Genetic(t *model.Tree, cfg GeneticConfig) *Result {
 	}
 	byDelay()
 	best := pop[0]
-	return &Result{Assignment: decode(best.genome), Delay: best.delay, Work: evaluations}
+	return &Result{Assignment: decode(best.genome), Delay: best.delay, Work: evaluations}, nil
 }

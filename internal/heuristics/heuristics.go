@@ -7,6 +7,7 @@
 package heuristics
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -50,10 +51,21 @@ const (
 // sink/lift move until no move improves the delay. The result is a local
 // optimum of the move neighbourhood.
 func Greedy(t *model.Tree, start Start) *Result {
+	r, _ := GreedyContext(context.Background(), t, start)
+	return r
+}
+
+// GreedyContext is Greedy with cancellation: the context is checked once
+// per hill-climbing round. On cancellation the returned error is the
+// context's and the result is nil.
+func GreedyContext(ctx context.Context, t *model.Tree, start Start) (*Result, error) {
 	asg := startAssignment(t, start)
 	delay := eval.MustDelay(t, asg)
 	moves := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bestDelta := -1e-12
 		var bestApply func()
 		for _, mv := range legalMoves(t, asg) {
@@ -73,7 +85,7 @@ func Greedy(t *model.Tree, start Start) *Result {
 		bestApply()
 		moves++
 	}
-	return &Result{Assignment: asg, Delay: delay, Work: moves}
+	return &Result{Assignment: asg, Delay: delay, Work: moves}, nil
 }
 
 // AnnealConfig tunes Anneal. Zero values select the defaults noted below.
@@ -88,6 +100,14 @@ type AnnealConfig struct {
 // Anneal runs simulated annealing over the sink/lift move neighbourhood.
 // Deterministic for a fixed seed.
 func Anneal(t *model.Tree, cfg AnnealConfig) *Result {
+	r, _ := AnnealContext(context.Background(), t, cfg)
+	return r
+}
+
+// AnnealContext is Anneal with cancellation: the context is checked every
+// few annealing steps. On cancellation the returned error is the context's
+// and the result is nil.
+func AnnealContext(ctx context.Context, t *model.Tree, cfg AnnealConfig) (*Result, error) {
 	steps := cfg.Steps
 	if steps <= 0 {
 		steps = 2000
@@ -107,6 +127,11 @@ func Anneal(t *model.Tree, cfg AnnealConfig) *Result {
 	best := asg.Clone()
 	bestDelay := delay
 	for step := 0; step < steps; step++ {
+		if step&0x3f == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		moves := legalMoves(t, asg)
 		if len(moves) == 0 {
 			break
@@ -123,7 +148,7 @@ func Anneal(t *model.Tree, cfg AnnealConfig) *Result {
 		}
 		temp *= cool
 	}
-	return &Result{Assignment: best, Delay: bestDelay, Work: steps}
+	return &Result{Assignment: best, Delay: bestDelay, Work: steps}, nil
 }
 
 // move is a reversible local change of the cut.

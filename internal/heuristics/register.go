@@ -1,0 +1,54 @@
+package heuristics
+
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
+// The heuristic solvers register themselves with the core registry;
+// importing this package (directly or via repro/internal/algorithms) makes
+// them dispatchable by name.
+func init() {
+	core.Register(core.AllHost, core.Capabilities{
+		Summary: "baseline: every CRU stays on the host",
+	}, func(ctx context.Context, req core.Request) (core.Finding, error) {
+		return finding(AllHost(req.Tree), nil)
+	})
+	core.Register(core.MaxDistribution, core.Capabilities{
+		Summary: "baseline: every region sinks to its satellite",
+	}, func(ctx context.Context, req core.Request) (core.Finding, error) {
+		return finding(MaxDistribution(req.Tree), nil)
+	})
+	core.Register(core.GreedyHost, core.Capabilities{
+		Summary: "hill-climbing over sink/lift moves from the all-host assignment",
+	}, func(ctx context.Context, req core.Request) (core.Finding, error) {
+		return finding(GreedyContext(ctx, req.Tree, FromHost))
+	})
+	core.Register(core.GreedyTop, core.Capabilities{
+		Summary: "hill-climbing over sink/lift moves from the maximal distribution",
+	}, func(ctx context.Context, req core.Request) (core.Finding, error) {
+		return finding(GreedyContext(ctx, req.Tree, FromTopmost))
+	})
+	core.Register(core.Annealing, core.Capabilities{
+		Seeded:  true,
+		Summary: "simulated annealing over the cut-move neighbourhood",
+	}, func(ctx context.Context, req core.Request) (core.Finding, error) {
+		return finding(AnnealContext(ctx, req.Tree, AnnealConfig{Seed: req.Seed}))
+	})
+	core.Register(core.Genetic, core.Capabilities{
+		Seeded:  true,
+		Summary: "genetic algorithm over cut genomes (paper §6 future work)",
+	}, func(ctx context.Context, req core.Request) (core.Finding, error) {
+		return finding(GeneticContext(ctx, req.Tree, GeneticConfig{Seed: req.Seed}))
+	})
+}
+
+// finding adapts a heuristic Result (and the optional error of the
+// context-aware variants) to the registry's Finding shape.
+func finding(r *Result, err error) (core.Finding, error) {
+	if err != nil {
+		return core.Finding{}, err
+	}
+	return core.Finding{Assignment: r.Assignment, Work: r.Work}, nil
+}

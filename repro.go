@@ -12,6 +12,10 @@
 //
 // # Quick start
 //
+// The Solver service is the entry point: it is reusable, safe for
+// concurrent use, honours context cancellation and deadlines, and is
+// configured with functional options.
+//
 //	b := repro.NewBuilder()
 //	box := b.Satellite("sensor-box")
 //	root := b.Root("fuse", 3, 0)       // h=3 on the host
@@ -19,16 +23,43 @@
 //	b.Sensor(f, "probe", box, 4)       // raw frames cost 4 to uplink
 //	tree, err := b.Build()
 //	...
-//	sol, err := repro.Solve(tree)
+//	solver := repro.NewSolver(repro.WithTimeout(5 * time.Second))
+//	sol, err := solver.Solve(ctx, tree)
 //	fmt.Println(sol.Delay, sol.Assignment.Describe(tree))
 //
-// Use SolveWith to select other algorithms (exact baselines, heuristics),
-// Simulate to replay an assignment on the discrete-event testbed, and the
-// cmd/ tools (crassign, crsim, crgen, crbench) for file-driven workflows.
+// Options select other algorithms and tune them per call:
+//
+//	sol, err = solver.Solve(ctx, tree,
+//	    repro.WithAlgorithm(repro.BranchBound),
+//	    repro.WithBudget(1<<20))
+//
+// Batches of instances are solved on a bounded worker pool, with one
+// result per input tree in input order and errors isolated per item:
+//
+//	results, err := solver.SolveBatch(ctx, trees, repro.WithParallelism(8))
+//	for i, r := range results {
+//	    if r.Err != nil { ... } else { use(r.Outcome) }
+//	}
+//
+// Failures are structured: match ErrUnknownAlgorithm, ErrBudgetExceeded,
+// ErrCanceled and ErrInvalidTree with errors.Is, and recover the details
+// (which algorithm, which cause) with errors.As on UnknownAlgorithmError
+// and CanceledError.
+//
+// Algorithms are self-registering: the built-in set lives in the internal
+// solver packages, and Algorithms and Capability expose the registered
+// names with their capability metadata (exactness, budget/seed/weight
+// support). Use Simulate to replay an assignment on the discrete-event
+// testbed, and the cmd/ tools (crassign, crsim, crgen, crbench) for
+// file-driven workflows.
 package repro
 
 import (
+	"io"
+
+	_ "repro/internal/algorithms" // link every built-in solver into the registry
 	"repro/internal/core"
+	"repro/internal/dwg"
 	"repro/internal/eval"
 	"repro/internal/model"
 	"repro/internal/sim"
@@ -55,17 +86,45 @@ type (
 	Breakdown = eval.Breakdown
 	// Algorithm names a registered solver.
 	Algorithm = core.Algorithm
+	// Capabilities is a registered solver's metadata.
+	Capabilities = core.Capabilities
 	// Outcome is a uniform solver result.
 	Outcome = core.Outcome
-	// Request is a parameterised solve call.
+	// SearchStats details a graph-based solver's run.
+	SearchStats = core.SearchStats
+	// Request is a parameterised solve call (see the deprecated SolveWith;
+	// new code passes options to Solver.Solve instead).
 	Request = core.Request
+	// Weights are the WS·S + WB·B objective coefficients.
+	Weights = dwg.Weights
 	// SimConfig parameterises the discrete-event simulator.
 	SimConfig = sim.Config
 	// SimResult is a simulation outcome.
 	SimResult = sim.Result
 )
 
-// Algorithm names; see core for semantics. AdaptedSSB (the paper's
+// Structured errors of the solve service, matched with errors.Is.
+var (
+	// ErrUnknownAlgorithm reports a solve naming no registered algorithm.
+	ErrUnknownAlgorithm = core.ErrUnknownAlgorithm
+	// ErrBudgetExceeded reports an exact search that hit its budget.
+	ErrBudgetExceeded = core.ErrBudgetExceeded
+	// ErrCanceled reports a solve stopped by context cancellation or
+	// deadline; the wrapped cause matches context.Canceled/DeadlineExceeded.
+	ErrCanceled = core.ErrCanceled
+	// ErrInvalidTree reports a nil or invalid problem tree.
+	ErrInvalidTree = core.ErrInvalidTree
+)
+
+// Error types carrying the failure details, matched with errors.As.
+type (
+	// UnknownAlgorithmError lists the requested and the known names.
+	UnknownAlgorithmError = core.UnknownAlgorithmError
+	// CanceledError names the canceled algorithm and the context cause.
+	CanceledError = core.CanceledError
+)
+
+// Algorithm names; see Capability for semantics. AdaptedSSB (the paper's
 // algorithm) is the default.
 const (
 	AdaptedSSB      = core.AdaptedSSB
@@ -89,6 +148,12 @@ const (
 	Overlapped = sim.Overlapped
 )
 
+// DefaultWeights is the paper's S + B end-to-end delay objective.
+var DefaultWeights = dwg.Default
+
+// Lambda returns the convex objective λ·S + (1−λ)·B.
+func Lambda(l float64) Weights { return dwg.Lambda(l) }
+
 // NewBuilder returns an empty tree builder.
 func NewBuilder() *Builder { return model.NewBuilder() }
 
@@ -97,6 +162,15 @@ func FromSpec(s *Spec) (*Tree, error) { return model.FromSpec(s) }
 
 // ToSpec converts a tree back to its interchange form.
 func ToSpec(t *Tree, name string) *Spec { return model.ToSpec(t, name) }
+
+// ReadSpec decodes a Spec from JSON and builds the tree.
+func ReadSpec(r io.Reader) (*Tree, error) { return model.ReadSpec(r) }
+
+// WriteSpec encodes t as indented JSON.
+func WriteSpec(w io.Writer, t *Tree, name string) error { return model.WriteSpec(w, t, name) }
+
+// DOT renders the tree in Graphviz DOT syntax.
+func DOT(t *Tree, title string) string { return model.DOT(t, title) }
 
 // NewAssignment returns the everything-on-host assignment for t.
 func NewAssignment(t *Tree) *Assignment { return model.NewAssignment(t) }
@@ -109,16 +183,25 @@ var Host = model.Host
 
 // Solve finds the minimum end-to-end-delay assignment of t with the
 // paper's adapted SSB algorithm.
+//
+// Deprecated: use a Solver, which supports cancellation, options and
+// batches: repro.NewSolver().Solve(ctx, t).
 func Solve(t *Tree) (*Outcome, error) {
 	return core.Solve(core.Request{Tree: t})
 }
 
 // SolveWith dispatches a fully parameterised solve (algorithm choice,
 // objective weights, seeds, budgets).
+//
+// Deprecated: use a Solver with options:
+// repro.NewSolver().Solve(ctx, t, repro.WithAlgorithm(...), ...).
 func SolveWith(req Request) (*Outcome, error) { return core.Solve(req) }
 
 // Algorithms lists every registered solver, exact ones first.
 func Algorithms() []Algorithm { return core.Algorithms() }
+
+// Capability returns the registered capability metadata of an algorithm.
+func Capability(a Algorithm) (Capabilities, bool) { return core.Capability(a) }
 
 // Evaluate computes the delay breakdown of an assignment.
 func Evaluate(t *Tree, a *Assignment) (*Breakdown, error) { return eval.Evaluate(t, a) }

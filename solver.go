@@ -1,0 +1,165 @@
+package repro
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Solver is the reusable solve service: a fixed set of default options
+// (chosen at construction) applied to every call, overridable per call.
+// The zero-cost construction makes it cheap to create one per configuration;
+// a single Solver is safe for concurrent use by multiple goroutines.
+type Solver struct {
+	defaults settings
+}
+
+// settings is the resolved option set of one call.
+type settings struct {
+	algorithm   Algorithm
+	weights     Weights
+	seed        int64
+	budget      int
+	timeout     time.Duration
+	parallelism int
+}
+
+// Option configures a Solver (in NewSolver) or a single call (in Solve and
+// SolveBatch, where it overrides the Solver's defaults).
+type Option func(*settings)
+
+// WithAlgorithm selects the algorithm (default AdaptedSSB, the paper's).
+func WithAlgorithm(a Algorithm) Option { return func(s *settings) { s.algorithm = a } }
+
+// WithWeights sets the WS·S + WB·B objective coefficients (default the
+// paper's end-to-end delay, S + B). Only the graph-based solvers honour
+// weights; see Capability.
+func WithWeights(w Weights) Option { return func(s *settings) { s.weights = w } }
+
+// WithSeed seeds the randomised heuristics (Annealing, Genetic).
+func WithSeed(seed int64) Option { return func(s *settings) { s.seed = seed } }
+
+// WithBudget caps the exploration of the budgeted exact searches
+// (BruteForce, BranchBound, ParetoDP); exceeding it yields an error
+// matching ErrBudgetExceeded. Zero keeps each solver's default cap.
+func WithBudget(n int) Option { return func(s *settings) { s.budget = n } }
+
+// WithTimeout bounds each solve (each batch item individually): the call's
+// context is wrapped with the deadline, and on expiry the solve fails with
+// an error matching ErrCanceled. Zero means no per-solve deadline.
+func WithTimeout(d time.Duration) Option { return func(s *settings) { s.timeout = d } }
+
+// WithParallelism bounds SolveBatch's worker pool (default runtime.NumCPU).
+func WithParallelism(n int) Option { return func(s *settings) { s.parallelism = n } }
+
+// NewSolver returns a Solver whose defaults are the given options.
+func NewSolver(opts ...Option) *Solver {
+	s := &Solver{}
+	for _, o := range opts {
+		o(&s.defaults)
+	}
+	return s
+}
+
+func (s *Solver) settingsFor(opts []Option) settings {
+	cfg := s.defaults
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// Solve finds the minimum-delay assignment of t under the Solver's
+// defaults overridden by opts. The context cancels the solver's hot loops;
+// cancellation and WithTimeout expiry yield an error matching ErrCanceled.
+func (s *Solver) Solve(ctx context.Context, t *Tree, opts ...Option) (*Outcome, error) {
+	return solveOne(ctx, t, s.settingsFor(opts))
+}
+
+func solveOne(ctx context.Context, t *Tree, cfg settings) (*Outcome, error) {
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	return core.SolveContext(ctx, core.Request{
+		Tree:      t,
+		Algorithm: cfg.algorithm,
+		Weights:   cfg.weights,
+		Seed:      cfg.seed,
+		Budget:    cfg.budget,
+	})
+}
+
+// BatchResult is one SolveBatch item's result: exactly one of Outcome and
+// Err is non-nil.
+type BatchResult struct {
+	Outcome *Outcome
+	Err     error
+}
+
+// SolveBatch solves every tree on a bounded worker pool (WithParallelism
+// workers, default runtime.NumCPU). The returned slice has one entry per
+// input tree, in input order; failures are isolated per item, so one bad
+// instance never disturbs its neighbours. WithTimeout bounds each item
+// individually, while cancelling ctx stops the whole batch: items not yet
+// finished fail with errors matching ErrCanceled, and the batch-level
+// error (nil on an undisturbed run) reports the cancellation.
+func (s *Solver) SolveBatch(ctx context.Context, trees []*Tree, opts ...Option) ([]BatchResult, error) {
+	cfg := s.settingsFor(opts)
+	results := make([]BatchResult, len(trees))
+	if len(trees) == 0 {
+		return results, nil
+	}
+	workers := cfg.parallelism
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(trees) {
+		workers = len(trees)
+	}
+
+	jobs := make(chan int)
+	go func() {
+		defer close(jobs)
+		for i := range trees {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out, err := solveOne(ctx, trees[i], cfg)
+				results[i] = BatchResult{Outcome: out, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		// Items the feeder never dispatched carry no result yet; mark them
+		// canceled so every entry is populated.
+		alg := cfg.algorithm
+		if alg == "" {
+			alg = AdaptedSSB
+		}
+		for i := range results {
+			if results[i].Outcome == nil && results[i].Err == nil {
+				results[i].Err = &core.CanceledError{Algorithm: alg, Cause: err}
+			}
+		}
+		return results, &core.CanceledError{Algorithm: alg, Cause: err}
+	}
+	return results, nil
+}

@@ -1,0 +1,47 @@
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// BenchmarkSolverBatch exercises SolveBatch's worker pool on a fixed fleet
+// of random instances at parallelism 1, 4 and NumCPU. The sub-benchmark
+// names are stable, so benchstat can compare runs across commits — this is
+// the anchor for future batching/serving performance work.
+func BenchmarkSolverBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	trees := make([]*repro.Tree, 32)
+	for i := range trees {
+		trees[i] = workload.Random(rng, workload.DefaultRandomSpec(63, 4))
+	}
+	ctx := context.Background()
+	seen := map[int]bool{}
+	for _, par := range []int{1, 4, runtime.NumCPU()} {
+		if seen[par] {
+			continue // NumCPU may collide with 1 or 4; keep names benchstat-stable
+		}
+		seen[par] = true
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			solver := repro.NewSolver(repro.WithParallelism(par))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				results, err := solver.SolveBatch(ctx, trees)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j, r := range results {
+					if r.Err != nil {
+						b.Fatalf("item %d: %v", j, r.Err)
+					}
+				}
+			}
+		})
+	}
+}
