@@ -1,0 +1,223 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func twoSatSpec() *repro.Spec {
+	return &repro.Spec{
+		Name:       "wire-test",
+		Satellites: []string{"R", "G"},
+		CRUs: []repro.SpecCRU{
+			{Name: "root", HostTime: 3, SatTime: 9},
+			{Name: "left", Parent: "root", HostTime: 2, SatTime: 6, Comm: 0.5},
+			{Name: "right", Parent: "root", HostTime: 1, SatTime: 3, Comm: 0.25},
+		},
+		Sensors: []repro.SpecSensor{
+			{Name: "sL", Parent: "left", Satellite: "R", Comm: 4},
+			{Name: "sR", Parent: "right", Satellite: "G", Comm: 2},
+		},
+	}
+}
+
+func TestSolveRequestRoundTrip(t *testing.T) {
+	req := &SolveRequest{
+		Spec:      twoSatSpec(),
+		Algorithm: string(repro.BranchBound),
+		Weights:   &Weights{WS: 0.75, WB: 0.25},
+		Seed:      7,
+		Budget:    1 << 16,
+		TimeoutMS: 1500,
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back SolveRequest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Algorithm != req.Algorithm || back.Seed != 7 || back.Budget != 1<<16 ||
+		back.TimeoutMS != 1500 || back.Weights == nil || back.Weights.WS != 0.75 {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+	if len(back.Options()) != 5 {
+		t.Fatalf("Options() built %d options, want 5", len(back.Options()))
+	}
+	tree, err := back.Tree()
+	if err != nil {
+		t.Fatalf("Tree: %v", err)
+	}
+	if tree.ProcessingCount() != 3 || tree.SensorCount() != 2 {
+		t.Fatalf("decoded tree %v", tree)
+	}
+}
+
+func TestSolveRequestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		req  *SolveRequest
+	}{
+		{"nil spec", &SolveRequest{}},
+		{"negative timeout", &SolveRequest{Spec: twoSatSpec(), TimeoutMS: -1}},
+		{"negative budget", &SolveRequest{Spec: twoSatSpec(), Budget: -1}},
+	}
+	for _, tc := range cases {
+		err := tc.req.Validate()
+		var wire *Error
+		if !errors.As(err, &wire) || wire.Code != CodeInvalidRequest {
+			t.Errorf("%s: got %v, want CodeInvalidRequest", tc.name, err)
+		}
+	}
+
+	bad := &SolveRequest{Spec: &repro.Spec{Satellites: []string{"R"}}}
+	if _, err := bad.Tree(); FromError(err).Code != CodeInvalidRequest {
+		t.Errorf("empty spec: got %v, want CodeInvalidRequest", err)
+	}
+}
+
+func TestNewSolveResponse(t *testing.T) {
+	tree, err := repro.FromSpec(twoSatSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := repro.NewSolver().Solve(context.Background(), tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := NewSolveResponse(tree, out, repro.CacheHit)
+	if resp.APIVersion != Version {
+		t.Fatalf("api_version %q", resp.APIVersion)
+	}
+	if resp.Fingerprint != repro.Fingerprint(tree) {
+		t.Fatal("fingerprint mismatch")
+	}
+	if !resp.Cached {
+		t.Fatal("CacheHit must mark the response cached")
+	}
+	if resp.Delay != out.Delay || !resp.Exact {
+		t.Fatalf("delay/exact mismatch: %+v", resp)
+	}
+	// Every processing CRU is placed; sensors are omitted.
+	for _, name := range []string{"root", "left", "right"} {
+		if _, ok := resp.Assignment[name]; !ok {
+			t.Fatalf("assignment missing %q: %v", name, resp.Assignment)
+		}
+	}
+	if _, ok := resp.Assignment["sL"]; ok {
+		t.Fatal("sensor leaked into the assignment map")
+	}
+	if resp.Assignment["root"] != "host" {
+		t.Fatalf("root placed on %q, want host", resp.Assignment["root"])
+	}
+	if resp.Breakdown == nil || resp.Breakdown.HostTime+resp.Breakdown.MaxSatLoad != resp.Delay {
+		t.Fatalf("breakdown inconsistent: %+v", resp.Breakdown)
+	}
+	if NewSolveResponse(tree, out, repro.CacheShared).Cached {
+		t.Fatal("shared in-flight result must not be marked cached")
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	tree, err := repro.FromSpec(twoSatSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := repro.NewSolver()
+	ctx := context.Background()
+
+	_, uaErr := solver.Solve(ctx, tree, repro.WithAlgorithm("no-such"))
+	ua := FromError(uaErr)
+	if ua.Code != CodeUnknownAlgorithm || ua.Code.HTTPStatus() != http.StatusBadRequest {
+		t.Fatalf("unknown algorithm mapped to %+v", ua)
+	}
+	if !strings.Contains(ua.Details["known"], string(repro.AdaptedSSB)) {
+		t.Fatalf("details lack known algorithms: %v", ua.Details)
+	}
+
+	canceledCtx, cancel := context.WithCancel(ctx)
+	cancel()
+	_, cErr := solver.Solve(canceledCtx, tree)
+	ce := FromError(cErr)
+	if ce.Code != CodeCanceled || ce.Code.HTTPStatus() != http.StatusGatewayTimeout {
+		t.Fatalf("canceled mapped to %+v", ce)
+	}
+	if ce.Details["cause"] != "canceled" {
+		t.Fatalf("canceled cause %v", ce.Details)
+	}
+
+	_, dErr := solver.Solve(ctx, tree, repro.WithTimeout(time.Nanosecond))
+	if de := FromError(dErr); de.Code != CodeCanceled || de.Details["cause"] != "deadline_exceeded" {
+		t.Fatalf("deadline mapped to %+v", de)
+	}
+
+	_, nilErr := solver.Solve(ctx, nil)
+	if it := FromError(nilErr); it.Code != CodeInvalidTree || it.Code.HTTPStatus() != http.StatusUnprocessableEntity {
+		t.Fatalf("invalid tree mapped to %+v", it)
+	}
+
+	// Raw context errors (a waiter's own deadline while parked on a
+	// shared flight) must classify as canceled, not internal.
+	if e := FromError(context.DeadlineExceeded); e.Code != CodeCanceled || e.Details["cause"] != "deadline_exceeded" {
+		t.Fatalf("raw DeadlineExceeded mapped to %+v", e)
+	}
+	if e := FromError(context.Canceled); e.Code != CodeCanceled || e.Details["cause"] != "canceled" {
+		t.Fatalf("raw Canceled mapped to %+v", e)
+	}
+
+	if FromError(nil) != nil {
+		t.Fatal("FromError(nil) must be nil")
+	}
+	if in := FromError(errors.New("weird")); in.Code != CodeInternal {
+		t.Fatalf("unclassified error mapped to %+v", in)
+	}
+	orig := &Error{Code: CodeOverloaded, Message: "busy"}
+	if FromError(orig) != orig {
+		t.Fatal("*Error must pass through FromError unchanged")
+	}
+}
+
+func TestSimConfigParsing(t *testing.T) {
+	r := &SimulateRequest{Mode: "overlapped", Frames: 3, Interval: 0.5}
+	cfg, mode, err := r.SimConfig()
+	if err != nil || cfg.Mode != repro.Overlapped || cfg.Frames != 3 || mode != "overlapped" {
+		t.Fatalf("overlapped: %+v %q %v", cfg, mode, err)
+	}
+	// The default resolves to a canonical name clients can rely on.
+	if cfg, mode, err := (&SimulateRequest{}).SimConfig(); err != nil || cfg.Mode != repro.PaperBarrier || mode != "paper-barrier" {
+		t.Fatalf("default mode: %+v %q %v", cfg, mode, err)
+	}
+	if _, _, err := (&SimulateRequest{Mode: "warp"}).SimConfig(); FromError(err).Code != CodeInvalidRequest {
+		t.Fatalf("unknown mode: %v", err)
+	}
+	if _, _, err := (&SimulateRequest{Frames: -1}).SimConfig(); FromError(err).Code != CodeInvalidRequest {
+		t.Fatalf("negative frames: %v", err)
+	}
+}
+
+func TestListAlgorithms(t *testing.T) {
+	resp := ListAlgorithms()
+	if resp.APIVersion != Version || len(resp.Algorithms) == 0 {
+		t.Fatalf("algorithms response %+v", resp)
+	}
+	found := false
+	for _, a := range resp.Algorithms {
+		if a.Name == string(repro.AdaptedSSB) {
+			found = true
+			if !a.Exact {
+				t.Fatal("adapted-ssb must be exact")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("adapted-ssb missing from the listing")
+	}
+}

@@ -1,0 +1,126 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro"
+)
+
+// ErrorCode is a stable, machine-readable failure class. Codes are part
+// of the wire contract: clients branch on them, so existing values never
+// change meaning and new failure classes get new codes.
+type ErrorCode string
+
+const (
+	// CodeInvalidRequest: the request body is malformed — undecodable
+	// JSON, a missing or inconsistent spec, negative parameters.
+	CodeInvalidRequest ErrorCode = "invalid_request"
+	// CodeInvalidTree: the spec decoded but the tree violates the
+	// model's structural invariants (repro.ErrInvalidTree).
+	CodeInvalidTree ErrorCode = "invalid_tree"
+	// CodeUnknownAlgorithm: the request names no registered solver
+	// (repro.ErrUnknownAlgorithm). Details list the known names.
+	CodeUnknownAlgorithm ErrorCode = "unknown_algorithm"
+	// CodeBudgetExceeded: an exact search hit its exploration budget
+	// before proving optimality (repro.ErrBudgetExceeded).
+	CodeBudgetExceeded ErrorCode = "budget_exceeded"
+	// CodeCanceled: the solve was stopped by deadline or cancellation
+	// (repro.ErrCanceled).
+	CodeCanceled ErrorCode = "canceled"
+	// CodeOverloaded: the server's concurrency limiter rejected the
+	// request; retry with backoff.
+	CodeOverloaded ErrorCode = "overloaded"
+	// CodeInternal: an unclassified server-side failure.
+	CodeInternal ErrorCode = "internal"
+)
+
+// HTTPStatus maps the code onto the HTTP status the /v1 endpoints use.
+func (c ErrorCode) HTTPStatus() int {
+	switch c {
+	case CodeInvalidRequest, CodeUnknownAlgorithm:
+		return http.StatusBadRequest
+	case CodeInvalidTree, CodeBudgetExceeded:
+		return http.StatusUnprocessableEntity
+	case CodeCanceled:
+		return http.StatusGatewayTimeout
+	case CodeOverloaded:
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Error is the structured wire form of a failure. It implements error so
+// conversion helpers can return it directly.
+type Error struct {
+	Code    ErrorCode         `json:"code"`
+	Message string            `json:"message"`
+	Details map[string]string `json:"details,omitempty"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("api: %s: %s", e.Code, e.Message)
+}
+
+// FromError classifies err into its wire form using the structured error
+// taxonomy of the repro package: the sentinel matched with errors.Is
+// picks the code, and the detail types recovered with errors.As populate
+// Details. Unrecognised errors become CodeInternal. A nil err returns
+// nil; an err that already is an *Error passes through unchanged.
+func FromError(err error) *Error {
+	if err == nil {
+		return nil
+	}
+	var wire *Error
+	if errors.As(err, &wire) {
+		return wire
+	}
+	e := &Error{Message: err.Error()}
+	switch {
+	case errors.Is(err, repro.ErrUnknownAlgorithm):
+		e.Code = CodeUnknownAlgorithm
+		var ua *repro.UnknownAlgorithmError
+		if errors.As(err, &ua) {
+			known := make([]string, len(ua.Known))
+			for i, k := range ua.Known {
+				known[i] = string(k)
+			}
+			e.Details = map[string]string{
+				"algorithm": string(ua.Name),
+				"known":     strings.Join(known, ", "),
+			}
+		}
+	case errors.Is(err, repro.ErrBudgetExceeded):
+		e.Code = CodeBudgetExceeded
+	case errors.Is(err, repro.ErrCanceled):
+		e.Code = CodeCanceled
+		var ce *repro.CanceledError
+		if errors.As(err, &ce) {
+			e.Details = map[string]string{"algorithm": string(ce.Algorithm)}
+			if errors.Is(ce.Cause, context.DeadlineExceeded) {
+				e.Details["cause"] = "deadline_exceeded"
+			} else {
+				e.Details["cause"] = "canceled"
+			}
+		}
+	case errors.Is(err, repro.ErrInvalidTree):
+		e.Code = CodeInvalidTree
+	case errors.Is(err, context.DeadlineExceeded):
+		// Raw context errors reach here when the request's own context
+		// expires outside a solver hot loop (e.g. while parked on a
+		// shared in-flight solve, or a batch item never dispatched).
+		e.Code = CodeCanceled
+		e.Details = map[string]string{"cause": "deadline_exceeded"}
+	case errors.Is(err, context.Canceled):
+		e.Code = CodeCanceled
+		e.Details = map[string]string{"cause": "canceled"}
+	default:
+		e.Code = CodeInternal
+	}
+	return e
+}

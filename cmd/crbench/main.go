@@ -1,17 +1,20 @@
 // Command crbench regenerates the paper's figures and the extension
 // studies: every experiment registered in internal/bench is run and its
 // table printed (plain text by default, markdown with -markdown, which is
-// how EXPERIMENTS.md is produced).
+// how EXPERIMENTS.md is produced, or machine-readable JSON with -json for
+// dashboards and regression tracking).
 //
 // Usage:
 //
 //	crbench            # run all experiments
 //	crbench -id E1     # one experiment
 //	crbench -markdown > experiments.md
+//	crbench -json > experiments.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,11 +24,27 @@ import (
 	"repro/internal/bench"
 )
 
+// jsonResult is one experiment's machine-readable record.
+type jsonResult struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Paper     string     `json:"paper,omitempty"`
+	Columns   []string   `json:"columns"`
+	Rows      [][]string `json:"rows"`
+	Notes     []string   `json:"notes,omitempty"`
+	ElapsedMS int64      `json:"elapsed_ms"`
+}
+
 func main() {
 	id := flag.String("id", "", "run a single experiment (E1..E13)")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (one array of experiment records)")
 	timeout := flag.Duration("timeout", 0, "overall deadline; pending experiments are skipped once it expires (0 = none)")
 	flag.Parse()
+	if *markdown && *jsonOut {
+		fmt.Fprintln(os.Stderr, "crbench: -markdown and -json are mutually exclusive")
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -45,6 +64,7 @@ func main() {
 		experiments = []bench.Experiment{e}
 	}
 
+	records := []jsonResult{} // non-nil: -json must emit an array, never null
 	failed := 0
 	for _, e := range experiments {
 		if err := ctx.Err(); err != nil {
@@ -59,11 +79,27 @@ func main() {
 			failed++
 			continue
 		}
-		if *markdown {
+		elapsed := time.Since(start)
+		switch {
+		case *jsonOut:
+			records = append(records, jsonResult{
+				ID: tbl.ID, Title: tbl.Title, Paper: tbl.Paper,
+				Columns: tbl.Columns, Rows: tbl.Rows, Notes: tbl.Notes,
+				ElapsedMS: elapsed.Milliseconds(),
+			})
+		case *markdown:
 			fmt.Print(tbl.Markdown())
-		} else {
+		default:
 			fmt.Print(tbl.Render())
-			fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("(%s in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintf(os.Stderr, "crbench: encoding JSON: %v\n", err)
+			failed++
 		}
 	}
 	if failed > 0 {

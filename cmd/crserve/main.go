@@ -1,0 +1,92 @@
+// Command crserve serves the solver over HTTP with the versioned wire API
+// of package api: canonical instance identity (fingerprints), a sharded
+// LRU result cache with singleflight deduplication, a concurrency
+// limiter, per-request timeouts and graceful shutdown on SIGINT/SIGTERM.
+//
+// Endpoints (see repro/internal/httpserve):
+//
+//	POST /v1/solve      solve one instance
+//	POST /v1/batch      solve many instances
+//	POST /v1/simulate   solve + replay on the discrete-event testbed
+//	GET  /v1/algorithms list the registered solvers
+//	GET  /healthz       liveness probe
+//	GET  /debug/vars    cache/request counters + expvar
+//
+// Usage:
+//
+//	crserve -addr :8080 -cache 4096 -parallelism 8 \
+//	        -request-timeout 10s -max-inflight 256
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/httpserve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheSize := flag.Int("cache", 4096, "result cache capacity in outcomes (0 disables the store, keeping singleflight)")
+	parallelism := flag.Int("parallelism", 0, "batch worker pool size (0 = NumCPU)")
+	requestTimeout := flag.Duration("request-timeout", 15*time.Second, "server-side ceiling per request (0 = none)")
+	maxInflight := flag.Int("max-inflight", 256, "max concurrently served requests; excess get HTTP 429 (0 = unbounded)")
+	maxBatch := flag.Int("max-batch", 1024, "max items per batch request")
+	grace := flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on shutdown")
+	flag.Parse()
+
+	solver := repro.NewSolver(repro.WithParallelism(*parallelism))
+	service := repro.NewService(solver, *cacheSize)
+	handler := httpserve.New(httpserve.Config{
+		Service:          service,
+		RequestTimeout:   *requestTimeout,
+		MaxInflight:      *maxInflight,
+		MaxBatchItems:    *maxBatch,
+		BatchParallelism: *parallelism,
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "crserve: listening on %s (cache=%d, max-inflight=%d)\n",
+			*addr, *cacheSize, *maxInflight)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "crserve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, finish in-flight requests within
+	// the grace window, then report the final cache effectiveness.
+	stop()
+	fmt.Fprintln(os.Stderr, "crserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "crserve: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	st := service.Stats()
+	fmt.Fprintf(os.Stderr, "crserve: bye (cache: %d hits, %d misses, %d shared, %d stored)\n",
+		st.Hits, st.Misses, st.Shared, st.Size)
+}

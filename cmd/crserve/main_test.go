@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/api"
+	"repro/internal/httpserve"
+	"repro/internal/workload"
+)
+
+// newServer assembles the same stack main() serves.
+func newServer(t *testing.T) (*httptest.Server, *repro.Service) {
+	t.Helper()
+	service := repro.NewService(repro.NewSolver(), 1024)
+	srv := httptest.NewServer(httpserve.New(httpserve.Config{
+		Service:        service,
+		RequestTimeout: 15 * time.Second,
+		MaxInflight:    64,
+	}))
+	t.Cleanup(srv.Close)
+	return srv, service
+}
+
+func paperRequest(t *testing.T) api.SolveRequest {
+	t.Helper()
+	return api.SolveRequest{Spec: repro.ToSpec(workload.PaperTree(), "paper")}
+}
+
+func postJSON(t *testing.T, url string, body any, into any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServeSolveAndBatch is the acceptance round trip: crserve answers
+// /v1/solve and /v1/batch, a repeat of the same instance is a cache hit,
+// and N concurrent identical requests run exactly one underlying solve.
+func TestServeSolveAndBatch(t *testing.T) {
+	srv, service := newServer(t)
+	req := paperRequest(t)
+
+	// --- /v1/solve ---
+	var first api.SolveResponse
+	if code := postJSON(t, srv.URL+"/v1/solve", req, &first); code != http.StatusOK {
+		t.Fatalf("solve: status %d", code)
+	}
+	if first.Cached || first.Delay <= 0 || first.Fingerprint == "" {
+		t.Fatalf("first solve %+v", first)
+	}
+
+	// Repeat: a cache hit with the identical answer.
+	var again api.SolveResponse
+	if code := postJSON(t, srv.URL+"/v1/solve", req, &again); code != http.StatusOK {
+		t.Fatalf("repeat solve: status %d", code)
+	}
+	if !again.Cached {
+		t.Fatal("repeat request was not a cache hit")
+	}
+	if again.Delay != first.Delay || again.Fingerprint != first.Fingerprint {
+		t.Fatalf("cached answer diverged: %+v vs %+v", again, first)
+	}
+
+	// --- concurrent identical requests: one underlying solve ---
+	fresh := api.SolveRequest{Spec: repro.ToSpec(workload.PaperTree().ScaleProfiles(2, 2, 2), "scaled")}
+	before := service.Stats()
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var out api.SolveResponse
+			if code := postJSON(t, srv.URL+"/v1/solve", fresh, &out); code != http.StatusOK {
+				t.Errorf("concurrent solve: status %d", code)
+			}
+		}()
+	}
+	wg.Wait()
+	after := service.Stats()
+	if misses := after.Misses - before.Misses; misses != 1 {
+		t.Fatalf("%d concurrent identical requests ran %d solves, want 1", n, misses)
+	}
+	if served := (after.Hits - before.Hits) + (after.Shared - before.Shared); served != n-1 {
+		t.Fatalf("hits+shared advanced by %d, want %d", served, n-1)
+	}
+
+	// --- /v1/batch ---
+	batch := api.BatchRequest{Items: []api.SolveRequest{req, fresh, req}}
+	var br api.BatchResponse
+	if code := postJSON(t, srv.URL+"/v1/batch", batch, &br); code != http.StatusOK {
+		t.Fatalf("batch: status %d", code)
+	}
+	if len(br.Items) != 3 {
+		t.Fatalf("batch returned %d items", len(br.Items))
+	}
+	for i, item := range br.Items {
+		if item.Error != nil {
+			t.Fatalf("batch item %d: %+v", i, item.Error)
+		}
+		if !item.Response.Cached {
+			t.Errorf("batch item %d missed a warm cache", i)
+		}
+	}
+	if br.Items[0].Response.Delay != first.Delay {
+		t.Fatalf("batch answer %v != solve answer %v", br.Items[0].Response.Delay, first.Delay)
+	}
+}

@@ -1,0 +1,126 @@
+// Server round trip: start the crserve HTTP stack in-process, then act as
+// a wire-API client — solve the paper's tree, watch the repeat request
+// come back as a cache hit, solve a batch, simulate the winning
+// assignment, and list the algorithm registry. Everything on the wire is
+// the versioned JSON of package api; the same calls work against a
+// standalone `crserve -addr :8080` with curl.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro"
+	"repro/api"
+	"repro/internal/httpserve"
+	"repro/internal/workload"
+)
+
+func main() {
+	// --- the server side: what `crserve` assembles from its flags ---
+	service := repro.NewService(repro.NewSolver(), 1024)
+	srv := &http.Server{Handler: httpserve.New(httpserve.Config{
+		Service:        service,
+		RequestTimeout: 10 * time.Second,
+		MaxInflight:    64,
+	})}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown(context.Background())
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s\n\n", base)
+
+	// --- the client side: JSON DTOs over POST /v1/... ---
+	spec := repro.ToSpec(workload.PaperTree(), "paper-fig9")
+
+	var first api.SolveResponse
+	mustPost(base+"/v1/solve", api.SolveRequest{Spec: spec}, &first)
+	fmt.Printf("solve     %-22s delay=%-8.4g cached=%-5v fingerprint=%s\n",
+		first.Algorithm, first.Delay, first.Cached, first.Fingerprint)
+
+	// The identical instance again: answered from the result cache.
+	var again api.SolveResponse
+	mustPost(base+"/v1/solve", api.SolveRequest{Spec: spec}, &again)
+	fmt.Printf("repeat    %-22s delay=%-8.4g cached=%-5v\n", again.Algorithm, again.Delay, again.Cached)
+
+	// A batch mixes instances and per-item parameters; failures stay
+	// per-item. The duplicate of the paper tree is another cache hit.
+	batch := api.BatchRequest{Items: []api.SolveRequest{
+		{Spec: spec},
+		{Spec: repro.ToSpec(workload.PaperTree().ScaleProfiles(1, 0.5, 2), "comm-heavy")},
+		{Spec: spec, Algorithm: string(repro.GreedyHost)},
+	}}
+	var br api.BatchResponse
+	mustPost(base+"/v1/batch", batch, &br)
+	for i, item := range br.Items {
+		if item.Error != nil {
+			fmt.Printf("batch[%d]  error %s: %s\n", i, item.Error.Code, item.Error.Message)
+			continue
+		}
+		fmt.Printf("batch[%d]  %-22s delay=%-8.4g cached=%v\n",
+			i, item.Response.Algorithm, item.Response.Delay, item.Response.Cached)
+	}
+
+	// Solve + replay on the discrete-event testbed in one call.
+	var sim api.SimulateResponse
+	mustPost(base+"/v1/simulate", api.SimulateRequest{
+		SolveRequest: api.SolveRequest{Spec: spec},
+		Mode:         "overlapped",
+		Frames:       8,
+		Interval:     2,
+	}, &sim)
+	fmt.Printf("simulate  mode=%s frames=%d makespan=%.4g throughput=%.4g\n\n",
+		sim.Mode, sim.Frames, sim.Makespan, sim.Throughput)
+
+	// The registry, as clients discover it.
+	resp, err := http.Get(base + "/v1/algorithms")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var algs api.AlgorithmsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&algs); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("%d registered algorithms:\n", len(algs.Algorithms))
+	for _, a := range algs.Algorithms {
+		kind := "heuristic"
+		if a.Exact {
+			kind = "exact"
+		}
+		fmt.Printf("  %-18s %-9s %s\n", a.Name, kind, a.Summary)
+	}
+
+	st := service.Stats()
+	fmt.Printf("\ncache: %d hits, %d misses, %d shared, %d stored\n",
+		st.Hits, st.Misses, st.Shared, st.Size)
+}
+
+func mustPost(url string, body, into any) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e api.Error
+		json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("POST %s: %d %s: %s", url, resp.StatusCode, e.Code, e.Message)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		log.Fatalf("POST %s: decoding response: %v", url, err)
+	}
+}

@@ -1,0 +1,236 @@
+// Package cache provides the serving layer's result cache: a sharded LRU
+// keyed by canonical request identity, with singleflight deduplication so
+// that N concurrent requests for the same key run the underlying
+// computation exactly once. The package is value-agnostic (entries are
+// any); repro.Service stores solver Outcomes keyed by tree fingerprint
+// plus request parameters.
+//
+// Concurrency model: each shard guards its LRU list and its in-flight
+// table with one mutex held only for map/list manipulation — never across
+// the computation. The first caller of a missing key becomes the leader
+// and runs the function on its own goroutine and context; later callers
+// of the same key park on the leader's done channel (or their own
+// context's cancellation) and share the leader's result. Errors are
+// shared with the waiters of the flight but never stored, so a failed
+// computation is retried by the next request.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// Result classifies how a Do call obtained its value.
+type Result int
+
+const (
+	// Miss: this call ran the computation (it was the flight leader).
+	Miss Result = iota
+	// Hit: the value came from the LRU store.
+	Hit
+	// Shared: the value came from another caller's in-flight computation.
+	Shared
+)
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	switch r {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case Shared:
+		return "shared"
+	default:
+		return fmt.Sprintf("result(%d)", int(r))
+	}
+}
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	Hits      int64 // Do calls served from the store
+	Misses    int64 // Do calls that ran the computation
+	Shared    int64 // Do calls that joined another call's flight
+	Errors    int64 // leader computations that returned an error
+	Evictions int64 // entries displaced by capacity pressure
+	Size      int   // entries currently stored
+	Capacity  int   // configured capacity (0 = store disabled)
+}
+
+const numShards = 16
+
+// Cache is a sharded LRU with singleflight deduplication. The zero value
+// is not usable; construct with New. A Cache is safe for concurrent use.
+type Cache struct {
+	shards   [numShards]shard
+	capacity int // total, distributed over the shards
+
+	hits, misses, shared, errors, evictions atomic.Int64
+}
+
+type shard struct {
+	mu       sync.Mutex
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // key -> element whose Value is *entry
+	inflight map[string]*flight
+	capacity int
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+type flight struct {
+	done chan struct{} // closed when val/err are final
+	val  any
+	err  error
+}
+
+// New returns a Cache holding up to capacity entries. Capacity <= 0
+// disables the store — every Do recomputes unless it can join a flight —
+// which keeps singleflight deduplication available with caching off.
+// Positive capacities are rounded up so every shard holds at least one
+// entry (otherwise part of the keyspace would silently never cache);
+// tiny requested capacities therefore admit up to numShards entries.
+func New(capacity int) *Cache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	c := &Cache{capacity: capacity}
+	per := capacity / numShards
+	rem := capacity % numShards
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.ll = list.New()
+		s.items = make(map[string]*list.Element)
+		s.inflight = make(map[string]*flight)
+		s.capacity = per
+		if i < rem {
+			s.capacity++
+		}
+		if capacity > 0 && s.capacity == 0 {
+			s.capacity = 1
+		}
+	}
+	return c
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%numShards]
+}
+
+// Do returns the cached value for key, or computes it with fn. Concurrent
+// calls for the same key are deduplicated: one leader runs fn, the rest
+// wait and share its value (or its error). A waiting caller whose ctx is
+// cancelled unblocks with the ctx error while the leader keeps running;
+// the leader itself is bounded only by whatever ctx fn captures.
+//
+// Successful values are stored (evicting LRU entries past capacity);
+// errors are returned to the leader and the waiters of that one flight
+// and then forgotten.
+func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (any, Result, error) {
+	s := c.shardFor(key)
+
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		val := el.Value.(*entry).val
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return val, Hit, nil
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		c.shared.Add(1)
+		select {
+		case <-f.done:
+			return f.val, Shared, f.err
+		case <-ctx.Done():
+			return nil, Shared, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.mu.Unlock()
+
+	c.misses.Add(1)
+	settled := false
+	defer func() {
+		if !settled { // fn panicked: fail the flight so waiters unblock
+			f.err = fmt.Errorf("cache: computation for %q panicked", key)
+			c.settle(s, key, f, false)
+		}
+	}()
+	val, err := fn()
+	f.val, f.err = val, err
+	c.settle(s, key, f, err == nil)
+	settled = true
+	if err != nil {
+		c.errors.Add(1)
+	}
+	return val, Miss, err
+}
+
+// settle publishes the flight's result: stores the value when wanted and
+// capacity allows, removes the in-flight marker, and wakes the waiters.
+func (c *Cache) settle(s *shard, key string, f *flight, store bool) {
+	s.mu.Lock()
+	if store {
+		c.storeLocked(s, key, f.val)
+	}
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(f.done)
+}
+
+// storeLocked inserts or refreshes key and enforces the shard capacity.
+// The caller holds s.mu.
+func (c *Cache) storeLocked(s *shard, key string, val any) {
+	if s.capacity <= 0 {
+		return
+	}
+	if el, ok := s.items[key]; ok {
+		el.Value.(*entry).val = val
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&entry{key: key, val: val})
+	for s.ll.Len() > s.capacity {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*entry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the number of stored entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Shared:    c.shared.Load(),
+		Errors:    c.errors.Load(),
+		Evictions: c.evictions.Load(),
+		Size:      c.Len(),
+		Capacity:  c.capacity,
+	}
+}

@@ -1,0 +1,245 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHitMissAndLRU(t *testing.T) {
+	// One shard's worth of capacity routed to a single key space: use
+	// keys that land anywhere — the per-shard split still enforces the
+	// global bound, which is all this test asserts.
+	c := New(numShards) // one entry per shard
+	ctx := context.Background()
+
+	calls := 0
+	get := func(key string) (any, Result) {
+		v, how, err := c.Do(ctx, key, func() (any, error) {
+			calls++
+			return "val-" + key, nil
+		})
+		if err != nil {
+			t.Fatalf("Do(%s): %v", key, err)
+		}
+		return v, how
+	}
+
+	if v, how := get("a"); how != Miss || v != "val-a" {
+		t.Fatalf("first get: %v %v", v, how)
+	}
+	if v, how := get("a"); how != Hit || v != "val-a" {
+		t.Fatalf("second get: %v %v", v, how)
+	}
+	if calls != 1 {
+		t.Fatalf("computation ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Shared != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	ctx := context.Background()
+	// lookup runs a Do that would store v on a miss and reports how the
+	// call was served — the only mutation path the cache exposes.
+	lookup := func(c *Cache, key string, v any) Result {
+		_, how, err := c.Do(ctx, key, func() (any, error) { return v, nil })
+		if err != nil {
+			t.Fatalf("Do(%s): %v", key, err)
+		}
+		return how
+	}
+
+	// Capacity 0 disables the store entirely: the same key misses twice.
+	c := New(0)
+	lookup(c, "x", 1)
+	if how := lookup(c, "x", 1); how != Miss {
+		t.Fatalf("capacity-0 cache served a %v", how)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("capacity-0 cache stored %d entries", c.Len())
+	}
+
+	// A tiny capacity still caches every shard: with the per-shard floor
+	// of one entry, any key must hit on repeat.
+	tiny := New(1)
+	lookup(tiny, "anywhere", 1)
+	if how := lookup(tiny, "anywhere", 1); how != Hit {
+		t.Fatalf("tiny cache served a %v, want a hit", how)
+	}
+
+	// Overflow one shard: find three keys that collide and watch the
+	// least-recently-used one go.
+	c2 := New(2 * numShards) // 2 per shard
+	target := c2.shardFor("seed")
+	var same []string
+	for i := 0; len(same) < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c2.shardFor(k) == target {
+			same = append(same, k)
+		}
+	}
+	lookup(c2, same[0], 0)
+	lookup(c2, same[1], 1)
+	lookup(c2, same[0], 0) // refresh: same[1] is now the LRU entry
+	lookup(c2, same[2], 2)
+	if how := lookup(c2, same[1], 1); how != Miss {
+		t.Fatalf("LRU entry survived eviction (%v)", how)
+	}
+	if ev := c2.Stats().Evictions; ev < 1 {
+		t.Fatalf("evictions = %d, want >= 1", ev)
+	}
+}
+
+// TestSingleflightDeduplicates is the deterministic dedup proof: a leader
+// blocks inside the computation while N waiters join the flight, then the
+// gate opens and everyone must observe the single computed value.
+func TestSingleflightDeduplicates(t *testing.T) {
+	c := New(16)
+	ctx := context.Background()
+	const waiters = 8
+
+	gate := make(chan struct{})
+	var computations atomic.Int64
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, "k", func() (any, error) {
+			computations.Add(1)
+			<-gate
+			return 42, nil
+		})
+		leaderDone <- err
+	}()
+
+	// Wait until the leader's flight is registered before spawning
+	// joiners, so every one of them is genuinely concurrent.
+	s := c.shardFor("k")
+	for {
+		s.mu.Lock()
+		_, inflight := s.inflight["k"]
+		s.mu.Unlock()
+		if inflight {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	var wg sync.WaitGroup
+	results := make([]Result, waiters)
+	values := make([]any, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, how, err := c.Do(ctx, "k", func() (any, error) {
+				computations.Add(1)
+				return -1, nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i], values[i] = how, v
+		}(i)
+	}
+
+	// Let the joiners reach the flight, then open the gate. Shared
+	// counts how many parked; grow the wait until all did (bounded).
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Shared < waiters && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(gate)
+	wg.Wait()
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+
+	if n := computations.Load(); n != 1 {
+		t.Fatalf("computation ran %d times for %d concurrent callers, want 1", n, waiters+1)
+	}
+	for i := range results {
+		if values[i] != 42 {
+			t.Fatalf("waiter %d got %v, want 42", i, values[i])
+		}
+		if results[i] != Shared && results[i] != Hit {
+			t.Fatalf("waiter %d classified %v, want shared or hit", i, results[i])
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits+st.Shared != waiters {
+		t.Fatalf("hits(%d)+shared(%d) != %d waiters", st.Hits, st.Shared, waiters)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New(16)
+	ctx := context.Background()
+	boom := errors.New("boom")
+
+	_, how, err := c.Do(ctx, "k", func() (any, error) { return nil, boom })
+	if how != Miss || !errors.Is(err, boom) {
+		t.Fatalf("first call: %v %v", how, err)
+	}
+	v, how, err := c.Do(ctx, "k", func() (any, error) { return "ok", nil })
+	if err != nil || how != Miss || v != "ok" {
+		t.Fatalf("retry after error: %v %v %v — errors must not be cached", v, how, err)
+	}
+	if st := c.Stats(); st.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", st.Errors)
+	}
+}
+
+func TestWaiterHonoursContext(t *testing.T) {
+	c := New(16)
+	gate := make(chan struct{})
+	defer close(gate)
+
+	go c.Do(context.Background(), "k", func() (any, error) {
+		<-gate
+		return 1, nil
+	})
+	s := c.shardFor("k")
+	for {
+		s.mu.Lock()
+		_, inflight := s.inflight["k"]
+		s.mu.Unlock()
+		if inflight {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, "k", func() (any, error) { return 2, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+	}
+}
+
+func TestPanicFailsFlight(t *testing.T) {
+	c := New(16)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		c.Do(context.Background(), "k", func() (any, error) { panic("kaboom") })
+	}()
+	// The flight must be cleared so the key stays usable.
+	v, how, err := c.Do(context.Background(), "k", func() (any, error) { return "fine", nil })
+	if err != nil || how != Miss || v != "fine" {
+		t.Fatalf("key unusable after panic: %v %v %v", v, how, err)
+	}
+}

@@ -1,0 +1,294 @@
+// Package httpserve mounts a repro.Service behind the versioned wire API
+// of package api: JSON over HTTP under the /v1 prefix, with a concurrency
+// limiter, per-request timeouts and introspection endpoints. cmd/crserve
+// is the thin binary around it; tests and examples embed the handler
+// directly.
+//
+// Endpoints:
+//
+//	POST /v1/solve      one instance        -> api.SolveResponse
+//	POST /v1/batch      many instances      -> api.BatchResponse
+//	POST /v1/simulate   solve + replay      -> api.SimulateResponse
+//	GET  /v1/algorithms registry listing    -> api.AlgorithmsResponse
+//	GET  /healthz       liveness probe      -> "ok"
+//	GET  /debug/vars    expvar + cache/request counters (JSON)
+//
+// Every failure body is an api.Error; the HTTP status is the error code's
+// canonical mapping (api.ErrorCode.HTTPStatus).
+package httpserve
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/api"
+	"repro/internal/pool"
+)
+
+// Config parameterises the handler. Service is required; the zero value
+// of every other field means "no limit" / sensible default.
+type Config struct {
+	// Service executes (and caches) the solves.
+	Service *repro.Service
+	// RequestTimeout is the server-side ceiling applied to every
+	// request's context; requests may only tighten it via timeout_ms.
+	RequestTimeout time.Duration
+	// MaxInflight bounds concurrently served requests; excess requests
+	// are rejected with CodeOverloaded (HTTP 429). 0 = unbounded.
+	MaxInflight int
+	// MaxBatchItems caps one batch's size (default 1024).
+	MaxBatchItems int
+	// MaxBodyBytes caps one request body (default 8 MiB): oversized
+	// payloads are rejected while decoding instead of being buffered.
+	MaxBodyBytes int64
+	// BatchParallelism bounds the per-batch worker pool (default NumCPU).
+	BatchParallelism int
+}
+
+// New returns the fully routed handler.
+func New(cfg Config) http.Handler {
+	if cfg.Service == nil {
+		panic("httpserve: Config.Service is required")
+	}
+	if cfg.MaxBatchItems <= 0 {
+		cfg.MaxBatchItems = 1024
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.BatchParallelism <= 0 {
+		cfg.BatchParallelism = runtime.NumCPU()
+	}
+	s := &server{cfg: cfg, started: time.Now()}
+	if cfg.MaxInflight > 0 {
+		s.slots = make(chan struct{}, cfg.MaxInflight)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.limited(s.handleSolve))
+	mux.HandleFunc("POST /v1/batch", s.limited(s.handleBatch))
+	mux.HandleFunc("POST /v1/simulate", s.limited(s.handleSimulate))
+	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	return mux
+}
+
+type server struct {
+	cfg     Config
+	slots   chan struct{} // nil = unbounded
+	started time.Time
+
+	solves, batches, simulates, rejected, failed atomic.Int64
+}
+
+// limited wraps a handler with the concurrency limiter: a request that
+// finds every slot taken is rejected immediately — shedding load beats
+// queueing it when callers retry with backoff.
+func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
+	if s.slots == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.slots <- struct{}{}:
+			defer func() { <-s.slots }()
+			h(w, r)
+		default:
+			s.rejected.Add(1)
+			writeError(w, &api.Error{
+				Code:    api.CodeOverloaded,
+				Message: fmt.Sprintf("server at max in-flight requests (%d)", s.cfg.MaxInflight),
+			})
+		}
+	}
+}
+
+// requestContext applies the server-side timeout ceiling.
+func (s *server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.solves.Add(1)
+	var req api.SolveRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	tree, err := req.Tree()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	out, status, err := s.cfg.Service.Solve(ctx, tree, req.Options()...)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.NewSolveResponse(tree, out, status))
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.batches.Add(1)
+	var req api.BatchRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if len(req.Items) > s.cfg.MaxBatchItems {
+		s.fail(w, &api.Error{
+			Code:    api.CodeInvalidRequest,
+			Message: fmt.Sprintf("batch of %d items exceeds the limit of %d", len(req.Items), s.cfg.MaxBatchItems),
+		})
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
+	resp := &api.BatchResponse{APIVersion: api.Version, Items: make([]api.BatchItem, len(req.Items))}
+	pool.Run(ctx, len(req.Items), s.cfg.BatchParallelism, func(i int) {
+		resp.Items[i] = s.solveItem(ctx, &req.Items[i])
+	})
+	// Items the feeder never dispatched (batch cancelled mid-flight)
+	// must still carry a result.
+	if err := ctx.Err(); err != nil {
+		for i := range resp.Items {
+			if resp.Items[i].Response == nil && resp.Items[i].Error == nil {
+				resp.Items[i].Error = api.FromError(err)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) solveItem(ctx context.Context, item *api.SolveRequest) api.BatchItem {
+	tree, err := item.Tree()
+	if err != nil {
+		return api.BatchItem{Error: api.FromError(err)}
+	}
+	out, status, err := s.cfg.Service.Solve(ctx, tree, item.Options()...)
+	if err != nil {
+		return api.BatchItem{Error: api.FromError(err)}
+	}
+	return api.BatchItem{Response: api.NewSolveResponse(tree, out, status)}
+}
+
+func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.simulates.Add(1)
+	var req api.SimulateRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	simCfg, mode, err := req.SimConfig()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	tree, err := req.Tree()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	out, status, err := s.cfg.Service.Solve(ctx, tree, req.Options()...)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	res, err := repro.Simulate(tree, out.Assignment, simCfg)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &api.SimulateResponse{
+		APIVersion:  api.Version,
+		Fingerprint: repro.Fingerprint(tree),
+		Algorithm:   string(out.Algorithm),
+		Delay:       out.Delay,
+		Cached:      status == repro.CacheHit,
+		Mode:        mode,
+		Frames:      len(res.Frames),
+		Makespan:    res.Makespan,
+		Throughput:  res.Throughput,
+		BusyHost:    res.BusyHost,
+	})
+}
+
+func (s *server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, api.ListAlgorithms())
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleVars emits expvar-compatible JSON: every published expvar (which
+// includes cmdline and memstats) plus this server's cache and request
+// counters under "crserve". The server's own vars are rendered per
+// request instead of registered globally, so many handlers can coexist
+// in one process (expvar.Publish panics on duplicates).
+func (s *server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprint(w, "{")
+	expvar.Do(func(kv expvar.KeyValue) {
+		fmt.Fprintf(w, "%q: %s, ", kv.Key, kv.Value)
+	})
+	own, _ := json.Marshal(map[string]any{
+		"cache": s.cfg.Service.Stats(),
+		"requests": map[string]int64{
+			"solve":    s.solves.Load(),
+			"batch":    s.batches.Load(),
+			"simulate": s.simulates.Load(),
+			"rejected": s.rejected.Load(),
+			"failed":   s.failed.Load(),
+		},
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"goroutines":     runtime.NumGoroutine(),
+	})
+	fmt.Fprintf(w, "%q: %s}", "crserve", own)
+}
+
+func (s *server) fail(w http.ResponseWriter, err error) {
+	s.failed.Add(1)
+	writeError(w, api.FromError(err))
+}
+
+// decode reads the JSON request body strictly: the size cap keeps one
+// request from buffering unbounded memory, and unknown fields are typos
+// until a future wire version says otherwise.
+func (s *server) decode(w http.ResponseWriter, r *http.Request, into any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return &api.Error{Code: api.CodeInvalidRequest, Message: "decoding request body: " + err.Error()}
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, payload any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(payload)
+}
+
+func writeError(w http.ResponseWriter, e *api.Error) {
+	writeJSON(w, e.Code.HTTPStatus(), e)
+}

@@ -1,0 +1,444 @@
+package httpserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/api"
+)
+
+func testSpec(name string) *repro.Spec {
+	return &repro.Spec{
+		Name:       name,
+		Satellites: []string{"R", "G"},
+		CRUs: []repro.SpecCRU{
+			{Name: "root", HostTime: 3, SatTime: 9},
+			{Name: "left", Parent: "root", HostTime: 2, SatTime: 6, Comm: 0.5},
+			{Name: "right", Parent: "root", HostTime: 1, SatTime: 3, Comm: 0.25},
+		},
+		Sensors: []repro.SpecSensor{
+			{Name: "sL", Parent: "left", Satellite: "R", Comm: 4},
+			{Name: "sR", Parent: "right", Satellite: "G", Comm: 2},
+		},
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *repro.Service) {
+	t.Helper()
+	if cfg.Service == nil {
+		cfg.Service = repro.NewService(nil, 128)
+	}
+	srv := httptest.NewServer(New(cfg))
+	t.Cleanup(srv.Close)
+	return srv, cfg.Service
+}
+
+func post(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func TestSolveEndpoint(t *testing.T) {
+	srv, svc := newTestServer(t, Config{})
+
+	req := api.SolveRequest{Spec: testSpec("s")}
+	resp, body := post(t, srv.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr api.SolveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	if sr.APIVersion != api.Version || sr.Algorithm != string(repro.AdaptedSSB) || !sr.Exact {
+		t.Fatalf("response %+v", sr)
+	}
+	if sr.Cached {
+		t.Fatal("first request reported cached")
+	}
+	if sr.Fingerprint == "" || sr.Assignment["root"] != "host" {
+		t.Fatalf("response %+v", sr)
+	}
+
+	// The identical request again is a cache hit with the same answer.
+	resp2, body2 := post(t, srv.URL+"/v1/solve", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d", resp2.StatusCode)
+	}
+	var sr2 api.SolveResponse
+	if err := json.Unmarshal(body2, &sr2); err != nil {
+		t.Fatal(err)
+	}
+	if !sr2.Cached {
+		t.Fatal("repeat request not served from cache")
+	}
+	if sr2.Delay != sr.Delay || sr2.Fingerprint != sr.Fingerprint {
+		t.Fatalf("cached answer diverged: %+v vs %+v", sr2, sr)
+	}
+	if st := svc.Stats(); st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats %+v, want 1 miss + 1 hit", st)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+
+	check := func(body any, wantStatus int, wantCode api.ErrorCode) {
+		t.Helper()
+		resp, raw := post(t, srv.URL+"/v1/solve", body)
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("status %d, want %d: %s", resp.StatusCode, wantStatus, raw)
+		}
+		var e api.Error
+		if err := json.Unmarshal(raw, &e); err != nil || e.Code != wantCode {
+			t.Fatalf("error body %s, want code %s", raw, wantCode)
+		}
+	}
+
+	check(api.SolveRequest{}, http.StatusBadRequest, api.CodeInvalidRequest)
+	check(api.SolveRequest{Spec: testSpec("x"), Algorithm: "no-such"},
+		http.StatusBadRequest, api.CodeUnknownAlgorithm)
+	check(map[string]any{"spec": testSpec("y"), "algorithmm": "typo"},
+		http.StatusBadRequest, api.CodeInvalidRequest)
+
+	// Malformed spec: sensor on an undeclared satellite.
+	bad := testSpec("z")
+	bad.Sensors[0].Satellite = "nope"
+	check(api.SolveRequest{Spec: bad}, http.StatusBadRequest, api.CodeInvalidRequest)
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	srv, svc := newTestServer(t, Config{})
+
+	good := testSpec("a")
+	scaled := testSpec("b")
+	scaled.CRUs[1].HostTime = 7 // a genuinely different instance
+	bad := testSpec("c")
+	bad.Sensors[0].Satellite = "nope"
+
+	req := api.BatchRequest{Items: []api.SolveRequest{
+		{Spec: good},
+		{Spec: bad},
+		{Spec: scaled},
+		{Spec: good}, // duplicate of item 0: dedup inside the batch
+	}}
+	resp, body := post(t, srv.URL+"/v1/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var br api.BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Items) != 4 {
+		t.Fatalf("%d items, want 4", len(br.Items))
+	}
+	for _, i := range []int{0, 2, 3} {
+		if br.Items[i].Error != nil {
+			t.Fatalf("item %d failed: %+v", i, br.Items[i].Error)
+		}
+	}
+	if br.Items[1].Error == nil || br.Items[1].Error.Code != api.CodeInvalidRequest {
+		t.Fatalf("bad item survived: %+v", br.Items[1])
+	}
+	if br.Items[0].Response.Fingerprint != br.Items[3].Response.Fingerprint {
+		t.Fatal("duplicate items got different fingerprints")
+	}
+	if br.Items[0].Response.Fingerprint == br.Items[2].Response.Fingerprint {
+		t.Fatal("distinct instances share a fingerprint")
+	}
+	// The duplicated instance must have been solved once: 2 unique
+	// solves (misses) for 3 solvable items.
+	if st := svc.Stats(); st.Misses != 2 || st.Hits+st.Shared != 1 {
+		t.Fatalf("stats %+v, want 2 misses and 1 hit/shared", st)
+	}
+
+	// Oversized batches are rejected up front.
+	small, _ := newTestServer(t, Config{MaxBatchItems: 1})
+	resp2, raw := post(t, small.URL+"/v1/batch", req)
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d body %s", resp2.StatusCode, raw)
+	}
+}
+
+// TestConcurrentIdenticalRequests is the serving-layer dedup guarantee:
+// N concurrent identical requests produce exactly one underlying solve —
+// whichever way they interleave, every request beyond the first is a
+// cache hit or joins the in-flight solve.
+func TestConcurrentIdenticalRequests(t *testing.T) {
+	srv, svc := newTestServer(t, Config{})
+	const n = 8
+
+	req := api.SolveRequest{Spec: testSpec("dup")}
+	var wg sync.WaitGroup
+	delays := make([]float64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := post(t, srv.URL+"/v1/solve", req)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			var sr api.SolveResponse
+			if err := json.Unmarshal(body, &sr); err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			delays[i] = sr.Delay
+		}(i)
+	}
+	wg.Wait()
+
+	st := svc.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("%d identical concurrent requests ran %d solves, want 1 (stats %+v)", n, st.Misses, st)
+	}
+	if st.Hits+st.Shared != n-1 {
+		t.Fatalf("hits(%d)+shared(%d) != %d (stats %+v)", st.Hits, st.Shared, n-1, st)
+	}
+	for i := 1; i < n; i++ {
+		if delays[i] != delays[0] {
+			t.Fatalf("request %d got delay %v, request 0 got %v", i, delays[i], delays[0])
+		}
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+
+	req := api.SimulateRequest{
+		SolveRequest: api.SolveRequest{Spec: testSpec("sim")},
+		Mode:         "overlapped",
+		Frames:       4,
+		Interval:     1,
+	}
+	resp, body := post(t, srv.URL+"/v1/simulate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr api.SimulateResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Frames != 4 || sr.Makespan <= 0 || sr.Throughput <= 0 {
+		t.Fatalf("simulate response %+v", sr)
+	}
+	if sr.Delay <= 0 {
+		t.Fatalf("missing analytic delay: %+v", sr)
+	}
+
+	// Relying on the default mode still reports the canonical name.
+	_, body = post(t, srv.URL+"/v1/simulate",
+		api.SimulateRequest{SolveRequest: api.SolveRequest{Spec: testSpec("sim-default")}})
+	var def api.SimulateResponse
+	if err := json.Unmarshal(body, &def); err != nil {
+		t.Fatal(err)
+	}
+	if def.Mode != "paper-barrier" {
+		t.Fatalf("default mode echoed as %q, want paper-barrier", def.Mode)
+	}
+
+	req.Mode = "warp"
+	if resp, _ := post(t, srv.URL+"/v1/simulate", req); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown mode: status %d", resp.StatusCode)
+	}
+}
+
+func TestAlgorithmsHealthzVars(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+
+	resp, err := http.Get(srv.URL + "/v1/algorithms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ar api.AlgorithmsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(ar.Algorithms) == 0 {
+		t.Fatal("no algorithms listed")
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(buf.String()) != "ok" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, buf.String())
+	}
+
+	// Warm the cache so the vars show non-zero counters, then check the
+	// document is valid JSON carrying both expvar and crserve sections.
+	post(t, srv.URL+"/v1/solve", api.SolveRequest{Spec: testSpec("v")})
+	resp, err = http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v", err)
+	}
+	resp.Body.Close()
+	if _, ok := vars["memstats"]; !ok {
+		t.Fatal("expvar memstats missing")
+	}
+	var own struct {
+		Cache    repro.CacheStats `json:"cache"`
+		Requests map[string]int64 `json:"requests"`
+	}
+	if err := json.Unmarshal(vars["crserve"], &own); err != nil {
+		t.Fatalf("crserve section: %v", err)
+	}
+	if own.Cache.Misses < 1 || own.Requests["solve"] < 1 {
+		t.Fatalf("counters not wired: %+v", own)
+	}
+}
+
+func TestConcurrencyLimiter(t *testing.T) {
+	// A solver seam is not reachable from here, so hold the only slot
+	// with a request parked on the in-flight gate: run against a Service
+	// with singleflight and a slow first solve. Simpler and fully
+	// deterministic: MaxInflight=1 plus a handler-level probe — issue a
+	// request from inside another request's window using a pre-acquired
+	// slot is racy; instead verify the limiter's mechanics directly.
+	cfg := Config{Service: repro.NewService(nil, 8), MaxInflight: 1}
+	s := &server{cfg: cfg, slots: make(chan struct{}, cfg.MaxInflight)}
+
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	slow := s.limited(func(w http.ResponseWriter, r *http.Request) {
+		close(blocked)
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+
+	go func() {
+		rec := httptest.NewRecorder()
+		slow(rec, httptest.NewRequest("POST", "/v1/solve", nil))
+	}()
+	<-blocked // the single slot is now held
+
+	rec := httptest.NewRecorder()
+	s.limited(func(http.ResponseWriter, *http.Request) {
+		t.Error("second request ran despite a full limiter")
+	})(rec, httptest.NewRequest("POST", "/v1/solve", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", rec.Code)
+	}
+	var e api.Error
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Code != api.CodeOverloaded {
+		t.Fatalf("body %s", rec.Body.String())
+	}
+	close(release)
+
+	// Once the slot frees, requests flow again.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		rec := httptest.NewRecorder()
+		ran := false
+		s.limited(func(http.ResponseWriter, *http.Request) { ran = true })(
+			rec, httptest.NewRequest("POST", "/v1/solve", nil))
+		if ran {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("limiter never released its slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s.rejected.Load() < 1 {
+		t.Fatalf("rejected counter %d, want >= 1", s.rejected.Load())
+	}
+}
+
+func TestBodySizeLimit(t *testing.T) {
+	srv, _ := newTestServer(t, Config{MaxBodyBytes: 256})
+	resp, body := post(t, srv.URL+"/v1/solve", api.SolveRequest{Spec: testSpec("too-big-for-256-bytes")})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized body: status %d: %s", resp.StatusCode, body)
+	}
+	var e api.Error
+	if err := json.Unmarshal(body, &e); err != nil || e.Code != api.CodeInvalidRequest {
+		t.Fatalf("oversized body error: %s", body)
+	}
+	// Within the limit everything still works.
+	big, _ := newTestServer(t, Config{MaxBodyBytes: 1 << 20})
+	if resp, body := post(t, big.URL+"/v1/solve", api.SolveRequest{Spec: testSpec("fits")}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-limit body: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestRequestTimeoutCeiling(t *testing.T) {
+	// A 1ns server ceiling cancels every solve: the response must be the
+	// structured canceled error with HTTP 504.
+	srv, _ := newTestServer(t, Config{Service: repro.NewService(nil, 0), RequestTimeout: time.Nanosecond})
+	resp, body := post(t, srv.URL+"/v1/solve", api.SolveRequest{Spec: testSpec("t")})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var e api.Error
+	if err := json.Unmarshal(body, &e); err != nil || e.Code != api.CodeCanceled {
+		t.Fatalf("body %s", body)
+	}
+	if e.Details["cause"] != "deadline_exceeded" {
+		t.Fatalf("details %v", e.Details)
+	}
+}
+
+func TestBatchItemCount(t *testing.T) {
+	// Sanity: a large batch of distinct instances completes and stays in
+	// input order (names embedded in fingerprint-distinct profiles).
+	srv, _ := newTestServer(t, Config{BatchParallelism: 4})
+	var req api.BatchRequest
+	const n = 12
+	for i := 0; i < n; i++ {
+		s := testSpec(fmt.Sprintf("n%d", i))
+		s.CRUs[0].HostTime = 3 + float64(i)
+		req.Items = append(req.Items, api.SolveRequest{Spec: s})
+	}
+	_, body := post(t, srv.URL+"/v1/batch", req)
+	var br api.BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Items) != n {
+		t.Fatalf("%d items, want %d", len(br.Items), n)
+	}
+	seen := map[string]bool{}
+	for i, item := range br.Items {
+		if item.Error != nil {
+			t.Fatalf("item %d: %+v", i, item.Error)
+		}
+		if seen[item.Response.Fingerprint] {
+			t.Fatalf("item %d repeated a fingerprint", i)
+		}
+		seen[item.Response.Fingerprint] = true
+	}
+}

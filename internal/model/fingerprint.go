@@ -1,0 +1,96 @@
+package model
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// fingerprintVersion prefixes every fingerprint so the hash scheme can
+// evolve without silently colliding with values minted by older builds
+// (cached results keyed by an old scheme simply miss).
+const fingerprintVersion = "cr1"
+
+// Fingerprint returns a canonical, order-stable content hash of the
+// problem instance: two structurally identical trees — same shape in the
+// same planar embedding, same execution profiles, same communication
+// costs, same sensor-to-satellite partition — share a fingerprint even
+// when their node and satellite names differ or they were built in a
+// different construction order. It is the cache identity of a tree: the
+// serving layer keys solve results by Fingerprint plus the request
+// parameters (algorithm, objective weights, seed, budget).
+//
+// The hash covers everything the solvers read and nothing they ignore:
+//   - the tree shape via each node's parent, encoded in pre-order (the
+//     planar embedding is semantic: it defines the faces of the
+//     assignment graph, so sibling order matters and is preserved);
+//   - each node's kind, h_i, s_i and c_{i,parent} as exact float bits;
+//   - the satellite partition, with satellites renumbered by first
+//     appearance in pre-order so satellite identity is structural, not
+//     nominal.
+//
+// Names and the incidental NodeID/SatelliteID numbering are excluded.
+//
+// The hash is memoised on the (immutable) tree, so serving paths that
+// fingerprint the same tree repeatedly — cache keying plus wire-response
+// building — pay for one SHA-256 pass. refreshCaches invalidates the
+// memo alongside every other derived index.
+func Fingerprint(t *Tree) string {
+	if p := t.fp.Load(); p != nil {
+		return *p
+	}
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	writeFloat := func(v float64) {
+		// Exact bit pattern: fingerprints never round. +0/−0 collapse so
+		// the two representations of "no cost" agree.
+		if v == 0 {
+			v = 0
+		}
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+
+	pre := t.Preorder()
+	writeInt(len(pre))
+	writeInt(len(t.satellites))
+
+	// Pre-order position of every node, so parents can be referenced
+	// canonically regardless of how NodeIDs were handed out.
+	pos := make([]int, t.Len())
+	for i, id := range pre {
+		pos[id] = i
+	}
+	// Satellites renumbered by first appearance in pre-order.
+	satRank := make(map[SatelliteID]int, len(t.satellites))
+
+	for _, id := range pre {
+		n := t.Node(id)
+		writeInt(int(n.Kind))
+		if n.Parent == None {
+			writeInt(-1)
+		} else {
+			writeInt(pos[n.Parent])
+		}
+		writeFloat(n.HostTime)
+		writeFloat(n.SatTime)
+		writeFloat(n.UpComm)
+		if n.Kind == SensorKind {
+			rank, ok := satRank[n.Satellite]
+			if !ok {
+				rank = len(satRank)
+				satRank[n.Satellite] = rank
+			}
+			writeInt(rank)
+		}
+	}
+	sum := h.Sum(nil)
+	fp := fingerprintVersion + "-" + hex.EncodeToString(sum[:16])
+	t.fp.Store(&fp)
+	return fp
+}

@@ -1,0 +1,116 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperish builds a small two-satellite tree; rename lets the test mint a
+// structurally identical twin under different node and satellite names.
+func paperish(t *testing.T, rename func(string) string) *Tree {
+	t.Helper()
+	if rename == nil {
+		rename = func(s string) string { return s }
+	}
+	b := NewBuilder()
+	r := b.Satellite(rename("R"))
+	g := b.Satellite(rename("G"))
+	root := b.Root(rename("root"), 3, 9)
+	l := b.Child(root, rename("left"), 2, 6, 0.5)
+	rr := b.Child(root, rename("right"), 1, 3, 0.25)
+	b.Sensor(l, rename("sL"), r, 4)
+	b.Sensor(rr, rename("sR"), g, 2)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return tree
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a := paperish(t, nil)
+	if got, again := Fingerprint(a), Fingerprint(a); got != again {
+		t.Fatalf("fingerprint not deterministic: %q vs %q", got, again)
+	}
+	if fp := Fingerprint(a); !strings.HasPrefix(fp, fingerprintVersion+"-") {
+		t.Fatalf("fingerprint %q lacks version prefix", fp)
+	}
+}
+
+func TestFingerprintIgnoresNames(t *testing.T) {
+	a := paperish(t, nil)
+	b := paperish(t, func(s string) string { return "renamed-" + s })
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatalf("renaming nodes/satellites changed the fingerprint:\n%q\n%q",
+			Fingerprint(a), Fingerprint(b))
+	}
+}
+
+func TestFingerprintSeesProfiles(t *testing.T) {
+	a := paperish(t, nil)
+	base := Fingerprint(a)
+
+	host := a.Clone()
+	host.Node(host.Root()).HostTime += 0.125
+	if Fingerprint(host) == base {
+		t.Fatal("host-time change not reflected in fingerprint")
+	}
+
+	comm := a.Clone()
+	id, _ := comm.NodeByName("sL")
+	comm.Node(id).UpComm *= 2
+	if Fingerprint(comm) == base {
+		t.Fatal("comm-cost change not reflected in fingerprint")
+	}
+}
+
+func TestFingerprintSeesStructure(t *testing.T) {
+	a := paperish(t, nil)
+
+	// Same profiles, but both sensors on one satellite: a different
+	// colour partition, hence a different assignment problem.
+	b := NewBuilder()
+	r := b.Satellite("R")
+	b.Satellite("G")
+	root := b.Root("root", 3, 9)
+	l := b.Child(root, "left", 2, 6, 0.5)
+	rr := b.Child(root, "right", 1, 3, 0.25)
+	b.Sensor(l, "sL", r, 4)
+	b.Sensor(rr, "sR", r, 2)
+	mono, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if Fingerprint(a) == Fingerprint(mono) {
+		t.Fatal("satellite partition change not reflected in fingerprint")
+	}
+
+	// Swapped sibling order is a different planar embedding.
+	c := NewBuilder()
+	cr := c.Satellite("R")
+	cg := c.Satellite("G")
+	croot := c.Root("root", 3, 9)
+	crr := c.Child(croot, "right", 1, 3, 0.25)
+	cl := c.Child(croot, "left", 2, 6, 0.5)
+	c.Sensor(crr, "sR", cg, 2)
+	c.Sensor(cl, "sL", cr, 4)
+	swapped, err := c.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if Fingerprint(a) == Fingerprint(swapped) {
+		t.Fatal("sibling order change not reflected in fingerprint")
+	}
+}
+
+func TestFingerprintSpecRoundTrip(t *testing.T) {
+	a := paperish(t, nil)
+	back, err := FromSpec(ToSpec(a, "twin"))
+	if err != nil {
+		t.Fatalf("FromSpec: %v", err)
+	}
+	if Fingerprint(a) != Fingerprint(back) {
+		t.Fatalf("ToSpec→FromSpec changed the fingerprint:\n%q\n%q",
+			Fingerprint(a), Fingerprint(back))
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // NodeID identifies a node (processing CRU or sensor) inside one Tree.
@@ -113,6 +114,8 @@ type Tree struct {
 	depth     []int           // per node: root has depth 0
 	subSat    []float64       // per node: Σ SatTime over its subtree
 	subSats   [][]SatelliteID // per node: sorted distinct satellites under it
+
+	fp atomic.Pointer[string] // memoised Fingerprint; cleared by refreshCaches
 }
 
 // Len returns the number of nodes (processing CRUs plus sensors).
@@ -310,6 +313,7 @@ func (t *Tree) Render() string {
 // refreshCaches recomputes every derived index. It assumes the structural
 // invariants hold (call Validate first when in doubt).
 func (t *Tree) refreshCaches() {
+	t.fp.Store(nil)
 	n := len(t.nodes)
 	t.preorder = make([]NodeID, 0, n)
 	t.postorder = make([]NodeID, 0, n)

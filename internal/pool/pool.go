@@ -1,0 +1,53 @@
+// Package pool provides the one bounded worker pool every batch path
+// shares: Solver.SolveBatch, Service.SolveBatch and the HTTP batch
+// handler all dispatch per-item work through Run, so the pool semantics
+// (worker clamping, cancellation of undispatched items) live in exactly
+// one place.
+package pool
+
+import (
+	"context"
+	"sync"
+)
+
+// Run calls fn(i) for i in [0, n) on at most workers goroutines and
+// returns when every dispatched call has finished. Cancelling ctx stops
+// the feeder: items not yet handed to a worker are never dispatched
+// (callers detect them by their untouched result slots and mark them
+// cancelled), while in-flight calls run to completion under their own
+// handling of ctx. Non-positive workers means one.
+func Run(ctx context.Context, n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+
+	jobs := make(chan int)
+	go func() {
+		defer close(jobs)
+		for i := 0; i < n; i++ {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,64 @@
+package pool
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunVisitsEveryIndexOnce(t *testing.T) {
+	const n = 100
+	var counts [n]atomic.Int64
+	Run(context.Background(), n, 7, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+	// Degenerate shapes are no-ops or single-worker runs, never hangs.
+	Run(context.Background(), 0, 4, func(int) { t.Fatal("ran on n=0") })
+	ran := 0
+	Run(context.Background(), 3, 0, func(int) { ran++ }) // workers<=0 -> 1, serial
+	if ran != 3 {
+		t.Fatalf("workers=0 ran %d of 3", ran)
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	Run(context.Background(), 50, workers, func(int) {
+		cur := inFlight.Add(1)
+		mu.Lock()
+		if cur > peak.Load() {
+			peak.Store(cur)
+		}
+		mu.Unlock()
+		inFlight.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestRunStopsDispatchingOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var dispatched atomic.Int64
+	started := make(chan struct{}, 1)
+	Run(ctx, 1000, 1, func(i int) {
+		dispatched.Add(1)
+		select {
+		case started <- struct{}{}:
+			cancel() // cancel while the first item is in flight
+		default:
+		}
+	})
+	// The first item ran; the feeder stopped promptly afterwards. The
+	// single worker may already have been handed one more item that was
+	// queued before cancellation won the select.
+	if d := dispatched.Load(); d < 1 || d > 2 {
+		t.Fatalf("%d items dispatched after immediate cancel, want 1-2", d)
+	}
+}

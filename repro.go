@@ -52,6 +52,20 @@
 // support). Use Simulate to replay an assignment on the discrete-event
 // testbed, and the cmd/ tools (crassign, crsim, crgen, crbench) for
 // file-driven workflows.
+//
+// # Serving
+//
+// Service wraps a Solver for high-rate serving: solves are keyed by the
+// canonical instance identity Fingerprint and backed by a sharded LRU of
+// Outcomes with singleflight deduplication, so concurrent identical
+// requests run one solve and repeats are cache hits:
+//
+//	svc := repro.NewService(solver, 4096)
+//	out, status, err := svc.Solve(ctx, tree)   // status: miss, hit or shared
+//
+// Package api defines the versioned wire DTOs (SolveRequest,
+// SolveResponse, structured error codes) and cmd/crserve exposes the
+// Service over HTTP.
 package repro
 
 import (
@@ -82,6 +96,10 @@ type (
 	Assignment = model.Assignment
 	// Spec is the JSON interchange form of a problem instance.
 	Spec = model.Spec
+	// SpecCRU is one processing-CRU row of a Spec.
+	SpecCRU = model.SpecCRU
+	// SpecSensor is one sensor row of a Spec.
+	SpecSensor = model.SpecSensor
 	// Breakdown itemises an assignment's delay.
 	Breakdown = eval.Breakdown
 	// Algorithm names a registered solver.
@@ -171,6 +189,12 @@ func WriteSpec(w io.Writer, t *Tree, name string) error { return model.WriteSpec
 
 // DOT renders the tree in Graphviz DOT syntax.
 func DOT(t *Tree, title string) string { return model.DOT(t, title) }
+
+// Fingerprint returns the canonical, order-stable content hash of the
+// problem instance: structurally identical trees (same shape, profiles,
+// costs and satellite partition, regardless of names) share it. It is the
+// instance identity the Service caches by.
+func Fingerprint(t *Tree) string { return model.Fingerprint(t) }
 
 // NewAssignment returns the everything-on-host assignment for t.
 func NewAssignment(t *Tree) *Assignment { return model.NewAssignment(t) }

@@ -1,0 +1,257 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dwg"
+	"repro/internal/model"
+	"repro/internal/pool"
+)
+
+// CacheStatus classifies how a Service call obtained its Outcome.
+type CacheStatus = cache.Result
+
+// CacheStatus values.
+const (
+	// CacheMiss: the call ran the solver.
+	CacheMiss = cache.Miss
+	// CacheHit: the Outcome came from the result cache.
+	CacheHit = cache.Hit
+	// CacheShared: the call joined a concurrent identical solve.
+	CacheShared = cache.Shared
+)
+
+// CacheStats is a snapshot of the Service's cache counters.
+type CacheStats = cache.Stats
+
+// Service is the serving-layer wrapper around a Solver: it keys every
+// solve by the canonical instance identity — Fingerprint(tree) plus the
+// resolved algorithm, objective weights, seed and budget — and backs the
+// Solver with a sharded LRU of Outcomes and singleflight deduplication,
+// so N concurrent identical solves run once and repeats are cache hits.
+//
+// Outcomes returned on hits are shared between callers: treat them as
+// immutable (clone the Assignment before mutating it). Solve errors are
+// never cached; a failed instance is retried by the next request. The
+// per-call timeout (WithTimeout) shapes quality of service, not the
+// answer, so it is deliberately excluded from the cache key.
+//
+// A Service is safe for concurrent use; cmd/crserve exposes one over
+// HTTP with the wire DTOs of package api.
+type Service struct {
+	solver *Solver
+	cache  *cache.Cache
+
+	// solve runs one uncached solve; a test seam defaulting to solveOne.
+	solve func(ctx context.Context, t *Tree, cfg settings) (*Outcome, error)
+}
+
+// NewService wraps solver (nil means NewSolver()) with a result cache
+// holding up to cacheSize Outcomes. cacheSize <= 0 disables the store but
+// keeps singleflight deduplication of concurrent identical solves.
+func NewService(solver *Solver, cacheSize int) *Service {
+	if solver == nil {
+		solver = NewSolver()
+	}
+	return &Service{solver: solver, cache: cache.New(cacheSize), solve: solveOne}
+}
+
+// Solver returns the wrapped Solver.
+func (s *Service) Solver() *Solver { return s.solver }
+
+// Stats returns a snapshot of the cache's hit/miss/shared counters.
+func (s *Service) Stats() CacheStats { return s.cache.Stats() }
+
+// Solve is Solver.Solve behind the cache: identical instances (same
+// fingerprint and solve parameters) are answered from the store or, when
+// already being solved concurrently, from the shared in-flight result.
+func (s *Service) Solve(ctx context.Context, t *Tree, opts ...Option) (*Outcome, CacheStatus, error) {
+	return s.solveCached(ctx, t, s.solver.settingsFor(opts))
+}
+
+// cachedSolve is what the cache stores: the Outcome together with the
+// tree it was computed against. Fingerprints are canonical — trees with
+// different NodeID/SatelliteID numberings share one — so a hit served to
+// a different (structurally identical) tree must remap the assignment
+// onto the requester's numbering before it leaves the Service.
+type cachedSolve struct {
+	out  *Outcome
+	tree *Tree
+}
+
+func (s *Service) solveCached(ctx context.Context, t *Tree, cfg settings) (*Outcome, CacheStatus, error) {
+	if t == nil {
+		return nil, CacheMiss, fmt.Errorf("%w: nil tree", ErrInvalidTree)
+	}
+	key := requestKey(t, cfg)
+	// A shared flight can fail with the *leader's* cancellation — its
+	// tight deadline or disconnect, nothing to do with this caller. As
+	// long as our own context is alive, retry: the key is unclaimed
+	// again, so the retry becomes leader and solves under our
+	// constraints. Deterministic failures (unknown algorithm, budget
+	// exhaustion) are shared as-is — retrying those would amplify the
+	// very stampede singleflight absorbs — and the retry is bounded so
+	// fast-failing leaders cannot spin a waiter forever.
+	for attempt := 0; ; attempt++ {
+		v, how, err := s.cache.Do(ctx, key, func() (any, error) {
+			out, err := s.solve(ctx, t, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return &cachedSolve{out: out, tree: t}, nil
+		})
+		if err != nil {
+			if how == CacheShared && attempt < 2 && ctx.Err() == nil && canceledElsewhere(err) {
+				continue
+			}
+			return nil, how, err
+		}
+		cs := v.(*cachedSolve)
+		if cs.tree == t {
+			return cs.out, how, nil
+		}
+		out, err := remapOutcome(cs.out, cs.tree, t)
+		if err != nil {
+			return nil, how, err
+		}
+		return out, how, nil
+	}
+}
+
+// canceledElsewhere reports whether err is a cancellation that may belong
+// to another caller's context rather than to the request semantics.
+func canceledElsewhere(err error) bool {
+	return errors.Is(err, ErrCanceled) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// remapOutcome translates an Outcome computed on from onto the
+// structurally identical tree to: node i of from's pre-order corresponds
+// to node i of to's pre-order, and satellites correspond by first
+// appearance in that order — exactly the canonicalisation Fingerprint
+// hashes, so fingerprint equality guarantees the correspondence is
+// well-defined. The breakdown is re-evaluated on to, which also
+// re-validates the translated assignment.
+func remapOutcome(out *Outcome, from, to *Tree) (*Outcome, error) {
+	fromPre, toPre := from.Preorder(), to.Preorder()
+	if len(fromPre) != len(toPre) {
+		return nil, fmt.Errorf("repro: cached outcome for a %d-node tree served a %d-node tree (fingerprint collision?)",
+			len(fromPre), len(toPre))
+	}
+	// Satellite correspondence by pre-order first appearance.
+	fromRank := make(map[SatelliteID]int)
+	for _, id := range fromPre {
+		n := from.Node(id)
+		if n.Kind == model.SensorKind {
+			if _, ok := fromRank[n.Satellite]; !ok {
+				fromRank[n.Satellite] = len(fromRank)
+			}
+		}
+	}
+	toByRank := make([]SatelliteID, 0, len(fromRank))
+	seen := make(map[SatelliteID]bool)
+	for _, id := range toPre {
+		n := to.Node(id)
+		if n.Kind == model.SensorKind && !seen[n.Satellite] {
+			seen[n.Satellite] = true
+			toByRank = append(toByRank, n.Satellite)
+		}
+	}
+
+	asg := NewAssignment(to)
+	for i, fromID := range fromPre {
+		if sat, onSat := out.Assignment.At(fromID).Satellite(); onSat {
+			rank, ok := fromRank[sat]
+			if !ok || rank >= len(toByRank) {
+				return nil, fmt.Errorf("repro: cached assignment references unmapped satellite %d", sat)
+			}
+			asg.Set(toPre[i], OnSatellite(toByRank[rank]))
+		} else {
+			asg.Set(toPre[i], Host)
+		}
+	}
+	bd, err := Evaluate(to, asg)
+	if err != nil {
+		return nil, fmt.Errorf("repro: remapping cached outcome: %w", err)
+	}
+	return &Outcome{
+		Algorithm:  out.Algorithm,
+		Assignment: asg,
+		Breakdown:  bd,
+		Delay:      bd.Delay,
+		Exact:      out.Exact,
+		Elapsed:    out.Elapsed,
+		Work:       out.Work,
+		Stats:      out.Stats,
+	}, nil
+}
+
+// ServiceBatchResult is one SolveBatch item's result: exactly one of
+// Outcome and Err is non-nil, and Status records how the item was served.
+type ServiceBatchResult struct {
+	Outcome *Outcome
+	Status  CacheStatus
+	Err     error
+}
+
+// SolveBatch solves every tree on a bounded worker pool (WithParallelism
+// workers) with each item routed through the cache, so duplicated
+// instances inside one batch — and across concurrent batches — are
+// computed once. Results arrive in input order with failures isolated per
+// item; cancelling ctx stops the batch as in Solver.SolveBatch.
+func (s *Service) SolveBatch(ctx context.Context, trees []*Tree, opts ...Option) ([]ServiceBatchResult, error) {
+	cfg := s.solver.settingsFor(opts)
+	results := make([]ServiceBatchResult, len(trees))
+	pool.Run(ctx, len(trees), cfg.parallelism, func(i int) {
+		out, how, err := s.solveCached(ctx, trees[i], cfg)
+		results[i] = ServiceBatchResult{Outcome: out, Status: how, Err: err}
+	})
+
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if results[i].Outcome == nil && results[i].Err == nil {
+				results[i].Err = &core.CanceledError{Algorithm: cfg.algorithm, Cause: err}
+			}
+		}
+		return results, &core.CanceledError{Algorithm: cfg.algorithm, Cause: err}
+	}
+	return results, nil
+}
+
+// requestKey is the cache identity of one solve: the tree's structural
+// fingerprint plus every parameter that changes the answer. The timeout
+// is excluded (it bounds the work, not the result), parameters the
+// chosen algorithm declares it ignores are normalised away (a seed on
+// the deterministic adapted-ssb must not fragment the cache), and zero
+// weights collapse onto the default S+B objective so both spellings
+// share a key.
+func requestKey(t *Tree, cfg settings) string {
+	w, seed, budget := cfg.weights, cfg.seed, cfg.budget
+	if caps, ok := Capability(cfg.algorithm); ok {
+		if !caps.Weighted {
+			w = dwg.Weights{}
+		}
+		if !caps.Seeded {
+			seed = 0
+		}
+		if !caps.Budget {
+			budget = 0
+		}
+	}
+	if w == (dwg.Weights{}) {
+		w = dwg.Default
+	}
+	return model.Fingerprint(t) +
+		"|a=" + string(cfg.algorithm) +
+		"|ws=" + strconv.FormatUint(math.Float64bits(w.WS), 16) +
+		"|wb=" + strconv.FormatUint(math.Float64bits(w.WB), 16) +
+		"|s=" + strconv.FormatInt(seed, 10) +
+		"|b=" + strconv.Itoa(budget)
+}

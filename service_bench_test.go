@@ -1,0 +1,91 @@
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// BenchmarkServiceCacheHit measures the serving hot path when the
+// instance is already cached: fingerprint + key build + LRU lookup, no
+// solver work. Read next to BenchmarkServiceCacheMiss, the ratio is the
+// speedup the cache buys on repeated instances.
+func BenchmarkServiceCacheHit(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	tree := workload.Random(rng, workload.DefaultRandomSpec(63, 4))
+	svc := repro.NewService(nil, 1024)
+	ctx := context.Background()
+	if _, _, err := svc.Solve(ctx, tree); err != nil { // prewarm
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, status, err := svc.Solve(ctx, tree)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if status != repro.CacheHit {
+			b.Fatalf("iteration %d was a %v, want a hit", i, status)
+		}
+	}
+}
+
+// BenchmarkServiceCacheMiss measures the same path when every request
+// misses: the store is disabled (capacity 0), so each iteration pays
+// fingerprinting, key building, singleflight bookkeeping and the full
+// solve. The delta to BenchmarkServiceCacheHit is the hit-path speedup
+// tracked in BENCH output.
+func BenchmarkServiceCacheMiss(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	tree := workload.Random(rng, workload.DefaultRandomSpec(63, 4))
+	svc := repro.NewService(nil, 0)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, status, err := svc.Solve(ctx, tree)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if status != repro.CacheMiss {
+			b.Fatalf("iteration %d was a %v, want a miss", i, status)
+		}
+	}
+}
+
+// BenchmarkServiceBatchWarm exercises SolveBatch over a fleet that is
+// fully cached, the serving regime where many users re-pose identical
+// reasoning configurations.
+func BenchmarkServiceBatchWarm(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	trees := make([]*repro.Tree, 32)
+	for i := range trees {
+		trees[i] = workload.Random(rng, workload.DefaultRandomSpec(63, 4))
+	}
+	svc := repro.NewService(nil, 1024)
+	ctx := context.Background()
+	if _, err := svc.SolveBatch(ctx, trees); err != nil { // prewarm
+		b.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				results, err := svc.SolveBatch(ctx, trees, repro.WithParallelism(par))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j, r := range results {
+					if r.Err != nil {
+						b.Fatalf("item %d: %v", j, r.Err)
+					}
+				}
+			}
+		})
+	}
+}

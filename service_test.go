@@ -1,0 +1,462 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func serviceTree(t *testing.T, scale float64) *Tree {
+	t.Helper()
+	b := NewBuilder()
+	r := b.Satellite("R")
+	g := b.Satellite("G")
+	root := b.Root("root", 3*scale, 9*scale)
+	l := b.Child(root, "left", 2*scale, 6*scale, 0.5*scale)
+	rr := b.Child(root, "right", 1*scale, 3*scale, 0.25*scale)
+	b.Sensor(l, "sL", r, 4*scale)
+	b.Sensor(rr, "sR", g, 2*scale)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestServiceCachesByInstanceIdentity(t *testing.T) {
+	svc := NewService(nil, 64)
+	ctx := context.Background()
+	tree := serviceTree(t, 1)
+
+	out, status, err := svc.Solve(ctx, tree)
+	if err != nil || status != CacheMiss {
+		t.Fatalf("first solve: %v %v", status, err)
+	}
+	out2, status2, err := svc.Solve(ctx, tree)
+	if err != nil || status2 != CacheHit {
+		t.Fatalf("repeat solve: %v %v", status2, err)
+	}
+	if out2 != out {
+		t.Fatal("cache hit returned a different Outcome pointer")
+	}
+
+	// A structurally identical twin (different names, same content) hits
+	// the same entry: identity is the fingerprint, not the pointer.
+	twinBuilder := NewBuilder()
+	tr := twinBuilder.Satellite("red")
+	tg := twinBuilder.Satellite("green")
+	troot := twinBuilder.Root("fuse", 3, 9)
+	tl := twinBuilder.Child(troot, "a", 2, 6, 0.5)
+	trr := twinBuilder.Child(troot, "b", 1, 3, 0.25)
+	twinBuilder.Sensor(tl, "pa", tr, 4)
+	twinBuilder.Sensor(trr, "pb", tg, 2)
+	twin, err := twinBuilder.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, status, err := svc.Solve(ctx, twin); err != nil || status != CacheHit {
+		t.Fatalf("structural twin: %v %v, want a cache hit", status, err)
+	}
+
+	// Different parameters are different cache entries.
+	if _, status, err := svc.Solve(ctx, tree, WithAlgorithm(BruteForce)); err != nil || status != CacheMiss {
+		t.Fatalf("different algorithm: %v %v, want a miss", status, err)
+	}
+	if _, status, err := svc.Solve(ctx, tree, WithWeights(Lambda(0.3))); err != nil || status != CacheMiss {
+		t.Fatalf("different weights: %v %v, want a miss", status, err)
+	}
+	// The explicit default algorithm and weights share the default key.
+	if _, status, err := svc.Solve(ctx, tree, WithAlgorithm(AdaptedSSB), WithWeights(DefaultWeights)); err != nil || status != CacheHit {
+		t.Fatalf("explicit defaults: %v %v, want a hit", status, err)
+	}
+	// A different instance misses.
+	if _, status, err := svc.Solve(ctx, serviceTree(t, 2)); err != nil || status != CacheMiss {
+		t.Fatalf("different instance: %v %v, want a miss", status, err)
+	}
+
+	// Parameters the algorithm ignores are normalised out of the key: a
+	// seed on the deterministic default must not fragment the cache,
+	// while on a seeded heuristic it must.
+	if _, status, err := svc.Solve(ctx, tree, WithSeed(99)); err != nil || status != CacheHit {
+		t.Fatalf("seed on unseeded algorithm: %v %v, want a hit", status, err)
+	}
+	if _, status, err := svc.Solve(ctx, tree, WithAlgorithm(Annealing), WithSeed(1)); err != nil || status != CacheMiss {
+		t.Fatalf("annealing seed 1: %v %v, want a miss", status, err)
+	}
+	if _, status, err := svc.Solve(ctx, tree, WithAlgorithm(Annealing), WithSeed(2)); err != nil || status != CacheMiss {
+		t.Fatalf("annealing seed 2: %v %v, want a miss (seeds are semantic there)", status, err)
+	}
+}
+
+// TestServiceRemapsCachedOutcomes: fingerprints are canonical, so two
+// specs listing the same structure in different orders (and with
+// permuted satellite declarations) share a cache entry — but their
+// NodeID/SatelliteID numberings differ, so the served Outcome must be
+// remapped onto the requester's tree, never returned raw.
+func TestServiceRemapsCachedOutcomes(t *testing.T) {
+	crus := map[string]SpecCRU{
+		"root": {Name: "root", HostTime: 1, SatTime: 4},
+		"a":    {Name: "a", Parent: "root", HostTime: 5, SatTime: 1.2, Comm: 0.2},
+		"b":    {Name: "b", Parent: "root", HostTime: 5, SatTime: 1.1, Comm: 0.15},
+		"c":    {Name: "c", Parent: "a", HostTime: 5, SatTime: 1.0, Comm: 0.1},
+	}
+	sensors := []SpecSensor{
+		{Name: "s1", Parent: "c", Satellite: "R", Comm: 8},
+		{Name: "s2", Parent: "b", Satellite: "G", Comm: 7},
+	}
+	specA := &Spec{
+		Satellites: []string{"R", "G"},
+		CRUs:       []SpecCRU{crus["root"], crus["a"], crus["b"], crus["c"]},
+		Sensors:    sensors,
+	}
+	// Same structure: CRU listing order permuted (b and c swap NodeIDs)
+	// and the satellite declarations reversed (R and G swap
+	// SatelliteIDs).
+	specB := &Spec{
+		Satellites: []string{"G", "R"},
+		CRUs:       []SpecCRU{crus["root"], crus["a"], crus["c"], crus["b"]},
+		Sensors:    sensors,
+	}
+	treeA, err := FromSpec(specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeB, err := FromSpec(specB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(treeA) != Fingerprint(treeB) {
+		t.Fatal("permuted spec listings must share a fingerprint")
+	}
+
+	placement := func(tr *Tree, out *Outcome) map[string]string {
+		m := map[string]string{}
+		for _, id := range tr.Preorder() {
+			n := tr.Node(id)
+			if n.IsLeaf() {
+				continue
+			}
+			loc := "host"
+			if sat, onSat := out.Assignment.At(id).Satellite(); onSat {
+				loc = tr.SatelliteName(sat)
+			}
+			m[n.Name] = loc
+		}
+		return m
+	}
+
+	svc := NewService(nil, 64)
+	ctx := context.Background()
+	outA, status, err := svc.Solve(ctx, treeA)
+	if err != nil || status != CacheMiss {
+		t.Fatalf("solve A: %v %v", status, err)
+	}
+	outB, status, err := svc.Solve(ctx, treeB)
+	if err != nil {
+		t.Fatalf("solve B: %v", err)
+	}
+	if status != CacheHit {
+		t.Fatalf("solve B classified %v, want a hit", status)
+	}
+	if outB.Delay != outA.Delay {
+		t.Fatalf("remapped delay %v != %v", outB.Delay, outA.Delay)
+	}
+	// The remapped assignment must be valid *for B's numbering* and must
+	// agree, name by name, with solving B from scratch.
+	if _, err := Evaluate(treeB, outB.Assignment); err != nil {
+		t.Fatalf("remapped assignment invalid on B: %v", err)
+	}
+	fresh, err := NewSolver().Solve(ctx, treeB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := placement(treeB, fresh), placement(treeB, outB)
+	for name, loc := range want {
+		if got[name] != loc {
+			t.Fatalf("remapped placement of %q = %q, want %q (full: got %v want %v)",
+				name, got[name], loc, got, want)
+		}
+	}
+	// Sanity: the instance is non-trivial — something sits off-host.
+	offHost := false
+	for _, loc := range want {
+		offHost = offHost || loc != "host"
+	}
+	if !offHost {
+		t.Fatal("test instance degenerated to all-host; remap untested")
+	}
+}
+
+// TestServiceSharedDeterministicErrorNotRetried: waiters only retry
+// cancellation-flavoured shared failures; a deterministic error (budget
+// exhaustion) is shared as-is, or singleflight would amplify the load.
+func TestServiceSharedDeterministicErrorNotRetried(t *testing.T) {
+	svc := NewService(nil, 64)
+	tree := serviceTree(t, 1)
+	ctx := context.Background()
+
+	gate := make(chan struct{})
+	var calls atomic.Int64
+	svc.solve = func(ctx context.Context, t *Tree, cfg settings) (*Outcome, error) {
+		calls.Add(1)
+		<-gate
+		return nil, ErrBudgetExceeded
+	}
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := svc.Solve(ctx, tree)
+		leaderErr <- err
+	}()
+	for calls.Load() == 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	followerErr := make(chan error, 1)
+	go func() {
+		_, _, err := svc.Solve(ctx, tree)
+		followerErr <- err
+	}()
+	for svc.Stats().Shared < 1 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	close(gate)
+
+	if err := <-leaderErr; !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("leader: %v", err)
+	}
+	if err := <-followerErr; !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("follower: %v", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("deterministic failure ran the solver %d times, want 1 (no retry amplification)", n)
+	}
+}
+
+// TestServiceSharedFailureRetries: a waiter that inherits the leader's
+// failure (the leader's private timeout or disconnect) retries under its
+// own constraints instead of surfacing an error it never caused.
+func TestServiceSharedFailureRetries(t *testing.T) {
+	svc := NewService(nil, 64)
+	tree := serviceTree(t, 1)
+	ctx := context.Background()
+
+	gate := make(chan struct{})
+	var calls atomic.Int64
+	real := svc.solve
+	svc.solve = func(ctx context.Context, t *Tree, cfg settings) (*Outcome, error) {
+		if calls.Add(1) == 1 {
+			<-gate
+			// The leader's own deadline expired — a failure that says
+			// nothing about the instance.
+			return nil, &CanceledError{Algorithm: cfg.algorithm, Cause: context.DeadlineExceeded}
+		}
+		return real(ctx, t, cfg)
+	}
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := svc.Solve(ctx, tree)
+		leaderErr <- err
+	}()
+	for calls.Load() == 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+
+	followerDone := make(chan error, 1)
+	go func() {
+		out, _, err := svc.Solve(ctx, tree)
+		if err == nil && out == nil {
+			err = errors.New("nil outcome without error")
+		}
+		followerDone <- err
+	}()
+	for svc.Stats().Shared < 1 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	close(gate)
+
+	if err := <-leaderErr; err == nil {
+		t.Fatal("leader must see its own failure")
+	}
+	if err := <-followerDone; err != nil {
+		t.Fatalf("follower inherited the leader's failure instead of retrying: %v", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("solver ran %d times, want 2 (failed leader + retrying follower)", n)
+	}
+}
+
+// TestServiceSingleflight proves, deterministically, that N concurrent
+// identical solves run the solver once: the solve seam blocks the leader
+// on a gate until every other caller has parked on the flight.
+func TestServiceSingleflight(t *testing.T) {
+	svc := NewService(nil, 64)
+	tree := serviceTree(t, 1)
+	ctx := context.Background()
+	const followers = 7
+
+	gate := make(chan struct{})
+	var solves atomic.Int64
+	real := svc.solve
+	svc.solve = func(ctx context.Context, t *Tree, cfg settings) (*Outcome, error) {
+		solves.Add(1)
+		<-gate
+		return real(ctx, t, cfg)
+	}
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := svc.Solve(ctx, tree)
+		leaderErr <- err
+	}()
+	// The leader is inside the flight once it has counted its solve.
+	for solves.Load() == 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+
+	var wg sync.WaitGroup
+	statuses := make([]CacheStatus, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, status, err := svc.Solve(ctx, tree)
+			if err != nil {
+				t.Errorf("follower %d: %v", i, err)
+			}
+			statuses[i] = status
+		}(i)
+	}
+	// Wait until every follower has joined the in-flight solve, then
+	// open the gate: nothing after this point can start a second solve.
+	for svc.Stats().Shared < followers {
+		time.Sleep(50 * time.Microsecond)
+	}
+	close(gate)
+	wg.Wait()
+	if err := <-leaderErr; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+
+	if n := solves.Load(); n != 1 {
+		t.Fatalf("%d concurrent identical solves ran the solver %d times, want 1", followers+1, n)
+	}
+	for i, status := range statuses {
+		if status != CacheShared {
+			t.Fatalf("follower %d classified %v, want shared", i, status)
+		}
+	}
+	// And the next request is a plain cache hit.
+	if _, status, err := svc.Solve(ctx, tree); err != nil || status != CacheHit {
+		t.Fatalf("post-flight solve: %v %v", status, err)
+	}
+}
+
+func TestServiceBatchDeduplicates(t *testing.T) {
+	svc := NewService(nil, 64)
+	var solves atomic.Int64
+	real := svc.solve
+	svc.solve = func(ctx context.Context, t *Tree, cfg settings) (*Outcome, error) {
+		solves.Add(1)
+		return real(ctx, t, cfg)
+	}
+
+	a, b := serviceTree(t, 1), serviceTree(t, 3)
+	trees := []*Tree{a, b, a, a, b, a} // 2 unique instances, 6 items
+	results, err := svc.SolveBatch(context.Background(), trees, WithParallelism(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(trees) {
+		t.Fatalf("%d results for %d trees", len(results), len(trees))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+	}
+	if n := solves.Load(); n != 2 {
+		t.Fatalf("batch with 2 unique instances ran %d solves", n)
+	}
+	// Input order is preserved: identical inputs agree, distinct differ.
+	if results[0].Outcome.Delay != results[2].Outcome.Delay {
+		t.Fatal("duplicate items disagree")
+	}
+	if results[0].Outcome.Delay == results[1].Outcome.Delay {
+		t.Fatal("distinct items agree")
+	}
+}
+
+func TestServiceErrorsNotCached(t *testing.T) {
+	svc := NewService(nil, 64)
+	ctx := context.Background()
+	tree := serviceTree(t, 1)
+
+	boom := errors.New("transient")
+	real := svc.solve
+	var calls atomic.Int64
+	svc.solve = func(ctx context.Context, t *Tree, cfg settings) (*Outcome, error) {
+		if calls.Add(1) == 1 {
+			return nil, boom
+		}
+		return real(ctx, t, cfg)
+	}
+
+	if _, _, err := svc.Solve(ctx, tree); !errors.Is(err, boom) {
+		t.Fatalf("first solve: %v", err)
+	}
+	out, status, err := svc.Solve(ctx, tree)
+	if err != nil || status != CacheMiss || out == nil {
+		t.Fatalf("retry after error: %v %v %v", out, status, err)
+	}
+
+	// Nil trees fail fast without touching the cache.
+	if _, _, err := svc.Solve(ctx, nil); !errors.Is(err, ErrInvalidTree) {
+		t.Fatalf("nil tree: %v", err)
+	}
+}
+
+func TestServiceBatchCancellation(t *testing.T) {
+	svc := NewService(nil, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	trees := []*Tree{serviceTree(t, 1), serviceTree(t, 2)}
+	results, err := svc.SolveBatch(ctx, trees)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("batch error %v, want ErrCanceled", err)
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) || ce.Algorithm != AdaptedSSB {
+		t.Fatalf("batch error names %v, want the resolved default", err)
+	}
+	for i, r := range results {
+		if r.Err == nil {
+			t.Fatalf("item %d not marked canceled", i)
+		}
+	}
+}
+
+// TestSolverSettingsResolution pins the satellite fix: defaults resolve
+// once in settingsFor, so the cancellation path and the cache key both
+// see the real algorithm, and per-call options still override defaults.
+func TestSolverSettingsResolution(t *testing.T) {
+	s := NewSolver()
+	cfg := s.settingsFor(nil)
+	if cfg.algorithm != AdaptedSSB {
+		t.Fatalf("empty algorithm resolved to %q", cfg.algorithm)
+	}
+	if cfg.parallelism <= 0 {
+		t.Fatalf("parallelism not resolved: %d", cfg.parallelism)
+	}
+	cfg = s.settingsFor([]Option{WithAlgorithm(Genetic), WithParallelism(3)})
+	if cfg.algorithm != Genetic || cfg.parallelism != 3 {
+		t.Fatalf("options lost: %+v", cfg)
+	}
+	s2 := NewSolver(WithAlgorithm(BruteForce))
+	if cfg := s2.settingsFor(nil); cfg.algorithm != BruteForce {
+		t.Fatalf("constructor default lost: %q", cfg.algorithm)
+	}
+}

@@ -3,10 +3,10 @@ package repro
 import (
 	"context"
 	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/pool"
 )
 
 // Solver is the reusable solve service: a fixed set of default options
@@ -64,10 +64,20 @@ func NewSolver(opts ...Option) *Solver {
 	return s
 }
 
+// settingsFor merges the call options over the Solver's defaults and
+// resolves the fallbacks — empty algorithm means AdaptedSSB, non-positive
+// parallelism means runtime.NumCPU — so every downstream path (dispatch,
+// batch pool sizing, cache keying) sees the same canonical settings.
 func (s *Solver) settingsFor(opts []Option) settings {
 	cfg := s.defaults
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.algorithm == "" {
+		cfg.algorithm = AdaptedSSB
+	}
+	if cfg.parallelism <= 0 {
+		cfg.parallelism = runtime.NumCPU()
 	}
 	return cfg
 }
@@ -111,55 +121,21 @@ type BatchResult struct {
 func (s *Solver) SolveBatch(ctx context.Context, trees []*Tree, opts ...Option) ([]BatchResult, error) {
 	cfg := s.settingsFor(opts)
 	results := make([]BatchResult, len(trees))
-	if len(trees) == 0 {
-		return results, nil
-	}
-	workers := cfg.parallelism
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(trees) {
-		workers = len(trees)
-	}
-
-	jobs := make(chan int)
-	go func() {
-		defer close(jobs)
-		for i := range trees {
-			select {
-			case jobs <- i:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				out, err := solveOne(ctx, trees[i], cfg)
-				results[i] = BatchResult{Outcome: out, Err: err}
-			}
-		}()
-	}
-	wg.Wait()
+	pool.Run(ctx, len(trees), cfg.parallelism, func(i int) {
+		out, err := solveOne(ctx, trees[i], cfg)
+		results[i] = BatchResult{Outcome: out, Err: err}
+	})
 
 	if err := ctx.Err(); err != nil {
 		// Items the feeder never dispatched carry no result yet; mark them
-		// canceled so every entry is populated.
-		alg := cfg.algorithm
-		if alg == "" {
-			alg = AdaptedSSB
-		}
+		// canceled so every entry is populated. settingsFor already
+		// resolved cfg.algorithm, so the error names the real default.
 		for i := range results {
 			if results[i].Outcome == nil && results[i].Err == nil {
-				results[i].Err = &core.CanceledError{Algorithm: alg, Cause: err}
+				results[i].Err = &core.CanceledError{Algorithm: cfg.algorithm, Cause: err}
 			}
 		}
-		return results, &core.CanceledError{Algorithm: alg, Cause: err}
+		return results, &core.CanceledError{Algorithm: cfg.algorithm, Cause: err}
 	}
 	return results, nil
 }

@@ -1,0 +1,92 @@
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// TestSpecRoundTripPreservesIdentity is the interchange-format property
+// test: for random instances across tree sizes and satellite counts,
+// ToSpec → JSON → FromSpec yields a tree with the same fingerprint (the
+// wire form is a faithful instance identity) and the same exact solve
+// outcome (the wire form is a faithful problem statement).
+func placementByName(t *repro.Tree, out *repro.Outcome) map[string]string {
+	m := make(map[string]string)
+	for _, id := range t.Preorder() {
+		n := t.Node(id)
+		if n.IsLeaf() {
+			continue
+		}
+		loc := "host"
+		if sat, onSat := out.Assignment.At(id).Satellite(); onSat {
+			loc = t.SatelliteName(sat)
+		}
+		m[n.Name] = loc
+	}
+	return m
+}
+
+func mapsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSpecRoundTripPreservesIdentity(t *testing.T) {
+	solver := repro.NewSolver()
+	ctx := context.Background()
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		crus := 3 + rng.Intn(40)
+		sats := 1 + rng.Intn(5)
+		tree := workload.Random(rng, workload.DefaultRandomSpec(crus, sats))
+		name := fmt.Sprintf("trial-%d", trial)
+
+		var buf bytes.Buffer
+		if err := repro.WriteSpec(&buf, tree, name); err != nil {
+			t.Fatalf("%s: WriteSpec: %v", name, err)
+		}
+		back, err := repro.ReadSpec(&buf)
+		if err != nil {
+			t.Fatalf("%s (%d CRUs, %d sats): ReadSpec: %v", name, crus, sats, err)
+		}
+
+		if fp, fpBack := repro.Fingerprint(tree), repro.Fingerprint(back); fp != fpBack {
+			t.Errorf("%s (%d CRUs, %d sats): fingerprint changed across the wire:\n  %s\n  %s",
+				name, crus, sats, fp, fpBack)
+			continue
+		}
+
+		want, err := solver.Solve(ctx, tree)
+		if err != nil {
+			t.Fatalf("%s: solving original: %v", name, err)
+		}
+		got, err := solver.Solve(ctx, back)
+		if err != nil {
+			t.Fatalf("%s: solving round-tripped twin: %v", name, err)
+		}
+		if want.Delay != got.Delay {
+			t.Errorf("%s (%d CRUs, %d sats): delay %v != %v after round trip",
+				name, crus, sats, want.Delay, got.Delay)
+		}
+		// The deterministic solver on an identical instance must place
+		// identically. NodeIDs renumber across the wire (FromSpec lays
+		// out CRUs before sensors), so compare by node name.
+		if w, g := placementByName(tree, want), placementByName(back, got); !mapsEqual(w, g) {
+			t.Errorf("%s: assignment diverged after round trip:\n  %v\n  %v", name, w, g)
+		}
+	}
+}
