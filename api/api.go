@@ -269,12 +269,13 @@ type SimulateResponse struct {
 
 // AlgorithmInfo is the wire form of one registry entry.
 type AlgorithmInfo struct {
-	Name     string `json:"name"`
-	Exact    bool   `json:"exact"`
-	Budget   bool   `json:"budget"`
-	Seeded   bool   `json:"seeded"`
-	Weighted bool   `json:"weighted"`
-	Summary  string `json:"summary,omitempty"`
+	Name      string `json:"name"`
+	Exact     bool   `json:"exact"`
+	Budget    bool   `json:"budget"`
+	Seeded    bool   `json:"seeded"`
+	Weighted  bool   `json:"weighted"`
+	WarmStart bool   `json:"warm_start"`
+	Summary   string `json:"summary,omitempty"`
 }
 
 // AlgorithmsResponse lists the registered solvers, exact ones first.
@@ -290,7 +291,8 @@ func ListAlgorithms() *AlgorithmsResponse {
 		caps, _ := repro.Capability(name)
 		resp.Algorithms = append(resp.Algorithms, AlgorithmInfo{
 			Name: string(name), Exact: caps.Exact, Budget: caps.Budget,
-			Seeded: caps.Seeded, Weighted: caps.Weighted, Summary: caps.Summary,
+			Seeded: caps.Seeded, Weighted: caps.Weighted,
+			WarmStart: caps.WarmStart, Summary: caps.Summary,
 		})
 	}
 	return resp

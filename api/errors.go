@@ -31,6 +31,11 @@ const (
 	// CodeCanceled: the solve was stopped by deadline or cancellation
 	// (repro.ErrCanceled).
 	CodeCanceled ErrorCode = "canceled"
+	// CodeNotFound: the request addressed a session ID that does not
+	// exist, has expired, or was evicted — re-open to continue. (Unknown
+	// node or satellite names inside a mutation are CodeInvalidRequest:
+	// they fail the mutation batch, not the session lookup.)
+	CodeNotFound ErrorCode = "not_found"
 	// CodeOverloaded: the server's concurrency limiter rejected the
 	// request; retry with backoff.
 	CodeOverloaded ErrorCode = "overloaded"
@@ -45,6 +50,8 @@ func (c ErrorCode) HTTPStatus() int {
 		return http.StatusBadRequest
 	case CodeInvalidTree, CodeBudgetExceeded:
 		return http.StatusUnprocessableEntity
+	case CodeNotFound:
+		return http.StatusNotFound
 	case CodeCanceled:
 		return http.StatusGatewayTimeout
 	case CodeOverloaded:

@@ -1,0 +1,147 @@
+package api
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Mutation op names of the session wire API. Each op maps onto one
+// repro.Mutation type; Compile performs the translation.
+const (
+	OpWeightUpdate    = "weight-update"
+	OpAttachSubtree   = "attach"
+	OpDetachSubtree   = "detach"
+	OpSatelliteChange = "satellite-change"
+)
+
+// Mutation is the wire form of one tree edit. Op selects the kind; the
+// other fields are op-specific and addressed by name (names are the
+// stable node handle across revisions — numeric IDs are renumbered when
+// subtrees detach).
+type Mutation struct {
+	// Op: weight-update | attach | detach | satellite-change.
+	Op string `json:"op"`
+	// Node names the edited node (weight-update, detach) or the sensor
+	// (satellite-change).
+	Node string `json:"node,omitempty"`
+	// HostTime/SatTime/UpComm drift the named node's profile
+	// (weight-update); absent fields keep their current value.
+	HostTime *float64 `json:"host_time,omitempty"`
+	SatTime  *float64 `json:"sat_time,omitempty"`
+	UpComm   *float64 `json:"comm,omitempty"`
+	// Parent and Subtree describe an attach: the fragment (in Spec form;
+	// rows with an empty parent attach under Parent) grafts as Parent's
+	// new rightmost subtree.
+	Parent  string      `json:"parent,omitempty"`
+	Subtree *repro.Spec `json:"subtree,omitempty"`
+	// Satellite names the destination satellite (satellite-change);
+	// unknown names register a new satellite.
+	Satellite string `json:"satellite,omitempty"`
+}
+
+// Compile translates the wire mutation into its in-process form,
+// rejecting unknown ops and op/field mismatches as CodeInvalidRequest.
+func (m *Mutation) Compile() (repro.Mutation, error) {
+	bad := func(format string, args ...any) (repro.Mutation, error) {
+		return nil, &Error{Code: CodeInvalidRequest, Message: fmt.Sprintf(format, args...)}
+	}
+	switch m.Op {
+	case OpWeightUpdate:
+		if m.Node == "" {
+			return bad("weight-update: missing node")
+		}
+		if m.HostTime == nil && m.SatTime == nil && m.UpComm == nil {
+			return bad("weight-update on %q changes nothing", m.Node)
+		}
+		return repro.WeightUpdate{Node: m.Node, HostTime: m.HostTime, SatTime: m.SatTime, UpComm: m.UpComm}, nil
+	case OpAttachSubtree:
+		if m.Parent == "" || m.Subtree == nil {
+			return bad("attach: missing parent or subtree")
+		}
+		return repro.AttachSubtree{Parent: m.Parent, Subtree: m.Subtree}, nil
+	case OpDetachSubtree:
+		if m.Node == "" {
+			return bad("detach: missing node")
+		}
+		return repro.DetachSubtree{Node: m.Node}, nil
+	case OpSatelliteChange:
+		if m.Node == "" || m.Satellite == "" {
+			return bad("satellite-change: missing node or satellite")
+		}
+		return repro.SatelliteChange{Sensor: m.Node, Satellite: m.Satellite}, nil
+	case "":
+		return bad("mutation: missing op")
+	default:
+		return nil, &Error{
+			Code:    CodeInvalidRequest,
+			Message: fmt.Sprintf("unknown mutation op %q", m.Op),
+			Details: map[string]string{"known": OpWeightUpdate + ", " + OpAttachSubtree + ", " + OpDetachSubtree + ", " + OpSatelliteChange},
+		}
+	}
+}
+
+// CompileMutations translates a batch, failing on the first bad entry.
+func CompileMutations(wire []Mutation) ([]repro.Mutation, error) {
+	if len(wire) == 0 {
+		return nil, &Error{Code: CodeInvalidRequest, Message: "empty mutation list"}
+	}
+	out := make([]repro.Mutation, len(wire))
+	for i := range wire {
+		m, err := wire[i].Compile()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// OpenSessionRequest opens a revisioned session on one instance. The
+// embedded SolveRequest's spec is the initial tree and its parameters
+// become the session's solve defaults.
+type OpenSessionRequest struct {
+	SolveRequest
+}
+
+// SessionState is the wire snapshot of a session: its server-assigned ID,
+// how many mutation batches have been applied, and the current revision's
+// identity and size.
+type SessionState struct {
+	SessionID   string `json:"session_id"`
+	Revision    int    `json:"revision"`
+	Fingerprint string `json:"fingerprint"`
+	Nodes       int    `json:"nodes"`
+	Satellites  int    `json:"satellites"`
+}
+
+// SessionResponse reports a session's state, plus the solve result for
+// calls that resolved (mutate with resolve=true, and resolve itself).
+type SessionResponse struct {
+	APIVersion string         `json:"api_version"`
+	Session    SessionState   `json:"session"`
+	Response   *SolveResponse `json:"response,omitempty"`
+}
+
+// NewSessionState snapshots a live session into its wire form. Tree and
+// revision are read as one consistent pair, so a concurrent mutate can
+// never pair revision N with revision N-1's fingerprint.
+func NewSessionState(id string, sess *repro.Session) SessionState {
+	t, rev := sess.Snapshot()
+	return SessionState{
+		SessionID:   id,
+		Revision:    rev,
+		Fingerprint: repro.Fingerprint(t),
+		Nodes:       t.Len(),
+		Satellites:  len(t.Satellites()),
+	}
+}
+
+// MutateRequest advances a session by one revision. With Resolve set the
+// server also solves the new revision (warm, through the shared cache)
+// and the response carries the outcome — one round trip for the common
+// drift-then-ask loop.
+type MutateRequest struct {
+	Mutations []Mutation `json:"mutations"`
+	Resolve   bool       `json:"resolve,omitempty"`
+}

@@ -1,0 +1,59 @@
+package api
+
+import (
+	"errors"
+	"testing"
+
+	"repro"
+)
+
+func f(v float64) *float64 { return &v }
+
+func TestMutationCompile(t *testing.T) {
+	good := []Mutation{
+		{Op: OpWeightUpdate, Node: "a", HostTime: f(1)},
+		{Op: OpWeightUpdate, Node: "a", UpComm: f(0.5)},
+		{Op: OpAttachSubtree, Parent: "a", Subtree: &repro.Spec{CRUs: []repro.SpecCRU{{Name: "x", HostTime: 1}}}},
+		{Op: OpDetachSubtree, Node: "a"},
+		{Op: OpSatelliteChange, Node: "s", Satellite: "R"},
+	}
+	for i, m := range good {
+		if _, err := m.Compile(); err != nil {
+			t.Errorf("good case %d: %v", i, err)
+		}
+	}
+	bad := []Mutation{
+		{},                              // no op
+		{Op: "teleport", Node: "a"},     // unknown op
+		{Op: OpWeightUpdate},            // no node
+		{Op: OpWeightUpdate, Node: "a"}, // changes nothing
+		{Op: OpAttachSubtree, Parent: "a"},
+		{Op: OpAttachSubtree, Subtree: &repro.Spec{}},
+		{Op: OpDetachSubtree},
+		{Op: OpSatelliteChange, Node: "s"},
+		{Op: OpSatelliteChange, Satellite: "R"},
+	}
+	for i, m := range bad {
+		_, err := m.Compile()
+		if err == nil {
+			t.Errorf("bad case %d: expected error", i)
+			continue
+		}
+		var wire *Error
+		if !errors.As(err, &wire) || wire.Code != CodeInvalidRequest {
+			t.Errorf("bad case %d: error %v is not CodeInvalidRequest", i, err)
+		}
+	}
+	if _, err := CompileMutations(nil); err == nil {
+		t.Error("empty batch: expected error")
+	}
+	if ms, err := CompileMutations(good); err != nil || len(ms) != len(good) {
+		t.Errorf("batch: %v (%d mutations)", err, len(ms))
+	}
+}
+
+func TestNotFoundStatus(t *testing.T) {
+	if got := CodeNotFound.HTTPStatus(); got != 404 {
+		t.Fatalf("CodeNotFound -> %d, want 404", got)
+	}
+}

@@ -105,6 +105,9 @@ func capsString(c repro.Capabilities) string {
 	if c.Weighted {
 		s += "weighted "
 	}
+	if c.WarmStart {
+		s += "warm "
+	}
 	if s == "" {
 		return "-"
 	}

@@ -5,17 +5,23 @@
 //
 // Endpoints (see repro/internal/httpserve):
 //
-//	POST /v1/solve      solve one instance
-//	POST /v1/batch      solve many instances
-//	POST /v1/simulate   solve + replay on the discrete-event testbed
-//	GET  /v1/algorithms list the registered solvers
-//	GET  /healthz       liveness probe
-//	GET  /debug/vars    cache/request counters + expvar
+//	POST   /v1/solve                solve one instance
+//	POST   /v1/batch                solve many instances
+//	POST   /v1/simulate             solve + replay on the discrete-event testbed
+//	POST   /v1/session              open a dynamic-tree session
+//	GET    /v1/session/{id}         session state
+//	POST   /v1/session/{id}/mutate  mutate a session's tree (optionally resolve)
+//	POST   /v1/session/{id}/resolve warm re-solve of the current revision
+//	DELETE /v1/session/{id}         close a session
+//	GET    /v1/algorithms           list the registered solvers
+//	GET    /healthz                 liveness probe
+//	GET    /debug/vars              cache/request/session counters + expvar
 //
 // Usage:
 //
 //	crserve -addr :8080 -cache 4096 -parallelism 8 \
-//	        -request-timeout 10s -max-inflight 256
+//	        -request-timeout 10s -max-inflight 256 \
+//	        -max-sessions 1024 -session-ttl 30m
 package main
 
 import (
@@ -40,6 +46,8 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", 15*time.Second, "server-side ceiling per request (0 = none)")
 	maxInflight := flag.Int("max-inflight", 256, "max concurrently served requests; excess get HTTP 429 (0 = unbounded)")
 	maxBatch := flag.Int("max-batch", 1024, "max items per batch request")
+	maxSessions := flag.Int("max-sessions", 1024, "max live dynamic-tree sessions; excess opens evict the least recently used")
+	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle expiry for dynamic-tree sessions (negative disables)")
 	grace := flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on shutdown")
 	flag.Parse()
 
@@ -51,6 +59,8 @@ func main() {
 		MaxInflight:      *maxInflight,
 		MaxBatchItems:    *maxBatch,
 		BatchParallelism: *parallelism,
+		MaxSessions:      *maxSessions,
+		SessionTTL:       *sessionTTL,
 	})
 
 	srv := &http.Server{

@@ -1,0 +1,94 @@
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// exampleTree is the wearable scenario of the README: a gateway host,
+// one sensor box, and a three-stage reasoning chain over a raw stream.
+func exampleTree() *repro.Tree {
+	b := repro.NewBuilder()
+	box := b.Satellite("wrist-box")
+	fuse := b.Root("fuse", 2, 0)
+	feat := b.Child(fuse, "features", 1.5, 4.5, 0.25)
+	filt := b.Child(feat, "filter", 1, 3, 0.5)
+	b.Sensor(filt, "ppg-probe", box, 6)
+	t, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return t
+}
+
+// ExampleSolver_Solve finds the optimal assignment with the paper's
+// adapted SSB algorithm (exact, the default).
+func ExampleSolver_Solve() {
+	solver := repro.NewSolver()
+	out, err := solver.Solve(context.Background(), exampleTree())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delay=%.2f exact=%v\n", out.Delay, out.Exact)
+	fmt.Print(out.Assignment.Describe(exampleTree()))
+	// Output:
+	// delay=7.00 exact=true
+	// host:          fuse features
+	// satellite wrist-box: filter
+}
+
+// ExampleService_Solve shows the serving layer: identical instances are
+// answered from the fingerprint-keyed cache.
+func ExampleService_Solve() {
+	svc := repro.NewService(nil, 128)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		out, status, err := svc.Solve(ctx, exampleTree())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("solve %d: delay=%.2f cache=%v\n", i, out.Delay, status)
+	}
+	// Output:
+	// solve 0: delay=7.00 cache=miss
+	// solve 1: delay=7.00 cache=hit
+}
+
+// ExampleService_OpenSession walks a dynamic workload: a session applies
+// mutations as atomic revisions and re-solves warm, and a revision that
+// returns to an earlier shape is a cache hit.
+func ExampleService_OpenSession() {
+	svc := repro.NewService(nil, 128)
+	sess, err := svc.OpenSession(exampleTree())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	resolve := func(tag string) {
+		out, status, err := sess.Resolve(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: rev=%d delay=%.2f cache=%v\n", tag, sess.Revision(), out.Delay, status)
+	}
+	resolve("baseline")
+
+	slow := 9.0
+	if err := sess.Mutate(repro.WeightUpdate{Node: "filter", SatTime: &slow}); err != nil {
+		log.Fatal(err)
+	}
+	resolve("throttled")
+
+	fast := 3.0
+	if err := sess.Mutate(repro.WeightUpdate{Node: "filter", SatTime: &fast}); err != nil {
+		log.Fatal(err)
+	}
+	resolve("recovered")
+	// Output:
+	// baseline: rev=0 delay=7.00 cache=miss
+	// throttled: rev=1 delay=10.50 cache=miss
+	// recovered: rev=2 delay=7.00 cache=hit
+}

@@ -1,0 +1,19 @@
+// Package bokhari implements the system the paper modifies: Bokhari's
+// original tree ↔ host–satellites mapping (IEEE Trans. Computers 1988),
+// the §2 related-work baseline. It differs from the paper's problem in
+// exactly the two aspects §2 lists:
+//
+//  1. satellites are *free*: there are as many satellites as cut subtrees
+//     and any subtree may be placed on any satellite (sensors are not
+//     pinned), so no colouring is needed and no edge ever conflicts;
+//  2. the objective is the *bottleneck processing time*
+//     max( host load, max over satellites of subtree load + uplink ),
+//     not the end-to-end delay.
+//
+// Two independent solvers are provided and cross-validated: the original
+// dual-graph + SB path search (reusing the dwg machinery on an uncoloured
+// assignment graph), and a threshold search (binary search over candidate
+// bottleneck values with a greedy topmost-cut feasibility test). The
+// experiment E14 runs this baseline next to the paper's algorithm to make
+// the two §2 differences measurable.
+package bokhari

@@ -1,18 +1,3 @@
-// Package cache provides the serving layer's result cache: a sharded LRU
-// keyed by canonical request identity, with singleflight deduplication so
-// that N concurrent requests for the same key run the underlying
-// computation exactly once. The package is value-agnostic (entries are
-// any); repro.Service stores solver Outcomes keyed by tree fingerprint
-// plus request parameters.
-//
-// Concurrency model: each shard guards its LRU list and its in-flight
-// table with one mutex held only for map/list manipulation — never across
-// the computation. The first caller of a missing key becomes the leader
-// and runs the function on its own goroutine and context; later callers
-// of the same key park on the leader's done channel (or their own
-// context's cancellation) and share the leader's result. Errors are
-// shared with the waiters of the flight but never stored, so a failed
-// computation is retried by the next request.
 package cache
 
 import (
@@ -176,6 +161,26 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (any
 		c.errors.Add(1)
 	}
 	return val, Miss, err
+}
+
+// Get returns the stored value for key without joining or starting a
+// flight — the lookup-only path for callers that must compute misses
+// outside the cache (e.g. warm-started non-exact solves, whose results
+// are start-dependent and must not be stored). A found entry counts as a
+// hit and refreshes its recency; a missing one counts as a miss.
+func (c *Cache) Get(key string) (any, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		val := el.Value.(*entry).val
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return val, true
+	}
+	s.mu.Unlock()
+	c.misses.Add(1)
+	return nil, false
 }
 
 // settle publishes the flight's result: stores the value when wanted and

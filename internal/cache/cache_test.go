@@ -243,3 +243,21 @@ func TestPanicFailsFlight(t *testing.T) {
 		t.Fatalf("key unusable after panic: %v %v %v", v, how, err)
 	}
 }
+
+func TestGetLookupOnly(t *testing.T) {
+	c := New(8)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("Get on empty cache returned a value")
+	}
+	if _, _, err := c.Do(context.Background(), "k", func() (any, error) { return 7, nil }); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c.Get("k")
+	if !ok || v != 7 {
+		t.Fatalf("Get = %v, %v; want 7, true", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats %+v; want 1 hit (Get), 2 misses (Get on empty + Do)", st)
+	}
+}

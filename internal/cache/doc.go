@@ -1,0 +1,16 @@
+// Package cache provides the serving layer's result cache: a sharded LRU
+// keyed by canonical request identity, with singleflight deduplication so
+// that N concurrent requests for the same key run the underlying
+// computation exactly once. The package is value-agnostic (entries are
+// any); repro.Service stores solver Outcomes keyed by tree fingerprint
+// plus request parameters.
+//
+// Concurrency model: each shard guards its LRU list and its in-flight
+// table with one mutex held only for map/list manipulation — never across
+// the computation. The first caller of a missing key becomes the leader
+// and runs the function on its own goroutine and context; later callers
+// of the same key park on the leader's done channel (or their own
+// context's cancellation) and share the leader's result. Errors are
+// shared with the waiters of the flight but never stored, so a failed
+// computation is retried by the next request.
+package cache

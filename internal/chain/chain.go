@@ -1,21 +1,3 @@
-// Package chain implements the other related-work family the paper's §2
-// surveys: chain-to-chain partitioning (Bokhari 1988; improved by Hansen &
-// Lih 1992, Olstad & Manne 1995, and the probe methods surveyed by Khanna
-// et al.). A chain of n task weights is split into k contiguous segments,
-// one per processor of a k-processor chain, minimising the bottleneck
-// (maximum segment weight, communication included).
-//
-// Three solvers are provided and cross-validated:
-//
-//   - DP: the classic O(n²·k) dynamic program;
-//   - Probe: the parametric method of the improved algorithms — binary
-//     search over candidate bottleneck values with a feasibility probe
-//     (the probe is an O(n²) reachability pass here: with heterogeneous
-//     per-link communication costs the textbook greedy probe is not
-//     exchange-safe, see the package tests for the counterexample);
-//   - DWG: Bokhari's layered doubly weighted graph reusing this
-//     repository's dwg machinery with the SB objective — demonstrating
-//     that the paper's §4 toolbox solves the §2 related problems too.
 package chain
 
 import (

@@ -1,0 +1,15 @@
+// Package colouring implements the paper's colouring scheme (§5.1): every
+// satellite is painted a distinguishable colour, and colours are propagated
+// from the sensors towards the root. A tree edge whose subtree contains
+// sensors of exactly one satellite inherits that colour; an edge whose
+// subtree spans several satellites is a *conflict* — the CRU below it must
+// merge context from multiple satellites and therefore has to be deployed
+// on the host.
+//
+// The analysis also derives everything downstream construction needs: the
+// must-host closure (the upward-closed set of CRUs pinned to the host), the
+// colour regions (maximal monochromatic subtrees hanging off the closure,
+// which are the independent units of the Pareto/branch-and-bound solvers),
+// and the per-colour leaf bands (runs of consecutive sensors, which decide
+// whether the paper's §5.4 expansion step applies directly).
+package colouring

@@ -1,12 +1,3 @@
-// Package core is the solver facade: a single context-aware entry point
-// dispatching through a self-registering algorithm registry — the paper's
-// adapted coloured SSB (default), the exact coloured label search, the
-// three independent exact solvers, and the heuristic/extension solvers —
-// with uniform timing and optimality metadata. The solver packages
-// (internal/assign, internal/exact, internal/heuristics) register
-// themselves via Register; importing repro/internal/algorithms for side
-// effects links the full built-in set. The public package repro re-exports
-// this API.
 package core
 
 import (
@@ -59,6 +50,15 @@ type Request struct {
 	Weights   dwg.Weights // zero selects the S+B delay objective
 	Seed      int64       // randomised heuristics only
 	Budget    int         // node/frontier budget for exact searches (0 = default)
+
+	// Warm is an optional prior assignment to seed the search from —
+	// typically the previous revision's outcome projected onto a mutated
+	// tree by the incremental engine. It is advisory: solvers whose
+	// capabilities declare WarmStart use it (exact ones only to prune, so
+	// their answer is unchanged; heuristics as the starting point of
+	// their walk), all others ignore it, and hints that are not feasible
+	// for Tree are dropped before dispatch.
+	Warm *model.Assignment
 }
 
 // SearchStats reports how a graph-based solve went.
@@ -111,6 +111,13 @@ func SolveContext(ctx context.Context, req Request) (*Outcome, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, &CanceledError{Algorithm: alg, Cause: err}
+	}
+	// Warm hints are advisory: drop them for solvers that cannot consume
+	// them and for hints that are not feasible on this tree (a projection
+	// bug or a caller passing an assignment of another revision must
+	// degrade to a cold solve, never corrupt the search).
+	if req.Warm != nil && (!caps.WarmStart || req.Warm.Validate(req.Tree) != nil) {
+		req.Warm = nil
 	}
 
 	start := time.Now()

@@ -11,11 +11,12 @@ import (
 
 // Capabilities is the metadata a solver declares when it registers.
 type Capabilities struct {
-	Exact    bool   // guarantees the minimum-delay assignment
-	Budget   bool   // honours Request.Budget (exploration caps)
-	Seeded   bool   // randomised; Request.Seed selects the run
-	Weighted bool   // honours Request.Weights (weighted S/B objectives)
-	Summary  string // one-line human description
+	Exact     bool   // guarantees the minimum-delay assignment
+	Budget    bool   // honours Request.Budget (exploration caps)
+	Seeded    bool   // randomised; Request.Seed selects the run
+	Weighted  bool   // honours Request.Weights (weighted S/B objectives)
+	WarmStart bool   // honours Request.Warm (seeds the search from a prior assignment)
+	Summary   string // one-line human description
 }
 
 // Finding is a registered solver's raw result: the assignment it found plus

@@ -1,28 +1,3 @@
-// Package dagcru implements the generalisation the paper's §6 announces as
-// future work: context reasoning procedures whose structure is a DAG
-// rather than a tree (a processed context may feed several higher-level
-// CRUs), assigned onto the same host–satellites star network.
-//
-// The tree machinery does not transfer: a DAG has no Bokhari-style dual
-// graph, and §6 expects no polynomial exact algorithm. Following the
-// paper's own plan, the package provides an exact branch-and-bound for
-// small instances and a genetic algorithm for large ones, plus the direct
-// objective evaluation both are checked against. A tree-shaped DAG must
-// reproduce exactly the optimum of the tree solvers — the package's
-// anchoring property test.
-//
-// Model: nodes are processing CRUs or pinned sensors; edges point from
-// producer to consumer (context flows towards the single root consumer,
-// which runs on the host). A CRU may execute on satellite c only if every
-// sensor in its input cone is wired to c and every producer feeding it
-// runs on c too (satellites cannot talk to each other). The delay keeps
-// the paper's shape:
-//
-//	delay = Σ_{host CRUs} h + max_c ( Σ_{CRUs on c} s + Σ_{cross edges into the host} comm )
-//
-// with each producer-on-satellite → consumer-on-host edge paying its comm
-// once on the producer's uplink. A producer consumed by several host CRUs
-// uplinks its frame once.
 package dagcru
 
 import (

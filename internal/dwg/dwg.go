@@ -1,20 +1,3 @@
-// Package dwg implements doubly weighted graphs (DWGs) and the path-search
-// algorithms of the paper's §4: every edge carries an ordered pair of
-// non-negative weights ⟨σ, β⟩ (a sum weight and a bottleneck weight); a path
-// P has S(P) = Σ σ(e) and B(P) = max β(e); the paper's SSB measure is the
-// weighted sum of the two, and its SSB algorithm finds a path minimising it
-// by alternating min-S searches with the elimination of high-β edges.
-//
-// The same elimination skeleton also yields Bokhari's original SB algorithm
-// (minimise max(S(P), B(P)), IEEE ToC 1988), which this package provides as
-// the baseline the paper compares its objective against.
-//
-// One deliberate deviation from the paper's prose, documented in DESIGN.md:
-// edges with β ≥ B(P) are eliminated, not only β > B(P). The strict rule can
-// stall (no edge removed when the min-S path is its own bottleneck), while
-// the inclusive rule is equally sound — any path through a removed edge has
-// S ≥ S(P) and B ≥ B(P), so it cannot beat the recorded candidate — and it
-// reproduces the published Figure 4 trace exactly.
 package dwg
 
 import (

@@ -1,16 +1,3 @@
-// Package eval computes the paper's objective function for a concrete
-// assignment: the end-to-end processing and communication delay
-//
-//	delay(A) = Σ_{CRU on host} h_i
-//	         + max over satellites c ( Σ_{CRU on c} s_i + Σ_{cut edges into c} comm )
-//
-// (§3: "minimize the summation of maximum processing time spent at the
-// satellite (including the time to transmit context from the satellite to
-// the host) and the processing time required at host machine").
-//
-// Every solver in this repository is validated against this function: the
-// S and coloured-B weights of an S→T path in the assignment graph must add
-// up to exactly the value computed here for the decoded assignment.
 package eval
 
 import (

@@ -32,6 +32,16 @@ func BranchAndBound(t *model.Tree, maxNodes int) (*Result, error) {
 // checked every few hundred search nodes. On cancellation the returned
 // error is the context's.
 func BranchAndBoundContext(ctx context.Context, t *model.Tree, maxNodes int) (*Result, error) {
+	return BranchAndBoundFrom(ctx, t, maxNodes, nil)
+}
+
+// BranchAndBoundFrom is BranchAndBoundContext with a warm incumbent: warm,
+// when non-nil and feasible, joins the baseline seeds, so a near-optimal
+// prior solution (the incremental engine projects the previous revision's
+// outcome onto the mutated tree) makes the very first bound nearly tight
+// and prunes most of the search. The result is still exact — seeding only
+// ever tightens the incumbent, and ties keep the seed itself.
+func BranchAndBoundFrom(ctx context.Context, t *model.Tree, maxNodes int, warm *model.Assignment) (*Result, error) {
 	if maxNodes <= 0 {
 		maxNodes = 1 << 22
 	}
@@ -55,9 +65,14 @@ func BranchAndBoundContext(ctx context.Context, t *model.Tree, maxNodes int) (*R
 		}
 	}
 
-	// Seed the incumbent with the better of the two trivial baselines so
-	// pruning bites from the first branches.
-	for _, seed := range []*model.Assignment{an.FeasibleTopmost(), model.NewAssignment(t)} {
+	// Seed the incumbent with the better of the two trivial baselines —
+	// and the warm hint, when one is offered — so pruning bites from the
+	// first branches.
+	seeds := []*model.Assignment{an.FeasibleTopmost(), model.NewAssignment(t)}
+	if warm != nil {
+		seeds = append(seeds, warm.Clone())
+	}
+	for _, seed := range seeds {
 		if d, err := eval.Delay(t, seed); err == nil && d < res.Delay {
 			res.Delay = d
 			res.Assignment = seed

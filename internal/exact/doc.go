@@ -1,0 +1,13 @@
+// Package exact provides three independent exact solvers for the
+// tree-to-host-satellites assignment problem, used as ground truth for the
+// paper's graph-based algorithm and as the baselines of experiments E9/E10:
+//
+//   - BruteForce enumerates every feasible assignment (exponential; small
+//     instances only);
+//   - Pareto solves by dynamic programming over per-region Pareto frontiers
+//     of (host-time, satellite-load) pairs — polynomial for bounded
+//     frontier sizes and fully independent of the dual-graph machinery;
+//   - BranchAndBound prunes the brute-force tree with delay lower bounds —
+//     one of the two heuristic directions the paper's §6 names for future
+//     work (here made exact because the objective admits a monotone bound).
+package exact

@@ -22,10 +22,17 @@ func init() {
 		Summary: "exhaustive enumeration of feasible assignments (node budget)",
 	}, exactSolver(BruteForceContext))
 	core.Register(core.BranchBound, core.Capabilities{
-		Exact:   true,
-		Budget:  true,
-		Summary: "branch-and-bound over the cut decision tree (node budget)",
-	}, exactSolver(BranchAndBoundContext))
+		Exact:     true,
+		Budget:    true,
+		WarmStart: true,
+		Summary:   "branch-and-bound over the cut decision tree (node budget)",
+	}, func(ctx context.Context, req core.Request) (core.Finding, error) {
+		res, err := BranchAndBoundFrom(ctx, req.Tree, req.Budget, req.Warm)
+		if err != nil {
+			return core.Finding{}, err
+		}
+		return core.Finding{Assignment: res.Assignment, Work: res.Explored}, nil
+	})
 }
 
 // exactSolver adapts one of the exact entry points to the registry's

@@ -1,13 +1,3 @@
-// Package graph provides the small graph toolkit the assignment algorithms
-// are built on: a weighted directed multigraph with stable edge identities
-// (needed because doubly weighted assignment graphs contain parallel edges
-// that must be eliminated individually), shortest-path searches (binary-heap
-// Dijkstra, the array-scan Dijkstra variant discussed by Hansen & Lih for
-// dense graphs, and a linear-time pass for DAGs with monotone node order),
-// and reachability helpers.
-//
-// Everything uses the standard library only; the heap is hand-rolled rather
-// than container/heap to keep the inner loop allocation-free.
 package graph
 
 import (

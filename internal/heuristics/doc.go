@@ -1,0 +1,7 @@
+// Package heuristics implements non-exact solvers for the assignment
+// problem: the two trivial baselines (everything on the host, maximal
+// distribution), greedy hill-climbing over cut moves, simulated annealing,
+// and the genetic algorithm the paper's §6 proposes as future work for the
+// general (DAG) problem. They are evaluated against the exact optimum in
+// experiment E10.
+package heuristics

@@ -18,6 +18,11 @@ type GeneticConfig struct {
 	Mutation    float64 // per-gene flip probability, default 0.05
 	Elite       int     // survivors copied verbatim, default 2
 	Tournament  int     // tournament size, default 3
+	// Init, when non-nil, is a feasible assignment whose cut genome joins
+	// the initial population next to the two trivial baselines (the
+	// warm-start hook): after a small instance drift the previous
+	// revision's solution is usually one mutation from optimal again.
+	Init *model.Assignment
 }
 
 func (c GeneticConfig) withDefaults() GeneticConfig {
@@ -137,6 +142,18 @@ func GeneticContext(ctx context.Context, t *model.Tree, cfg GeneticConfig) (*Res
 	}
 	if len(pop) > 1 {
 		pop[1] = evalGenome(topmost)
+	}
+	if cfg.Init != nil && len(pop) > 2 {
+		// Encode the warm assignment as a cut genome: a site's bit is set
+		// iff it runs on a satellite. Feasibility makes satellite residency
+		// upward-contiguous, so decode's first-set-bit walk reproduces the
+		// warm cut exactly.
+		warm := make([]bool, len(sites))
+		for j, id := range sites {
+			_, onSat := cfg.Init.At(id).Satellite()
+			warm[j] = onSat
+		}
+		pop[2] = evalGenome(warm)
 	}
 
 	byDelay := func() { sort.Slice(pop, func(i, j int) bool { return pop[i].delay < pop[j].delay }) }

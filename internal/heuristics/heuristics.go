@@ -1,9 +1,3 @@
-// Package heuristics implements non-exact solvers for the assignment
-// problem: the two trivial baselines (everything on the host, maximal
-// distribution), greedy hill-climbing over cut moves, simulated annealing,
-// and the genetic algorithm the paper's §6 proposes as future work for the
-// general (DAG) problem. They are evaluated against the exact optimum in
-// experiment E10.
 package heuristics
 
 import (
@@ -59,7 +53,17 @@ func Greedy(t *model.Tree, start Start) *Result {
 // per hill-climbing round. On cancellation the returned error is the
 // context's and the result is nil.
 func GreedyContext(ctx context.Context, t *model.Tree, start Start) (*Result, error) {
-	asg := startAssignment(t, start)
+	return GreedyFromContext(ctx, t, startAssignment(t, start))
+}
+
+// GreedyFromContext hill-climbs from an explicit feasible assignment
+// instead of one of the canned Start points — the warm-start entry: the
+// incremental engine passes the previous revision's solution projected
+// onto the mutated tree, so after a small drift the climb starts next to
+// the optimum instead of at a cold baseline. The assignment is cloned
+// before climbing; the caller's copy is never modified.
+func GreedyFromContext(ctx context.Context, t *model.Tree, from *model.Assignment) (*Result, error) {
+	asg := from.Clone()
 	delay := eval.MustDelay(t, asg)
 	moves := 0
 	for {
@@ -95,6 +99,10 @@ type AnnealConfig struct {
 	StartT   float64 // default: 10% of the all-host delay
 	CoolRate float64 // geometric factor per step, default 0.995
 	Start    Start
+	// Init, when non-nil, overrides Start with an explicit feasible
+	// assignment to anneal from (the warm-start hook). It is cloned; the
+	// caller's copy is never modified.
+	Init *model.Assignment
 }
 
 // Anneal runs simulated annealing over the sink/lift move neighbourhood.
@@ -118,6 +126,9 @@ func AnnealContext(ctx context.Context, t *model.Tree, cfg AnnealConfig) (*Resul
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	asg := startAssignment(t, cfg.Start)
+	if cfg.Init != nil {
+		asg = cfg.Init.Clone()
+	}
 	delay := eval.MustDelay(t, asg)
 	temp := cfg.StartT
 	if temp <= 0 {

@@ -21,27 +21,39 @@ func init() {
 		return finding(MaxDistribution(req.Tree), nil)
 	})
 	core.Register(core.GreedyHost, core.Capabilities{
-		Summary: "hill-climbing over sink/lift moves from the all-host assignment",
-	}, func(ctx context.Context, req core.Request) (core.Finding, error) {
-		return finding(GreedyContext(ctx, req.Tree, FromHost))
-	})
+		WarmStart: true,
+		Summary:   "hill-climbing over sink/lift moves from the all-host assignment",
+	}, greedy(FromHost))
 	core.Register(core.GreedyTop, core.Capabilities{
-		Summary: "hill-climbing over sink/lift moves from the maximal distribution",
-	}, func(ctx context.Context, req core.Request) (core.Finding, error) {
-		return finding(GreedyContext(ctx, req.Tree, FromTopmost))
-	})
+		WarmStart: true,
+		Summary:   "hill-climbing over sink/lift moves from the maximal distribution",
+	}, greedy(FromTopmost))
 	core.Register(core.Annealing, core.Capabilities{
-		Seeded:  true,
-		Summary: "simulated annealing over the cut-move neighbourhood",
+		Seeded:    true,
+		WarmStart: true,
+		Summary:   "simulated annealing over the cut-move neighbourhood",
 	}, func(ctx context.Context, req core.Request) (core.Finding, error) {
-		return finding(AnnealContext(ctx, req.Tree, AnnealConfig{Seed: req.Seed}))
+		return finding(AnnealContext(ctx, req.Tree, AnnealConfig{Seed: req.Seed, Init: req.Warm}))
 	})
 	core.Register(core.Genetic, core.Capabilities{
-		Seeded:  true,
-		Summary: "genetic algorithm over cut genomes (paper §6 future work)",
+		Seeded:    true,
+		WarmStart: true,
+		Summary:   "genetic algorithm over cut genomes (paper §6 future work)",
 	}, func(ctx context.Context, req core.Request) (core.Finding, error) {
-		return finding(GeneticContext(ctx, req.Tree, GeneticConfig{Seed: req.Seed}))
+		return finding(GeneticContext(ctx, req.Tree, GeneticConfig{Seed: req.Seed, Init: req.Warm}))
 	})
+}
+
+// greedy adapts the hill-climber to the registry's SolveFunc shape: a
+// warm hint replaces the canned start point, so a drifting session climbs
+// from the previous revision's solution instead of a cold baseline.
+func greedy(start Start) core.SolveFunc {
+	return func(ctx context.Context, req core.Request) (core.Finding, error) {
+		if req.Warm != nil {
+			return finding(GreedyFromContext(ctx, req.Tree, req.Warm))
+		}
+		return finding(GreedyContext(ctx, req.Tree, start))
+	}
 }
 
 // finding adapts a heuristic Result (and the optional error of the

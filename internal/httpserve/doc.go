@@ -1,0 +1,23 @@
+// Package httpserve mounts a repro.Service behind the versioned wire API
+// of package api: JSON over HTTP under the /v1 prefix, with a concurrency
+// limiter, per-request timeouts and introspection endpoints. cmd/crserve
+// is the thin binary around it; tests and examples embed the handler
+// directly.
+//
+// Endpoints:
+//
+//	POST   /v1/solve                one instance        -> api.SolveResponse
+//	POST   /v1/batch                many instances      -> api.BatchResponse
+//	POST   /v1/simulate             solve + replay      -> api.SimulateResponse
+//	POST   /v1/session              open dynamic tree   -> api.SessionResponse
+//	GET    /v1/session/{id}         session state       -> api.SessionResponse
+//	POST   /v1/session/{id}/mutate  apply mutations     -> api.SessionResponse
+//	POST   /v1/session/{id}/resolve warm re-solve       -> api.SessionResponse
+//	DELETE /v1/session/{id}         close session       -> api.SessionResponse
+//	GET    /v1/algorithms           registry listing    -> api.AlgorithmsResponse
+//	GET    /healthz                 liveness probe      -> "ok"
+//	GET    /debug/vars              expvar + cache/request/session counters (JSON)
+//
+// Every failure body is an api.Error; the HTTP status is the error code's
+// canonical mapping (api.ErrorCode.HTTPStatus).
+package httpserve

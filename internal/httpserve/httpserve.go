@@ -1,20 +1,3 @@
-// Package httpserve mounts a repro.Service behind the versioned wire API
-// of package api: JSON over HTTP under the /v1 prefix, with a concurrency
-// limiter, per-request timeouts and introspection endpoints. cmd/crserve
-// is the thin binary around it; tests and examples embed the handler
-// directly.
-//
-// Endpoints:
-//
-//	POST /v1/solve      one instance        -> api.SolveResponse
-//	POST /v1/batch      many instances      -> api.BatchResponse
-//	POST /v1/simulate   solve + replay      -> api.SimulateResponse
-//	GET  /v1/algorithms registry listing    -> api.AlgorithmsResponse
-//	GET  /healthz       liveness probe      -> "ok"
-//	GET  /debug/vars    expvar + cache/request counters (JSON)
-//
-// Every failure body is an api.Error; the HTTP status is the error code's
-// canonical mapping (api.ErrorCode.HTTPStatus).
 package httpserve
 
 import (
@@ -24,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -50,6 +34,13 @@ type Config struct {
 	MaxBodyBytes int64
 	// BatchParallelism bounds the per-batch worker pool (default NumCPU).
 	BatchParallelism int
+	// MaxSessions caps concurrently live dynamic-tree sessions (default
+	// 1024); opening past the cap evicts the least recently used session.
+	MaxSessions int
+	// SessionTTL expires sessions idle longer than this (default 30m;
+	// negative disables expiry). Expired and evicted sessions answer
+	// not_found; clients re-open, losing only their warm-start state.
+	SessionTTL time.Duration
 }
 
 // New returns the fully routed handler.
@@ -66,7 +57,13 @@ func New(cfg Config) http.Handler {
 	if cfg.BatchParallelism <= 0 {
 		cfg.BatchParallelism = runtime.NumCPU()
 	}
-	s := &server{cfg: cfg, started: time.Now()}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 1024
+	}
+	if cfg.SessionTTL == 0 {
+		cfg.SessionTTL = 30 * time.Minute
+	}
+	s := &server{cfg: cfg, started: time.Now(), sessions: map[string]*sessionEntry{}}
 	if cfg.MaxInflight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInflight)
 	}
@@ -75,6 +72,11 @@ func New(cfg Config) http.Handler {
 	mux.HandleFunc("POST /v1/solve", s.limited(s.handleSolve))
 	mux.HandleFunc("POST /v1/batch", s.limited(s.handleBatch))
 	mux.HandleFunc("POST /v1/simulate", s.limited(s.handleSimulate))
+	mux.HandleFunc("POST /v1/session", s.limited(s.handleSessionOpen))
+	mux.HandleFunc("GET /v1/session/{id}", s.handleSessionGet)
+	mux.HandleFunc("POST /v1/session/{id}/mutate", s.limited(s.handleSessionMutate))
+	mux.HandleFunc("POST /v1/session/{id}/resolve", s.limited(s.handleSessionResolve))
+	mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionClose)
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
@@ -86,7 +88,12 @@ type server struct {
 	slots   chan struct{} // nil = unbounded
 	started time.Time
 
+	sessMu   sync.Mutex
+	sessions map[string]*sessionEntry
+
 	solves, batches, simulates, rejected, failed atomic.Int64
+	sessionCalls, mutates, resolves              atomic.Int64
+	sessionsEvicted                              atomic.Int64
 }
 
 // limited wraps a handler with the concurrency limiter: a request that
@@ -252,11 +259,18 @@ func (s *server) handleVars(w http.ResponseWriter, _ *http.Request) {
 	own, _ := json.Marshal(map[string]any{
 		"cache": s.cfg.Service.Stats(),
 		"requests": map[string]int64{
-			"solve":    s.solves.Load(),
-			"batch":    s.batches.Load(),
-			"simulate": s.simulates.Load(),
-			"rejected": s.rejected.Load(),
-			"failed":   s.failed.Load(),
+			"solve":        s.solves.Load(),
+			"batch":        s.batches.Load(),
+			"simulate":     s.simulates.Load(),
+			"session_open": s.sessionCalls.Load(),
+			"mutate":       s.mutates.Load(),
+			"resolve":      s.resolves.Load(),
+			"rejected":     s.rejected.Load(),
+			"failed":       s.failed.Load(),
+		},
+		"sessions": map[string]int64{
+			"live":    int64(s.sessionCount()),
+			"evicted": s.sessionsEvicted.Load(),
 		},
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"goroutines":     runtime.NumGoroutine(),

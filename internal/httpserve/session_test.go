@@ -1,0 +1,173 @@
+package httpserve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/api"
+)
+
+func openSession(t *testing.T, baseURL string) api.SessionResponse {
+	t.Helper()
+	resp, body := post(t, baseURL+"/v1/session", api.OpenSessionRequest{
+		SolveRequest: api.SolveRequest{Spec: testSpec("dyn")},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("open: status %d: %s", resp.StatusCode, body)
+	}
+	var sr api.SessionResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	return sr
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+
+	opened := openSession(t, srv.URL)
+	if opened.Session.SessionID == "" || opened.Session.Revision != 0 || opened.Session.Nodes != 5 {
+		t.Fatalf("open response: %+v", opened)
+	}
+
+	// Resolve revision 0.
+	resp, body := post(t, srv.URL+"/v1/session/"+opened.Session.SessionID+"/resolve", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resolve: status %d: %s", resp.StatusCode, body)
+	}
+	var resolved api.SessionResponse
+	if err := json.Unmarshal(body, &resolved); err != nil {
+		t.Fatal(err)
+	}
+	if resolved.Response == nil || resolved.Response.Delay <= 0 || resolved.Response.Cached {
+		t.Fatalf("resolve response: %+v", resolved.Response)
+	}
+
+	// Mutate + resolve in one round trip: drift one host time.
+	h := 42.0
+	resp, body = post(t, srv.URL+"/v1/session/"+opened.Session.SessionID+"/mutate", api.MutateRequest{
+		Mutations: []api.Mutation{{Op: api.OpWeightUpdate, Node: "left", HostTime: &h}},
+		Resolve:   true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate: status %d: %s", resp.StatusCode, body)
+	}
+	var mutated api.SessionResponse
+	if err := json.Unmarshal(body, &mutated); err != nil {
+		t.Fatal(err)
+	}
+	if mutated.Session.Revision != 1 || mutated.Response == nil {
+		t.Fatalf("mutate response: %+v", mutated)
+	}
+	if mutated.Session.Fingerprint == opened.Session.Fingerprint {
+		t.Fatal("mutation did not change the fingerprint")
+	}
+
+	// Reverting the drift returns to revision 0's fingerprint and the
+	// shared cache answers the resolve.
+	h0 := 2.0
+	resp, body = post(t, srv.URL+"/v1/session/"+opened.Session.SessionID+"/mutate", api.MutateRequest{
+		Mutations: []api.Mutation{{Op: api.OpWeightUpdate, Node: "left", HostTime: &h0}},
+		Resolve:   true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("revert: status %d: %s", resp.StatusCode, body)
+	}
+	var reverted api.SessionResponse
+	if err := json.Unmarshal(body, &reverted); err != nil {
+		t.Fatal(err)
+	}
+	if reverted.Session.Fingerprint != opened.Session.Fingerprint {
+		t.Fatal("revert did not restore the fingerprint")
+	}
+	if reverted.Response == nil || !reverted.Response.Cached {
+		t.Fatalf("revert resolve should hit the cache: %+v", reverted.Response)
+	}
+
+	// GET reflects the state; DELETE closes; further use is not_found.
+	getResp, err := http.Get(srv.URL + "/v1/session/" + opened.Session.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusOK {
+		t.Fatalf("get: status %d", getResp.StatusCode)
+	}
+	del, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/session/"+opened.Session.SessionID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", delResp.StatusCode)
+	}
+	resp, body = post(t, srv.URL+"/v1/session/"+opened.Session.SessionID+"/resolve", struct{}{})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("resolve after close: status %d: %s", resp.StatusCode, body)
+	}
+	var apiErr api.Error
+	if err := json.Unmarshal(body, &apiErr); err != nil || apiErr.Code != api.CodeNotFound {
+		t.Fatalf("error body: %s", body)
+	}
+}
+
+func TestSessionMutateErrors(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	opened := openSession(t, srv.URL)
+	url := srv.URL + "/v1/session/" + opened.Session.SessionID + "/mutate"
+
+	h := 1.0
+	cases := []api.MutateRequest{
+		{}, // empty mutation list
+		{Mutations: []api.Mutation{{Op: "warp", Node: "left"}}},
+		{Mutations: []api.Mutation{{Op: api.OpWeightUpdate, Node: "left"}}},                // changes nothing
+		{Mutations: []api.Mutation{{Op: api.OpWeightUpdate, Node: "ghost", HostTime: &h}}}, // unknown node
+		{Mutations: []api.Mutation{{Op: api.OpDetachSubtree, Node: "root"}}},               // cannot detach root
+	}
+	for i, req := range cases {
+		resp, body := post(t, url, req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	// The session is untouched by the failures.
+	getResp, err := http.Get(srv.URL + "/v1/session/" + opened.Session.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer getResp.Body.Close()
+	var state api.SessionResponse
+	if err := json.NewDecoder(getResp.Body).Decode(&state); err != nil {
+		t.Fatal(err)
+	}
+	if state.Session.Revision != 0 || state.Session.Fingerprint != opened.Session.Fingerprint {
+		t.Fatalf("failed mutations advanced the session: %+v", state.Session)
+	}
+}
+
+func TestSessionEvictionAndTTL(t *testing.T) {
+	srv, _ := newTestServer(t, Config{MaxSessions: 2, SessionTTL: -1})
+	first := openSession(t, srv.URL)
+	openSession(t, srv.URL)
+	time.Sleep(5 * time.Millisecond) // LRU order is by wall clock
+	openSession(t, srv.URL)          // evicts `first`
+
+	resp, body := post(t, srv.URL+"/v1/session/"+first.Session.SessionID+"/resolve", struct{}{})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted session still live: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestSessionUnknownID(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	resp, body := post(t, srv.URL+"/v1/session/deadbeef/resolve", struct{}{})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,32 @@
+// Package incremental is the delta-solving engine for long-lived trees
+// under mutation traffic: instead of treating every change to a context
+// reasoning procedure as a brand-new instance, it models the change
+// itself and carries as much prior work as possible across it.
+//
+// Three pieces cooperate:
+//
+//   - A mutation vocabulary — WeightUpdate, AttachSubtree, DetachSubtree,
+//     SatelliteChange — describing how real workloads drift: execution
+//     profiles and link costs move as sensor duty cycles change, whole
+//     context subtrees appear and disappear, sensors re-home to other
+//     satellites. Apply folds a batch of mutations through a
+//     model.Editor into a new validated revision of the tree; the prior
+//     revision is untouched.
+//
+//   - Delta-aware identity. Profile-only mutations take model.Editor's
+//     fast path, which transfers the base revision's Merkle fingerprint
+//     memo with only the root-to-edit paths invalidated, so the mutated
+//     revision's cache identity costs O(depth) hashes instead of O(n).
+//     A mutation sequence that returns to an earlier shape returns to
+//     that shape's fingerprint, and the serving cache hits.
+//
+//   - Warm-start projection. Project maps the previous revision's
+//     assignment onto the mutated tree by node name, repairing anything
+//     the mutations broke, and always returns a feasible assignment.
+//     Fed through core.Request.Warm, it lets the branch-and-bound prune
+//     against a near-optimal incumbent and the heuristics climb from the
+//     previous solution instead of a cold baseline.
+//
+// repro.Session stitches these into the revisioned OpenSession / Mutate /
+// Resolve API that cmd/crserve exposes over HTTP.
+package incremental

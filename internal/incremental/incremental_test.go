@@ -1,0 +1,271 @@
+package incremental
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func f(v float64) *float64 { return &v }
+
+func paperish(t *testing.T) *model.Tree {
+	t.Helper()
+	b := model.NewBuilder()
+	r := b.Satellite("R")
+	bl := b.Satellite("B")
+	root := b.Root("c9", 4, 0)
+	c7 := b.Child(root, "c7", 2, 3, 1)
+	c8 := b.Child(root, "c8", 3, 2, 1.5)
+	c1 := b.Child(c7, "c1", 1, 2, 0.5)
+	c2 := b.Child(c7, "c2", 1, 2, 0.5)
+	b.Sensor(c1, "s1", r, 0.4)
+	b.Sensor(c2, "s2", r, 0.4)
+	c3 := b.Child(c8, "c3", 1, 2, 0.5)
+	b.Sensor(c3, "s3", bl, 0.4)
+	b.Sensor(c8, "s4", bl, 0.4)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// freshFingerprint recomputes the fingerprint with no memo to reuse:
+// Clone re-derives every cache, so its Fingerprint is a cold, full
+// computation — the reference value every delta path must match.
+func freshFingerprint(t *testing.T, tree *model.Tree) string {
+	t.Helper()
+	return model.Fingerprint(tree.Clone())
+}
+
+func TestWeightUpdateSemantics(t *testing.T) {
+	base := paperish(t)
+	next, err := Apply(base, WeightUpdate{Node: "c7", HostTime: f(9), UpComm: f(2.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := next.NodeByName("c7")
+	if n := next.Node(id); n.HostTime != 9 || n.SatTime != 3 || n.UpComm != 2.5 {
+		t.Fatalf("c7 profile = (%v,%v,%v), want (9,3,2.5)", n.HostTime, n.SatTime, n.UpComm)
+	}
+	// The base revision is untouched.
+	bid, _ := base.NodeByName("c7")
+	if n := base.Node(bid); n.HostTime != 2 || n.UpComm != 1 {
+		t.Fatalf("base mutated: %+v", n)
+	}
+	if model.Fingerprint(base) == model.Fingerprint(next) {
+		t.Fatal("fingerprint unchanged by weight update")
+	}
+	if got, want := model.Fingerprint(next), freshFingerprint(t, next); got != want {
+		t.Fatalf("delta fingerprint %s != fresh %s", got, want)
+	}
+	// Reverting the drift returns to the base identity.
+	back, err := Apply(next, WeightUpdate{Node: "c7", HostTime: f(2), UpComm: f(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Fingerprint(back) != model.Fingerprint(base) {
+		t.Fatal("reverted revision does not share the base fingerprint")
+	}
+}
+
+func TestWeightUpdateErrors(t *testing.T) {
+	base := paperish(t)
+	cases := []Mutation{
+		WeightUpdate{Node: "nope", HostTime: f(1)},
+		WeightUpdate{Node: "s1", HostTime: f(1)},  // sensors perform no work
+		WeightUpdate{Node: "c9", UpComm: f(1)},    // root has no uplink
+		WeightUpdate{Node: "c7", HostTime: f(-1)}, // negative time
+		DetachSubtree{Node: "c9"},                 // cannot remove the root
+		DetachSubtree{Node: "s3"},                 // leaves c3 childless
+		AttachSubtree{Parent: "s1", Subtree: &model.Spec{CRUs: []model.SpecCRU{{Name: "x", HostTime: 1}}}},
+		SatelliteChange{Sensor: "c7", Satellite: "R"}, // not a sensor
+	}
+	for i, m := range cases {
+		if _, err := Apply(base, m); err == nil {
+			t.Errorf("case %d (%#v): expected error", i, m)
+		}
+	}
+}
+
+func TestAttachDetachRoundTrip(t *testing.T) {
+	base := paperish(t)
+	frag := &model.Spec{
+		Satellites: []string{"G"},
+		CRUs:       []model.SpecCRU{{Name: "c10", HostTime: 2, SatTime: 1, Comm: 0.3}},
+		Sensors:    []model.SpecSensor{{Name: "s5", Parent: "c10", Satellite: "G", Comm: 0.2}},
+	}
+	grown, err := Apply(base, AttachSubtree{Parent: "c9", Subtree: frag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Len() != base.Len()+2 || len(grown.Satellites()) != 3 {
+		t.Fatalf("grown: %v", grown)
+	}
+	if got, want := model.Fingerprint(grown), freshFingerprint(t, grown); got != want {
+		t.Fatalf("fingerprint after attach %s != fresh %s", got, want)
+	}
+	// Detaching the graft does NOT return to the base identity: the
+	// satellite set is part of the instance and never garbage-collected.
+	shrunk, err := Apply(grown, DetachSubtree{Node: "c10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shrunk.Len() != base.Len() {
+		t.Fatalf("shrunk to %d nodes, want %d", shrunk.Len(), base.Len())
+	}
+	if len(shrunk.Satellites()) != 3 {
+		t.Fatal("satellite set should survive the detach")
+	}
+	if got, want := model.Fingerprint(shrunk), freshFingerprint(t, shrunk); got != want {
+		t.Fatalf("fingerprint after detach %s != fresh %s", got, want)
+	}
+}
+
+func TestSatelliteChangeRehomesSensor(t *testing.T) {
+	base := paperish(t)
+	next, err := Apply(base, SatelliteChange{Sensor: "s3", Satellite: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := next.NodeByName("s3")
+	if name := next.SatelliteName(next.Node(id).Satellite); name != "R" {
+		t.Fatalf("s3 on %s, want R", name)
+	}
+	if got, want := model.Fingerprint(next), freshFingerprint(t, next); got != want {
+		t.Fatalf("fingerprint after satellite change %s != fresh %s", got, want)
+	}
+}
+
+func TestApplyAtomicity(t *testing.T) {
+	base := paperish(t)
+	fp := model.Fingerprint(base)
+	_, err := Apply(base,
+		WeightUpdate{Node: "c7", HostTime: f(42)},
+		WeightUpdate{Node: "nope", HostTime: f(1)})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if model.Fingerprint(base) != fp {
+		t.Fatal("failed Apply disturbed the base revision")
+	}
+}
+
+func TestProjectIdentity(t *testing.T) {
+	base := paperish(t)
+	asg := model.NewAssignment(base)
+	// Sink c8's region onto B.
+	for _, name := range []string{"c8", "c3"} {
+		id, _ := base.NodeByName(name)
+		sat, _ := base.CorrespondentSatellite(id)
+		asg.Set(id, model.OnSatellite(sat))
+	}
+	if err := asg.Validate(base); err != nil {
+		t.Fatal(err)
+	}
+	got := Project(base, asg, base)
+	if got.Key() != asg.Key() {
+		t.Fatalf("identity projection changed the assignment:\n%s\n%s", asg.Key(), got.Key())
+	}
+}
+
+// randomMutation builds one applicable mutation for the given revision,
+// or returns nil when the dice pick an inapplicable op.
+func randomMutation(rng *rand.Rand, t *model.Tree, serial int) Mutation {
+	names := func(filter func(*model.Node) bool) []string {
+		var out []string
+		for _, id := range t.Preorder() {
+			if n := t.Node(id); filter(n) {
+				out = append(out, n.Name)
+			}
+		}
+		return out
+	}
+	switch rng.Intn(6) {
+	case 0, 1, 2: // weight drift on a processing CRU
+		crus := names(func(n *model.Node) bool { return n.Kind == model.Processing })
+		name := crus[rng.Intn(len(crus))]
+		m := WeightUpdate{Node: name, HostTime: f(rng.Float64() * 10), SatTime: f(rng.Float64() * 10)}
+		id, _ := t.NodeByName(name)
+		if t.Node(id).Parent != model.None {
+			m.UpComm = f(rng.Float64() * 5)
+		}
+		return m
+	case 3: // attach a tiny context under a random CRU
+		crus := names(func(n *model.Node) bool { return n.Kind == model.Processing })
+		tag := strconv.Itoa(serial)
+		return AttachSubtree{
+			Parent: crus[rng.Intn(len(crus))],
+			Subtree: &model.Spec{
+				CRUs: []model.SpecCRU{{Name: "cru-" + tag, HostTime: rng.Float64() * 4, SatTime: rng.Float64() * 4, Comm: rng.Float64()}},
+				Sensors: []model.SpecSensor{{
+					Name: "probe-" + tag, Parent: "cru-" + tag,
+					Satellite: t.Satellites()[rng.Intn(len(t.Satellites()))].Name,
+					Comm:      rng.Float64(),
+				}},
+			},
+		}
+	case 4: // detach a subtree whose parent keeps another child
+		var candidates []string
+		for _, id := range t.Preorder() {
+			n := t.Node(id)
+			if n.Parent == model.None {
+				continue
+			}
+			if len(t.Node(n.Parent).Children) >= 2 {
+				candidates = append(candidates, n.Name)
+			}
+		}
+		if len(candidates) == 0 {
+			return nil
+		}
+		return DetachSubtree{Node: candidates[rng.Intn(len(candidates))]}
+	default: // re-home a sensor
+		sensors := names(func(n *model.Node) bool { return n.Kind == model.SensorKind })
+		return SatelliteChange{
+			Sensor:    sensors[rng.Intn(len(sensors))],
+			Satellite: t.Satellites()[rng.Intn(len(t.Satellites()))].Name,
+		}
+	}
+}
+
+// TestRandomMutationStreams drives random mutation sequences over random
+// trees and checks, at every applied revision, that (1) the delta-computed
+// fingerprint equals a cold rebuild's, and (2) the projected warm start is
+// feasible and evaluates — the properties Resolve relies on.
+func TestRandomMutationStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		tree := workload.Random(rng, workload.DefaultRandomSpec(16+rng.Intn(12), 3))
+		prevAsg := model.NewAssignment(tree)
+		serial := 0
+		for step := 0; step < 12; step++ {
+			m := randomMutation(rng, tree, serial)
+			if m == nil {
+				continue
+			}
+			serial++
+			next, err := Apply(tree, m)
+			if err != nil {
+				// Some rolls are legitimately rejected (e.g. a detach
+				// leaving a childless CRU); the stream just moves on.
+				continue
+			}
+			if got, want := model.Fingerprint(next), freshFingerprint(t, next); got != want {
+				t.Fatalf("trial %d step %d (%T): delta fingerprint %s != fresh %s", trial, step, m, got, want)
+			}
+			warm := Project(tree, prevAsg, next)
+			if err := warm.Validate(next); err != nil {
+				t.Fatalf("trial %d step %d (%T): projected warm start infeasible: %v", trial, step, m, err)
+			}
+			if _, err := eval.Evaluate(next, warm); err != nil {
+				t.Fatalf("trial %d step %d: evaluating warm start: %v", trial, step, err)
+			}
+			tree, prevAsg = next, warm
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package incremental
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Mutation is one edit of a live tree. Implementations address nodes by
+// name — the stable handle across revisions (NodeIDs are renumbered when
+// subtrees detach). The set is sealed: the four concrete types below
+// cover the drift modes of context-reasoning workloads, and the wire
+// layer enumerates them.
+type Mutation interface {
+	// apply stages the mutation on the editor. Failures are reported via
+	// the editor's sticky error as well as the return value.
+	apply(e *model.Editor) error
+}
+
+// Apply folds the mutations, in order, into a new validated revision of
+// t. The input tree is never modified; on any failure the returned tree
+// is nil and no partial revision escapes. An empty mutation list yields
+// t itself (revision identity is by content, not by pointer).
+func Apply(t *model.Tree, muts ...Mutation) (*model.Tree, error) {
+	if t == nil {
+		return nil, fmt.Errorf("incremental: nil tree")
+	}
+	if len(muts) == 0 {
+		return t, nil
+	}
+	e := t.Edit()
+	for _, m := range muts {
+		if m == nil {
+			return nil, fmt.Errorf("incremental: nil mutation")
+		}
+		if err := m.apply(e); err != nil {
+			return nil, err
+		}
+	}
+	return e.Build()
+}
+
+// WeightUpdate drifts one node's execution profile and/or uplink cost.
+// Nil fields keep the current value. HostTime and SatTime apply only to
+// processing CRUs (sensors perform no work); UpComm applies to any
+// non-root node.
+type WeightUpdate struct {
+	Node     string
+	HostTime *float64
+	SatTime  *float64
+	UpComm   *float64
+}
+
+func (m WeightUpdate) apply(e *model.Editor) error {
+	id, ok := e.NodeByName(m.Node)
+	if !ok {
+		return fmt.Errorf("incremental: weight-update: unknown node %q", m.Node)
+	}
+	if m.HostTime != nil || m.SatTime != nil {
+		n, _ := e.NodeInfo(id)
+		h, s := n.HostTime, n.SatTime
+		if m.HostTime != nil {
+			h = *m.HostTime
+		}
+		if m.SatTime != nil {
+			s = *m.SatTime
+		}
+		e.SetTimes(id, h, s)
+	}
+	if m.UpComm != nil {
+		e.SetUpComm(id, *m.UpComm)
+	}
+	return e.Err()
+}
+
+// AttachSubtree grafts a Spec fragment under the named parent as its new
+// rightmost subtree. Fragment rows with an empty parent attach directly
+// to Parent; satellite names resolve against the existing set (new names
+// register new satellites); fragment node names must be fresh.
+type AttachSubtree struct {
+	Parent  string
+	Subtree *model.Spec
+}
+
+func (m AttachSubtree) apply(e *model.Editor) error {
+	id, ok := e.NodeByName(m.Parent)
+	if !ok {
+		return fmt.Errorf("incremental: attach: unknown parent %q", m.Parent)
+	}
+	e.Attach(id, m.Subtree)
+	return e.Err()
+}
+
+// DetachSubtree removes the subtree rooted at the named node — a context
+// (and its sensors) disappearing from the workload. The root cannot be
+// detached, and removing the last child of a CRU is rejected at
+// validation (every leaf must be a sensor).
+type DetachSubtree struct {
+	Node string
+}
+
+func (m DetachSubtree) apply(e *model.Editor) error {
+	id, ok := e.NodeByName(m.Node)
+	if !ok {
+		return fmt.Errorf("incremental: detach: unknown node %q", m.Node)
+	}
+	e.Detach(id)
+	return e.Err()
+}
+
+// SatelliteChange re-homes a sensor onto another satellite, identified by
+// name; an unknown name registers a new satellite. This changes the
+// colour partition, so the revision is fully re-validated (a subtree that
+// was monochromatic may stop being sinkable and vice versa).
+type SatelliteChange struct {
+	Sensor    string
+	Satellite string
+}
+
+func (m SatelliteChange) apply(e *model.Editor) error {
+	id, ok := e.NodeByName(m.Sensor)
+	if !ok {
+		return fmt.Errorf("incremental: satellite-change: unknown sensor %q", m.Sensor)
+	}
+	e.SetSensorSatellite(id, e.EnsureSatellite(m.Satellite))
+	return e.Err()
+}

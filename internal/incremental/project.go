@@ -1,0 +1,73 @@
+package incremental
+
+import (
+	"repro/internal/model"
+)
+
+// Project maps an assignment computed on one revision of a tree onto
+// another revision, matching processing CRUs and satellites by name, and
+// returns a feasible warm-start assignment for the target tree — always:
+// anything the mutations invalidated is repaired toward the host, which
+// is feasible for every CRU.
+//
+// The repair walks the target in pre-order, so parents are decided before
+// children, and enforces the placement rules directly:
+//
+//   - a CRU under a satellite-resident parent must follow it (the model
+//     forbids host CRUs below satellite CRUs, and feasibility of the
+//     parent guarantees the child shares its correspondent satellite);
+//   - a CRU under a hosted parent keeps its prior satellite only if that
+//     satellite still exists by name and is still the CRU's correspondent
+//     satellite in the target revision; otherwise it returns to the host.
+//
+// Projecting onto the same tree reproduces the assignment exactly, so a
+// warm hint never degrades an unchanged instance.
+func Project(from *model.Tree, asg *model.Assignment, to *model.Tree) *model.Assignment {
+	out := model.NewAssignment(to)
+	if from == nil || asg == nil {
+		return out
+	}
+
+	// Prior placement by CRU name, satellite identity by satellite name.
+	prior := make(map[string]model.SatelliteID, from.Len())
+	for _, id := range from.Preorder() {
+		n := from.Node(id)
+		if n.Kind != model.Processing {
+			continue
+		}
+		if sat, onSat := asg.At(id).Satellite(); onSat {
+			prior[n.Name] = sat
+		}
+	}
+	toSat := make(map[string]model.SatelliteID, len(to.Satellites()))
+	for _, s := range to.Satellites() {
+		if _, dup := toSat[s.Name]; !dup {
+			toSat[s.Name] = s.ID
+		}
+	}
+
+	for _, id := range to.Preorder() {
+		n := to.Node(id)
+		if n.Kind != model.Processing || id == to.Root() {
+			continue
+		}
+		if psat, onSat := out.At(n.Parent).Satellite(); onSat {
+			// The subtree above already sank; feasibility of the parent
+			// guarantees this CRU's correspondent satellite is psat.
+			out.Set(id, model.OnSatellite(psat))
+			continue
+		}
+		priorSat, had := prior[n.Name]
+		if !had {
+			continue // new node, or was hosted: stays on the host
+		}
+		want, ok := toSat[from.SatelliteName(priorSat)]
+		if !ok {
+			continue // satellite no longer exists by name
+		}
+		if corr, mono := to.CorrespondentSatellite(id); mono && corr == want {
+			out.Set(id, model.OnSatellite(want))
+		}
+	}
+	return out
+}

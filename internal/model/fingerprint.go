@@ -4,13 +4,29 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"hash"
 	"math"
 )
 
 // fingerprintVersion prefixes every fingerprint so the hash scheme can
 // evolve without silently colliding with values minted by older builds
-// (cached results keyed by an old scheme simply miss).
-const fingerprintVersion = "cr1"
+// (cached results keyed by an old scheme simply miss). cr2 is the Merkle
+// scheme: per-subtree hashes that delta-edits can reuse.
+const fingerprintVersion = "cr2"
+
+// fpMemo is the memoised fingerprint state of one Tree: the Merkle hash of
+// every subtree, a validity mask, and each sensor's satellite rank (the
+// satellite partition renumbered by first appearance in pre-order, so
+// satellite identity is structural, not nominal). Editor.Build transfers a
+// base tree's memo onto a profile-edited copy with only the root-to-edit
+// paths invalidated, which is what makes re-fingerprinting a mutated tree
+// O(depth) instead of O(n).
+type fpMemo struct {
+	node    [][sha256.Size]byte // per node: Merkle hash of its subtree
+	valid   []bool              // per node: node[] entry is current
+	satRank []int               // per node: sensor's satellite rank, -1 otherwise
+	fp      string              // rendered fingerprint; "" until computed
+}
 
 // Fingerprint returns a canonical, order-stable content hash of the
 // problem instance: two structurally identical trees — same shape in the
@@ -22,9 +38,9 @@ const fingerprintVersion = "cr1"
 // parameters (algorithm, objective weights, seed, budget).
 //
 // The hash covers everything the solvers read and nothing they ignore:
-//   - the tree shape via each node's parent, encoded in pre-order (the
-//     planar embedding is semantic: it defines the faces of the
-//     assignment graph, so sibling order matters and is preserved);
+//   - the tree shape and planar embedding, via per-subtree Merkle hashes
+//     that fold each node's ordered children hashes into its own (sibling
+//     order is semantic: it defines the faces of the assignment graph);
 //   - each node's kind, h_i, s_i and c_{i,parent} as exact float bits;
 //   - the satellite partition, with satellites renumbered by first
 //     appearance in pre-order so satellite identity is structural, not
@@ -32,65 +48,120 @@ const fingerprintVersion = "cr1"
 //
 // Names and the incidental NodeID/SatelliteID numbering are excluded.
 //
-// The hash is memoised on the (immutable) tree, so serving paths that
-// fingerprint the same tree repeatedly — cache keying plus wire-response
-// building — pay for one SHA-256 pass. refreshCaches invalidates the
-// memo alongside every other derived index.
+// The Merkle structure makes the hash delta-aware: the per-node hashes
+// are memoised on the (immutable) tree, and Editor.Build hands a
+// profile-edited copy the base tree's memo with only the paths from the
+// edited nodes to the root invalidated, so re-fingerprinting after a
+// weight update costs O(depth) hashes instead of O(n). refreshCaches
+// invalidates the memo alongside every other derived index.
 func Fingerprint(t *Tree) string {
-	if p := t.fp.Load(); p != nil {
-		return *p
+	if m := t.fpm.Load(); m != nil && m.fp != "" {
+		return m.fp
 	}
+	m := computeFingerprint(t)
+	t.fpm.Store(m)
+	return m.fp
+}
+
+// adoptFingerprintMemo seeds t's fingerprint memo from base's, invalidating
+// the dirty nodes and all their ancestors. The caller guarantees t and base
+// share shape, planar embedding and satellite partition (profile-only
+// edits), so every still-valid per-subtree hash is correct for t as well.
+// A missing or mismatched base memo is ignored: Fingerprint then recomputes
+// from scratch.
+func (t *Tree) adoptFingerprintMemo(base *Tree, dirty []NodeID) {
+	bm := base.fpm.Load()
+	if bm == nil || len(bm.node) != t.Len() {
+		return
+	}
+	m := &fpMemo{
+		node:    append([][sha256.Size]byte(nil), bm.node...),
+		valid:   append([]bool(nil), bm.valid...),
+		satRank: append([]int(nil), bm.satRank...),
+	}
+	for _, id := range dirty {
+		for cur := id; cur != None && m.valid[cur]; cur = t.nodes[cur].Parent {
+			m.valid[cur] = false
+		}
+	}
+	t.fpm.Store(m)
+}
+
+// computeFingerprint fills a fresh memo, reusing every still-valid subtree
+// hash of the tree's current memo (left behind by adoptFingerprintMemo).
+func computeFingerprint(t *Tree) *fpMemo {
+	n := t.Len()
+	prev := t.fpm.Load()
+	m := &fpMemo{
+		node:    make([][sha256.Size]byte, n),
+		valid:   make([]bool, n),
+		satRank: make([]int, n),
+	}
+
+	// Satellites renumbered by first appearance in pre-order.
+	rank := make(map[SatelliteID]int, len(t.satellites))
+	for i := range m.satRank {
+		m.satRank[i] = -1
+	}
+	for _, id := range t.Preorder() {
+		nd := &t.nodes[id]
+		if nd.Kind == SensorKind {
+			r, ok := rank[nd.Satellite]
+			if !ok {
+				r = len(rank)
+				rank[nd.Satellite] = r
+			}
+			m.satRank[id] = r
+		}
+	}
+
+	reuse := prev != nil && len(prev.node) == n
 	h := sha256.New()
 	var buf [8]byte
-	writeInt := func(v int) {
-		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
-		h.Write(buf[:])
-	}
-	writeFloat := func(v float64) {
-		// Exact bit pattern: fingerprints never round. +0/−0 collapse so
-		// the two representations of "no cost" agree.
-		if v == 0 {
-			v = 0
+	for _, id := range t.Postorder() {
+		if reuse && prev.valid[id] && prev.satRank[id] == m.satRank[id] {
+			// A valid entry certifies the whole subtree unchanged; its
+			// children need not even be looked at.
+			m.node[id] = prev.node[id]
+			m.valid[id] = true
+			continue
 		}
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-		h.Write(buf[:])
+		nd := &t.nodes[id]
+		h.Reset()
+		buf[0] = byte(nd.Kind)
+		h.Write(buf[:1])
+		writeFPFloat(h, &buf, nd.HostTime)
+		writeFPFloat(h, &buf, nd.SatTime)
+		writeFPFloat(h, &buf, nd.UpComm)
+		writeFPInt(h, &buf, m.satRank[id])
+		writeFPInt(h, &buf, len(nd.Children))
+		for _, c := range nd.Children {
+			h.Write(m.node[c][:])
+		}
+		h.Sum(m.node[id][:0])
+		m.valid[id] = true
 	}
 
-	pre := t.Preorder()
-	writeInt(len(pre))
-	writeInt(len(t.satellites))
-
-	// Pre-order position of every node, so parents can be referenced
-	// canonically regardless of how NodeIDs were handed out.
-	pos := make([]int, t.Len())
-	for i, id := range pre {
-		pos[id] = i
-	}
-	// Satellites renumbered by first appearance in pre-order.
-	satRank := make(map[SatelliteID]int, len(t.satellites))
-
-	for _, id := range pre {
-		n := t.Node(id)
-		writeInt(int(n.Kind))
-		if n.Parent == None {
-			writeInt(-1)
-		} else {
-			writeInt(pos[n.Parent])
-		}
-		writeFloat(n.HostTime)
-		writeFloat(n.SatTime)
-		writeFloat(n.UpComm)
-		if n.Kind == SensorKind {
-			rank, ok := satRank[n.Satellite]
-			if !ok {
-				rank = len(satRank)
-				satRank[n.Satellite] = rank
-			}
-			writeInt(rank)
-		}
-	}
+	h.Reset()
+	writeFPInt(h, &buf, n)
+	writeFPInt(h, &buf, len(t.satellites))
+	h.Write(m.node[t.root][:])
 	sum := h.Sum(nil)
-	fp := fingerprintVersion + "-" + hex.EncodeToString(sum[:16])
-	t.fp.Store(&fp)
-	return fp
+	m.fp = fingerprintVersion + "-" + hex.EncodeToString(sum[:16])
+	return m
+}
+
+func writeFPInt(h hash.Hash, buf *[8]byte, v int) {
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+	h.Write(buf[:])
+}
+
+func writeFPFloat(h hash.Hash, buf *[8]byte, v float64) {
+	// Exact bit pattern: fingerprints never round. +0/−0 collapse so the
+	// two representations of "no cost" agree.
+	if v == 0 {
+		v = 0
+	}
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	h.Write(buf[:])
 }

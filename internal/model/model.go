@@ -1,13 +1,3 @@
-// Package model defines the data model of the paper: ordered CRU trees
-// (Context Reasoning Units) whose leaves are sensors physically attached to
-// the satellites of a host–satellites star network, per-CRU execution
-// profiles (host time h_i, satellite time s_i), per-edge communication
-// costs, and assignments of CRUs onto the host or their correspondent
-// satellites.
-//
-// The model is deliberately self-contained: every other package (colouring,
-// assignment-graph construction, solvers, simulator, workload generators)
-// builds on the invariants established and validated here.
 package model
 
 import (
@@ -115,7 +105,7 @@ type Tree struct {
 	subSat    []float64       // per node: Σ SatTime over its subtree
 	subSats   [][]SatelliteID // per node: sorted distinct satellites under it
 
-	fp atomic.Pointer[string] // memoised Fingerprint; cleared by refreshCaches
+	fpm atomic.Pointer[fpMemo] // memoised Fingerprint state; cleared by refreshCaches
 }
 
 // Len returns the number of nodes (processing CRUs plus sensors).
@@ -313,7 +303,7 @@ func (t *Tree) Render() string {
 // refreshCaches recomputes every derived index. It assumes the structural
 // invariants hold (call Validate first when in doubt).
 func (t *Tree) refreshCaches() {
-	t.fp.Store(nil)
+	t.fpm.Store(nil)
 	n := len(t.nodes)
 	t.preorder = make([]NodeID, 0, n)
 	t.postorder = make([]NodeID, 0, n)

@@ -1,0 +1,132 @@
+package model
+
+import (
+	"fmt"
+	"testing"
+)
+
+// chainTree builds a deep chain of n processing CRUs over one sensor —
+// the worst case for path invalidation (depth ~ n).
+func chainTree(tb testing.TB, n int) *Tree {
+	tb.Helper()
+	b := NewBuilder()
+	sat := b.Satellite("S")
+	cur := b.Root("cru-0", 1, 0)
+	for i := 1; i < n; i++ {
+		cur = b.Child(cur, fmt.Sprintf("cru-%d", i), 1, 2, 0.5)
+	}
+	b.Sensor(cur, "probe", sat, 0.25)
+	t, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return t
+}
+
+func TestEditorFastPathProfiles(t *testing.T) {
+	base := chainTree(t, 8)
+	baseFP := Fingerprint(base)
+	baseSub := base.SubtreeSatTime(base.Root())
+
+	e := base.Edit()
+	id, _ := e.NodeByName("cru-4")
+	e.SetTimes(id, 3, 7) // s: 2 -> 7
+	next, err := e.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structure and caches carry over; the sat-load cache is re-derived.
+	if next.Len() != base.Len() || next.Root() != base.Root() {
+		t.Fatal("fast path changed the shape")
+	}
+	if got, want := next.SubtreeSatTime(next.Root()), baseSub+5; got != want {
+		t.Fatalf("root subtree sat time %v, want %v", got, want)
+	}
+	if base.Node(id).SatTime != 2 {
+		t.Fatal("edit leaked into the base tree")
+	}
+	if Fingerprint(base) != baseFP {
+		t.Fatal("base fingerprint disturbed")
+	}
+	// Delta fingerprint equals a cold recompute on an identical tree.
+	if got, want := Fingerprint(next), Fingerprint(next.Clone()); got != want {
+		t.Fatalf("delta fingerprint %s != cold %s", got, want)
+	}
+	if Fingerprint(next) == baseFP {
+		t.Fatal("fingerprint ignored the profile edit")
+	}
+}
+
+func TestEditorRejects(t *testing.T) {
+	base := chainTree(t, 4)
+	sensor, _ := base.NodeByName("probe")
+	root := base.Root()
+
+	cases := []func(e *Editor){
+		func(e *Editor) { e.SetTimes(sensor, 1, 0) },           // sensors perform no work
+		func(e *Editor) { e.SetUpComm(root, 1) },               // root has no uplink
+		func(e *Editor) { e.SetTimes(root, -1, 0) },            // negative time
+		func(e *Editor) { e.Detach(root) },                     // root must stay
+		func(e *Editor) { e.SetSensorSatellite(root, 0) },      // not a sensor
+		func(e *Editor) { e.SetSensorSatellite(sensor, 99) },   // unknown satellite
+		func(e *Editor) { e.Attach(sensor, &Spec{}) },          // empty fragment under a sensor
+		func(e *Editor) { e.SetTimes(NodeID(4096), 1, 1) },     // out of range
+		func(e *Editor) { e.Detach(sensor); e.Detach(sensor) }, // already detached
+	}
+	for i, stage := range cases {
+		e := base.Edit()
+		stage(e)
+		if _, err := e.Build(); err == nil {
+			t.Errorf("case %d: Build succeeded, want error", i)
+		}
+	}
+}
+
+func TestEditorErrorSticky(t *testing.T) {
+	base := chainTree(t, 4)
+	e := base.Edit()
+	e.SetUpComm(base.Root(), 1) // fails
+	id, _ := e.NodeByName("cru-2")
+	e.SetTimes(id, 9, 9) // silently skipped
+	if _, err := e.Build(); err == nil {
+		t.Fatal("expected sticky error")
+	}
+}
+
+// BenchmarkFingerprintDelta isolates the tentpole's identity fast path:
+// after a single-weight edit on a large tree, the delta recompute touches
+// only the root-to-edit path, while the cold variant rehashes every node.
+func BenchmarkFingerprintDelta(b *testing.B) {
+	const n = 2048
+	base := chainTree(b, n)
+	Fingerprint(base) // prime the memo
+
+	b.Run("delta", func(b *testing.B) {
+		tree := base
+		for i := 0; i < b.N; i++ {
+			e := tree.Edit()
+			id, _ := e.NodeByName("cru-1024")
+			e.SetTimes(id, float64(i%7)+1, 2)
+			next, err := e.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			Fingerprint(next)
+			tree = next
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		tree := base
+		for i := 0; i < b.N; i++ {
+			e := tree.Edit()
+			id, _ := e.NodeByName("cru-1024")
+			e.SetTimes(id, float64(i%7)+1, 2)
+			next, err := e.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			Fingerprint(next.Clone())
+			tree = next
+		}
+	})
+}

@@ -1,8 +1,3 @@
-// Package pool provides the one bounded worker pool every batch path
-// shares: Solver.SolveBatch, Service.SolveBatch and the HTTP batch
-// handler all dispatch per-item work through Run, so the pool semantics
-// (worker clamping, cancellation of undispatched items) live in exactly
-// one place.
 package pool
 
 import (

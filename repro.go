@@ -66,6 +66,23 @@
 // Package api defines the versioned wire DTOs (SolveRequest,
 // SolveResponse, structured error codes) and cmd/crserve exposes the
 // Service over HTTP.
+//
+// # Dynamic workloads
+//
+// Long-lived trees under mutation traffic use a Session: mutations
+// (WeightUpdate, AttachSubtree, DetachSubtree, SatelliteChange) apply as
+// atomic revisions, and every Resolve is warm — the previous outcome is
+// projected onto the mutated tree and offered to the solver as a seed,
+// while delta-aware fingerprinting keeps cache identity cheap and lets
+// revisited shapes hit the shared cache:
+//
+//	sess, err := svc.OpenSession(tree)
+//	out, status, err := sess.Resolve(ctx)          // cold first solve
+//	err = sess.Mutate(repro.WeightUpdate{Node: "filter", SatTime: &v})
+//	out, status, err = sess.Resolve(ctx)           // warm re-solve
+//
+// cmd/crserve exposes sessions under /v1/session; examples/dynamic walks
+// a complete drifting-weights scenario.
 package repro
 
 import (

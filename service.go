@@ -89,7 +89,28 @@ func (s *Service) solveCached(ctx context.Context, t *Tree, cfg settings) (*Outc
 	if t == nil {
 		return nil, CacheMiss, fmt.Errorf("%w: nil tree", ErrInvalidTree)
 	}
+	// A warm hint never changes an exact solver's answer, and solvers
+	// without WarmStart capability drop it before searching, so both keep
+	// the full cache path (the hint is excluded from the key: a hit is
+	// correct either way, and a miss solves warm). A warm-started
+	// non-exact solve is start-dependent: serving a stored result is fine
+	// (the deterministic cold answer, same as every other caller gets),
+	// but its own result must never enter the store, where it would leak
+	// a warmed local optimum into cold requests under the same key — so
+	// it looks up, and on a miss solves directly without storing.
 	key := requestKey(t, cfg)
+	if cfg.warm != nil {
+		if caps, ok := Capability(cfg.algorithm); ok && caps.WarmStart && !caps.Exact {
+			if v, ok := s.cache.Get(key); ok {
+				return s.deliver(v.(*cachedSolve), t, CacheHit)
+			}
+			out, err := s.solve(ctx, t, cfg)
+			if err != nil {
+				return nil, CacheMiss, err
+			}
+			return out, CacheMiss, nil
+		}
+	}
 	// A shared flight can fail with the *leader's* cancellation — its
 	// tight deadline or disconnect, nothing to do with this caller. As
 	// long as our own context is alive, retry: the key is unclaimed
@@ -112,16 +133,21 @@ func (s *Service) solveCached(ctx context.Context, t *Tree, cfg settings) (*Outc
 			}
 			return nil, how, err
 		}
-		cs := v.(*cachedSolve)
-		if cs.tree == t {
-			return cs.out, how, nil
-		}
-		out, err := remapOutcome(cs.out, cs.tree, t)
-		if err != nil {
-			return nil, how, err
-		}
-		return out, how, nil
+		return s.deliver(v.(*cachedSolve), t, how)
 	}
+}
+
+// deliver hands a cached solve to the caller, remapping the outcome when
+// it was computed on a different (structurally identical) tree.
+func (s *Service) deliver(cs *cachedSolve, t *Tree, how CacheStatus) (*Outcome, CacheStatus, error) {
+	if cs.tree == t {
+		return cs.out, how, nil
+	}
+	out, err := remapOutcome(cs.out, cs.tree, t)
+	if err != nil {
+		return nil, how, err
+	}
+	return out, how, nil
 }
 
 // canceledElsewhere reports whether err is a cancellation that may belong
@@ -227,11 +253,12 @@ func (s *Service) SolveBatch(ctx context.Context, trees []*Tree, opts ...Option)
 
 // requestKey is the cache identity of one solve: the tree's structural
 // fingerprint plus every parameter that changes the answer. The timeout
-// is excluded (it bounds the work, not the result), parameters the
-// chosen algorithm declares it ignores are normalised away (a seed on
-// the deterministic adapted-ssb must not fragment the cache), and zero
-// weights collapse onto the default S+B objective so both spellings
-// share a key.
+// is excluded (it bounds the work, not the result), warm-start hints are
+// excluded (they are advisory and reach the cache only for exact solvers,
+// whose answer they cannot change), parameters the chosen algorithm
+// declares it ignores are normalised away (a seed on the deterministic
+// adapted-ssb must not fragment the cache), and zero weights collapse
+// onto the default S+B objective so both spellings share a key.
 func requestKey(t *Tree, cfg settings) string {
 	w, seed, budget := cfg.weights, cfg.seed, cfg.budget
 	if caps, ok := Capability(cfg.algorithm); ok {

@@ -1,0 +1,250 @@
+package repro
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func fp(v float64) *float64 { return &v }
+
+func sessionTree(t *testing.T) *Tree {
+	t.Helper()
+	b := NewBuilder()
+	r := b.Satellite("R")
+	bl := b.Satellite("B")
+	root := b.Root("fuse", 4, 0)
+	left := b.Child(root, "left", 2, 3, 1)
+	right := b.Child(root, "right", 3, 2, 1.5)
+	b.Sensor(left, "probe-l", r, 0.4)
+	b.Sensor(right, "probe-r", bl, 0.4)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestSessionMutateResolve(t *testing.T) {
+	svc := NewService(nil, 64)
+	sess, err := svc.OpenSession(sessionTree(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	out0, status, err := sess.Resolve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != CacheMiss {
+		t.Fatalf("first resolve: status %v, want miss", status)
+	}
+	if err := sess.Mutate(WeightUpdate{Node: "left", HostTime: fp(9)}); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Revision() != 1 {
+		t.Fatalf("revision %d, want 1", sess.Revision())
+	}
+	out1, _, err := sess.Resolve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold reference on the mutated tree.
+	cold, err := NewSolver().Solve(ctx, sess.Tree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.Delay != cold.Delay {
+		t.Fatalf("incremental delay %v != cold delay %v", out1.Delay, cold.Delay)
+	}
+	if out0.Delay == out1.Delay && out0.Assignment.Key() == out1.Assignment.Key() {
+		// Raising left's host time must change something about the solve.
+		t.Log("note: mutation did not move the optimum (fine, but unexpected for this instance)")
+	}
+
+	// Reverting the mutation returns to revision 0's fingerprint, so the
+	// shared cache answers without solving.
+	if err := sess.Mutate(WeightUpdate{Node: "left", HostTime: fp(2)}); err != nil {
+		t.Fatal(err)
+	}
+	out2, status, err := sess.Resolve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != CacheHit {
+		t.Fatalf("resolve after revert: status %v, want hit", status)
+	}
+	if out2.Delay != out0.Delay {
+		t.Fatalf("reverted delay %v != original %v", out2.Delay, out0.Delay)
+	}
+}
+
+func TestSessionMutateAtomic(t *testing.T) {
+	svc := NewService(nil, 8)
+	sess, err := svc.OpenSession(sessionTree(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpBefore := sess.Fingerprint()
+	err = sess.Mutate(
+		WeightUpdate{Node: "left", HostTime: fp(7)},
+		WeightUpdate{Node: "no-such-node", HostTime: fp(1)},
+	)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if sess.Revision() != 0 || sess.Fingerprint() != fpBefore {
+		t.Fatal("failed Mutate advanced the session")
+	}
+}
+
+func TestOpenSessionNilTree(t *testing.T) {
+	if _, err := NewService(nil, 0).OpenSession(nil); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// randomSessionMutation yields a mutation applicable to most revisions;
+// streams tolerate rejected rolls.
+func randomSessionMutation(rng *rand.Rand, tree *Tree, serial int) Mutation {
+	var crus, nonRoot, sensors []string
+	for _, id := range tree.Preorder() {
+		n := tree.Node(id)
+		switch {
+		case n.IsLeaf():
+			sensors = append(sensors, n.Name)
+		default:
+			crus = append(crus, n.Name)
+			if n.Parent >= 0 {
+				nonRoot = append(nonRoot, n.Name)
+			}
+		}
+	}
+	switch rng.Intn(8) {
+	case 0, 1, 2, 3: // dominant mode: weight drift
+		name := crus[rng.Intn(len(crus))]
+		return WeightUpdate{Node: name, HostTime: fp(rng.Float64() * 8), SatTime: fp(rng.Float64() * 8)}
+	case 4:
+		name := sensors[rng.Intn(len(sensors))]
+		return WeightUpdate{Node: name, UpComm: fp(rng.Float64() * 3)}
+	case 5:
+		tag := strconv.Itoa(serial)
+		return AttachSubtree{
+			Parent: crus[rng.Intn(len(crus))],
+			Subtree: &Spec{
+				CRUs: []SpecCRU{{Name: "dyn-cru-" + tag, HostTime: rng.Float64() * 4, SatTime: rng.Float64() * 4, Comm: rng.Float64()}},
+				Sensors: []SpecSensor{{
+					Name: "dyn-probe-" + tag, Parent: "dyn-cru-" + tag,
+					Satellite: tree.Satellites()[rng.Intn(len(tree.Satellites()))].Name,
+					Comm:      rng.Float64(),
+				}},
+			},
+		}
+	case 6:
+		if len(nonRoot) == 0 {
+			return nil
+		}
+		return DetachSubtree{Node: nonRoot[rng.Intn(len(nonRoot))]}
+	default:
+		return SatelliteChange{
+			Sensor:    sensors[rng.Intn(len(sensors))],
+			Satellite: tree.Satellites()[rng.Intn(len(tree.Satellites()))].Name,
+		}
+	}
+}
+
+// TestSessionEquivalenceProperty is the acceptance property: for random
+// mutation sequences, the warm incremental Resolve reports exactly the
+// optimum a cold Solve finds on the mutated tree — for the default exact
+// adapted SSB and for the warm-consuming exact branch-and-bound alike.
+func TestSessionEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ctx := context.Background()
+	cold := NewSolver()
+	for trial := 0; trial < 8; trial++ {
+		base := workload.Random(rng, workload.DefaultRandomSpec(14+rng.Intn(10), 3))
+		for _, alg := range []Algorithm{AdaptedSSB, BranchBound} {
+			svc := NewService(nil, 256)
+			sess, err := svc.OpenSession(base, WithAlgorithm(alg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial := 0
+			for step := 0; step < 10; step++ {
+				m := randomSessionMutation(rng, sess.Tree(), serial)
+				if m == nil {
+					continue
+				}
+				serial++
+				if err := sess.Mutate(m); err != nil {
+					continue // some rolls are legitimately rejected
+				}
+				warm, _, err := sess.Resolve(ctx)
+				if err != nil {
+					t.Fatalf("trial %d %s step %d: resolve: %v", trial, alg, step, err)
+				}
+				ref, err := cold.Solve(ctx, sess.Tree(), WithAlgorithm(alg))
+				if err != nil {
+					t.Fatalf("trial %d %s step %d: cold solve: %v", trial, alg, step, err)
+				}
+				if math.Abs(warm.Delay-ref.Delay) > 1e-9 {
+					t.Fatalf("trial %d %s step %d: incremental delay %v != cold delay %v",
+						trial, alg, step, warm.Delay, ref.Delay)
+				}
+				if err := warm.Assignment.Validate(sess.Tree()); err != nil {
+					t.Fatalf("trial %d %s step %d: infeasible outcome: %v", trial, alg, step, err)
+				}
+			}
+		}
+	}
+}
+
+// TestSessionWarmHeuristicCacheRules pins the cache-correctness rule for
+// warm-started non-exact solves: they may be SERVED from the shared
+// store (the deterministic cold answer every caller gets) but their own
+// start-dependent results never enter it, so a cold request for the same
+// key cannot observe a warm local optimum.
+func TestSessionWarmHeuristicCacheRules(t *testing.T) {
+	svc := NewService(nil, 64)
+	sess, err := svc.OpenSession(sessionTree(t), WithAlgorithm(GreedyHost))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, _, err := sess.Resolve(ctx); err != nil { // cold: no warm seed yet
+		t.Fatal(err)
+	}
+	if err := sess.Mutate(WeightUpdate{Node: "left", HostTime: fp(5)}); err != nil {
+		t.Fatal(err)
+	}
+	// This resolve is warm (previous outcome exists) and greedy is not
+	// exact: a store lookup is allowed, but the miss must be solved
+	// outside the store.
+	if _, status, err := sess.Resolve(ctx); err != nil {
+		t.Fatal(err)
+	} else if status != CacheMiss {
+		t.Fatalf("warm heuristic resolve: status %v, want miss", status)
+	}
+	// A direct cold solve of the same instance+algorithm is a genuine
+	// store miss, proving the warm solve left nothing behind.
+	if _, status, err := svc.Solve(ctx, sess.Tree(), WithAlgorithm(GreedyHost)); err != nil {
+		t.Fatal(err)
+	} else if status != CacheMiss {
+		t.Fatalf("cold solve after warm: status %v, want miss", status)
+	}
+	// Reverting to the opening shape revisits a stored key: the warm
+	// resolve is served from the store as a hit.
+	if err := sess.Mutate(WeightUpdate{Node: "left", HostTime: fp(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, status, err := sess.Resolve(ctx); err != nil {
+		t.Fatal(err)
+	} else if status != CacheHit {
+		t.Fatalf("warm resolve of revisited shape: status %v, want hit", status)
+	}
+}

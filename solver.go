@@ -25,6 +25,7 @@ type settings struct {
 	budget      int
 	timeout     time.Duration
 	parallelism int
+	warm        *Assignment
 }
 
 // Option configures a Solver (in NewSolver) or a single call (in Solve and
@@ -54,6 +55,17 @@ func WithTimeout(d time.Duration) Option { return func(s *settings) { s.timeout 
 
 // WithParallelism bounds SolveBatch's worker pool (default runtime.NumCPU).
 func WithParallelism(n int) Option { return func(s *settings) { s.parallelism = n } }
+
+// WithWarmStart offers a prior assignment as the starting point of the
+// search — typically a previous revision's solution projected onto a
+// mutated tree (Session does this automatically). The hint is advisory:
+// solvers whose Capabilities declare WarmStart consume it — exact ones
+// only to prune, so their answer is identical with or without it, and
+// heuristics as the start of their walk — everyone else ignores it, and
+// hints infeasible for the solved tree are dropped. Because it never
+// changes an exact answer, the hint is excluded from the Service's cache
+// identity.
+func WithWarmStart(a *Assignment) Option { return func(s *settings) { s.warm = a } }
 
 // NewSolver returns a Solver whose defaults are the given options.
 func NewSolver(opts ...Option) *Solver {
@@ -101,6 +113,7 @@ func solveOne(ctx context.Context, t *Tree, cfg settings) (*Outcome, error) {
 		Weights:   cfg.weights,
 		Seed:      cfg.seed,
 		Budget:    cfg.budget,
+		Warm:      cfg.warm,
 	})
 }
 
