@@ -10,6 +10,7 @@
 //	crbench -id E1     # one experiment
 //	crbench -markdown > experiments.md
 //	crbench -json > experiments.json
+//	crbench -json -id P1 -out BENCH_PR4.json   # perf record with allocs/op + bytes/op
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"time"
@@ -40,10 +42,27 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (one array of experiment records)")
 	timeout := flag.Duration("timeout", 0, "overall deadline; pending experiments are skipped once it expires (0 = none)")
+	out := flag.String("out", "", "write the rendered output to this file instead of stdout (e.g. BENCH_PR4.json)")
 	flag.Parse()
 	if *markdown && *jsonOut {
 		fmt.Fprintln(os.Stderr, "crbench: -markdown and -json are mutually exclusive")
 		os.Exit(2)
+	}
+
+	dst := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crbench: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "crbench: closing %s: %v\n", *out, err)
+				os.Exit(1)
+			}
+		}()
+		dst = f
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -88,14 +107,14 @@ func main() {
 				ElapsedMS: elapsed.Milliseconds(),
 			})
 		case *markdown:
-			fmt.Print(tbl.Markdown())
+			fmt.Fprint(dst, tbl.Markdown())
 		default:
-			fmt.Print(tbl.Render())
-			fmt.Printf("(%s in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
+			fmt.Fprint(dst, tbl.Render())
+			fmt.Fprintf(dst, "(%s in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
 		}
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(dst)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(records); err != nil {
 			fmt.Fprintf(os.Stderr, "crbench: encoding JSON: %v\n", err)

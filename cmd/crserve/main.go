@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux, exposed only behind -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +50,7 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 1024, "max live dynamic-tree sessions; excess opens evict the least recently used")
 	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle expiry for dynamic-tree sessions (negative disables)")
 	grace := flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on shutdown")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
 	solver := repro.NewSolver(repro.WithParallelism(*parallelism))
@@ -78,6 +80,17 @@ func main() {
 			*addr, *cacheSize, *maxInflight)
 		errc <- srv.ListenAndServe()
 	}()
+
+	// The profiling listener is guarded by -pprof and bound separately
+	// from the API server, so CPU/heap profiles of the flat-plan hot
+	// paths are reachable in production without exposing them on the
+	// serving address. It serves the DefaultServeMux: /debug/pprof/*.
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "crserve: pprof on http://%s/debug/pprof\n", *pprofAddr)
+			errc <- http.ListenAndServe(*pprofAddr, nil)
+		}()
+	}
 
 	select {
 	case err := <-errc:

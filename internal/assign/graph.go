@@ -25,12 +25,13 @@ type Edge struct {
 // Graph is the coloured doubly weighted assignment graph of one tree.
 type Graph struct {
 	tree     *model.Tree
-	analysis *colouring.Analysis
-	faces    int // L+1: terminal S is face 0, terminal T is face L
+	plan     *model.Compiled     // flat plan; nil only for BuildPointer graphs
+	analysis *colouring.Analysis // nil until Analysis() on plan-built graphs
+	faces    int                 // L+1: terminal S is face 0, terminal T is face L
 	edges    []Edge
 	out      [][]int // face -> edge IDs (enabled and disabled alike)
 
-	treeSigma []float64 // per child node: Figure-8 σ label of its tree edge
+	treeSigma []float64 // pointer-built graphs only; plan graphs read plan.Sigma
 }
 
 // ErrUnsolvable is returned when no S→T path exists, i.e. some root-to-
@@ -39,15 +40,70 @@ type Graph struct {
 // indicates a corrupted graph.
 var ErrUnsolvable = errors.New("assign: assignment graph has no S→T path")
 
-// Build colours the tree and constructs its assignment graph.
+// Build constructs the assignment graph from the tree's compiled plan:
+// one pass over the flat arrays — σ labels, subtree β aggregates, leaf
+// spans and edge colours are all precomputed — instead of the recursive
+// pointer walks BuildPointer performs. Edge order (pre-order of the
+// crossed child) matches BuildPointer exactly, so the two graphs are
+// interchangeable tie-break for tie-break.
 func Build(t *model.Tree) *Graph {
-	return BuildWithAnalysis(colouring.Analyse(t))
+	return BuildPlan(model.Compile(t))
+}
+
+// BuildPlan returns the assignment graph of a compiled plan, memoised on
+// the plan: the graph is immutable (solvers work on pooled workGraph
+// copies), so every solve of the same tree revision shares one build.
+func BuildPlan(c *model.Compiled) *Graph {
+	if g, ok := c.Dual().(*Graph); ok {
+		return g
+	}
+	t := c.Tree()
+	g := &Graph{
+		tree:  t,
+		plan:  c,
+		faces: t.SensorCount() + 1,
+	}
+	g.out = make([][]int, g.faces)
+	g.edges = make([]Edge, 0, c.Len()-1)
+	// One arena for every edge's single-element CutChildren slice.
+	children := make([]model.NodeID, 0, c.Len()-1)
+	for _, p := range c.Pre {
+		if c.Parent[p] < 0 {
+			continue
+		}
+		colour := c.Colour[p]
+		if colour == model.NoSatellite {
+			continue // the cut may never pass through a conflicting edge
+		}
+		children = append(children, c.Post[p])
+		g.addEdge(Edge{
+			From:        int(c.LeafLo[p]),
+			To:          int(c.LeafHi[p]) + 1,
+			Sigma:       c.Sigma[p],
+			Beta:        c.SubSat[p] + c.UpComm[p],
+			Colour:      colour,
+			CutChildren: children[len(children)-1 : len(children) : len(children)],
+		})
+	}
+	c.StoreDual(g)
+	return g
 }
 
 // BuildWithAnalysis constructs the assignment graph for a pre-computed
-// colouring.
+// colouring. The analysis and the graph share one compiled plan, so the
+// graph build costs the same flat pass either way; the memoised graph is
+// never mutated (it may be shared with concurrent solves).
 func BuildWithAnalysis(an *colouring.Analysis) *Graph {
-	t := an.Tree()
+	return BuildPlan(an.Plan())
+}
+
+// BuildPointer is the original pointer-walking construction: Figure-8 σ
+// labelling by recursive pre-order propagation and per-edge subtree
+// lookups through the tree's node structs. It is retained as the
+// reference implementation the plan-built graph is parity-tested against
+// and as the baseline of BenchmarkCompiledVsPointer.
+func BuildPointer(t *model.Tree) *Graph {
+	an := colouring.Analyse(t)
 	g := &Graph{
 		tree:      t,
 		analysis:  an,
@@ -83,7 +139,7 @@ func BuildWithAnalysis(an *colouring.Analysis) *Graph {
 		}
 		colour, conflict := an.EdgeColour(id)
 		if conflict {
-			continue // the cut may never pass through a conflicting edge
+			continue
 		}
 		lo, hi := t.LeafRange(id)
 		g.addEdge(Edge{
@@ -108,8 +164,41 @@ func (g *Graph) addEdge(e Edge) int {
 // Tree returns the underlying tree.
 func (g *Graph) Tree() *model.Tree { return g.tree }
 
-// Analysis returns the colouring the graph was built from.
-func (g *Graph) Analysis() *colouring.Analysis { return g.analysis }
+// Analysis returns the graph's colouring view. Pointer-built graphs
+// carry theirs; plan-built graphs derive one on demand (cheap — the
+// heavy results live in the shared compiled plan) instead of caching it,
+// because a memoised graph may be shared across concurrent solves.
+func (g *Graph) Analysis() *colouring.Analysis {
+	if g.analysis != nil {
+		return g.analysis
+	}
+	return colouring.Analyse(g.tree)
+}
+
+// contiguous reports whether the colour's sensors occupy one leaf band.
+func (g *Graph) contiguous(sat model.SatelliteID) bool {
+	if g.plan != nil {
+		return g.plan.Contiguous(sat)
+	}
+	return g.analysis.Contiguous(sat)
+}
+
+// bandRange returns the colour's single leaf band; ok is false when the
+// colour's sensors split into several bands (or none).
+func (g *Graph) bandRange(sat model.SatelliteID) (lo, hi int, ok bool) {
+	if g.plan != nil {
+		b := g.plan.Bands(sat)
+		if len(b) != 1 {
+			return 0, 0, false
+		}
+		return int(b[0].Lo), int(b[0].Hi), true
+	}
+	b := g.analysis.Bands(sat)
+	if len(b) != 1 {
+		return 0, 0, false
+	}
+	return b[0].Lo, b[0].Hi, true
+}
 
 // Faces returns the number of dual nodes (faces), terminals included.
 func (g *Graph) Faces() int { return g.faces }
@@ -130,7 +219,12 @@ func (g *Graph) Edge(id int) Edge { return g.edges[id] }
 func (g *Graph) Edges() []Edge { return g.edges }
 
 // TreeSigma returns the Figure-8 σ label of the tree edge above child.
-func (g *Graph) TreeSigma(child model.NodeID) float64 { return g.treeSigma[child] }
+func (g *Graph) TreeSigma(child model.NodeID) float64 {
+	if g.plan != nil {
+		return g.plan.Sigma[g.plan.Pos[child]]
+	}
+	return g.treeSigma[child]
+}
 
 // EdgeCrossing returns the dual edge crossing the tree edge above child, or
 // false when that edge conflicts (has no dual edge).
@@ -185,7 +279,18 @@ func (g *Graph) Decode(edgeIDs []int) (*model.Assignment, error) {
 	return asg, nil
 }
 
+// placeSubtree sinks the processing CRUs under root onto loc: a span fill
+// over the compiled plan when one is attached, a stack walk otherwise.
 func (g *Graph) placeSubtree(asg *model.Assignment, root model.NodeID, loc model.Location) {
+	if c := g.plan; c != nil {
+		p := c.Pos[root]
+		for q := c.Start[p]; q <= p; q++ {
+			if c.Proc[q] {
+				asg.Set(c.Post[q], loc)
+			}
+		}
+		return
+	}
 	stack := []model.NodeID{root}
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]

@@ -26,7 +26,7 @@ func init() {
 // SolveFunc shape.
 func graphSolver(solve func(*Graph, context.Context, Options) (*Solution, error)) core.SolveFunc {
 	return func(ctx context.Context, req core.Request) (core.Finding, error) {
-		sol, err := solve(Build(req.Tree), ctx, Options{Weights: req.Weights})
+		sol, err := solve(BuildPlan(req.Plan), ctx, Options{Weights: req.Weights})
 		if err != nil {
 			return core.Finding{}, err
 		}

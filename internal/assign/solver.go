@@ -5,12 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/colouring"
 	"repro/internal/core"
 	"repro/internal/dwg"
 	"repro/internal/model"
+	"repro/internal/pool"
 )
 
 // Options tunes the solvers. The zero value selects the paper's defaults:
@@ -38,19 +39,9 @@ type Options struct {
 	ConservativeElimination bool
 }
 
-func (o Options) weights() dwg.Weights {
-	if o.Weights == (dwg.Weights{}) {
-		return dwg.Default
-	}
-	return o.Weights
-}
+func (o Options) weights() dwg.Weights { return core.WeightsOr(o.Weights) }
 
-func (o Options) maxExpanded() int {
-	if o.MaxExpandedEdges <= 0 {
-		return 200000
-	}
-	return o.MaxExpandedEdges
-}
+func (o Options) maxExpanded() int { return core.IntOr(o.MaxExpandedEdges, 200000) }
 
 // Stats reports how the solve went. It is an alias of core.SearchStats so
 // the registry's uniform Outcome can carry it without core depending on
@@ -98,15 +89,47 @@ type workGraph struct {
 	// iteration, and iteration counts scale with the expanded edge count.
 	dist []float64
 	via  []int
+
+	// expanded marks colours already band-expanded this solve.
+	expanded []bool
+
+	// Scratch of expandColour's Pareto DP: the prefix arena and the
+	// per-face frontiers, reused across expansions and solves.
+	arena    []prefixNode
+	frontier [][]int
+
+	// path is minSigmaPath's result buffer (callers copy what they keep);
+	// rev and cutArena back the super-edges' reconstruction and crossed-
+	// children lists; loads is measures' dense per-colour accumulator.
+	path     []int
+	rev      []int
+	cutArena []model.NodeID
+	loads    []float64
 }
 
+// workGraphs is the pooled scratch arena of the path solvers: one
+// workGraph (mutable edge set, adjacency, DP buffers, expansion bitset)
+// is checked out per solve and returned on every exit path, so the
+// steady-state adapted-SSB loop allocates only its Solution.
+var workGraphs = pool.NewArena(func() *workGraph { return new(workGraph) })
+
 func newWorkGraph(g *Graph) *workGraph {
-	w := &workGraph{
-		faces: g.faces,
-		out:   make([][]int, g.faces),
-		dist:  make([]float64, g.faces),
-		via:   make([]int, g.faces),
+	w := workGraphs.Get()
+	w.faces = g.faces
+	w.dist = pool.Keep(w.dist, g.faces)
+	w.via = pool.Keep(w.via, g.faces)
+	w.expanded = pool.Slice(w.expanded, len(g.tree.Satellites()))
+	w.loads = pool.Slice(w.loads, len(g.tree.Satellites()))
+	if cap(w.out) < g.faces {
+		w.out = make([][]int, g.faces)
+	} else {
+		w.out = w.out[:g.faces]
+		for i := range w.out {
+			w.out[i] = w.out[i][:0]
+		}
 	}
+	w.edges = w.edges[:0]
+	w.cutArena = w.cutArena[:0]
 	for _, e := range g.edges {
 		w.add(workEdge{
 			from: e.From, to: e.To, sigma: e.Sigma, beta: e.Beta,
@@ -115,6 +138,11 @@ func newWorkGraph(g *Graph) *workGraph {
 	}
 	return w
 }
+
+// release returns the workGraph to the arena. Super-edge cutChildren
+// slices are dropped with the edge list truncation; the backing arrays
+// stay for the next solve.
+func (w *workGraph) release() { workGraphs.Put(w) }
 
 func (w *workGraph) add(e workEdge) int {
 	id := len(w.edges)
@@ -160,7 +188,9 @@ func (w *workGraph) minSigmaPath() ([]int, bool) {
 	if math.IsInf(dist[w.faces-1], 1) {
 		return nil, false
 	}
-	var ids []int
+	// The result lives in the workGraph's path buffer: the adapted loop
+	// calls this once per iteration and copies what it keeps.
+	ids := w.path[:0]
 	for f := w.faces - 1; f != 0; {
 		id := via[f]
 		ids = append(ids, id)
@@ -169,24 +199,34 @@ func (w *workGraph) minSigmaPath() ([]int, bool) {
 	for i, j := 0, len(ids)-1; i < j; i, j = i+1, j-1 {
 		ids[i], ids[j] = ids[j], ids[i]
 	}
+	w.path = ids
 	return ids, true
 }
 
-func (w *workGraph) measures(ids []int) (s float64, perColour map[model.SatelliteID]float64, b float64, bottleneck model.SatelliteID) {
-	perColour = map[model.SatelliteID]float64{}
+// measures computes a path's S, its coloured bottleneck B and the colour
+// attaining it (smallest colour id on ties, NoSatellite for an empty
+// path). Per-colour sums accumulate in the pooled dense table; only
+// colours on the path compete for the bottleneck, matching the sparse
+// map semantics this replaced.
+func (w *workGraph) measures(ids []int) (s, b float64, bottleneck model.SatelliteID) {
+	loads := w.loads
+	for i := range loads {
+		loads[i] = 0
+	}
 	for _, id := range ids {
 		e := &w.edges[id]
 		s += e.sigma
-		perColour[e.colour] += e.beta
+		loads[e.colour] += e.beta
 	}
 	bottleneck = model.NoSatellite
-	for c, v := range perColour {
-		if v > b || (v == b && (bottleneck == model.NoSatellite || c < bottleneck)) {
+	for _, id := range ids {
+		c := w.edges[id].colour
+		if v := loads[c]; v > b || (v == b && (bottleneck == model.NoSatellite || c < bottleneck)) {
 			b = v
 			bottleneck = c
 		}
 	}
-	return s, perColour, b, bottleneck
+	return s, b, bottleneck
 }
 
 // SolveAdapted runs the paper's §5.4 adapted SSB algorithm: iterate the
@@ -212,9 +252,9 @@ func (g *Graph) SolveAdaptedContext(ctx context.Context, opt Options) (*Solution
 		return nil, dwg.ErrBadWeights
 	}
 	w := newWorkGraph(g)
+	defer w.release()
 	sol := &Solution{Objective: math.Inf(1)}
 	var bestEdges []int
-	expanded := map[model.SatelliteID]bool{}
 
 	for iter := 1; ; iter++ {
 		if err := ctx.Err(); err != nil {
@@ -228,7 +268,7 @@ func (g *Graph) SolveAdaptedContext(ctx context.Context, opt Options) (*Solution
 			}
 			break
 		}
-		s, _, b, bottleneck := w.measures(path)
+		s, b, bottleneck := w.measures(path)
 		obj := wts.Value(s, b)
 		entry := TraceEntry{
 			Iteration: iter, S: s, B: b, Objective: obj,
@@ -273,7 +313,8 @@ func (g *Graph) SolveAdaptedContext(ctx context.Context, opt Options) (*Solution
 			// edges: Figure 9's situation. Expand that colour, or fall
 			// back when expansion cannot help (multi-band colour, budget
 			// exceeded, or expansion disabled).
-			if opt.DisableExpansion || expanded[bottleneck] || !g.analysis.Contiguous(bottleneck) {
+			if opt.DisableExpansion || bottleneck == model.NoSatellite ||
+				w.expanded[bottleneck] || !g.contiguous(bottleneck) {
 				entry.Note = "fallback"
 				sol.Trace = append(sol.Trace, entry)
 				sol.Stats.FellBack = true
@@ -286,7 +327,7 @@ func (g *Graph) SolveAdaptedContext(ctx context.Context, opt Options) (*Solution
 				sol.Stats.FellBack = true
 				return g.finishWithLabelSearch(ctx, w, sol, bestEdges, wts, opt)
 			}
-			expanded[bottleneck] = true
+			w.expanded[bottleneck] = true
 			sol.Stats.Expansions++
 			sol.Stats.SuperEdges += created
 			entry.ExpandedColour = bottleneck
@@ -309,21 +350,31 @@ func (g *Graph) SolveAdaptedContext(ctx context.Context, opt Options) (*Solution
 // Returns the number of super-edges created and false when the per-face
 // frontier budget is exceeded.
 func (w *workGraph) expandColour(g *Graph, colour model.SatelliteID, budget int) (int, bool) {
-	bands := g.analysis.Bands(colour)
-	if len(bands) != 1 {
+	lo, hi, ok := g.bandRange(colour)
+	if !ok {
 		return 0, false
 	}
-	entry, exit := bands[0].Lo, bands[0].Hi+1
+	entry, exit := lo, hi+1
 
-	// frontier[face] = Pareto-minimal (σ, β) prefix traversals entry→face.
-	// Prefixes live in an append-only arena and reference their
-	// predecessor by index, so the DP never copies edge lists; the final
-	// frontier's traversals are reconstructed by walking parent chains.
-	arena := []prefixNode{{edge: -1, parent: -1}}
-	frontier := make(map[int][]int, exit-entry+1) // face -> arena indices
-	frontier[entry] = []int{0}
+	// frontier[face-entry] = Pareto-minimal (σ, β) prefix traversals
+	// entry→face. Prefixes live in an append-only arena and reference
+	// their predecessor by index, so the DP never copies edge lists; the
+	// final frontier's traversals are reconstructed by walking parent
+	// chains. Arena and frontiers are workGraph scratch, reused across
+	// expansions.
+	span := exit - entry + 1
+	if cap(w.frontier) < span {
+		w.frontier = make([][]int, span)
+	} else {
+		w.frontier = w.frontier[:span]
+		for i := range w.frontier {
+			w.frontier[i] = w.frontier[i][:0]
+		}
+	}
+	arena := append(w.arena[:0], prefixNode{edge: -1, parent: -1})
+	w.frontier[0] = append(w.frontier[0], 0)
 	for face := entry; face < exit; face++ {
-		cur := frontier[face]
+		cur := w.frontier[face-entry]
 		if len(cur) == 0 {
 			continue
 		}
@@ -341,18 +392,20 @@ func (w *workGraph) expandColour(g *Graph, colour model.SatelliteID, budget int)
 					parent: pi,
 				}
 				candIdx := len(arena)
-				kept, added := paretoInsert(arena, frontier[e.to], cand, candIdx)
+				kept, added := paretoInsert(arena, w.frontier[e.to-entry], cand, candIdx)
 				if added {
 					arena = append(arena, cand) // unused when !added; harmless
 				}
-				frontier[e.to] = kept
-				if len(frontier[e.to]) > budget {
+				w.frontier[e.to-entry] = kept
+				if len(kept) > budget {
+					w.arena = arena
 					return 0, false
 				}
 			}
 		}
 	}
-	paths := frontier[exit]
+	w.arena = arena
+	paths := w.frontier[exit-entry]
 	if len(paths) == 0 {
 		// Band disconnected (all its edges eliminated): expanding cannot
 		// help; signal the caller to fall back.
@@ -370,13 +423,18 @@ func (w *workGraph) expandColour(g *Graph, colour model.SatelliteID, budget int)
 		se.from, se.to = entry, exit
 		se.colour = colour
 		se.sigma, se.beta = arena[pi].sigma, arena[pi].beta
-		var rev []int
+		rev := w.rev[:0]
 		for i := pi; arena[i].edge >= 0; i = arena[i].parent {
 			rev = append(rev, arena[i].edge)
 		}
+		w.rev = rev
+		// The crossed children live in the workGraph's arena; the slice
+		// header pins its own backing even if the arena later grows.
+		start := len(w.cutArena)
 		for i := len(rev) - 1; i >= 0; i-- {
-			se.cutChildren = append(se.cutChildren, w.edges[rev[i]].cutChildren...)
+			w.cutArena = append(w.cutArena, w.edges[rev[i]].cutChildren...)
 		}
+		se.cutChildren = w.cutArena[start:len(w.cutArena):len(w.cutArena)]
 		w.add(se)
 	}
 	return len(paths), true
@@ -423,7 +481,7 @@ func (g *Graph) packageSolution(w *workGraph, sol *Solution, bestEdges []int) (*
 	if err := asg.Validate(g.tree); err != nil {
 		return nil, fmt.Errorf("assign: optimal path decodes to infeasible assignment: %w", err)
 	}
-	sort.Slice(sol.CutChildren, func(i, j int) bool { return sol.CutChildren[i] < sol.CutChildren[j] })
+	slices.Sort(sol.CutChildren)
 	sol.Assignment = asg
 	sol.Delay = sol.S + sol.B
 	return sol, nil
@@ -452,10 +510,11 @@ func (g *Graph) SolveLabelSearchContext(ctx context.Context, opt Options) (*Solu
 		return nil, dwg.ErrBadWeights
 	}
 	w := newWorkGraph(g)
+	defer w.release()
 	sol := &Solution{Objective: math.Inf(1)}
 	var seedEdges []int
 	if path, ok := w.minSigmaPath(); ok {
-		s, _, b, _ := w.measures(path)
+		s, b, _ := w.measures(path)
 		sol.Objective = wts.Value(s, b)
 		sol.S, sol.B = s, b
 		seedEdges = append(seedEdges, path...)

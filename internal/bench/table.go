@@ -123,6 +123,7 @@ func All() []Experiment {
 		{"E15", "extension: pipelined throughput by policy", E15Throughput},
 		{"E16", "§2 related work: chain partitioning", E16Chain},
 		{"E17", "§6 future work: DAG-structured procedures", E17DAG},
+		{"P1", "perf: compiled flat-tree plans vs pointer walks", P1CompiledVsPointer},
 	}
 }
 

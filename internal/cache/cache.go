@@ -4,7 +4,6 @@ import (
 	"container/list"
 	"context"
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 )
@@ -105,10 +104,28 @@ func New(capacity int) *Cache {
 	return c
 }
 
+// FNV-1a, inlined over the key instead of hash/fnv so neither the string
+// nor the byte-buffer shard lookup allocates (hash.Hash32 would force a
+// []byte conversion on the hot path).
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
 func (c *Cache) shardFor(key string) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return &c.shards[h.Sum32()%numShards]
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * fnvPrime32
+	}
+	return &c.shards[h%numShards]
+}
+
+func (c *Cache) shardForBytes(key []byte) *shard {
+	h := uint32(fnvOffset32)
+	for _, b := range key {
+		h = (h ^ uint32(b)) * fnvPrime32
+	}
+	return &c.shards[h%numShards]
 }
 
 // Do returns the cached value for key, or computes it with fn. Concurrent
@@ -182,6 +199,32 @@ func (c *Cache) Get(key string) (any, bool) {
 	c.misses.Add(1)
 	return nil, false
 }
+
+// GetBytes is the peek path for keys assembled in a reusable byte buffer:
+// the map is read through string(key), which the compiler evaluates
+// without materialising a string, so a warm lookup allocates nothing. A
+// found entry counts as a hit and refreshes its recency; unlike Get, a
+// missing entry is NOT counted as a miss — callers either fall through
+// to Do, which classifies the outcome exactly once, or compute outside
+// the cache and record the miss themselves with RecordMiss.
+func (c *Cache) GetBytes(key []byte) (any, bool) {
+	s := c.shardForBytes(key)
+	s.mu.Lock()
+	if el, ok := s.items[string(key)]; ok {
+		s.ll.MoveToFront(el)
+		val := el.Value.(*entry).val
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return val, true
+	}
+	s.mu.Unlock()
+	return nil, false
+}
+
+// RecordMiss counts a store miss observed through GetBytes by a caller
+// that computes the result outside the cache (the warm-started non-exact
+// solve path), keeping the hit/miss ratio faithful to the lookups served.
+func (c *Cache) RecordMiss() { c.misses.Add(1) }
 
 // settle publishes the flight's result: stores the value when wanted and
 // capacity allows, removes the in-flight marker, and wakes the waiters.

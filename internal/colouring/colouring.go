@@ -9,8 +9,14 @@ import (
 )
 
 // Analysis is the colouring of one tree. Construct with Analyse.
+//
+// Since the flat-plan relayering, Analyse is a thin view over
+// model.Compile: the monochromatic-colour results, must-host closure and
+// leaf bands are computed once per tree revision inside the compiled plan
+// and re-exposed here under the paper's vocabulary.
 type Analysis struct {
 	tree *model.Tree
+	plan *model.Compiled
 
 	edgeColour []model.SatelliteID // per child node: colour of edge (parent,child); NoSatellite = conflict
 	conflict   []bool              // per child node: edge (parent,child) conflicts
@@ -36,29 +42,26 @@ type Band struct {
 
 // Analyse colours the tree. The tree must be valid (model.Builder output).
 func Analyse(t *model.Tree) *Analysis {
+	c := model.Compile(t)
 	a := &Analysis{
 		tree:       t,
+		plan:       c,
 		edgeColour: make([]model.SatelliteID, t.Len()),
 		conflict:   make([]bool, t.Len()),
 		mustHost:   make([]bool, t.Len()),
 		bands:      map[model.SatelliteID][]Band{},
 	}
 	for _, id := range t.Preorder() {
-		node := t.Node(id)
+		p := c.Pos[id]
 		a.edgeColour[id] = model.NoSatellite
-		if node.Parent != model.None {
-			if sat, ok := t.CorrespondentSatellite(id); ok {
-				a.edgeColour[id] = sat
+		if c.Parent[p] >= 0 {
+			if col := c.Colour[p]; col != model.NoSatellite {
+				a.edgeColour[id] = col
 			} else {
 				a.conflict[id] = true
 			}
 		}
-		if node.Kind == model.Processing {
-			// A CRU merging several satellites' context can run nowhere but
-			// the host; the root is pinned there by the application.
-			_, mono := t.CorrespondentSatellite(id)
-			a.mustHost[id] = !mono || id == t.Root()
-		}
+		a.mustHost[id] = c.MustHost[p]
 	}
 	// Regions: monochromatic subtrees hanging directly off the closure.
 	for _, id := range t.Preorder() {
@@ -68,22 +71,20 @@ func Analyse(t *model.Tree) *Analysis {
 		}
 		a.regions = append(a.regions, Region{Root: id, Colour: a.edgeColour[id]})
 	}
-	// Bands: runs of consecutive same-satellite leaves.
-	leaves := t.Leaves()
-	for i := 0; i < len(leaves); {
-		sat := t.Node(leaves[i]).Satellite
-		j := i
-		for j+1 < len(leaves) && t.Node(leaves[j+1]).Satellite == sat {
-			j++
+	// Bands: re-expose the plan's per-satellite leaf runs.
+	for _, sat := range t.Satellites() {
+		for _, span := range c.Bands(sat.ID) {
+			a.bands[sat.ID] = append(a.bands[sat.ID], Band{Lo: int(span.Lo), Hi: int(span.Hi)})
 		}
-		a.bands[sat] = append(a.bands[sat], Band{Lo: i, Hi: j})
-		i = j + 1
 	}
 	return a
 }
 
 // Tree returns the analysed tree.
 func (a *Analysis) Tree() *model.Tree { return a.tree }
+
+// Plan returns the compiled plan the analysis was derived from.
+func (a *Analysis) Plan() *model.Compiled { return a.plan }
 
 // EdgeColour returns the colour of the edge above child, and whether that
 // edge conflicts (spans several satellites). For the root (no edge above),
@@ -143,26 +144,20 @@ func (a *Analysis) AllContiguous() bool {
 // must-host closure on the host and every region entirely on its satellite.
 // This is the minimal-host-set assignment — the cut the §5.4 adapted
 // algorithm starts from — and doubles as the "maximal distribution"
-// heuristic baseline.
+// heuristic baseline. Placement is a span fill over the compiled plan.
 func (a *Analysis) FeasibleTopmost() *model.Assignment {
 	asg := model.NewAssignment(a.tree)
+	c := a.plan
 	for _, r := range a.regions {
-		a.placeSubtree(asg, r.Root, model.OnSatellite(r.Colour))
+		p := c.Pos[r.Root]
+		loc := model.OnSatellite(r.Colour)
+		for q := c.Start[p]; q <= p; q++ {
+			if c.Proc[q] {
+				asg.Set(c.Post[q], loc)
+			}
+		}
 	}
 	return asg
-}
-
-func (a *Analysis) placeSubtree(asg *model.Assignment, root model.NodeID, loc model.Location) {
-	stack := []model.NodeID{root}
-	for len(stack) > 0 {
-		id := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		n := a.tree.Node(id)
-		if n.Kind == model.Processing {
-			asg.Set(id, loc)
-		}
-		stack = append(stack, n.Children...)
-	}
 }
 
 // Report renders the colouring in the style of the paper's Figure 5: one

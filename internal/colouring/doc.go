@@ -12,4 +12,8 @@
 // which are the independent units of the Pareto/branch-and-bound solvers),
 // and the per-colour leaf bands (runs of consecutive sensors, which decide
 // whether the paper's §5.4 expansion step applies directly).
+//
+// Since the flat-plan relayering, the heavy lifting happens once per
+// tree revision inside model.Compile; Analyse is a thin view exposing
+// the plan's folded results under the paper's vocabulary.
 package colouring

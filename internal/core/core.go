@@ -51,6 +51,13 @@ type Request struct {
 	Seed      int64       // randomised heuristics only
 	Budget    int         // node/frontier budget for exact searches (0 = default)
 
+	// Plan is the compiled flat-tree plan of Tree. Leave nil to have
+	// SolveContext resolve it (Compile memoises the plan on the tree, so
+	// the serving layers — Solver, Service, Session — compile each
+	// revision once and every dispatch across the cache, batch and
+	// session paths reuses the same arrays).
+	Plan *model.Compiled
+
 	// Warm is an optional prior assignment to seed the search from —
 	// typically the previous revision's outcome projected onto a mutated
 	// tree by the incremental engine. It is advisory: solvers whose
@@ -111,6 +118,9 @@ func SolveContext(ctx context.Context, req Request) (*Outcome, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, &CanceledError{Algorithm: alg, Cause: err}
+	}
+	if req.Plan == nil || req.Plan.Tree() != req.Tree {
+		req.Plan = model.Compile(req.Tree)
 	}
 	// Warm hints are advisory: drop them for solvers that cannot consume
 	// them and for hints that are not feasible on this tree (a projection

@@ -1,0 +1,36 @@
+package core
+
+import "repro/internal/dwg"
+
+// The solver packages (assign, exact, heuristics) share one
+// default-resolution idiom for their tuning knobs: a zero value selects
+// the documented default. These helpers are that idiom in one place, so
+// every Options.weights()/maxExpanded()-style accessor resolves the same
+// way instead of re-implementing the pattern per package.
+
+// IntOr returns n when positive, fallback otherwise. It resolves budget
+// and size knobs (exploration caps, step counts, population sizes).
+func IntOr(n, fallback int) int {
+	if n <= 0 {
+		return fallback
+	}
+	return n
+}
+
+// FloatOr returns v when positive, fallback otherwise. It resolves rate
+// and scale knobs (crossover probability, starting temperature).
+func FloatOr(v, fallback float64) float64 {
+	if v <= 0 {
+		return fallback
+	}
+	return v
+}
+
+// WeightsOr returns w unless it is the zero value, in which case the
+// paper's S + B end-to-end delay weighting is selected.
+func WeightsOr(w dwg.Weights) dwg.Weights {
+	if w == (dwg.Weights{}) {
+		return dwg.Default
+	}
+	return w
+}

@@ -11,4 +11,12 @@
 // Every solver in this repository is validated against this function: the
 // S and coloured-B weights of an S→T path in the assignment graph must add
 // up to exactly the value computed here for the decoded assignment.
+//
+// Two implementations compute the same number: the flat kernel
+// (FlatDelay/AssignmentDelay) sweeps the tree's compiled plan with
+// pooled scratch and zero allocation, and the pointer walk
+// (PointerDelay, Evaluate's breakdown) remains as the itemising
+// reporting path and the reference the kernel is parity-tested against.
+// The kernel replays the pointer walk's additions in the same pre-order,
+// so the two agree bit for bit, not approximately.
 package eval

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/model"
+	"repro/internal/pool"
 )
 
 // Breakdown itemises the delay of one assignment.
@@ -21,20 +22,27 @@ type Breakdown struct {
 }
 
 // Evaluate validates the assignment and computes its delay breakdown.
+// The breakdown is the reporting form (itemised maps, cut edges); hot
+// loops use Delay or the Frame-based flat kernel instead.
 func Evaluate(t *model.Tree, a *model.Assignment) (*Breakdown, error) {
 	if err := a.Validate(t); err != nil {
 		return nil, err
 	}
-	return evaluateUnchecked(t, a), nil
+	return evaluatePointer(t, a), nil
 }
 
-// Delay is Evaluate reduced to the scalar objective.
+// Delay is Evaluate reduced to the scalar objective. It validates the
+// assignment, then runs the flat kernel over the tree's compiled plan
+// with pooled scratch — no per-call allocation after warm-up.
 func Delay(t *model.Tree, a *model.Assignment) (float64, error) {
-	b, err := Evaluate(t, a)
-	if err != nil {
+	if err := a.Validate(t); err != nil {
 		return 0, err
 	}
-	return b.Delay, nil
+	c := model.Compile(t)
+	f := frames.Get()
+	d := AssignmentDelay(c, a, f)
+	frames.Put(f)
+	return d, nil
 }
 
 // MustDelay panics on invalid assignments; for use with solver outputs that
@@ -47,7 +55,98 @@ func MustDelay(t *model.Tree, a *model.Assignment) float64 {
 	return d
 }
 
-func evaluateUnchecked(t *model.Tree, a *model.Assignment) *Breakdown {
+// PointerDelay is the pointer-walking reference evaluation: node structs,
+// per-satellite maps, no compiled plan. It is retained as the independent
+// implementation the flat kernel is parity-tested against (the two are
+// bit-identical: the flat sweep replays the same additions in the same
+// pre-order) and as the baseline of BenchmarkCompiledVsPointer. The
+// assignment must be feasible.
+func PointerDelay(t *model.Tree, a *model.Assignment) float64 {
+	return evaluatePointer(t, a).Delay
+}
+
+// Frame is the pooled scratch of the flat evaluation kernel: one
+// per-satellite accumulator pair, checked out per solve and reused across
+// every evaluation inside it.
+type Frame struct {
+	satProc, satComm []float64
+}
+
+var frames = pool.NewArena(func() *Frame { return new(Frame) })
+
+// GetFrame checks a Frame out of the shared arena.
+func GetFrame() *Frame { return frames.Get() }
+
+// PutFrame returns a Frame to the shared arena.
+func PutFrame(f *Frame) { frames.Put(f) }
+
+// FlatDelay computes the delay of a feasible position-indexed location
+// vector against the compiled plan, with zero allocation. The sweep runs
+// in pre-order and keeps processing and communication accumulators apart,
+// replaying the pointer walk's floating-point operations exactly, so
+// FlatDelay and PointerDelay agree to the last bit.
+func FlatDelay(c *model.Compiled, loc []model.Location, f *Frame) float64 {
+	f.satProc = pool.Slice(f.satProc, c.NumSats)
+	f.satComm = pool.Slice(f.satComm, c.NumSats)
+	var host float64
+	for _, p := range c.Pre {
+		l := loc[p]
+		if c.Proc[p] {
+			if l.IsHost() {
+				host += c.HostTime[p]
+			} else if sat, ok := l.Satellite(); ok {
+				f.satProc[sat] += c.SatTime[p]
+			}
+		}
+		if par := c.Parent[p]; par >= 0 && loc[par].IsHost() && !l.IsHost() {
+			sat, _ := l.Satellite()
+			f.satComm[sat] += c.UpComm[p]
+		}
+	}
+	return host + f.maxLoad()
+}
+
+// AssignmentDelay is FlatDelay for a NodeID-indexed assignment: the same
+// flat sweep, reading locations through the post-order permutation.
+func AssignmentDelay(c *model.Compiled, a *model.Assignment, f *Frame) float64 {
+	f.satProc = pool.Slice(f.satProc, c.NumSats)
+	f.satComm = pool.Slice(f.satComm, c.NumSats)
+	var host float64
+	for _, p := range c.Pre {
+		l := a.Loc[c.Post[p]]
+		if c.Proc[p] {
+			if l.IsHost() {
+				host += c.HostTime[p]
+			} else if sat, ok := l.Satellite(); ok {
+				f.satProc[sat] += c.SatTime[p]
+			}
+		}
+		if par := c.Parent[p]; par >= 0 && a.Loc[c.Post[par]].IsHost() && !l.IsHost() {
+			sat, _ := l.Satellite()
+			f.satComm[sat] += c.UpComm[p]
+		}
+	}
+	return host + f.maxLoad()
+}
+
+// maxLoad returns the bottleneck satellite load of the accumulated sweep.
+// Satellites the sweep never touched hold 0, which can never exceed a
+// touched satellite's non-negative load, so the maximum matches the
+// pointer walk's max over its sparse maps.
+func (f *Frame) maxLoad() float64 {
+	var b float64
+	for s := range f.satProc {
+		if v := f.satProc[s] + f.satComm[s]; v > b {
+			b = v
+		}
+	}
+	return b
+}
+
+// evaluatePointer is the pointer-based breakdown walk (the original
+// implementation): it itemises per-satellite loads into maps and gathers
+// the cut edges, which the reporting paths want and the hot paths do not.
+func evaluatePointer(t *model.Tree, a *model.Assignment) *Breakdown {
 	b := &Breakdown{
 		SatLoad:    map[model.SatelliteID]float64{},
 		SatProc:    map[model.SatelliteID]float64{},

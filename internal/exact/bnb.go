@@ -4,9 +4,10 @@ import (
 	"context"
 	"math"
 
-	"repro/internal/colouring"
+	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/model"
+	"repro/internal/pool"
 )
 
 // BranchAndBound is the branch-and-bound search the paper's §6 proposes as
@@ -23,6 +24,14 @@ import (
 //     objective increase is explored first, so good incumbents appear
 //     early.
 //
+// The search runs entirely against the tree's compiled plan: the
+// must-host bounds table (Compiled.Forced) is indexed by post-order
+// position and precomputed per revision, subtree sinks are span fills
+// over the flat location vector, satellite loads live in a dense pooled
+// array, and incumbents are evaluated with the flat kernel — the hot loop
+// performs no allocation and no pointer chasing. BranchAndBoundPointer is
+// the original node-walking implementation, retained for parity tests.
+//
 // maxNodes caps the number of search nodes (0 means 1<<22).
 func BranchAndBound(t *model.Tree, maxNodes int) (*Result, error) {
 	return BranchAndBoundContext(context.Background(), t, maxNodes)
@@ -35,6 +44,17 @@ func BranchAndBoundContext(ctx context.Context, t *model.Tree, maxNodes int) (*R
 	return BranchAndBoundFrom(ctx, t, maxNodes, nil)
 }
 
+// bnbScratch is the pooled working set of one branch-and-bound (or
+// brute-force) run: the partial and incumbent location vectors, the dense
+// per-satellite load table and the DFS stack.
+type bnbScratch struct {
+	loc, best, seed []model.Location
+	loads           []float64
+	stack           []int32
+}
+
+var bnbScratches = pool.NewArena(func() *bnbScratch { return new(bnbScratch) })
+
 // BranchAndBoundFrom is BranchAndBoundContext with a warm incumbent: warm,
 // when non-nil and feasible, joins the baseline seeds, so a near-optimal
 // prior solution (the incremental engine projects the previous revision's
@@ -42,49 +62,42 @@ func BranchAndBoundContext(ctx context.Context, t *model.Tree, maxNodes int) (*R
 // and prunes most of the search. The result is still exact — seeding only
 // ever tightens the incumbent, and ties keep the seed itself.
 func BranchAndBoundFrom(ctx context.Context, t *model.Tree, maxNodes int, warm *model.Assignment) (*Result, error) {
-	if maxNodes <= 0 {
-		maxNodes = 1 << 22
-	}
-	an := colouring.Analyse(t)
+	maxNodes = core.IntOr(maxNodes, 1<<22)
+	c := model.Compile(t)
+	n := c.Len()
 	res := &Result{Delay: math.Inf(1)}
 
-	// forcedSub[v] = Σ h over the multi-colour CRUs in v's subtree: they
-	// can never leave the host, so their host time is a certain future
-	// cost as long as v is undecided.
-	forcedSub := make([]float64, t.Len())
-	for _, id := range t.Postorder() {
-		n := t.Node(id)
-		if n.Kind != model.Processing {
-			continue
-		}
-		if _, mono := t.CorrespondentSatellite(id); !mono || id == t.Root() {
-			forcedSub[id] = n.HostTime
-		}
-		for _, c := range n.Children {
-			forcedSub[id] += forcedSub[c]
-		}
-	}
+	sc := bnbScratches.Get()
+	defer bnbScratches.Put(sc)
+	fr := eval.GetFrame()
+	defer eval.PutFrame(fr)
+	sc.loc = pool.Keep(sc.loc, n)
+	sc.best = pool.Keep(sc.best, n)
+	sc.seed = pool.Keep(sc.seed, n)
+	sc.loads = pool.Slice(sc.loads, c.NumSats)
 
 	// Seed the incumbent with the better of the two trivial baselines —
 	// and the warm hint, when one is offered — so pruning bites from the
 	// first branches.
-	seeds := []*model.Assignment{an.FeasibleTopmost(), model.NewAssignment(t)}
-	if warm != nil {
-		seeds = append(seeds, warm.Clone())
-	}
-	for _, seed := range seeds {
-		if d, err := eval.Delay(t, seed); err == nil && d < res.Delay {
+	improve := func(loc []model.Location) {
+		if d := eval.FlatDelay(c, loc, fr); d < res.Delay {
 			res.Delay = d
-			res.Assignment = seed
+			copy(sc.best, loc)
 		}
 	}
+	c.TopmostLocations(sc.seed)
+	improve(sc.seed)
+	c.BaseLocations(sc.seed)
+	improve(sc.seed)
+	if warm != nil && warm.Validate(t) == nil {
+		c.LoadLocations(sc.seed, warm)
+		improve(sc.seed)
+	}
 
-	asg := model.NewAssignment(t)
-	loads := map[model.SatelliteID]float64{}
-	// Raw-frame uplinks of sensors below hosted leaf CRUs accrue when the
-	// sensor's parent is decided; track incrementally.
+	loc, loads := sc.loc, sc.loads
+	c.BaseLocations(loc)
 	var hostTime float64
-	var forcedRemaining = forcedSub[t.Root()]
+	forcedRemaining := c.Forced[c.RootPos]
 	budgetHit := false
 	var ctxErr error
 
@@ -100,7 +113,7 @@ func BranchAndBoundFrom(ctx context.Context, t *model.Tree, maxNodes int, warm *
 
 	// Explicit shared stack with push/pop discipline (see BruteForce for
 	// why re-sliced frontier arguments would alias).
-	stack := []model.NodeID{t.Root()}
+	stack := append(sc.stack[:0], c.RootPos)
 	var rec func()
 	rec = func() {
 		if budgetHit || ctxErr != nil {
@@ -125,54 +138,52 @@ func BranchAndBoundFrom(ctx context.Context, t *model.Tree, maxNodes int, warm *
 			// Complete assignment; the committed terms are now exact.
 			if d := hostTime + maxLoad(); d < res.Delay {
 				res.Delay = d
-				res.Assignment = asg.Clone()
+				copy(sc.best, loc)
 			}
 			return
 		}
-		id := stack[len(stack)-1]
+		p := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		forcedRemaining -= forcedSub[id]
+		forcedRemaining -= c.Forced[p]
 		defer func() { // restore for the caller
-			stack = append(stack, id)
-			forcedRemaining += forcedSub[id]
+			stack = append(stack, p)
+			forcedRemaining += c.Forced[p]
 		}()
-		n := t.Node(id)
 
-		if n.Kind == model.SensorKind {
-			// Parent is hosted (sensors under sunk subtrees are never on
-			// the stack): the raw frame crosses the uplink.
-			loads[n.Satellite] += n.UpComm
+		if !c.Proc[p] {
+			// Sensor whose parent is hosted (sensors under sunk subtrees
+			// are never on the stack): the raw frame crosses the uplink.
+			loads[c.Sensor[p]] += c.UpComm[p]
 			rec()
-			loads[n.Satellite] -= n.UpComm
+			loads[c.Sensor[p]] -= c.UpComm[p]
 			return
 		}
 
-		sat, sinkable := t.CorrespondentSatellite(id)
-		if id == t.Root() {
-			sinkable = false
-		}
+		sat := c.Colour[p]
+		sinkable := sat != model.NoSatellite && p != c.RootPos
+		kids := c.Children(p)
 		sink := func() {
-			delta := t.SubtreeSatTime(id) + n.UpComm
+			delta := c.SubSat[p] + c.UpComm[p]
 			loads[sat] += delta
-			placeSubtree(t, asg, id, model.OnSatellite(sat))
+			c.FillSpan(loc, p, model.OnSatellite(sat))
 			rec()
-			resetSubtree(t, asg, id)
+			c.FillSpan(loc, p, model.Host)
 			loads[sat] -= delta
 		}
 		host := func() {
-			hostTime += n.HostTime
-			asg.Set(id, model.Host)
-			stack = append(stack, n.Children...)
+			hostTime += c.HostTime[p]
+			loc[p] = model.Host
+			stack = append(stack, kids...)
 			// Children re-enter the forced estimate individually.
-			for _, c := range n.Children {
-				forcedRemaining += forcedSub[c]
+			for _, ch := range kids {
+				forcedRemaining += c.Forced[ch]
 			}
 			rec()
-			for _, c := range n.Children {
-				forcedRemaining -= forcedSub[c]
+			for _, ch := range kids {
+				forcedRemaining -= c.Forced[ch]
 			}
-			stack = stack[:len(stack)-len(n.Children)]
-			hostTime -= n.HostTime
+			stack = stack[:len(stack)-len(kids)]
+			hostTime -= c.HostTime[p]
 		}
 		if !sinkable {
 			host()
@@ -181,8 +192,8 @@ func BranchAndBoundFrom(ctx context.Context, t *model.Tree, maxNodes int, warm *
 		// Explore the branch with the smaller immediate objective increase
 		// first so strong incumbents appear early.
 		cur := maxLoad()
-		sinkDelta := math.Max(cur, loads[sat]+t.SubtreeSatTime(id)+n.UpComm) - cur
-		if sinkDelta <= n.HostTime {
+		sinkDelta := math.Max(cur, loads[sat]+c.SubSat[p]+c.UpComm[p]) - cur
+		if sinkDelta <= c.HostTime[p] {
 			sink()
 			host()
 		} else {
@@ -191,6 +202,7 @@ func BranchAndBoundFrom(ctx context.Context, t *model.Tree, maxNodes int, warm *
 		}
 	}
 	rec()
+	sc.stack = stack[:0]
 	if ctxErr != nil {
 		return nil, ctxErr
 	}
@@ -201,5 +213,8 @@ func BranchAndBoundFrom(ctx context.Context, t *model.Tree, maxNodes int, warm *
 		// Cannot happen for valid trees (all-host is always feasible).
 		return nil, ErrBudget
 	}
+	asg := model.NewAssignment(t)
+	c.StoreAssignment(asg, sc.best)
+	res.Assignment = asg
 	return res, nil
 }

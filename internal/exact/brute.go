@@ -2,12 +2,12 @@ package exact
 
 import (
 	"context"
-	"fmt"
 	"math"
 
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/model"
+	"repro/internal/pool"
 )
 
 // Result is an exact optimum with search statistics.
@@ -25,7 +25,11 @@ var ErrBudget = core.ErrBudgetExceeded
 // BruteForce enumerates all feasible assignments: walking the tree top-down,
 // every CRU whose subtree is monochromatic may either take its whole subtree
 // to the correspondent satellite or stay on the host and let each child
-// decide. maxExplored caps the enumeration (0 means 2^22).
+// decide. The enumeration runs on the compiled plan — positions on the
+// stack, span fills for subtree sinks, and the flat zero-allocation
+// kernel for each complete assignment (enumerated assignments are
+// feasible by construction, so no per-leaf validation walk is needed).
+// maxExplored caps the enumeration (0 means 2^22).
 func BruteForce(t *model.Tree, maxExplored int) (*Result, error) {
 	return BruteForceContext(context.Background(), t, maxExplored)
 }
@@ -35,17 +39,25 @@ func BruteForce(t *model.Tree, maxExplored int) (*Result, error) {
 // exponential search promptly. On cancellation the returned error is the
 // context's.
 func BruteForceContext(ctx context.Context, t *model.Tree, maxExplored int) (*Result, error) {
-	if maxExplored <= 0 {
-		maxExplored = 1 << 22
-	}
+	maxExplored = core.IntOr(maxExplored, 1<<22)
+	c := model.Compile(t)
+	n := c.Len()
 	res := &Result{Delay: math.Inf(1)}
-	asg := model.NewAssignment(t)
 
-	root := t.Root()
+	sc := bnbScratches.Get()
+	defer bnbScratches.Put(sc)
+	fr := eval.GetFrame()
+	defer eval.PutFrame(fr)
+	sc.loc = pool.Keep(sc.loc, n)
+	sc.best = pool.Keep(sc.best, n)
+	loc := sc.loc
+	c.BaseLocations(loc)
+	found := false
+
 	// Explicit shared stack with push/pop discipline: passing re-sliced
 	// frontiers into the recursion would let a deeper append clobber the
 	// caller's pending entries through the shared backing array.
-	stack := []model.NodeID{root}
+	stack := append(sc.stack[:0], c.RootPos)
 	var rec func() error
 	rec = func() error {
 		if len(stack) == 0 {
@@ -58,51 +70,55 @@ func BruteForceContext(ctx context.Context, t *model.Tree, maxExplored int) (*Re
 					return err
 				}
 			}
-			d, err := eval.Delay(t, asg)
-			if err != nil {
-				return fmt.Errorf("exact: enumeration produced invalid assignment: %w", err)
-			}
-			if d < res.Delay {
+			if d := eval.FlatDelay(c, loc, fr); d < res.Delay {
 				res.Delay = d
-				res.Assignment = asg.Clone()
+				copy(sc.best, loc)
+				found = true
 			}
 			return nil
 		}
-		id := stack[len(stack)-1]
+		p := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		defer func() { stack = append(stack, id) }() // restore for the caller
-		n := t.Node(id)
+		defer func() { stack = append(stack, p) }() // restore for the caller
 
-		if n.Kind == model.SensorKind {
+		if !c.Proc[p] {
 			// Sensors are pinned; nothing to decide.
 			return rec()
 		}
 
-		// Choice 1: id stays on the host, children decide independently.
-		asg.Set(id, model.Host)
-		stack = append(stack, n.Children...)
+		// Choice 1: p stays on the host, children decide independently.
+		kids := c.Children(p)
+		loc[p] = model.Host
+		stack = append(stack, kids...)
 		err := rec()
-		stack = stack[:len(stack)-len(n.Children)]
+		stack = stack[:len(stack)-len(kids)]
 		if err != nil {
 			return err
 		}
 
-		// Choice 2: id (and its whole subtree) moves to its correspondent
+		// Choice 2: p (and its whole subtree) moves to its correspondent
 		// satellite — only feasible for monochromatic non-root subtrees.
-		if id != root {
-			if sat, ok := t.CorrespondentSatellite(id); ok {
-				placeSubtree(t, asg, id, model.OnSatellite(sat))
+		if p != c.RootPos {
+			if sat := c.Colour[p]; sat != model.NoSatellite {
+				c.FillSpan(loc, p, model.OnSatellite(sat))
 				if err := rec(); err != nil {
 					return err
 				}
 				// Restore: host for CRUs (the next branch will overwrite).
-				resetSubtree(t, asg, id)
+				c.FillSpan(loc, p, model.Host)
 			}
 		}
 		return nil
 	}
-	if err := rec(); err != nil {
+	err := rec()
+	sc.stack = stack[:0]
+	if err != nil {
 		return nil, err
+	}
+	if found {
+		asg := model.NewAssignment(t)
+		c.StoreAssignment(asg, sc.best)
+		res.Assignment = asg
 	}
 	return res, nil
 }

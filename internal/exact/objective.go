@@ -3,6 +3,7 @@ package exact
 import (
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/model"
 )
@@ -25,9 +26,7 @@ func BottleneckObjective(b *eval.Breakdown) float64 {
 // BruteForceObjective enumerates every feasible assignment minimising an
 // arbitrary objective. Same enumeration and budget semantics as BruteForce.
 func BruteForceObjective(t *model.Tree, obj Objective, maxExplored int) (*Result, error) {
-	if maxExplored <= 0 {
-		maxExplored = 1 << 22
-	}
+	maxExplored = core.IntOr(maxExplored, 1<<22)
 	res := &Result{Delay: math.Inf(1)}
 	best := math.Inf(1)
 	asg := model.NewAssignment(t)

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/colouring"
+	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/model"
 )
@@ -41,9 +42,7 @@ func Pareto(t *model.Tree, maxFrontier int) (*Result, error) {
 // stop adversarially large instances. On cancellation the returned error is
 // the context's.
 func ParetoContext(ctx context.Context, t *model.Tree, maxFrontier int) (*Result, error) {
-	if maxFrontier <= 0 {
-		maxFrontier = 1 << 20
-	}
+	maxFrontier = core.IntOr(maxFrontier, 1<<20)
 	an := colouring.Analyse(t)
 
 	coreHost := 0.0

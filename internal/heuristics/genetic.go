@@ -5,8 +5,10 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/model"
+	"repro/internal/pool"
 )
 
 // GeneticConfig tunes Genetic. Zero values select the defaults noted below.
@@ -29,18 +31,10 @@ func (c GeneticConfig) withDefaults() GeneticConfig {
 	if c.Population <= 1 {
 		c.Population = 40
 	}
-	if c.Generations <= 0 {
-		c.Generations = 60
-	}
-	if c.Crossover <= 0 {
-		c.Crossover = 0.9
-	}
-	if c.Mutation <= 0 {
-		c.Mutation = 0.05
-	}
-	if c.Elite <= 0 {
-		c.Elite = 2
-	}
+	c.Generations = core.IntOr(c.Generations, 60)
+	c.Crossover = core.FloatOr(c.Crossover, 0.9)
+	c.Mutation = core.FloatOr(c.Mutation, 0.05)
+	c.Elite = core.IntOr(c.Elite, 2)
 	if c.Tournament <= 1 {
 		c.Tournament = 3
 	}
@@ -61,54 +55,50 @@ func Genetic(t *model.Tree, cfg GeneticConfig) *Result {
 
 // GeneticContext is Genetic with cancellation: the context is checked once
 // per generation. On cancellation the returned error is the context's and
-// the result is nil.
+// the result is nil. Genomes decode into a pooled position vector by
+// pre-order span skipping over the compiled plan and are scored with the
+// flat kernel, so one decode+evaluation costs two flat passes and zero
+// allocation (the genomes themselves are the population's only churn).
 func GeneticContext(ctx context.Context, t *model.Tree, cfg GeneticConfig) (*Result, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := model.Compile(t)
 
-	// Gene sites: monochromatic non-root processing CRUs.
-	var sites []model.NodeID
-	for _, id := range t.Preorder() {
-		n := t.Node(id)
-		if n.Kind != model.Processing || id == t.Root() {
+	// Gene sites: monochromatic non-root processing CRUs, in pre-order.
+	var sites []int32
+	siteOf := make([]int32, c.Len())
+	for i := range siteOf {
+		siteOf[i] = -1
+	}
+	for _, p := range c.Pre {
+		if !c.Proc[p] || p == c.RootPos || c.Colour[p] == model.NoSatellite {
 			continue
 		}
-		if _, mono := t.CorrespondentSatellite(id); mono {
-			sites = append(sites, id)
-		}
-	}
-	siteIdx := map[model.NodeID]int{}
-	for i, id := range sites {
-		siteIdx[id] = i
+		siteOf[p] = int32(len(sites))
+		sites = append(sites, p)
 	}
 
-	decode := func(genome []bool) *model.Assignment {
-		asg := model.NewAssignment(t)
-		var walk func(id model.NodeID)
-		walk = func(id model.NodeID) {
-			n := t.Node(id)
-			if n.Kind != model.Processing {
-				return
+	st := moveStates.Get()
+	defer moveStates.Put(st)
+	fr := eval.GetFrame()
+	defer eval.PutFrame(fr)
+	st.loc = pool.Keep(st.loc, c.Len())
+
+	// decode fills st.loc with the genome's assignment: scan pre-order,
+	// sink the whole span at the first set site bit, and skip the subtree
+	// (genes below a cut are ignored). Subtrees are contiguous in
+	// pre-order too, so the skip is an index jump, not a walk.
+	decode := func(genome []bool) {
+		c.BaseLocations(st.loc)
+		for i := 0; i < len(c.Pre); {
+			p := c.Pre[i]
+			if si := siteOf[p]; si >= 0 && genome[si] {
+				c.FillSpan(st.loc, p, model.OnSatellite(c.Colour[p]))
+				i += int(p - c.Start[p] + 1)
+				continue
 			}
-			if i, isSite := siteIdx[id]; isSite && genome[i] {
-				sat, _ := t.CorrespondentSatellite(id)
-				stack := []model.NodeID{id}
-				for len(stack) > 0 {
-					v := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					if t.Node(v).Kind == model.Processing {
-						asg.Set(v, model.OnSatellite(sat))
-					}
-					stack = append(stack, t.Node(v).Children...)
-				}
-				return
-			}
-			for _, c := range n.Children {
-				walk(c)
-			}
+			i++
 		}
-		walk(t.Root())
-		return asg
 	}
 
 	type individual struct {
@@ -116,8 +106,8 @@ func GeneticContext(ctx context.Context, t *model.Tree, cfg GeneticConfig) (*Res
 		delay  float64
 	}
 	evalGenome := func(g []bool) individual {
-		asg := decode(g)
-		return individual{genome: g, delay: eval.MustDelay(t, asg)}
+		decode(g)
+		return individual{genome: g, delay: eval.FlatDelay(c, st.loc, fr)}
 	}
 
 	if len(sites) == 0 {
@@ -149,8 +139,8 @@ func GeneticContext(ctx context.Context, t *model.Tree, cfg GeneticConfig) (*Res
 		// upward-contiguous, so decode's first-set-bit walk reproduces the
 		// warm cut exactly.
 		warm := make([]bool, len(sites))
-		for j, id := range sites {
-			_, onSat := cfg.Init.At(id).Satellite()
+		for j, p := range sites {
+			_, onSat := cfg.Init.At(c.Post[p]).Satellite()
 			warm[j] = onSat
 		}
 		pop[2] = evalGenome(warm)
@@ -160,9 +150,9 @@ func GeneticContext(ctx context.Context, t *model.Tree, cfg GeneticConfig) (*Res
 	tournament := func() individual {
 		best := pop[rng.Intn(len(pop))]
 		for k := 1; k < cfg.Tournament; k++ {
-			c := pop[rng.Intn(len(pop))]
-			if c.delay < best.delay {
-				best = c
+			cand := pop[rng.Intn(len(pop))]
+			if cand.delay < best.delay {
+				best = cand
 			}
 		}
 		return best
@@ -205,5 +195,8 @@ func GeneticContext(ctx context.Context, t *model.Tree, cfg GeneticConfig) (*Res
 	}
 	byDelay()
 	best := pop[0]
-	return &Result{Assignment: decode(best.genome), Delay: best.delay, Work: evaluations}, nil
+	decode(best.genome)
+	asg := model.NewAssignment(t)
+	c.StoreAssignment(asg, st.loc)
+	return &Result{Assignment: asg, Delay: best.delay, Work: evaluations}, nil
 }

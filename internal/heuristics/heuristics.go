@@ -6,8 +6,10 @@ import (
 	"math/rand"
 
 	"repro/internal/colouring"
+	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/model"
+	"repro/internal/pool"
 )
 
 // Result is a heuristic solution: a feasible assignment, its delay and a
@@ -41,6 +43,71 @@ const (
 	FromTopmost
 )
 
+// cutMove is one legal sink/lift move in position space: set position pos
+// to location to. Both move kinds touch exactly one position (a sink
+// requires the children to already sit on the satellite; a lift leaves
+// them there), which is what makes the neighbourhood scan allocation-free.
+type cutMove struct {
+	pos int32
+	to  model.Location
+}
+
+// moveState is the pooled working set of the local-search heuristics: the
+// current, best and scratch location vectors plus the move buffer, all in
+// post-order position space against the compiled plan.
+type moveState struct {
+	loc, best []model.Location
+	moves     []cutMove
+}
+
+var moveStates = pool.NewArena(func() *moveState { return new(moveState) })
+
+// appendMoves appends the legal sink/lift neighbourhood of loc, in
+// pre-order of the moved CRU (the same enumeration order as the pointer
+// implementation's legalMoves, so tie-breaks and seeded random walks
+// coincide):
+//
+//   - sink(v): v is hosted, non-root, its subtree is monochromatic, its
+//     parent is hosted and every processing child of v already sits on
+//     v's correspondent satellite → move v to the satellite;
+//   - lift(v): v is on a satellite and its parent is hosted → move v (and
+//     only v; its children stay) back to the host, which stays feasible
+//     because the host set remains upward-closed.
+func appendMoves(out []cutMove, c *model.Compiled, loc []model.Location) []cutMove {
+	for _, p := range c.Pre {
+		if !c.Proc[p] {
+			continue
+		}
+		if loc[p].IsHost() {
+			if p == c.RootPos {
+				continue
+			}
+			sat := c.Colour[p]
+			if sat == model.NoSatellite {
+				continue
+			}
+			if !loc[c.Parent[p]].IsHost() {
+				continue
+			}
+			ok := true
+			for _, ch := range c.Children(p) {
+				if c.Proc[ch] {
+					if s, onSat := loc[ch].Satellite(); !onSat || s != sat {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				out = append(out, cutMove{pos: p, to: model.OnSatellite(sat)})
+			}
+		} else if par := c.Parent[p]; par >= 0 && loc[par].IsHost() {
+			out = append(out, cutMove{pos: p, to: model.Host})
+		}
+	}
+	return out
+}
+
 // Greedy hill-climbs from the given start, applying the single best
 // sink/lift move until no move improves the delay. The result is a local
 // optimum of the move neighbourhood.
@@ -60,35 +127,48 @@ func GreedyContext(ctx context.Context, t *model.Tree, start Start) (*Result, er
 // instead of one of the canned Start points — the warm-start entry: the
 // incremental engine passes the previous revision's solution projected
 // onto the mutated tree, so after a small drift the climb starts next to
-// the optimum instead of at a cold baseline. The assignment is cloned
-// before climbing; the caller's copy is never modified.
+// the optimum instead of at a cold baseline. The caller's assignment is
+// never modified: the climb runs on a pooled position vector against the
+// compiled plan, evaluating each candidate move with the flat kernel —
+// no cloning, no maps, no per-move allocation.
 func GreedyFromContext(ctx context.Context, t *model.Tree, from *model.Assignment) (*Result, error) {
-	asg := from.Clone()
-	delay := eval.MustDelay(t, asg)
+	c := model.Compile(t)
+	st := moveStates.Get()
+	defer moveStates.Put(st)
+	fr := eval.GetFrame()
+	defer eval.PutFrame(fr)
+
+	st.loc = pool.Keep(st.loc, c.Len())
+	c.LoadLocations(st.loc, from)
+	delay := eval.FlatDelay(c, st.loc, fr)
 	moves := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		bestDelta := -1e-12
-		var bestApply func()
-		for _, mv := range legalMoves(t, asg) {
-			next := asg.Clone()
-			mv.apply(next)
-			d := eval.MustDelay(t, next)
+		bestPos := int32(-1)
+		var bestTo model.Location
+		var bestDelay float64
+		st.moves = appendMoves(st.moves[:0], c, st.loc)
+		for _, mv := range st.moves {
+			old := st.loc[mv.pos]
+			st.loc[mv.pos] = mv.to
+			d := eval.FlatDelay(c, st.loc, fr)
+			st.loc[mv.pos] = old
 			if delta := d - delay; delta < bestDelta {
-				bestDelta = delta
-				applied := next
-				newDelay := d
-				bestApply = func() { asg = applied; delay = newDelay }
+				bestDelta, bestPos, bestTo, bestDelay = delta, mv.pos, mv.to, d
 			}
 		}
-		if bestApply == nil {
+		if bestPos < 0 {
 			break
 		}
-		bestApply()
+		st.loc[bestPos] = bestTo
+		delay = bestDelay
 		moves++
 	}
+	asg := model.NewAssignment(t)
+	c.StoreAssignment(asg, st.loc)
 	return &Result{Assignment: asg, Delay: delay, Work: moves}, nil
 }
 
@@ -100,8 +180,8 @@ type AnnealConfig struct {
 	CoolRate float64 // geometric factor per step, default 0.995
 	Start    Start
 	// Init, when non-nil, overrides Start with an explicit feasible
-	// assignment to anneal from (the warm-start hook). It is cloned; the
-	// caller's copy is never modified.
+	// assignment to anneal from (the warm-start hook). It is never
+	// modified.
 	Init *model.Assignment
 }
 
@@ -114,28 +194,39 @@ func Anneal(t *model.Tree, cfg AnnealConfig) *Result {
 
 // AnnealContext is Anneal with cancellation: the context is checked every
 // few annealing steps. On cancellation the returned error is the context's
-// and the result is nil.
+// and the result is nil. The walk runs in position space with flat
+// evaluation, like GreedyFromContext; accepted and rejected moves are
+// single-position writes, so steps allocate nothing.
 func AnnealContext(ctx context.Context, t *model.Tree, cfg AnnealConfig) (*Result, error) {
-	steps := cfg.Steps
-	if steps <= 0 {
-		steps = 2000
-	}
+	steps := core.IntOr(cfg.Steps, 2000)
 	cool := cfg.CoolRate
 	if cool <= 0 || cool >= 1 {
 		cool = 0.995
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	asg := startAssignment(t, cfg.Start)
+	c := model.Compile(t)
+	st := moveStates.Get()
+	defer moveStates.Put(st)
+	fr := eval.GetFrame()
+	defer eval.PutFrame(fr)
+
+	st.loc = pool.Keep(st.loc, c.Len())
+	st.best = pool.Keep(st.best, c.Len())
 	if cfg.Init != nil {
-		asg = cfg.Init.Clone()
+		c.LoadLocations(st.loc, cfg.Init)
+	} else if cfg.Start == FromTopmost {
+		c.TopmostLocations(st.loc)
+	} else {
+		c.BaseLocations(st.loc)
 	}
-	delay := eval.MustDelay(t, asg)
+	delay := eval.FlatDelay(c, st.loc, fr)
 	temp := cfg.StartT
 	if temp <= 0 {
-		temp = 0.1 * (eval.MustDelay(t, model.NewAssignment(t)) + 1)
+		c.BaseLocations(st.best) // scratch use; overwritten below
+		temp = 0.1 * (eval.FlatDelay(c, st.best, fr) + 1)
 	}
 
-	best := asg.Clone()
+	copy(st.best, st.loc)
 	bestDelay := delay
 	for step := 0; step < steps; step++ {
 		if step&0x3f == 0 {
@@ -143,82 +234,28 @@ func AnnealContext(ctx context.Context, t *model.Tree, cfg AnnealConfig) (*Resul
 				return nil, err
 			}
 		}
-		moves := legalMoves(t, asg)
-		if len(moves) == 0 {
+		st.moves = appendMoves(st.moves[:0], c, st.loc)
+		if len(st.moves) == 0 {
 			break
 		}
-		mv := moves[rng.Intn(len(moves))]
-		next := asg.Clone()
-		mv.apply(next)
-		d := eval.MustDelay(t, next)
+		mv := st.moves[rng.Intn(len(st.moves))]
+		old := st.loc[mv.pos]
+		st.loc[mv.pos] = mv.to
+		d := eval.FlatDelay(c, st.loc, fr)
 		if delta := d - delay; delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
-			asg, delay = next, d
+			delay = d
 			if delay < bestDelay {
-				best, bestDelay = asg.Clone(), delay
+				copy(st.best, st.loc)
+				bestDelay = delay
 			}
+		} else {
+			st.loc[mv.pos] = old
 		}
 		temp *= cool
 	}
-	return &Result{Assignment: best, Delay: bestDelay, Work: steps}, nil
-}
-
-// move is a reversible local change of the cut.
-type move struct {
-	apply func(*model.Assignment)
-}
-
-// legalMoves enumerates the sink/lift neighbourhood of asg:
-//
-//   - sink(v): v is hosted, non-root, its subtree is monochromatic, and
-//     every processing child of v is already on v's correspondent
-//     satellite (or v's children are sensors) → move v to the satellite;
-//   - lift(v): v is on a satellite and its parent is hosted → move v (and
-//     only v; its children stay) to the host... which requires v's children
-//     to move too if they are satellite-resident? No: lifting v alone keeps
-//     children on the satellite, which stays feasible (host set stays
-//     upward-closed).
-func legalMoves(t *model.Tree, asg *model.Assignment) []move {
-	var out []move
-	for _, id := range t.Preorder() {
-		id := id
-		n := t.Node(id)
-		if n.Kind != model.Processing {
-			continue
-		}
-		if asg.At(id).IsHost() {
-			if id == t.Root() {
-				continue
-			}
-			sat, mono := t.CorrespondentSatellite(id)
-			if !mono {
-				continue
-			}
-			if !asg.At(n.Parent).IsHost() {
-				continue
-			}
-			ok := true
-			for _, c := range n.Children {
-				cn := t.Node(c)
-				if cn.Kind == model.Processing {
-					if s, onSat := asg.At(c).Satellite(); !onSat || s != sat {
-						ok = false
-						break
-					}
-				}
-			}
-			if ok {
-				out = append(out, move{apply: func(a *model.Assignment) {
-					a.Set(id, model.OnSatellite(sat))
-				}})
-			}
-		} else if n.Parent != model.None && asg.At(n.Parent).IsHost() {
-			// lift: v returns to the host; children keep their location.
-			out = append(out, move{apply: func(a *model.Assignment) {
-				a.Set(id, model.Host)
-			}})
-		}
-	}
-	return out
+	asg := model.NewAssignment(t)
+	c.StoreAssignment(asg, st.best)
+	return &Result{Assignment: asg, Delay: bestDelay, Work: steps}, nil
 }
 
 func startAssignment(t *model.Tree, s Start) *model.Assignment {

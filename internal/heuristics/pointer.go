@@ -1,0 +1,149 @@
+package heuristics
+
+import (
+	"context"
+	"math"
+	"math/rand"
+
+	"repro/internal/eval"
+	"repro/internal/model"
+)
+
+// This file retains the original pointer-walking local search — clone an
+// assignment per candidate move, evaluate it with the pointer evaluator —
+// as the reference implementation the compiled position-space walks are
+// parity-tested against (identical delays, identical move counts, and for
+// a fixed seed identical annealing trajectories) and as the baseline of
+// BenchmarkCompiledVsPointer.
+
+// GreedyPointer is the pointer-based Greedy.
+func GreedyPointer(t *model.Tree, start Start) *Result {
+	r, _ := GreedyPointerContext(context.Background(), t, start)
+	return r
+}
+
+// GreedyPointerContext is the pointer-based GreedyContext.
+func GreedyPointerContext(ctx context.Context, t *model.Tree, start Start) (*Result, error) {
+	asg := startAssignment(t, start).Clone()
+	delay := eval.PointerDelay(t, asg)
+	moves := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		bestDelta := -1e-12
+		var bestApply func()
+		for _, mv := range legalMoves(t, asg) {
+			next := asg.Clone()
+			mv.apply(next)
+			d := eval.PointerDelay(t, next)
+			if delta := d - delay; delta < bestDelta {
+				bestDelta = delta
+				applied := next
+				newDelay := d
+				bestApply = func() { asg = applied; delay = newDelay }
+			}
+		}
+		if bestApply == nil {
+			break
+		}
+		bestApply()
+		moves++
+	}
+	return &Result{Assignment: asg, Delay: delay, Work: moves}, nil
+}
+
+// AnnealPointer is the pointer-based Anneal.
+func AnnealPointer(t *model.Tree, cfg AnnealConfig) *Result {
+	steps := cfg.Steps
+	if steps <= 0 {
+		steps = 2000
+	}
+	cool := cfg.CoolRate
+	if cool <= 0 || cool >= 1 {
+		cool = 0.995
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	asg := startAssignment(t, cfg.Start)
+	if cfg.Init != nil {
+		asg = cfg.Init.Clone()
+	}
+	delay := eval.PointerDelay(t, asg)
+	temp := cfg.StartT
+	if temp <= 0 {
+		temp = 0.1 * (eval.PointerDelay(t, model.NewAssignment(t)) + 1)
+	}
+
+	best := asg.Clone()
+	bestDelay := delay
+	for step := 0; step < steps; step++ {
+		moves := legalMoves(t, asg)
+		if len(moves) == 0 {
+			break
+		}
+		mv := moves[rng.Intn(len(moves))]
+		next := asg.Clone()
+		mv.apply(next)
+		d := eval.PointerDelay(t, next)
+		if delta := d - delay; delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			asg, delay = next, d
+			if delay < bestDelay {
+				best, bestDelay = asg.Clone(), delay
+			}
+		}
+		temp *= cool
+	}
+	return &Result{Assignment: best, Delay: bestDelay, Work: steps}
+}
+
+// move is a reversible local change of the cut.
+type move struct {
+	apply func(*model.Assignment)
+}
+
+// legalMoves enumerates the sink/lift neighbourhood of asg by walking the
+// tree's node structs — the pointer twin of appendMoves, kept for the
+// reference implementations and the neighbourhood tests.
+func legalMoves(t *model.Tree, asg *model.Assignment) []move {
+	var out []move
+	for _, id := range t.Preorder() {
+		id := id
+		n := t.Node(id)
+		if n.Kind != model.Processing {
+			continue
+		}
+		if asg.At(id).IsHost() {
+			if id == t.Root() {
+				continue
+			}
+			sat, mono := t.CorrespondentSatellite(id)
+			if !mono {
+				continue
+			}
+			if !asg.At(n.Parent).IsHost() {
+				continue
+			}
+			ok := true
+			for _, c := range n.Children {
+				cn := t.Node(c)
+				if cn.Kind == model.Processing {
+					if s, onSat := asg.At(c).Satellite(); !onSat || s != sat {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				out = append(out, move{apply: func(a *model.Assignment) {
+					a.Set(id, model.OnSatellite(sat))
+				}})
+			}
+		} else if n.Parent != model.None && asg.At(n.Parent).IsHost() {
+			// lift: v returns to the host; children keep their location.
+			out = append(out, move{apply: func(a *model.Assignment) {
+				a.Set(id, model.Host)
+			}})
+		}
+	}
+	return out
+}

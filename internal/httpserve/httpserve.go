@@ -250,12 +250,20 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // counters under "crserve". The server's own vars are rendered per
 // request instead of registered globally, so many handlers can coexist
 // in one process (expvar.Publish panics on duplicates).
+//
+// The "runtime" block carries the scheduler and allocator gauges the
+// flat-plan relayering is tuned against: GOMAXPROCS, heap size and
+// cumulative allocation counters, so a dashboard can confirm the warm
+// serve path really holds its zero-allocation contract in production
+// (mallocs should be flat between scrapes under a cache-hit-heavy load).
 func (s *server) handleVars(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	fmt.Fprint(w, "{")
 	expvar.Do(func(kv expvar.KeyValue) {
 		fmt.Fprintf(w, "%q: %s, ", kv.Key, kv.Value)
 	})
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	own, _ := json.Marshal(map[string]any{
 		"cache": s.cfg.Service.Stats(),
 		"requests": map[string]int64{
@@ -271,6 +279,16 @@ func (s *server) handleVars(w http.ResponseWriter, _ *http.Request) {
 		"sessions": map[string]int64{
 			"live":    int64(s.sessionCount()),
 			"evicted": s.sessionsEvicted.Load(),
+		},
+		"runtime": map[string]any{
+			"gomaxprocs":        runtime.GOMAXPROCS(0),
+			"num_cpu":           runtime.NumCPU(),
+			"heap_alloc_bytes":  ms.HeapAlloc,
+			"heap_objects":      ms.HeapObjects,
+			"total_alloc_bytes": ms.TotalAlloc,
+			"mallocs":           ms.Mallocs,
+			"num_gc":            ms.NumGC,
+			"gc_cpu_fraction":   ms.GCCPUFraction,
 		},
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"goroutines":     runtime.NumGoroutine(),

@@ -269,3 +269,46 @@ func TestRandomMutationStreams(t *testing.T) {
 		}
 	}
 }
+
+// TestMutationTransfersCompiledPlan pins the incremental engine's
+// memory-discipline contract: a profile-only mutation hands the new
+// revision a patched compiled plan that shares the base revision's
+// structural arrays (only the float arrays are recompiled, spine-first),
+// while a structural mutation drops the plan so the next solve
+// recompiles from the new shape.
+func TestMutationTransfersCompiledPlan(t *testing.T) {
+	tree := workload.PaperTree()
+	base := model.Compile(tree)
+
+	drifted, err := Apply(tree, WeightUpdate{Node: "CRU4", SatTime: f(9.5)})
+	if err != nil {
+		t.Fatalf("WeightUpdate: %v", err)
+	}
+	plan := model.Compile(drifted)
+	if &plan.Post[0] != &base.Post[0] {
+		t.Fatalf("profile mutation recompiled the structural arrays instead of transferring them")
+	}
+	if plan.SubSat[plan.Pos[mustID(t, drifted, "CRU4")]] == base.SubSat[base.Pos[mustID(t, tree, "CRU4")]] {
+		t.Fatalf("patched plan kept the stale subtree satellite load")
+	}
+
+	grown, err := Apply(tree, AttachSubtree{Parent: "CRU7", Subtree: &model.Spec{
+		CRUs:    []model.SpecCRU{{Name: "x1", Parent: "", HostTime: 1, SatTime: 2}},
+		Sensors: []model.SpecSensor{{Name: "xs1", Parent: "x1", Satellite: "Y", Comm: 0.5}},
+	}})
+	if err != nil {
+		t.Fatalf("AttachSubtree: %v", err)
+	}
+	if model.Compile(grown).Len() != tree.Len()+2 {
+		t.Fatalf("structural mutation produced a plan of the wrong size")
+	}
+}
+
+func mustID(t *testing.T, tree *model.Tree, name string) model.NodeID {
+	t.Helper()
+	id, ok := tree.NodeByName(name)
+	if !ok {
+		t.Fatalf("node %s missing", name)
+	}
+	return id
+}

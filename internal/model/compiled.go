@@ -1,0 +1,434 @@
+package model
+
+import (
+	"slices"
+	"sync/atomic"
+)
+
+// LeafSpan is a maximal run of consecutive leaf (sensor) positions in the
+// planar order, inclusive on both ends. It mirrors colouring.Band without
+// importing it (colouring derives its bands from the compiled plan).
+type LeafSpan struct{ Lo, Hi int32 }
+
+// Compiled is an immutable, cache-friendly compilation of one Tree
+// revision: structure-of-arrays node fields, a post-order permutation
+// with per-node subtree spans, per-satellite sensor groupings, and
+// precomputed subtree aggregates with the colouring's monochromatic
+// results folded in. Every hot solver loop — flat delay evaluation, DWG
+// construction, branch-and-bound bounds, heuristic moves — reads these
+// arrays instead of chasing Node pointers and re-deriving traversals.
+//
+// Unless noted otherwise, per-node arrays are indexed by post-order
+// position. Post-order makes every subtree a contiguous span: the subtree
+// rooted at position p occupies [Start[p], p+1), so whole-subtree
+// operations (sink to a satellite, lift to the host, aggregate sums) are
+// plain slice loops. Pre lists the positions in DFS pre-order for passes
+// that must match the pointer walks' iteration — and therefore their
+// floating-point summation — order exactly; the aggregates are likewise
+// accumulated in child order so they are bit-identical to the pointer
+// caches, which is what lets the parity tests demand exact equality.
+//
+// A Compiled is never mutated after construction and is memoised on its
+// Tree by Compile. Profile-only edits (Editor.Build's fast path) hand the
+// new revision a patched copy that shares every structural array and
+// copies only the float arrays, recomputing just the dirtied spine.
+type Compiled struct {
+	tree *Tree
+
+	// Permutations between NodeIDs and post-order positions.
+	Post []NodeID // position -> node ID
+	Pos  []int32  // node ID -> position
+	Pre  []int32  // positions in DFS pre-order
+
+	// Structure: parents, CSR children, subtree spans.
+	Parent   []int32 // parent's position; -1 for the root
+	ChildIdx []int32 // CSR offsets into Child, len n+1
+	Child    []int32 // children positions, left-to-right
+	Start    []int32 // subtree of p spans positions [Start[p], p+1)
+	RootPos  int32
+
+	// Node profiles (structure-of-arrays).
+	HostTime []float64
+	SatTime  []float64
+	UpComm   []float64
+	Proc     []bool        // Kind == Processing
+	Sensor   []SatelliteID // sensor's satellite; NoSatellite for CRUs
+
+	// Subtree aggregates, accumulated in child order.
+	SubSat  []float64 // Σ s over the subtree
+	SubHost []float64 // Σ h over the subtree
+	SubComm []float64 // Σ c over the subtree (own uplink included)
+	Forced  []float64 // Σ h over the subtree's must-host CRUs
+
+	// Colouring results folded in.
+	Colour   []SatelliteID // monochromatic colour of the subtree; NoSatellite = conflict
+	MustHost []bool        // processing CRU pinned to the host (root or multi-colour)
+
+	// Figure-8 σ label of the tree edge above each node (0 for the root).
+	Sigma []float64
+
+	// Sensor groupings.
+	LeafLo, LeafHi []int32      // leaf-position interval covered by the subtree
+	Leaves         []int32      // planar leaf order -> position
+	SatSensors     [][]int32    // per satellite: its sensors' positions, planar order
+	SatBands       [][]LeafSpan // per satellite: maximal runs of its leaves
+	NumSats        int
+
+	aux *planAux
+}
+
+// planAux carries lazily derived per-plan artefacts — currently the
+// assign package's dual assignment graph. It hangs off the plan behind a
+// pointer so plans can be copied (the patched-plan fast path) while the
+// aux slot itself is never copied; a patched plan gets a fresh aux,
+// because derived artefacts embed the float arrays they were built from.
+type planAux struct {
+	dual atomic.Value
+}
+
+// Dual returns the memoised dual assignment graph (stored as any to keep
+// model independent of the assign package), or nil.
+func (c *Compiled) Dual() any { return c.aux.dual.Load() }
+
+// StoreDual memoises the dual assignment graph for this plan. Concurrent
+// stores race benignly: both values are equivalent, last one wins.
+func (c *Compiled) StoreDual(g any) { c.aux.dual.Store(g) }
+
+// Compile returns the compiled plan of t, memoised on the tree: the first
+// call per revision builds it, later calls (and every solver dispatched
+// through core on the same revision) share it. Profile-edited revisions
+// inherit a patched plan from their base, so a mutation stream never
+// recompiles structure it did not touch.
+func Compile(t *Tree) *Compiled {
+	if c := t.cpl.Load(); c != nil {
+		return c
+	}
+	c := compile(t)
+	t.cpl.Store(c)
+	return c
+}
+
+// Tree returns the tree this plan was compiled from.
+func (c *Compiled) Tree() *Tree { return c.tree }
+
+// Len returns the number of nodes.
+func (c *Compiled) Len() int { return len(c.Post) }
+
+// Children returns the positions of p's children, left-to-right. The
+// slice aliases the CSR arena; callers must not modify it.
+func (c *Compiled) Children(p int32) []int32 {
+	return c.Child[c.ChildIdx[p]:c.ChildIdx[p+1]]
+}
+
+// Span returns the position span [start, end) of the subtree rooted at p.
+func (c *Compiled) Span(p int32) (start, end int32) { return c.Start[p], p + 1 }
+
+// Bands returns satellite sat's maximal leaf runs in left-to-right order.
+func (c *Compiled) Bands(sat SatelliteID) []LeafSpan {
+	if sat < 0 || int(sat) >= len(c.SatBands) {
+		return nil
+	}
+	return c.SatBands[sat]
+}
+
+// Contiguous reports whether satellite sat's sensors occupy one
+// contiguous run of leaves — the precondition of the §5.4 expansion step.
+func (c *Compiled) Contiguous(sat SatelliteID) bool { return len(c.Bands(sat)) <= 1 }
+
+// BaseLocations fills loc (position-indexed, resized by the caller to
+// Len()) with the everything-on-host assignment: CRUs on the host,
+// sensors pinned to their satellites.
+func (c *Compiled) BaseLocations(loc []Location) {
+	for p := range loc {
+		if s := c.Sensor[p]; s != NoSatellite {
+			loc[p] = OnSatellite(s)
+		} else {
+			loc[p] = Host
+		}
+	}
+}
+
+// TopmostLocations fills loc with the maximal distribution: exactly the
+// must-host closure stays on the host and every monochromatic region
+// hanging off it sinks to its satellite — the same cut as
+// colouring.Analysis.FeasibleTopmost.
+func (c *Compiled) TopmostLocations(loc []Location) {
+	c.BaseLocations(loc)
+	for p := int32(0); p < int32(len(loc)); p++ {
+		if !c.Proc[p] || c.MustHost[p] {
+			continue
+		}
+		if par := c.Parent[p]; par >= 0 && c.MustHost[par] {
+			c.FillSpan(loc, p, OnSatellite(c.Colour[p]))
+		}
+	}
+}
+
+// FillSpan places every processing CRU in the subtree at p onto l —
+// the span form of the solvers' placeSubtree walks. Sensors keep their
+// pinned location.
+func (c *Compiled) FillSpan(loc []Location, p int32, l Location) {
+	for q := c.Start[p]; q <= p; q++ {
+		if c.Proc[q] {
+			loc[q] = l
+		}
+	}
+}
+
+// LoadLocations copies a NodeID-indexed assignment into the
+// position-indexed vector loc.
+func (c *Compiled) LoadLocations(loc []Location, a *Assignment) {
+	for p := range loc {
+		loc[p] = a.Loc[c.Post[p]]
+	}
+}
+
+// StoreAssignment copies the position-indexed vector loc into the
+// NodeID-indexed assignment.
+func (c *Compiled) StoreAssignment(a *Assignment, loc []Location) {
+	for p := range loc {
+		a.Loc[c.Post[p]] = loc[p]
+	}
+}
+
+// compile builds the plan from the tree's pointer caches. The tree must
+// be valid (Builder/Editor output); compile is reachable only through
+// Compile on such trees.
+func compile(t *Tree) *Compiled {
+	n := t.Len()
+	c := &Compiled{
+		tree:     t,
+		Post:     make([]NodeID, n),
+		Pos:      make([]int32, n),
+		Pre:      make([]int32, n),
+		Parent:   make([]int32, n),
+		ChildIdx: make([]int32, n+1),
+		Start:    make([]int32, n),
+		HostTime: make([]float64, n),
+		SatTime:  make([]float64, n),
+		UpComm:   make([]float64, n),
+		Proc:     make([]bool, n),
+		Sensor:   make([]SatelliteID, n),
+		SubSat:   make([]float64, n),
+		SubHost:  make([]float64, n),
+		SubComm:  make([]float64, n),
+		Forced:   make([]float64, n),
+		Colour:   make([]SatelliteID, n),
+		MustHost: make([]bool, n),
+		Sigma:    make([]float64, n),
+		LeafLo:   make([]int32, n),
+		LeafHi:   make([]int32, n),
+		Leaves:   make([]int32, len(t.leaves)),
+		NumSats:  len(t.satellites),
+		aux:      &planAux{},
+	}
+	for p, id := range t.postorder {
+		c.Post[p] = id
+		c.Pos[id] = int32(p)
+	}
+	for i, id := range t.preorder {
+		c.Pre[i] = c.Pos[id]
+	}
+	c.RootPos = c.Pos[t.root]
+
+	// Structure and profiles (CSR children in sibling order).
+	total := 0
+	for i := range t.nodes {
+		total += len(t.nodes[i].Children)
+	}
+	c.Child = make([]int32, 0, total)
+	for p := 0; p < n; p++ {
+		nd := &t.nodes[c.Post[p]]
+		c.ChildIdx[p] = int32(len(c.Child))
+		for _, ch := range nd.Children {
+			c.Child = append(c.Child, c.Pos[ch])
+		}
+		if nd.Parent == None {
+			c.Parent[p] = -1
+		} else {
+			c.Parent[p] = c.Pos[nd.Parent]
+		}
+		c.HostTime[p] = nd.HostTime
+		c.SatTime[p] = nd.SatTime
+		c.UpComm[p] = nd.UpComm
+		c.Proc[p] = nd.Kind == Processing
+		if nd.Kind == SensorKind {
+			c.Sensor[p] = nd.Satellite
+		} else {
+			c.Sensor[p] = NoSatellite
+		}
+		c.LeafLo[p] = int32(t.leafLo[c.Post[p]])
+		c.LeafHi[p] = int32(t.leafHi[c.Post[p]])
+	}
+	c.ChildIdx[n] = int32(len(c.Child))
+
+	// Subtree spans, aggregates and colours in one post-order pass
+	// (children have smaller positions than their parents).
+	for p := int32(0); p < int32(n); p++ {
+		kids := c.Children(p)
+		if len(kids) == 0 {
+			c.Start[p] = p
+		} else {
+			c.Start[p] = c.Start[kids[0]]
+		}
+		c.SubSat[p] = c.SatTime[p]
+		c.SubHost[p] = c.HostTime[p]
+		c.SubComm[p] = c.UpComm[p]
+		mono := true
+		col := c.Sensor[p] // NoSatellite for CRUs, their own satellite for sensors
+		for _, ch := range kids {
+			c.SubSat[p] += c.SubSat[ch]
+			c.SubHost[p] += c.SubHost[ch]
+			c.SubComm[p] += c.SubComm[ch]
+			cc := c.Colour[ch]
+			if cc == NoSatellite {
+				mono = false
+				continue
+			}
+			if col == NoSatellite {
+				col = cc
+			} else if col != cc {
+				mono = false
+			}
+		}
+		if !mono {
+			col = NoSatellite
+		}
+		c.Colour[p] = col
+		c.MustHost[p] = c.Proc[p] && (col == NoSatellite || p == c.RootPos)
+	}
+	// Forced needs MustHost of the whole subtree, hence a second pass.
+	for p := int32(0); p < int32(n); p++ {
+		if c.MustHost[p] {
+			c.Forced[p] = c.HostTime[p]
+		}
+		for _, ch := range c.Children(p) {
+			c.Forced[p] += c.Forced[ch]
+		}
+	}
+
+	c.refreshSigma()
+
+	// Sensor groupings: planar leaf order, per-satellite lists and bands.
+	c.SatSensors = make([][]int32, c.NumSats)
+	c.SatBands = make([][]LeafSpan, c.NumSats)
+	for i, leaf := range t.leaves {
+		p := c.Pos[leaf]
+		c.Leaves[i] = p
+		sat := c.Sensor[p]
+		c.SatSensors[sat] = append(c.SatSensors[sat], p)
+		if bands := c.SatBands[sat]; len(bands) > 0 && bands[len(bands)-1].Hi == int32(i)-1 {
+			bands[len(bands)-1].Hi = int32(i)
+		} else {
+			c.SatBands[sat] = append(c.SatBands[sat], LeafSpan{Lo: int32(i), Hi: int32(i)})
+		}
+	}
+	return c
+}
+
+// refreshSigma recomputes the Figure-8 σ labels from the host times: in
+// pre-order, the edge to a node's leftmost child carries (label of the
+// edge into the node) + h(node); other child edges carry 0.
+func (c *Compiled) refreshSigma() {
+	for i := range c.Sigma {
+		c.Sigma[i] = 0
+	}
+	for _, p := range c.Pre {
+		if !c.Proc[p] {
+			continue
+		}
+		for k, ch := range c.Children(p) {
+			if k == 0 {
+				c.Sigma[ch] = c.Sigma[p] + c.HostTime[p]
+			} else {
+				c.Sigma[ch] = 0
+			}
+		}
+	}
+}
+
+// adoptCompiledPlan hands a profile-edited revision t a patched copy of
+// base's plan: every structural array (permutations, CSR children, spans,
+// colours, sensor groupings) is shared, the float arrays are copied, and
+// only the dirtied spine is recomputed — each changed node's value is
+// patched in place and its subtree aggregates are re-derived bottom-up
+// along the root path exactly as a full compile would, so the patched
+// arrays are bit-identical to a fresh compilation. σ labels depend on
+// every ancestor host time along leftmost chains, so a host-time edit
+// re-runs the O(n) flat σ pass (still allocation-shared, no tree walk).
+// Shape changes never reach this path; structural edits drop the plan and
+// recompile lazily.
+func (t *Tree) adoptCompiledPlan(base *Tree, dirty []NodeID) {
+	bc := base.cpl.Load()
+	if bc == nil || bc.Len() != t.Len() {
+		return
+	}
+	c := *bc // shallow copy: shares every structural array
+	c.tree = t
+	c.aux = &planAux{} // derived artefacts depend on the patched floats
+	c.HostTime = append([]float64(nil), bc.HostTime...)
+	c.SatTime = append([]float64(nil), bc.SatTime...)
+	c.UpComm = append([]float64(nil), bc.UpComm...)
+	c.SubSat = append([]float64(nil), bc.SubSat...)
+	c.SubHost = append([]float64(nil), bc.SubHost...)
+	c.SubComm = append([]float64(nil), bc.SubComm...)
+	c.Forced = append([]float64(nil), bc.Forced...)
+
+	hostDirty := false
+	spine := make([]int32, 0, 2*len(dirty))
+	for _, id := range dirty {
+		p := c.Pos[id]
+		nd := &t.nodes[id]
+		changed := false
+		if nd.HostTime != c.HostTime[p] {
+			c.HostTime[p] = nd.HostTime
+			hostDirty = true
+			changed = true
+		}
+		if nd.SatTime != c.SatTime[p] {
+			c.SatTime[p] = nd.SatTime
+			changed = true
+		}
+		if nd.UpComm != c.UpComm[p] {
+			c.UpComm[p] = nd.UpComm
+			changed = true
+		}
+		if changed {
+			for q := p; q >= 0; q = c.Parent[q] {
+				spine = append(spine, q)
+			}
+		}
+	}
+	if len(spine) > 0 {
+		// Bottom-up (ascending position = children first), deduplicated:
+		// re-derive each spine node's aggregates from its children in the
+		// same accumulation order as compile, so values stay bit-exact.
+		slices.Sort(spine)
+		prev := int32(-1)
+		for _, p := range spine {
+			if p == prev {
+				continue
+			}
+			prev = p
+			c.SubSat[p] = c.SatTime[p]
+			c.SubHost[p] = c.HostTime[p]
+			c.SubComm[p] = c.UpComm[p]
+			if c.MustHost[p] {
+				c.Forced[p] = c.HostTime[p]
+			} else {
+				c.Forced[p] = 0
+			}
+			for _, ch := range c.Children(p) {
+				c.SubSat[p] += c.SubSat[ch]
+				c.SubHost[p] += c.SubHost[ch]
+				c.SubComm[p] += c.SubComm[ch]
+				c.Forced[p] += c.Forced[ch]
+			}
+		}
+	}
+	if hostDirty {
+		c.Sigma = make([]float64, len(bc.Sigma))
+		c.refreshSigma()
+	}
+	t.cpl.Store(&c)
+}

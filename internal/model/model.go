@@ -105,7 +105,8 @@ type Tree struct {
 	subSat    []float64       // per node: Σ SatTime over its subtree
 	subSats   [][]SatelliteID // per node: sorted distinct satellites under it
 
-	fpm atomic.Pointer[fpMemo] // memoised Fingerprint state; cleared by refreshCaches
+	fpm atomic.Pointer[fpMemo]   // memoised Fingerprint state; cleared by refreshCaches
+	cpl atomic.Pointer[Compiled] // memoised Compile plan; cleared by refreshCaches
 }
 
 // Len returns the number of nodes (processing CRUs plus sensors).
@@ -304,6 +305,7 @@ func (t *Tree) Render() string {
 // invariants hold (call Validate first when in doubt).
 func (t *Tree) refreshCaches() {
 	t.fpm.Store(nil)
+	t.cpl.Store(nil)
 	n := len(t.nodes)
 	t.preorder = make([]NodeID, 0, n)
 	t.postorder = make([]NodeID, 0, n)

@@ -299,6 +299,7 @@ func (e *Editor) buildFast() (*Tree, error) {
 		t.subSat = b.subSat
 	}
 	t.adoptFingerprintMemo(b, e.dirty)
+	t.adoptCompiledPlan(b, e.dirty)
 	return t, nil
 }
 

@@ -1,6 +1,15 @@
-// Package pool provides the one bounded worker pool every batch path
-// shares: Solver.SolveBatch, Service.SolveBatch and the HTTP batch
-// handler all dispatch per-item work through Run, so the pool semantics
-// (worker clamping, cancellation of undispatched items) live in exactly
-// one place.
+// Package pool provides the two sharing primitives every hot path rides
+// on:
+//
+// Run is the one bounded worker pool of the batch paths —
+// Solver.SolveBatch, Service.SolveBatch and the HTTP batch handler all
+// dispatch per-item work through it, so the pool semantics (worker
+// clamping, cancellation of undispatched items) live in exactly one
+// place.
+//
+// Arena (with the Slice/Keep resize primitives) is the typed scratch
+// free list of the solvers: evaluation frames, work graphs, DP tables
+// and location vectors are checked out per solve and resized in place,
+// which is what lets steady-state serving run without hot-path
+// allocation.
 package pool

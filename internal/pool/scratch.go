@@ -1,0 +1,55 @@
+package pool
+
+import "sync"
+
+// Arena is a typed free list of reusable scratch objects (DP tables,
+// candidate buffers, load vectors, visited bitsets). Solvers check one
+// object out per solve and return it when done, so steady-state serving
+// performs no hot-path allocation: after a short warm-up every Get is
+// satisfied from the free list and the slices inside the object are
+// resized in place with Slice/Keep.
+//
+// An Arena is safe for concurrent use. Objects must not be used after
+// Put; the arena may hand them to another goroutine immediately.
+type Arena[T any] struct {
+	pool sync.Pool
+}
+
+// NewArena returns an arena backed by alloc for cold Gets.
+func NewArena[T any](alloc func() *T) *Arena[T] {
+	a := &Arena[T]{}
+	a.pool.New = func() any { return alloc() }
+	return a
+}
+
+// Get checks an object out of the arena.
+func (a *Arena[T]) Get() *T { return a.pool.Get().(*T) }
+
+// Put returns an object to the arena. Nil is ignored so deferred Puts
+// stay safe on early-error paths.
+func (a *Arena[T]) Put(x *T) {
+	if x != nil {
+		a.pool.Put(x)
+	}
+}
+
+// Slice returns s with length n and every element zeroed, reusing the
+// backing array when its capacity allows. It is the resize primitive of
+// pooled scratch: after warm-up it never allocates.
+func Slice[E any](s []E, n int) []E {
+	if cap(s) < n {
+		return make([]E, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// Keep returns s with length n without zeroing the elements, reusing the
+// backing array when possible. For buffers the caller overwrites fully.
+func Keep[E any](s []E, n int) []E {
+	if cap(s) < n {
+		return make([]E, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package repro_test
+
+// raceEnabled reports whether the race detector instruments this build.
+// The zero-allocation guards skip under -race: the instrumentation itself
+// allocates, which would fail the guard for reasons unrelated to the
+// serving path.
+const raceEnabled = false

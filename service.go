@@ -89,6 +89,14 @@ func (s *Service) solveCached(ctx context.Context, t *Tree, cfg settings) (*Outc
 	if t == nil {
 		return nil, CacheMiss, fmt.Errorf("%w: nil tree", ErrInvalidTree)
 	}
+	// The cache key is assembled into a pooled byte buffer and looked up
+	// with the allocation-free byte path first: on a warm hit (the
+	// steady-state serving regime) the whole call — fingerprint memo
+	// read, key append, LRU lookup, delivery — allocates nothing. The
+	// string key is materialised only when the request misses and has to
+	// enter the singleflight/store machinery.
+	kb := keyBufs.Get()
+	kb.b = appendRequestKey(kb.b[:0], t, cfg)
 	// A warm hint never changes an exact solver's answer, and solvers
 	// without WarmStart capability drop it before searching, so both keep
 	// the full cache path (the hint is excluded from the key: a hit is
@@ -98,12 +106,14 @@ func (s *Service) solveCached(ctx context.Context, t *Tree, cfg settings) (*Outc
 	// but its own result must never enter the store, where it would leak
 	// a warmed local optimum into cold requests under the same key — so
 	// it looks up, and on a miss solves directly without storing.
-	key := requestKey(t, cfg)
+	if v, ok := s.cache.GetBytes(kb.b); ok {
+		keyBufs.Put(kb)
+		return s.deliver(v.(*cachedSolve), t, CacheHit)
+	}
 	if cfg.warm != nil {
 		if caps, ok := Capability(cfg.algorithm); ok && caps.WarmStart && !caps.Exact {
-			if v, ok := s.cache.Get(key); ok {
-				return s.deliver(v.(*cachedSolve), t, CacheHit)
-			}
+			keyBufs.Put(kb)
+			s.cache.RecordMiss() // solved outside the store; keep the ratio honest
 			out, err := s.solve(ctx, t, cfg)
 			if err != nil {
 				return nil, CacheMiss, err
@@ -111,6 +121,16 @@ func (s *Service) solveCached(ctx context.Context, t *Tree, cfg settings) (*Outc
 			return out, CacheMiss, nil
 		}
 	}
+	key := string(kb.b)
+	keyBufs.Put(kb)
+	return s.solveMiss(ctx, t, cfg, key)
+}
+
+// solveMiss runs the singleflight/store path of solveCached. It is a
+// separate method so the flight closure's captures live here: capturing
+// cfg inside solveCached would force the settings onto the heap on every
+// call, including warm hits that never reach the closure.
+func (s *Service) solveMiss(ctx context.Context, t *Tree, cfg settings, key string) (*Outcome, CacheStatus, error) {
 	// A shared flight can fail with the *leader's* cancellation — its
 	// tight deadline or disconnect, nothing to do with this caller. As
 	// long as our own context is alive, retry: the key is unclaimed
@@ -251,15 +271,22 @@ func (s *Service) SolveBatch(ctx context.Context, trees []*Tree, opts ...Option)
 	return results, nil
 }
 
-// requestKey is the cache identity of one solve: the tree's structural
-// fingerprint plus every parameter that changes the answer. The timeout
-// is excluded (it bounds the work, not the result), warm-start hints are
-// excluded (they are advisory and reach the cache only for exact solvers,
-// whose answer they cannot change), parameters the chosen algorithm
-// declares it ignores are normalised away (a seed on the deterministic
-// adapted-ssb must not fragment the cache), and zero weights collapse
-// onto the default S+B objective so both spellings share a key.
-func requestKey(t *Tree, cfg settings) string {
+// keyBuf is the pooled scratch the cache key is appended into; the warm
+// serving path borrows one per call so key assembly never allocates.
+type keyBuf struct{ b []byte }
+
+var keyBufs = pool.NewArena(func() *keyBuf { return new(keyBuf) })
+
+// appendRequestKey appends the cache identity of one solve to dst: the
+// tree's structural fingerprint plus every parameter that changes the
+// answer. The timeout is excluded (it bounds the work, not the result),
+// warm-start hints are excluded (they are advisory and reach the cache
+// only for exact solvers, whose answer they cannot change), parameters
+// the chosen algorithm declares it ignores are normalised away (a seed on
+// the deterministic adapted-ssb must not fragment the cache), and zero
+// weights collapse onto the default S+B objective so both spellings
+// share a key.
+func appendRequestKey(dst []byte, t *Tree, cfg settings) []byte {
 	w, seed, budget := cfg.weights, cfg.seed, cfg.budget
 	if caps, ok := Capability(cfg.algorithm); ok {
 		if !caps.Weighted {
@@ -275,10 +302,22 @@ func requestKey(t *Tree, cfg settings) string {
 	if w == (dwg.Weights{}) {
 		w = dwg.Default
 	}
-	return model.Fingerprint(t) +
-		"|a=" + string(cfg.algorithm) +
-		"|ws=" + strconv.FormatUint(math.Float64bits(w.WS), 16) +
-		"|wb=" + strconv.FormatUint(math.Float64bits(w.WB), 16) +
-		"|s=" + strconv.FormatInt(seed, 10) +
-		"|b=" + strconv.Itoa(budget)
+	dst = append(dst, model.Fingerprint(t)...)
+	dst = append(dst, "|a="...)
+	dst = append(dst, string(cfg.algorithm)...)
+	dst = append(dst, "|ws="...)
+	dst = strconv.AppendUint(dst, math.Float64bits(w.WS), 16)
+	dst = append(dst, "|wb="...)
+	dst = strconv.AppendUint(dst, math.Float64bits(w.WB), 16)
+	dst = append(dst, "|s="...)
+	dst = strconv.AppendInt(dst, seed, 10)
+	dst = append(dst, "|b="...)
+	dst = strconv.AppendInt(dst, int64(budget), 10)
+	return dst
+}
+
+// requestKey is appendRequestKey materialised as a string (miss paths and
+// tests; the hit path stays on the byte form).
+func requestKey(t *Tree, cfg settings) string {
+	return string(appendRequestKey(nil, t, cfg))
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/model"
 	"repro/internal/pool"
 )
 
@@ -80,11 +81,23 @@ func NewSolver(opts ...Option) *Solver {
 // resolves the fallbacks — empty algorithm means AdaptedSSB, non-positive
 // parallelism means runtime.NumCPU — so every downstream path (dispatch,
 // batch pool sizing, cache keying) sees the same canonical settings.
+//
+// The no-options path never takes the settings' address: an Option call
+// would leak &cfg to an arbitrary closure and force a heap allocation on
+// every Solve, which the warm serving path must not pay.
 func (s *Solver) settingsFor(opts []Option) settings {
-	cfg := s.defaults
-	for _, o := range opts {
-		o(&cfg)
+	if len(opts) == 0 {
+		return resolveSettings(s.defaults)
 	}
+	cfg := new(settings)
+	*cfg = s.defaults
+	for _, o := range opts {
+		o(cfg)
+	}
+	return resolveSettings(*cfg)
+}
+
+func resolveSettings(cfg settings) settings {
 	if cfg.algorithm == "" {
 		cfg.algorithm = AdaptedSSB
 	}
@@ -107,14 +120,21 @@ func solveOne(ctx context.Context, t *Tree, cfg settings) (*Outcome, error) {
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
-	return core.SolveContext(ctx, core.Request{
+	req := core.Request{
 		Tree:      t,
 		Algorithm: cfg.algorithm,
 		Weights:   cfg.weights,
 		Seed:      cfg.seed,
 		Budget:    cfg.budget,
 		Warm:      cfg.warm,
-	})
+	}
+	if t != nil {
+		// Compile (or fetch) the flat plan here so every dispatch — batch
+		// items, cache misses, session re-solves — reuses the revision's
+		// memoised arrays explicitly rather than via the registry fallback.
+		req.Plan = model.Compile(t)
+	}
+	return core.SolveContext(ctx, req)
 }
 
 // BatchResult is one SolveBatch item's result: exactly one of Outcome and
