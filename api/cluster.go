@@ -1,0 +1,45 @@
+package api
+
+// Cluster routing headers. They are part of the wire contract: peers of
+// any version must agree on the hop guard or a ring disagreement could
+// bounce a request between nodes forever.
+const (
+	// ForwardedHeader is the hop guard. A node forwarding a request to a
+	// peer sets it to its own ID; a node receiving a request that carries
+	// it must serve the request locally and never forward again, so one
+	// client request crosses at most one intra-cluster hop.
+	ForwardedHeader = "X-CR-Forwarded"
+	// ServedByHeader names the node whose solver (or cache) actually
+	// produced the response — observability for routing and cache
+	// affinity, never consulted for routing decisions.
+	ServedByHeader = "X-CR-Served-By"
+)
+
+// ClusterNode is one fleet member's introspection record.
+type ClusterNode struct {
+	// ID is the node's advertised base URL.
+	ID string `json:"id"`
+	// Tag is the short stable identifier session IDs are pinned with.
+	Tag string `json:"tag"`
+	// Self marks the node answering this request.
+	Self bool `json:"self,omitempty"`
+	// State: ready | draining | dead.
+	State string `json:"state"`
+	// Failures is the node's consecutive health-probe failure count.
+	Failures int `json:"failures,omitempty"`
+	// LastSeenMS is milliseconds since the node last answered a probe
+	// (-1 until the first successful probe; omitted for self).
+	LastSeenMS int64 `json:"last_seen_ms,omitempty"`
+}
+
+// ClusterResponse is the GET /v1/cluster introspection document. On a
+// node running without a cluster it reports Enabled=false and nothing
+// else, so dashboards can poll the endpoint unconditionally.
+type ClusterResponse struct {
+	APIVersion   string           `json:"api_version"`
+	Enabled      bool             `json:"enabled"`
+	Self         string           `json:"self,omitempty"`
+	VirtualNodes int              `json:"virtual_nodes,omitempty"`
+	Nodes        []ClusterNode    `json:"nodes,omitempty"`
+	Stats        map[string]int64 `json:"stats,omitempty"`
+}

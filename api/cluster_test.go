@@ -1,0 +1,43 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func TestClusterResponseRoundTrip(t *testing.T) {
+	in := &ClusterResponse{
+		APIVersion: Version, Enabled: true, Self: "http://n1", VirtualNodes: 64,
+		Nodes: []ClusterNode{
+			{ID: "http://n1", Tag: "aabbccdd", Self: true, State: "ready"},
+			{ID: "http://n2", Tag: "11223344", State: "dead", Failures: 3, LastSeenMS: 1500},
+		},
+		Stats: map[string]int64{"forwards": 7},
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ClusterResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Self != in.Self || len(out.Nodes) != 2 || out.Nodes[1].State != "dead" || out.Stats["forwards"] != 7 {
+		t.Fatalf("round trip drift: %+v", out)
+	}
+}
+
+func TestUnavailableStatus(t *testing.T) {
+	if got := CodeUnavailable.HTTPStatus(); got != http.StatusServiceUnavailable {
+		t.Fatalf("unavailable maps to %d", got)
+	}
+}
+
+// The hop-guard header name is wire contract: peers of mixed versions
+// must agree on it, so a rename is a breaking change.
+func TestForwardHeadersStable(t *testing.T) {
+	if ForwardedHeader != "X-CR-Forwarded" || ServedByHeader != "X-CR-Served-By" {
+		t.Fatalf("cluster headers renamed: %q %q", ForwardedHeader, ServedByHeader)
+	}
+}

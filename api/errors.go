@@ -39,6 +39,11 @@ const (
 	// CodeOverloaded: the server's concurrency limiter rejected the
 	// request; retry with backoff.
 	CodeOverloaded ErrorCode = "overloaded"
+	// CodeUnavailable: the request is pinned to a cluster peer (a
+	// session's owner) that cannot be reached right now; retry with
+	// backoff — if the owner is gone for good the retry turns into
+	// not_found once its membership state settles.
+	CodeUnavailable ErrorCode = "unavailable"
 	// CodeInternal: an unclassified server-side failure.
 	CodeInternal ErrorCode = "internal"
 )
@@ -56,6 +61,8 @@ func (c ErrorCode) HTTPStatus() int {
 		return http.StatusGatewayTimeout
 	case CodeOverloaded:
 		return http.StatusTooManyRequests
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}

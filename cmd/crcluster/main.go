@@ -1,0 +1,171 @@
+// Command crcluster spins up an in-process fleet of crserve nodes —
+// each with its own solver, caches and consistent-hash ring view, wired
+// over real loopback HTTP — and drives a mixed solve workload through
+// it. It is the zero-setup way to watch the cluster tier work: routing
+// keeps repeat solves of one instance on one owner node (watch the
+// per-node hit rates), scatter-gather splits batches by owner, and the
+// summary prints the fleet's routing counters.
+//
+// Usage:
+//
+//	crcluster                     # 3 nodes, 600 requests, 16 clients
+//	crcluster -nodes 5 -requests 5000 -clients 64
+//	crcluster -trees 100 -repeat 10 -seed 7
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/api"
+	"repro/internal/cluster"
+	"repro/internal/httpserve"
+	"repro/internal/workload"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 3, "fleet size")
+	requests := flag.Int("requests", 600, "total solve requests")
+	clients := flag.Int("clients", 16, "concurrent clients")
+	trees := flag.Int("trees", 40, "distinct random instances in the workload (the paper tree is always added)")
+	treeSize := flag.Int("tree-size", 24, "nodes per random instance")
+	seed := flag.Int64("seed", 1, "workload seed")
+	virtualNodes := flag.Int("virtual-nodes", 64, "ring points per node")
+	batch := flag.Int("batch", 0, "send every <n> requests as one scatter-gathered batch (0 = single solves)")
+	flag.Parse()
+
+	if err := run(*nodes, *requests, *clients, *trees, *treeSize, *seed, *virtualNodes, *batch); err != nil {
+		fmt.Fprintf(os.Stderr, "crcluster: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(nodes, requests, clients, trees, treeSize int, seed int64, virtualNodes, batch int) error {
+	fleet, err := httpserve.StartFleet(nodes, httpserve.FleetOptions{
+		Cluster:     cluster.Config{VirtualNodes: virtualNodes, ProbeInterval: 500 * time.Millisecond},
+		StartProbes: true,
+	})
+	if err != nil {
+		return err
+	}
+	defer fleet.Close()
+	fmt.Printf("fleet of %d nodes:\n", nodes)
+	for i, u := range fleet.URLs() {
+		fmt.Printf("  node %d: %s\n", i, u)
+	}
+
+	// Workload: the paper tree plus random instances, as wire specs.
+	rng := rand.New(rand.NewSource(seed))
+	specs := []*repro.Spec{repro.ToSpec(workload.PaperTree(), "paper")}
+	for i := 0; i < trees; i++ {
+		t := workload.Random(rng, workload.DefaultRandomSpec(treeSize, 3))
+		specs = append(specs, repro.ToSpec(t, fmt.Sprintf("rand-%d", i)))
+	}
+
+	var (
+		sent, failed atomic.Int64
+		mu           sync.Mutex
+		latencies    []time.Duration
+	)
+	urls := fleet.URLs()
+	client := &http.Client{}
+	work := make(chan int, requests)
+	for i := 0; i < requests; i++ {
+		work <- i
+	}
+	close(work)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := range work {
+				var body any
+				path := "/v1/solve"
+				if batch > 1 {
+					items := make([]api.SolveRequest, batch)
+					for k := range items {
+						items[k] = api.SolveRequest{Spec: specs[(i+k)%len(specs)]}
+					}
+					body = &api.BatchRequest{Items: items}
+					path = "/v1/batch"
+				} else {
+					body = &api.SolveRequest{Spec: specs[i%len(specs)]}
+				}
+				data, err := json.Marshal(body)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				t0 := time.Now()
+				resp, err := client.Post(urls[i%len(urls)]+path, "application/json", bytes.NewReader(data))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failed.Add(1)
+					continue
+				}
+				d := time.Since(t0)
+				sent.Add(1)
+				mu.Lock()
+				latencies = append(latencies, d)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	fmt.Printf("\n%d ok, %d failed in %v — %.0f req/s, p50 %v, p95 %v, p99 %v\n",
+		sent.Load(), failed.Load(), elapsed.Round(time.Millisecond),
+		float64(sent.Load())/elapsed.Seconds(),
+		pct(0.50).Round(10*time.Microsecond), pct(0.95).Round(10*time.Microsecond), pct(0.99).Round(10*time.Microsecond))
+
+	fmt.Println("\nper-node cache + routing:")
+	for i, n := range fleet.Nodes {
+		st := n.Service.Stats()
+		cs := n.Cluster.Stats()
+		total := st.Hits + st.Misses + st.Shared
+		rate := 0.0
+		if total > 0 {
+			rate = float64(st.Hits) / float64(total)
+		}
+		fmt.Printf("  node %d: %5d hits %5d misses %4d shared (%.0f%% hit) | %5d forwarded %3d hedged %3d local-fallback %3d scatter\n",
+			i, st.Hits, st.Misses, st.Shared, 100*rate,
+			cs.Forwards, cs.Hedges, cs.LocalFallbacks, cs.ScatterBatches)
+	}
+
+	// Affinity check: every distinct fingerprint should have solved (it
+	// missed) on exactly one node — its ring owner — no matter which node
+	// the client hit.
+	var misses int64
+	for _, n := range fleet.Nodes {
+		misses += n.Service.Stats().Misses
+	}
+	distinct := int64(len(specs))
+	fmt.Printf("\n%d distinct instances, %d cold solves across the fleet (perfect affinity = equal)\n", distinct, misses)
+	return nil
+}

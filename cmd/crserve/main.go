@@ -14,14 +14,21 @@
 //	POST   /v1/session/{id}/resolve warm re-solve of the current revision
 //	DELETE /v1/session/{id}         close a session
 //	GET    /v1/algorithms           list the registered solvers
-//	GET    /healthz                 liveness probe
-//	GET    /debug/vars              cache/request/session counters + expvar
+//	GET    /v1/cluster              fleet membership, ring state, routing counters
+//	GET    /healthz                 liveness probe ("ok", or "draining" while shutting down)
+//	GET    /debug/vars              cache/request/session/cluster counters + expvar
 //
 // Usage:
 //
 //	crserve -addr :8080 -cache 4096 -parallelism 8 \
 //	        -request-timeout 10s -max-inflight 256 \
 //	        -max-sessions 1024 -session-ttl 30m
+//
+// Clustered (every node lists every other node as a peer):
+//
+//	crserve -addr :8080 -advertise http://10.0.0.1:8080 \
+//	        -peers http://10.0.0.2:8080,http://10.0.0.3:8080 \
+//	        -virtual-nodes 64 -probe-interval 2s
 package main
 
 import (
@@ -33,10 +40,12 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux, exposed only behind -pprof
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/cluster"
 	"repro/internal/httpserve"
 )
 
@@ -51,7 +60,37 @@ func main() {
 	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle expiry for dynamic-tree sessions (negative disables)")
 	grace := flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on shutdown")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+	peers := flag.String("peers", "", "comma-separated peer base URLs; enables cluster routing (requires -advertise)")
+	advertise := flag.String("advertise", "", "this node's base URL as peers reach it (e.g. http://10.0.0.1:8080)")
+	virtualNodes := flag.Int("virtual-nodes", 64, "consistent-hash ring points per node")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "peer health-probe period")
+	drainDelay := flag.Duration("drain-delay", -1, "pause between flipping /healthz to draining and closing the listener, so peers' probes notice (-1 = 2x probe-interval when clustered, 0 when not)")
 	flag.Parse()
+
+	var cl *cluster.Cluster
+	if *peers != "" || *advertise != "" {
+		if *advertise == "" {
+			fmt.Fprintln(os.Stderr, "crserve: -peers requires -advertise (this node's base URL)")
+			os.Exit(2)
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		var err error
+		cl, err = cluster.New(cluster.Config{
+			Self:          *advertise,
+			Peers:         peerList,
+			VirtualNodes:  *virtualNodes,
+			ProbeInterval: *probeInterval,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crserve: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	solver := repro.NewSolver(repro.WithParallelism(*parallelism))
 	service := repro.NewService(solver, *cacheSize)
@@ -63,6 +102,7 @@ func main() {
 		BatchParallelism: *parallelism,
 		MaxSessions:      *maxSessions,
 		SessionTTL:       *sessionTTL,
+		Cluster:          cl,
 	})
 
 	srv := &http.Server{
@@ -74,10 +114,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if cl != nil {
+		cl.Start()
+		defer cl.Stop()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "crserve: listening on %s (cache=%d, max-inflight=%d)\n",
-			*addr, *cacheSize, *maxInflight)
+		if cl != nil {
+			fmt.Fprintf(os.Stderr, "crserve: listening on %s as %s (cache=%d, max-inflight=%d, fleet=%d)\n",
+				*addr, cl.Self(), *cacheSize, *maxInflight, cl.Size())
+		} else {
+			fmt.Fprintf(os.Stderr, "crserve: listening on %s (cache=%d, max-inflight=%d)\n",
+				*addr, *cacheSize, *maxInflight)
+		}
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -99,9 +149,25 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Graceful drain: stop accepting, finish in-flight requests within
-	// the grace window, then report the final cache effectiveness.
+	// Graceful drain, in cluster-safe order: first flip /healthz (and the
+	// advertised membership state) to draining so peers stop routing new
+	// work here, give their probes one beat to notice, and only then close
+	// the listener and finish in-flight requests within the grace window.
+	// Closing first would leave a probe interval during which peers keep
+	// forwarding solves into a dead socket.
 	stop()
+	handler.Drain()
+	if *drainDelay < 0 {
+		if cl != nil {
+			*drainDelay = 2 * *probeInterval
+		} else {
+			*drainDelay = 0
+		}
+	}
+	if *drainDelay > 0 {
+		fmt.Fprintf(os.Stderr, "crserve: draining for %v before closing the listener\n", *drainDelay)
+		time.Sleep(*drainDelay)
+	}
 	fmt.Fprintln(os.Stderr, "crserve: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/api"
+	"repro/internal/cluster"
+	"repro/internal/httpserve"
+	"repro/internal/workload"
+)
+
+// P2ClusterScaling drives identical solve workloads through a 1-node and
+// a 3-node in-process fleet (real loopback HTTP, consistent-hash
+// routing) and reports throughput, tail latency and the fleet-wide cache
+// behaviour. Two workloads bound the routing value: "paper" replays one
+// instance (pure cache-hit traffic, routing cost dominates) and "random"
+// cycles distinct instances with repeats (the sharded-cache regime the
+// cluster tier exists for). The cold-solves column is the affinity
+// contract: it must equal the distinct instance count on every fleet
+// size — each instance solves once, wherever the client connected.
+func P2ClusterScaling() (*Table, error) {
+	t := &Table{
+		ID:    "P2",
+		Title: "perf: clustered serving 1-node vs 3-node",
+		Columns: []string{"fleet", "workload", "requests", "req/s", "p50", "p95",
+			"fleet hits", "cold solves", "forwarded"},
+	}
+
+	paper := []*repro.Spec{repro.ToSpec(workload.PaperTree(), "paper")}
+	rng := rand.New(rand.NewSource(11))
+	random := make([]*repro.Spec, 40)
+	for i := range random {
+		tree := workload.Random(rng, workload.DefaultRandomSpec(24, 3))
+		random[i] = repro.ToSpec(tree, fmt.Sprintf("rand-%d", i))
+	}
+
+	for _, nodes := range []int{1, 3} {
+		for _, wl := range []struct {
+			name  string
+			specs []*repro.Spec
+			reqs  int
+		}{
+			{"paper tree", paper, 400},
+			{"random x40", random, 400},
+		} {
+			row, err := runClusterLoad(nodes, wl.specs, wl.reqs, 16)
+			if err != nil {
+				return nil, fmt.Errorf("P2 %d-node %s: %w", nodes, wl.name, err)
+			}
+			t.AddRow(fmt.Sprintf("%d-node", nodes), wl.name, wl.reqs,
+				fmt.Sprintf("%.0f", row.rps),
+				row.p50.Round(10*time.Microsecond), row.p95.Round(10*time.Microsecond),
+				row.hits, row.misses, row.forwards)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"in-process fleet over loopback HTTP; clients round-robin across nodes",
+		"cold solves == distinct instances on every fleet size: consistent-hash routing keeps each instance's cache on one owner",
+		"on loopback with warm sub-ms solves the intra-cluster hop dominates latency; the tier pays off when solve cost or working-set size exceeds one node (the affinity columns, not req/s, are the contract here)")
+	return t, nil
+}
+
+type clusterLoadRow struct {
+	rps          float64
+	p50, p95     time.Duration
+	hits, misses int64
+	forwards     int64
+}
+
+func runClusterLoad(nodes int, specs []*repro.Spec, requests, clients int) (*clusterLoadRow, error) {
+	fleet, err := httpserve.StartFleet(nodes, httpserve.FleetOptions{
+		Cluster: cluster.Config{VirtualNodes: 64, ProbeInterval: 200 * time.Millisecond},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer fleet.Close()
+
+	urls := fleet.URLs()
+	bodies := make([][]byte, len(specs))
+	for i, spec := range specs {
+		if bodies[i], err = json.Marshal(&api.SolveRequest{Spec: spec}); err != nil {
+			return nil, err
+		}
+	}
+
+	var failed atomic.Int64
+	latencies := make([]time.Duration, requests)
+	work := make(chan int, requests)
+	for i := 0; i < requests; i++ {
+		work <- i
+	}
+	close(work)
+
+	client := &http.Client{}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				t0 := time.Now()
+				resp, err := client.Post(urls[i%len(urls)]+"/v1/solve", "application/json",
+					bytes.NewReader(bodies[i%len(bodies)]))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failed.Add(1)
+					continue
+				}
+				latencies[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if n := failed.Load(); n > 0 {
+		return nil, fmt.Errorf("%d/%d requests failed", n, requests)
+	}
+
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	row := &clusterLoadRow{
+		rps: float64(requests) / elapsed.Seconds(),
+		p50: latencies[requests/2],
+		p95: latencies[(requests*95)/100],
+	}
+	for _, n := range fleet.Nodes {
+		st := n.Service.Stats()
+		row.hits += st.Hits
+		row.misses += st.Misses
+		row.forwards += n.Cluster.Stats().Forwards
+	}
+	return row, nil
+}

@@ -124,6 +124,7 @@ func All() []Experiment {
 		{"E16", "§2 related work: chain partitioning", E16Chain},
 		{"E17", "§6 future work: DAG-structured procedures", E17DAG},
 		{"P1", "perf: compiled flat-tree plans vs pointer walks", P1CompiledVsPointer},
+		{"P2", "perf: clustered serving 1-node vs 3-node", P2ClusterScaling},
 	}
 }
 

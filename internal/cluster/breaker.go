@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Breaker is a per-peer circuit breaker: Threshold consecutive failures
+// open it for Cooldown, during which Allow reports false and routing
+// skips the peer without burning a connection attempt. After the
+// cooldown one trial request is let through (half-open); its outcome
+// re-closes or re-opens the circuit. The zero value is not usable — use
+// NewBreaker.
+type Breaker struct {
+	threshold int32
+	cooldown  time.Duration
+
+	failures atomic.Int32
+	openedAt atomic.Int64 // unix nanos; 0 = closed
+	trialing atomic.Bool  // a half-open trial is in flight
+}
+
+// NewBreaker returns a closed breaker (threshold default 3, cooldown
+// default 3s).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 3 * time.Second
+	}
+	return &Breaker{threshold: int32(threshold), cooldown: cooldown}
+}
+
+// Routable reports whether the peer may appear in routing plans. It is
+// read-only — planning a route must never consume the half-open trial,
+// or a plan that ends up not contacting the peer would wedge the
+// breaker open forever. The trial is claimed by Allow at send time.
+func (b *Breaker) Routable() bool {
+	opened := b.openedAt.Load()
+	if opened == 0 {
+		return true
+	}
+	return time.Since(time.Unix(0, opened)) >= b.cooldown && !b.trialing.Load()
+}
+
+// Allow reports whether a request may actually be sent, claiming the
+// half-open trial when the circuit is open past its cooldown: exactly
+// one trial is in flight per window. Callers that claim the trial and
+// then abandon the attempt without a verdict must call Release.
+func (b *Breaker) Allow() bool {
+	opened := b.openedAt.Load()
+	if opened == 0 {
+		return true
+	}
+	if time.Since(time.Unix(0, opened)) < b.cooldown {
+		return false
+	}
+	// Cooldown elapsed: admit one half-open trial; concurrent callers
+	// keep being rejected until its Success/Failure lands.
+	return b.trialing.CompareAndSwap(false, true)
+}
+
+// Release abandons an in-flight half-open trial without a verdict (the
+// attempt was cancelled, not answered): the next Allow may try again.
+func (b *Breaker) Release() { b.trialing.CompareAndSwap(true, false) }
+
+// Success records a completed request and closes the circuit.
+func (b *Breaker) Success() {
+	b.failures.Store(0)
+	b.openedAt.Store(0)
+	b.trialing.Store(false)
+}
+
+// Failure records a failed request, opening (or re-opening) the circuit
+// once the consecutive-failure threshold is reached.
+func (b *Breaker) Failure() {
+	wasTrial := b.trialing.CompareAndSwap(true, false)
+	if b.failures.Add(1) >= b.threshold || wasTrial {
+		b.openedAt.Store(time.Now().UnixNano())
+	}
+}
+
+// Open reports whether the circuit is currently open (ignoring the
+// half-open trial window).
+func (b *Breaker) Open() bool { return b.openedAt.Load() != 0 }

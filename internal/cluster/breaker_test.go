@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b := NewBreaker(3, time.Hour)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if !b.Allow() {
+			t.Fatalf("breaker open after %d failures (threshold 3)", i+1)
+		}
+	}
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("breaker closed after hitting the threshold")
+	}
+	if !b.Open() {
+		t.Fatal("Open() false while rejecting")
+	}
+}
+
+func TestBreakerSuccessResets(t *testing.T) {
+	b := NewBreaker(2, time.Hour)
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if !b.Allow() {
+		t.Fatal("consecutive-failure count not reset by success")
+	}
+}
+
+func TestBreakerHalfOpenTrial(t *testing.T) {
+	b := NewBreaker(1, 20*time.Millisecond)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request inside the cooldown")
+	}
+	time.Sleep(30 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no half-open trial after the cooldown")
+	}
+	if b.Allow() {
+		t.Fatal("second trial admitted while the first is in flight")
+	}
+	// Failed trial re-opens for a fresh cooldown.
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("breaker closed after a failed half-open trial")
+	}
+	time.Sleep(30 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no second trial after the re-opened cooldown")
+	}
+	b.Success()
+	if !b.Allow() || b.Open() {
+		t.Fatal("successful trial did not close the breaker")
+	}
+}

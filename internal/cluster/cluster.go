@@ -1,0 +1,363 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/api"
+)
+
+// maxForwardBody caps how much of a peer's response one forward buffers
+// (batches can be large; a misbehaving peer must not OOM the proxy).
+const maxForwardBody = 64 << 20
+
+// Config parameterises one node's view of the fleet.
+type Config struct {
+	// Self is this node's advertised base URL (required; it is the node's
+	// identity on the ring).
+	Self string
+	// Peers are the other nodes' base URLs (static seed list).
+	Peers []string
+	// VirtualNodes per member on the ring (default 64).
+	VirtualNodes int
+	// ProbeInterval is the health-probe period (default 2s).
+	ProbeInterval time.Duration
+	// FailThreshold is the consecutive probe failures declaring a peer
+	// dead (default 3).
+	FailThreshold int
+	// HedgeDelay is how long a forward waits on the primary before racing
+	// the next replica (default 50ms).
+	HedgeDelay time.Duration
+	// BreakerThreshold/BreakerCooldown tune the per-peer circuit breakers
+	// (defaults 3 failures / 3s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Client issues forwards and probes (default: dedicated client with
+	// no global timeout; per-request contexts bound each call).
+	Client *http.Client
+}
+
+// Stats is a snapshot of the node's routing counters.
+type Stats struct {
+	Forwards        int64 `json:"forwards"`         // requests answered by a peer
+	ForwardFailures int64 `json:"forward_failures"` // per-attempt transport/5xx failures
+	Hedges          int64 `json:"hedges"`           // secondary attempts raced against a slow primary
+	LocalFallbacks  int64 `json:"local_fallbacks"`  // peer-owned solves served locally (owners down)
+	ScatterBatches  int64 `json:"scatter_batches"`  // batches split by owner and fanned out
+	Redirects       int64 `json:"redirects"`        // 307s to a session's owner
+	ProxiedSessions int64 `json:"proxied_sessions"` // session calls proxied to their owner
+	Probes          int64 `json:"probes"`
+	ProbeFailures   int64 `json:"probe_failures"`
+}
+
+// NodeInfo is one member's introspection record (see httpserve's
+// /v1/cluster).
+type NodeInfo struct {
+	ID       string
+	Tag      string
+	Self     bool
+	State    State
+	Failures int
+	LastSeen time.Time
+}
+
+// Cluster is one node's routing brain: the ring, the membership view,
+// and the forwarding client with its breakers.
+type Cluster struct {
+	cfg      Config
+	ring     *Ring
+	mem      *Membership
+	breakers map[string]*Breaker
+	client   *http.Client
+	byTag    map[string]string
+
+	forwards, forwardFailures, hedges atomic.Int64
+	localFallbacks, scatters          atomic.Int64
+	redirects, proxiedSessions        atomic.Int64
+}
+
+// New builds the node's cluster view. Start launches the probe loop;
+// a Cluster routes correctly before Start (peers are optimistically
+// ready), it just cannot notice dead peers until probing begins.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Config.Self is required")
+	}
+	if cfg.HedgeDelay <= 0 {
+		cfg.HedgeDelay = 50 * time.Millisecond
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	members := append([]string{cfg.Self}, cfg.Peers...)
+	ring := NewRing(members, cfg.VirtualNodes)
+	c := &Cluster{
+		cfg:      cfg,
+		ring:     ring,
+		mem:      NewMembership(cfg.Self, cfg.Peers, cfg.ProbeInterval, cfg.FailThreshold, client),
+		breakers: make(map[string]*Breaker, len(ring.Nodes())),
+		client:   client,
+		byTag:    make(map[string]string, len(ring.Nodes())),
+	}
+	for _, n := range ring.Nodes() {
+		if n != cfg.Self {
+			c.breakers[n] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		}
+		c.byTag[Tag(n)] = n
+	}
+	return c, nil
+}
+
+// Start launches the background health probes.
+func (c *Cluster) Start() { c.mem.Start() }
+
+// Stop ends the probe loop.
+func (c *Cluster) Stop() { c.mem.Stop() }
+
+// Self returns this node's ID.
+func (c *Cluster) Self() string { return c.cfg.Self }
+
+// SelfTag returns this node's session-ID tag.
+func (c *Cluster) SelfTag() string { return Tag(c.cfg.Self) }
+
+// Size returns the fleet size (self included).
+func (c *Cluster) Size() int { return c.ring.Len() }
+
+// VirtualNodes returns the ring's per-node point count.
+func (c *Cluster) VirtualNodes() int { return c.ring.VirtualNodes() }
+
+// Owner returns the ring owner of key, alive or not — cache-affinity
+// ground truth, not a routing decision (use Plan for that).
+func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
+
+// NodeByTag resolves a session-ID tag back to the node it names.
+func (c *Cluster) NodeByTag(tag string) (string, bool) {
+	n, ok := c.byTag[tag]
+	return n, ok
+}
+
+// SetDraining flips this node's advertised state, so peers' probes stop
+// routing new work here while in-flight requests finish.
+func (c *Cluster) SetDraining(on bool) {
+	if on {
+		c.mem.SetSelfState(StateDraining)
+	} else {
+		c.mem.SetSelfState(StateReady)
+	}
+}
+
+// Plan returns the remote forward candidates for key, in ring preference
+// order, truncated at self: an empty slice means this node should serve
+// the key locally (it is the first routable owner, or every preferred
+// peer is unroutable). At most two remotes are returned — the owner and
+// its hedge replica; anything beyond that is better served locally than
+// through a third network hop.
+func (c *Cluster) Plan(key string) []string {
+	var remotes []string
+	for _, n := range c.ring.Replicas(key, c.ring.Len()) {
+		if n == c.cfg.Self {
+			// Self outranks the remaining replicas: prefer any
+			// higher-ranked live remote, else serve locally.
+			return remotes
+		}
+		if c.routable(n) {
+			remotes = append(remotes, n)
+			if len(remotes) == 2 {
+				return remotes
+			}
+		}
+	}
+	return remotes
+}
+
+// routable reports whether a peer should receive new work now. The
+// breaker check is read-only: the half-open trial is claimed only when
+// a request is actually sent (forwardOne), never while planning.
+func (c *Cluster) routable(n string) bool {
+	if c.mem.State(n) != StateReady {
+		return false
+	}
+	b := c.breakers[n]
+	return b == nil || b.Routable()
+}
+
+// ForwardResult is one successful forward: the peer's verbatim response.
+type ForwardResult struct {
+	Status int
+	Body   []byte
+	Node   string
+}
+
+// Forward sends the request body to nodes in order with hedging: the
+// primary goes out immediately; if it fails fast the next candidate is
+// tried at once, and if it is merely slow the next candidate is raced
+// against it after HedgeDelay. The first response wins — any HTTP
+// response, including 4xx, is authoritative (the peer is alive; the
+// request itself was bad), while transport errors and 5xx count against
+// the peer's breaker. The request carries the api.ForwardedHeader hop
+// guard so the receiving peer always serves it locally.
+func (c *Cluster) Forward(ctx context.Context, nodes []string, method, path string, body []byte) (ForwardResult, error) {
+	if len(nodes) == 0 {
+		return ForwardResult{}, fmt.Errorf("cluster: no forward candidates")
+	}
+	// One cancel covers every attempt: the winner's body is fully read
+	// before Forward returns, so cancelling the losers on return is safe.
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type attempt struct {
+		res ForwardResult
+		err error
+	}
+	ch := make(chan attempt, len(nodes))
+	launch := func(node string) {
+		go func() {
+			res, err := c.forwardOne(actx, node, method, path, body)
+			ch <- attempt{res, err}
+		}()
+	}
+	launch(nodes[0])
+	launched, pending := 1, 1
+
+	var hedge <-chan time.Time
+	if len(nodes) > 1 {
+		t := time.NewTimer(c.cfg.HedgeDelay)
+		defer t.Stop()
+		hedge = t.C
+	}
+
+	var lastErr error
+	for pending > 0 {
+		select {
+		case a := <-ch:
+			pending--
+			if a.err == nil {
+				c.forwards.Add(1)
+				return a.res, nil
+			}
+			lastErr = a.err
+			if launched < len(nodes) {
+				launch(nodes[launched])
+				launched++
+				pending++
+			}
+		case <-hedge:
+			hedge = nil
+			if launched < len(nodes) {
+				c.hedges.Add(1)
+				launch(nodes[launched])
+				launched++
+				pending++
+			}
+		case <-ctx.Done():
+			return ForwardResult{}, ctx.Err()
+		}
+	}
+	return ForwardResult{}, fmt.Errorf("cluster: all %d forward candidates failed: %w", len(nodes), lastErr)
+}
+
+// forwardOne issues a single proxied request and settles the peer's
+// breaker on the outcome. A cancelled attempt — the hedge race was won
+// by another candidate, or the caller's own context expired — says
+// nothing about the peer's health, so it releases any claimed half-open
+// trial instead of recording a failure.
+func (c *Cluster) forwardOne(ctx context.Context, node, method, path string, body []byte) (ForwardResult, error) {
+	if b := c.breakers[node]; b != nil && !b.Allow() {
+		return ForwardResult{}, fmt.Errorf("cluster: %s circuit open", node)
+	}
+	var rd io.Reader
+	if len(body) > 0 {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, node+path, rd)
+	if err != nil {
+		c.release(node)
+		return ForwardResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(api.ForwardedHeader, c.cfg.Self)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.settle(ctx, node)
+		return ForwardResult{}, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBody))
+	if err != nil {
+		c.settle(ctx, node)
+		return ForwardResult{}, err
+	}
+	if resp.StatusCode >= 500 {
+		c.settle(ctx, node)
+		return ForwardResult{}, fmt.Errorf("cluster: %s answered %d", node, resp.StatusCode)
+	}
+	if b2 := c.breakers[node]; b2 != nil {
+		b2.Success()
+	}
+	return ForwardResult{Status: resp.StatusCode, Body: b, Node: node}, nil
+}
+
+// settle records a failed attempt: cancelled attempts are neutral (the
+// trial is released, nothing is counted), genuine failures feed the
+// breaker and the failure counter.
+func (c *Cluster) settle(ctx context.Context, node string) {
+	if ctx.Err() != nil {
+		c.release(node)
+		return
+	}
+	b := c.breakers[node]
+	if b == nil {
+		return
+	}
+	c.forwardFailures.Add(1)
+	b.Failure()
+}
+
+func (c *Cluster) release(node string) {
+	if b := c.breakers[node]; b != nil {
+		b.Release()
+	}
+}
+
+// CountLocalFallback, CountScatter, CountRedirect and CountProxiedSession
+// let the serving layer record routing outcomes it decides itself, so
+// every cluster counter lives in one Stats snapshot.
+func (c *Cluster) CountLocalFallback()  { c.localFallbacks.Add(1) }
+func (c *Cluster) CountScatter()        { c.scatters.Add(1) }
+func (c *Cluster) CountRedirect()       { c.redirects.Add(1) }
+func (c *Cluster) CountProxiedSession() { c.proxiedSessions.Add(1) }
+
+// Stats snapshots the routing counters.
+func (c *Cluster) Stats() Stats {
+	probes, probeFailures := c.mem.Probes()
+	return Stats{
+		Forwards:        c.forwards.Load(),
+		ForwardFailures: c.forwardFailures.Load(),
+		Hedges:          c.hedges.Load(),
+		LocalFallbacks:  c.localFallbacks.Load(),
+		ScatterBatches:  c.scatters.Load(),
+		Redirects:       c.redirects.Load(),
+		ProxiedSessions: c.proxiedSessions.Load(),
+		Probes:          probes,
+		ProbeFailures:   probeFailures,
+	}
+}
+
+// Snapshot returns every member's introspection record, self first.
+func (c *Cluster) Snapshot() []NodeInfo {
+	infos := c.mem.Snapshot()
+	out := make([]NodeInfo, len(infos))
+	for i, m := range infos {
+		out[i] = NodeInfo{
+			ID: m.ID, Tag: Tag(m.ID), Self: m.Self,
+			State: m.State, Failures: m.Failures, LastSeen: m.LastSeen,
+		}
+	}
+	return out
+}

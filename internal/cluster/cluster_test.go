@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/api"
+)
+
+func findKey(t *testing.T, r *Ring, owner string) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if r.Owner(key) == owner {
+			return key
+		}
+	}
+	t.Fatalf("no key owned by %q", owner)
+	return ""
+}
+
+func testCluster(t *testing.T, self string, peers []string, cfg Config) *Cluster {
+	t.Helper()
+	cfg.Self = self
+	cfg.Peers = peers
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPlanOwnership(t *testing.T) {
+	self := "http://n1"
+	peers := []string{"http://n2", "http://n3"}
+	c := testCluster(t, self, peers, Config{})
+
+	selfKey := findKey(t, c.ring, self)
+	if got := c.Plan(selfKey); len(got) != 0 {
+		t.Fatalf("self-owned key planned remotes %v", got)
+	}
+	for _, peer := range peers {
+		key := findKey(t, c.ring, peer)
+		got := c.Plan(key)
+		if len(got) == 0 || got[0] != peer {
+			t.Fatalf("key owned by %q planned %v", peer, got)
+		}
+		for _, n := range got {
+			if n == self {
+				t.Fatalf("plan %v contains self", got)
+			}
+		}
+	}
+}
+
+func TestPlanSkipsDeadAndBrokenPeers(t *testing.T) {
+	self := "http://n1"
+	owner := "http://n2"
+	c := testCluster(t, self, []string{owner, "http://n3"}, Config{BreakerThreshold: 1, BreakerCooldown: time.Hour})
+	key := findKey(t, c.ring, owner)
+
+	// Dead by membership: the owner disappears from the plan.
+	p := c.mem.byID[owner]
+	p.state.Store(int32(StateDead))
+	for _, n := range c.Plan(key) {
+		if n == owner {
+			t.Fatalf("dead owner still planned: %v", c.Plan(key))
+		}
+	}
+	p.state.Store(int32(StateReady))
+
+	// Open breaker: same effect, without waiting for a probe round.
+	c.breakers[owner].Failure()
+	for _, n := range c.Plan(key) {
+		if n == owner {
+			t.Fatalf("circuit-broken owner still planned: %v", c.Plan(key))
+		}
+	}
+	c.breakers[owner].Success()
+	if got := c.Plan(key); len(got) == 0 || got[0] != owner {
+		t.Fatalf("recovered owner not planned first: %v", got)
+	}
+}
+
+// Planning must never consume the breaker's half-open trial: a plan
+// that ends up not contacting the peer (hedge never fired, caller
+// truncated to the primary) would otherwise wedge the breaker open and
+// exile a recovered peer forever.
+func TestPlanDoesNotConsumeHalfOpenTrial(t *testing.T) {
+	self := "http://n1"
+	owner := "http://n2"
+	c := testCluster(t, self, []string{owner, "http://n3"}, Config{BreakerThreshold: 1, BreakerCooldown: 10 * time.Millisecond})
+	key := findKey(t, c.ring, owner)
+	c.breakers[owner].Failure()
+	time.Sleep(15 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		if got := c.Plan(key); len(got) == 0 || got[0] != owner {
+			t.Fatalf("plan %d after cooldown: %v", i, got)
+		}
+	}
+	if !c.breakers[owner].Allow() {
+		t.Fatal("half-open trial was consumed by planning")
+	}
+}
+
+func TestForwardSetsHopGuardAndWins(t *testing.T) {
+	var sawGuard atomic.Value
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawGuard.Store(r.Header.Get(api.ForwardedHeader))
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer peer.Close()
+
+	c := testCluster(t, "http://self", []string{peer.URL}, Config{})
+	res, err := c.Forward(context.Background(), []string{peer.URL}, http.MethodPost, "/v1/solve", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusOK || res.Node != peer.URL || string(res.Body) != `{"ok":true}` {
+		t.Fatalf("forward result %+v", res)
+	}
+	if got := sawGuard.Load(); got != "http://self" {
+		t.Fatalf("hop guard header %v", got)
+	}
+	if st := c.Stats(); st.Forwards != 1 || st.ForwardFailures != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestForwardFailsOverOn5xx(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("fine"))
+	}))
+	defer good.Close()
+
+	c := testCluster(t, "http://self", []string{bad.URL, good.URL}, Config{BreakerThreshold: 1, BreakerCooldown: time.Hour})
+	res, err := c.Forward(context.Background(), []string{bad.URL, good.URL}, http.MethodPost, "/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node != good.URL || string(res.Body) != "fine" {
+		t.Fatalf("result %+v", res)
+	}
+	if !c.breakers[bad.URL].Open() {
+		t.Fatal("5xx did not trip the peer's breaker")
+	}
+	if st := c.Stats(); st.ForwardFailures != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestForward4xxIsAuthoritative(t *testing.T) {
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"code":"not_found"}`))
+	}))
+	defer peer.Close()
+
+	c := testCluster(t, "http://self", []string{peer.URL}, Config{})
+	res, err := c.Forward(context.Background(), []string{peer.URL}, http.MethodGet, "/x", nil)
+	if err != nil {
+		t.Fatalf("4xx treated as transport failure: %v", err)
+	}
+	if res.Status != http.StatusNotFound {
+		t.Fatalf("status %d", res.Status)
+	}
+	if c.breakers[peer.URL].Open() {
+		t.Fatal("4xx tripped the breaker")
+	}
+}
+
+func TestForwardHedgesSlowPrimary(t *testing.T) {
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		w.Write([]byte("slow"))
+	}))
+	defer slow.Close()
+	defer close(release)
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("fast"))
+	}))
+	defer fast.Close()
+
+	c := testCluster(t, "http://self", []string{slow.URL, fast.URL},
+		Config{HedgeDelay: 5 * time.Millisecond, BreakerThreshold: 1, BreakerCooldown: time.Hour})
+	res, err := c.Forward(context.Background(), []string{slow.URL, fast.URL}, http.MethodGet, "/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node != fast.URL || string(res.Body) != "fast" {
+		t.Fatalf("hedge did not win: %+v", res)
+	}
+	if st := c.Stats(); st.Hedges != 1 {
+		t.Fatalf("hedge counter %+v", st)
+	}
+	// Losing the hedge race is not a failure: the cancelled primary must
+	// not trip its breaker or inflate the failure counter.
+	time.Sleep(50 * time.Millisecond)
+	if c.breakers[slow.URL].Open() {
+		t.Fatal("hedge loser tripped its breaker")
+	}
+	if st := c.Stats(); st.ForwardFailures != 0 {
+		t.Fatalf("hedge loser counted as forward failure: %+v", st)
+	}
+}
+
+func TestForwardAllDown(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // immediately: connection refused
+	c := testCluster(t, "http://self", []string{dead.URL}, Config{})
+	if _, err := c.Forward(context.Background(), []string{dead.URL}, http.MethodGet, "/x", nil); err == nil {
+		t.Fatal("forward to a dead peer succeeded")
+	}
+}

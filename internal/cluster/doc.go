@@ -1,0 +1,31 @@
+// Package cluster turns N crserve processes into one logical solve
+// service. It owns the three mechanisms the serving layer composes:
+//
+//   - Ring: an immutable consistent-hash ring over the member node IDs
+//     (base URLs), spread with virtual nodes and made deterministic under
+//     hash collisions by a rendezvous (highest-random-weight) tie-break.
+//     Every solve is keyed by the instance's canonical model.Fingerprint,
+//     so repeat solves of one instance land on one owner node and its
+//     compiled-plan and LRU result caches stay hot.
+//
+//   - Membership: a static seed list of peers probed over HTTP
+//     (GET /healthz) on a fixed interval. Peers move between ready,
+//     draining (alive, shedding: the node answers in-flight work but must
+//     not receive new routes) and dead (consecutive probe failures).
+//     Routing only considers ready peers; ownership is re-derived from
+//     the full ring on every request, so a node that recovers gets its
+//     key range — and its warm caches — back automatically.
+//
+//   - Forwarding: an HTTP client with one circuit breaker per peer and
+//     hedged retries. The primary owner is tried first; if it has not
+//     answered within the hedge delay (or fails fast) the next replica
+//     on the ring is raced against it and the first answer wins. A 4xx
+//     is an authoritative answer (the peer is healthy, the request is
+//     not) while transport errors and 5xx trip the breaker. When every
+//     candidate is down the caller falls back to solving locally:
+//     capacity degrades, correctness never does.
+//
+// The package is transport-level only: internal/httpserve decides *what*
+// to route (solve, batch scatter-gather, ring-pinned sessions) and
+// serves the /v1/cluster introspection endpoint from Snapshot and Stats.
+package cluster

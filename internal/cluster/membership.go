@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a member's routing eligibility.
+type State int32
+
+const (
+	// StateReady: the node answers probes and accepts new routes.
+	StateReady State = iota
+	// StateDraining: the node is alive but shedding — it finishes
+	// in-flight work and must not receive new routes.
+	StateDraining
+	// StateDead: the node failed FailThreshold consecutive probes.
+	StateDead
+)
+
+// String returns the wire name of the state.
+func (s State) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateDraining:
+		return "draining"
+	case StateDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// member is one node's live probe bookkeeping.
+type member struct {
+	id       string
+	state    atomic.Int32
+	failures atomic.Int32 // consecutive probe failures
+	probes   atomic.Int64 // total probes sent
+	lastSeen atomic.Int64 // unix nanos of the last successful probe
+}
+
+// MemberInfo is a read-only snapshot of one member.
+type MemberInfo struct {
+	ID       string
+	Self     bool
+	State    State
+	Failures int
+	LastSeen time.Time // zero until the first successful probe
+}
+
+// Membership probes a static peer list and classifies each peer as
+// ready, draining or dead. The member set is fixed at construction (the
+// ring never changes shape at runtime); only states move.
+type Membership struct {
+	self     *member
+	peers    []*member // sorted by construction order of the ring
+	byID     map[string]*member
+	client   *http.Client
+	interval time.Duration
+	failMax  int
+
+	probesTotal  atomic.Int64
+	probesFailed atomic.Int64
+
+	started  atomic.Bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewMembership tracks self plus peers (node IDs are base URLs such as
+// "http://127.0.0.1:8080"). interval is the probe period (default 2s),
+// failThreshold the consecutive failures declaring a peer dead (default
+// 3). client defaults to a dedicated client with a probe-sized timeout.
+func NewMembership(self string, peers []string, interval time.Duration, failThreshold int, client *http.Client) *Membership {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	if failThreshold <= 0 {
+		failThreshold = 3
+	}
+	if client == nil {
+		client = &http.Client{Timeout: interval}
+	}
+	m := &Membership{
+		byID:     make(map[string]*member, len(peers)+1),
+		client:   client,
+		interval: interval,
+		failMax:  failThreshold,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	m.self = &member{id: self}
+	m.byID[self] = m.self
+	for _, p := range peers {
+		if p == "" || p == self {
+			continue
+		}
+		if _, dup := m.byID[p]; dup {
+			continue
+		}
+		// Peers start ready: optimism costs one failed forward (which the
+		// breaker absorbs), pessimism would serve everything locally until
+		// the first probe round scatters the caches.
+		mem := &member{id: p}
+		m.byID[p] = mem
+		m.peers = append(m.peers, mem)
+	}
+	return m
+}
+
+// Start launches the background probe loop (an immediate round, then one
+// per interval). Stop ends it.
+func (m *Membership) Start() {
+	if !m.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(m.done)
+		ctx := context.Background()
+		m.ProbeNow(ctx)
+		t := time.NewTicker(m.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				m.ProbeNow(ctx)
+			}
+		}
+	}()
+}
+
+// Stop ends the probe loop and waits for it to exit. Safe to call twice,
+// and a no-op when Start never ran.
+func (m *Membership) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	if !m.started.Load() {
+		return
+	}
+	select {
+	case <-m.done:
+	case <-time.After(m.interval + time.Second):
+	}
+}
+
+// ProbeNow runs one synchronous probe round over every peer (self is
+// never probed: its state is set directly by SetSelfState).
+func (m *Membership) ProbeNow(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, p := range m.peers {
+		wg.Add(1)
+		go func(p *member) {
+			defer wg.Done()
+			m.probe(ctx, p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// probe classifies one peer from a GET /healthz: 200 "ok" is ready, a
+// body containing "draining" (any status: the node is alive, just
+// shedding) is draining, anything else is a failure.
+func (m *Membership) probe(ctx context.Context, p *member) {
+	p.probes.Add(1)
+	m.probesTotal.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.id+"/healthz", nil)
+	if err != nil {
+		m.fail(p)
+		return
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		m.fail(p)
+		return
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	resp.Body.Close()
+	switch {
+	case strings.Contains(string(body), "draining"):
+		m.alive(p, StateDraining)
+	case resp.StatusCode == http.StatusOK:
+		m.alive(p, StateReady)
+	default:
+		m.fail(p)
+	}
+}
+
+func (m *Membership) alive(p *member, s State) {
+	p.failures.Store(0)
+	p.lastSeen.Store(time.Now().UnixNano())
+	p.state.Store(int32(s))
+}
+
+func (m *Membership) fail(p *member) {
+	m.probesFailed.Add(1)
+	if int(p.failures.Add(1)) >= m.failMax {
+		p.state.Store(int32(StateDead))
+	}
+}
+
+// State returns a node's current state; unknown IDs are dead.
+func (m *Membership) State(id string) State {
+	p, ok := m.byID[id]
+	if !ok {
+		return StateDead
+	}
+	return State(p.state.Load())
+}
+
+// SetSelfState flips this node's own advertised state (used by the
+// serving layer when it starts draining).
+func (m *Membership) SetSelfState(s State) { m.self.state.Store(int32(s)) }
+
+// Self returns this node's ID.
+func (m *Membership) Self() string { return m.self.id }
+
+// Probes reports (total, failed) probe counts.
+func (m *Membership) Probes() (total, failed int64) {
+	return m.probesTotal.Load(), m.probesFailed.Load()
+}
+
+// Snapshot returns every member's info, self first then peers in
+// construction order.
+func (m *Membership) Snapshot() []MemberInfo {
+	out := make([]MemberInfo, 0, len(m.peers)+1)
+	out = append(out, memberInfo(m.self, true))
+	for _, p := range m.peers {
+		out = append(out, memberInfo(p, false))
+	}
+	return out
+}
+
+func memberInfo(p *member, self bool) MemberInfo {
+	info := MemberInfo{
+		ID:       p.id,
+		Self:     self,
+		State:    State(p.state.Load()),
+		Failures: int(p.failures.Load()),
+	}
+	if ns := p.lastSeen.Load(); ns != 0 {
+		info.LastSeen = time.Unix(0, ns)
+	}
+	return info
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// healthStub is a peer whose /healthz answer is switchable.
+type healthStub struct {
+	srv  *httptest.Server
+	mode atomic.Int32 // 0 ok, 1 draining, 2 error
+}
+
+func newHealthStub(t *testing.T) *healthStub {
+	t.Helper()
+	h := &healthStub{}
+	h.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch h.mode.Load() {
+		case 0:
+			w.Write([]byte("ok\n"))
+		case 1:
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n"))
+		default:
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+	}))
+	t.Cleanup(h.srv.Close)
+	return h
+}
+
+func TestMembershipStates(t *testing.T) {
+	peer := newHealthStub(t)
+	m := NewMembership("http://self", []string{peer.srv.URL}, 10*time.Millisecond, 2, nil)
+	ctx := context.Background()
+
+	m.ProbeNow(ctx)
+	if st := m.State(peer.srv.URL); st != StateReady {
+		t.Fatalf("healthy peer state %v", st)
+	}
+
+	peer.mode.Store(1)
+	m.ProbeNow(ctx)
+	if st := m.State(peer.srv.URL); st != StateDraining {
+		t.Fatalf("draining peer state %v", st)
+	}
+
+	// Errors only kill the peer once the consecutive threshold is hit.
+	peer.mode.Store(2)
+	m.ProbeNow(ctx)
+	if st := m.State(peer.srv.URL); st != StateDraining {
+		t.Fatalf("one failure flipped state to %v", st)
+	}
+	m.ProbeNow(ctx)
+	if st := m.State(peer.srv.URL); st != StateDead {
+		t.Fatalf("peer not dead after threshold: %v", st)
+	}
+
+	// Recovery: one good probe brings it straight back.
+	peer.mode.Store(0)
+	m.ProbeNow(ctx)
+	if st := m.State(peer.srv.URL); st != StateReady {
+		t.Fatalf("recovered peer state %v", st)
+	}
+
+	total, failed := m.Probes()
+	if total != 5 || failed != 2 {
+		t.Fatalf("probe counters total=%d failed=%d", total, failed)
+	}
+}
+
+func TestMembershipSelfAndSnapshot(t *testing.T) {
+	m := NewMembership("http://self", []string{"http://peer-a", "http://peer-b"}, time.Minute, 3, nil)
+	if st := m.State("http://self"); st != StateReady {
+		t.Fatalf("self state %v", st)
+	}
+	m.SetSelfState(StateDraining)
+	if st := m.State("http://self"); st != StateDraining {
+		t.Fatalf("self state after drain %v", st)
+	}
+	if st := m.State("http://unknown"); st != StateDead {
+		t.Fatalf("unknown node state %v", st)
+	}
+	snap := m.Snapshot()
+	if len(snap) != 3 || !snap[0].Self || snap[0].State != StateDraining {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}
+
+func TestMembershipStartStop(t *testing.T) {
+	peer := newHealthStub(t)
+	m := NewMembership("http://self", []string{peer.srv.URL}, 5*time.Millisecond, 3, nil)
+	m.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if total, _ := m.Probes(); total >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("probe loop never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Stop()
+	m.Stop() // idempotent
+}

@@ -1,0 +1,127 @@
+package httpserve
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro"
+	"repro/internal/cluster"
+)
+
+// FleetNode is one member of an in-process fleet: a full crserve stack —
+// its own Service (solver + caches), cluster view and HTTP listener on a
+// loopback port.
+type FleetNode struct {
+	URL     string
+	Service *repro.Service
+	Handler *Server
+	Cluster *cluster.Cluster
+
+	srv *http.Server
+	lis net.Listener
+}
+
+// Kill abruptly stops the node: the listener and every open connection
+// close immediately, as a crashed process would. The node's cluster
+// probes keep running (they are the dead node's own view and harmless);
+// Fleet.Close still cleans them up.
+func (n *FleetNode) Kill() { n.srv.Close() }
+
+// Fleet is an in-process cluster of crserve nodes, used by the cluster
+// tests, the P2 benchmark and cmd/crcluster. It is a real fleet in every
+// sense but the process boundary: N listeners, N services, N ring views,
+// HTTP between them.
+type Fleet struct {
+	Nodes []*FleetNode
+}
+
+// FleetOptions tunes StartFleet.
+type FleetOptions struct {
+	// Serve is the per-node handler config; Service and Cluster are
+	// filled per node (a nil Service field means "new Service with a
+	// 4096-entry cache per node", or NewService overrides).
+	Serve Config
+	// Cluster is the per-node cluster config; Self and Peers are filled
+	// per node.
+	Cluster cluster.Config
+	// NewService builds each node's Service (default: fresh solver with a
+	// 4096-entry cache).
+	NewService func() *repro.Service
+	// StartProbes launches each node's membership probe loop.
+	StartProbes bool
+}
+
+// StartFleet starts n nodes wired into one cluster and returns once all
+// listeners accept. Call Close when done.
+func StartFleet(n int, opts FleetOptions) (*Fleet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("httpserve: fleet size %d", n)
+	}
+	newService := opts.NewService
+	if newService == nil {
+		newService = func() *repro.Service { return repro.NewService(nil, 4096) }
+	}
+
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for j := 0; j < i; j++ {
+				listeners[j].Close()
+			}
+			return nil, fmt.Errorf("httpserve: fleet listener: %w", err)
+		}
+		listeners[i] = lis
+		urls[i] = "http://" + lis.Addr().String()
+	}
+
+	f := &Fleet{Nodes: make([]*FleetNode, n)}
+	for i := range f.Nodes {
+		ccfg := opts.Cluster
+		ccfg.Self = urls[i]
+		ccfg.Peers = append([]string(nil), urls...)
+		cl, err := cluster.New(ccfg)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		scfg := opts.Serve
+		scfg.Service = newService()
+		scfg.Cluster = cl
+		h := New(scfg)
+		node := &FleetNode{
+			URL: urls[i], Service: scfg.Service, Handler: h, Cluster: cl,
+			srv: &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second},
+			lis: listeners[i],
+		}
+		go node.srv.Serve(node.lis)
+		if opts.StartProbes {
+			cl.Start()
+		}
+		f.Nodes[i] = node
+	}
+	return f, nil
+}
+
+// URLs returns the node base URLs in fleet order.
+func (f *Fleet) URLs() []string {
+	out := make([]string, len(f.Nodes))
+	for i, n := range f.Nodes {
+		out[i] = n.URL
+	}
+	return out
+}
+
+// Close stops every node's probes and listener.
+func (f *Fleet) Close() {
+	for _, n := range f.Nodes {
+		if n == nil {
+			continue
+		}
+		n.Cluster.Stop()
+		n.srv.Close()
+	}
+}

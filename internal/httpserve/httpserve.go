@@ -1,10 +1,12 @@
 package httpserve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync"
@@ -13,6 +15,7 @@ import (
 
 	"repro"
 	"repro/api"
+	"repro/internal/cluster"
 	"repro/internal/pool"
 )
 
@@ -41,10 +44,20 @@ type Config struct {
 	// negative disables expiry). Expired and evicted sessions answer
 	// not_found; clients re-open, losing only their warm-start state.
 	SessionTTL time.Duration
+	// Cluster, when set, makes this node one member of a sharded fleet:
+	// solves route to their fingerprint's ring owner, batches scatter by
+	// owner, and sessions pin to the node that opened them. Nil serves
+	// everything locally (single-node mode).
+	Cluster *cluster.Cluster
 }
 
+// Server is the routed handler with its drain control. It implements
+// http.Handler; cmd/crserve flips it to draining before closing the
+// listener so cluster peers stop routing here mid-shutdown.
+type Server struct{ *server }
+
 // New returns the fully routed handler.
-func New(cfg Config) http.Handler {
+func New(cfg Config) *Server {
 	if cfg.Service == nil {
 		panic("httpserve: Config.Service is required")
 	}
@@ -73,20 +86,24 @@ func New(cfg Config) http.Handler {
 	mux.HandleFunc("POST /v1/batch", s.limited(s.handleBatch))
 	mux.HandleFunc("POST /v1/simulate", s.limited(s.handleSimulate))
 	mux.HandleFunc("POST /v1/session", s.limited(s.handleSessionOpen))
-	mux.HandleFunc("GET /v1/session/{id}", s.handleSessionGet)
-	mux.HandleFunc("POST /v1/session/{id}/mutate", s.limited(s.handleSessionMutate))
-	mux.HandleFunc("POST /v1/session/{id}/resolve", s.limited(s.handleSessionResolve))
-	mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionClose)
+	mux.HandleFunc("GET /v1/session/{id}", s.sessionRouted(s.handleSessionGet))
+	mux.HandleFunc("POST /v1/session/{id}/mutate", s.limited(s.sessionRouted(s.handleSessionMutate)))
+	mux.HandleFunc("POST /v1/session/{id}/resolve", s.limited(s.sessionRouted(s.handleSessionResolve)))
+	mux.HandleFunc("DELETE /v1/session/{id}", s.sessionRouted(s.handleSessionClose))
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
-	return mux
+	s.mux = mux
+	return &Server{s}
 }
 
 type server struct {
-	cfg     Config
-	slots   chan struct{} // nil = unbounded
-	started time.Time
+	cfg      Config
+	mux      *http.ServeMux
+	started  time.Time
+	slots    chan struct{} // nil = unbounded
+	draining atomic.Bool
 
 	sessMu   sync.Mutex
 	sessions map[string]*sessionEntry
@@ -95,6 +112,25 @@ type server struct {
 	sessionCalls, mutates, resolves              atomic.Int64
 	sessionsEvicted                              atomic.Int64
 }
+
+// ServeHTTP dispatches to the routed mux.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain flips the node into draining: /healthz starts answering
+// "draining" (503) and the cluster membership advertises the state, so
+// peers stop routing new work here while the listener is still open and
+// in-flight requests finish. The handler itself keeps serving — a
+// draining node must answer everything it already accepted, plus
+// hop-guarded forwards from peers whose ring view lags.
+func (s *server) Drain() {
+	s.draining.Store(true)
+	if cl := s.cfg.Cluster; cl != nil {
+		cl.SetDraining(true)
+	}
+}
+
+// Draining reports whether Drain was called.
+func (s *server) Draining() bool { return s.draining.Load() }
 
 // limited wraps a handler with the concurrency limiter: a request that
 // finds every slot taken is rejected immediately — shedding load beats
@@ -129,13 +165,17 @@ func (s *server) requestContext(r *http.Request) (context.Context, context.Cance
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.solves.Add(1)
 	var req api.SolveRequest
-	if err := s.decode(w, r, &req); err != nil {
+	raw, err := s.decode(w, r, &req)
+	if err != nil {
 		s.fail(w, err)
 		return
 	}
 	tree, err := req.Tree()
 	if err != nil {
 		s.fail(w, err)
+		return
+	}
+	if s.maybeForward(w, r, repro.Fingerprint(tree), raw, true) {
 		return
 	}
 	ctx, cancel := s.requestContext(r)
@@ -145,13 +185,14 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	s.stampSelf(w)
 	writeJSON(w, http.StatusOK, api.NewSolveResponse(tree, out, status))
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.batches.Add(1)
 	var req api.BatchRequest
-	if err := s.decode(w, r, &req); err != nil {
+	if _, err := s.decode(w, r, &req); err != nil {
 		s.fail(w, err)
 		return
 	}
@@ -160,6 +201,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Code:    api.CodeInvalidRequest,
 			Message: fmt.Sprintf("batch of %d items exceeds the limit of %d", len(req.Items), s.cfg.MaxBatchItems),
 		})
+		return
+	}
+	if s.cfg.Cluster != nil && !forwarded(r) && len(req.Items) > 0 {
+		s.scatterBatch(w, r, &req)
 		return
 	}
 	ctx, cancel := s.requestContext(r)
@@ -178,6 +223,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	s.stampSelf(w)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -196,7 +242,8 @@ func (s *server) solveItem(ctx context.Context, item *api.SolveRequest) api.Batc
 func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.simulates.Add(1)
 	var req api.SimulateRequest
-	if err := s.decode(w, r, &req); err != nil {
+	raw, err := s.decode(w, r, &req)
+	if err != nil {
 		s.fail(w, err)
 		return
 	}
@@ -208,6 +255,9 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	tree, err := req.Tree()
 	if err != nil {
 		s.fail(w, err)
+		return
+	}
+	if s.maybeForward(w, r, repro.Fingerprint(tree), raw, true) {
 		return
 	}
 	ctx, cancel := s.requestContext(r)
@@ -222,6 +272,7 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	s.stampSelf(w)
 	writeJSON(w, http.StatusOK, &api.SimulateResponse{
 		APIVersion:  api.Version,
 		Fingerprint: repro.Fingerprint(tree),
@@ -240,8 +291,17 @@ func (s *server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, api.ListAlgorithms())
 }
 
+// handleHealthz answers "ok" (200) while serving and "draining" (503)
+// once Drain was called: the non-200 pulls the node from load-balancer
+// rotation, and cluster peers' probes parse the body so a draining node
+// reads as alive-but-shedding rather than dead.
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }
 
@@ -264,7 +324,7 @@ func (s *server) handleVars(w http.ResponseWriter, _ *http.Request) {
 	})
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	own, _ := json.Marshal(map[string]any{
+	ownVars := map[string]any{
 		"cache": s.cfg.Service.Stats(),
 		"requests": map[string]int64{
 			"solve":        s.solves.Load(),
@@ -292,7 +352,20 @@ func (s *server) handleVars(w http.ResponseWriter, _ *http.Request) {
 		},
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"goroutines":     runtime.NumGoroutine(),
-	})
+	}
+	if cl := s.cfg.Cluster; cl != nil {
+		states := map[string]string{}
+		for _, n := range cl.Snapshot() {
+			states[n.ID] = n.State.String()
+		}
+		ownVars["cluster"] = map[string]any{
+			"self":     cl.Self(),
+			"draining": s.draining.Load(),
+			"stats":    cl.Stats(),
+			"states":   states,
+		}
+	}
+	own, _ := json.Marshal(ownVars)
 	fmt.Fprintf(w, "%q: %s}", "crserve", own)
 }
 
@@ -303,14 +376,20 @@ func (s *server) fail(w http.ResponseWriter, err error) {
 
 // decode reads the JSON request body strictly: the size cap keeps one
 // request from buffering unbounded memory, and unknown fields are typos
-// until a future wire version says otherwise.
-func (s *server) decode(w http.ResponseWriter, r *http.Request, into any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+// until a future wire version says otherwise. The raw bytes are returned
+// so cluster forwarding can relay the request verbatim instead of
+// re-serialising the decoded form.
+func (s *server) decode(w http.ResponseWriter, r *http.Request, into any) ([]byte, error) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		return nil, &api.Error{Code: api.CodeInvalidRequest, Message: "reading request body: " + err.Error()}
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
-		return &api.Error{Code: api.CodeInvalidRequest, Message: "decoding request body: " + err.Error()}
+		return nil, &api.Error{Code: api.CodeInvalidRequest, Message: "decoding request body: " + err.Error()}
 	}
-	return nil
+	return raw, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, payload any) {

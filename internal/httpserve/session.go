@@ -26,13 +26,20 @@ type sessionEntry struct {
 func (s *server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 	s.sessionCalls.Add(1)
 	var req api.OpenSessionRequest
-	if err := s.decode(w, r, &req); err != nil {
+	raw, err := s.decode(w, r, &req)
+	if err != nil {
 		s.fail(w, err)
 		return
 	}
 	tree, err := req.Tree()
 	if err != nil {
 		s.fail(w, err)
+		return
+	}
+	// Route the open to the initial tree's ring owner so the session's
+	// warm state lives next to the instance's result cache. No hedging:
+	// a raced open could mint a second (orphan) session on the loser.
+	if s.maybeForward(w, r, repro.Fingerprint(tree), raw, false) {
 		return
 	}
 	sess, err := s.cfg.Service.OpenSession(tree, req.Options()...)
@@ -45,6 +52,7 @@ func (s *server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	s.stampSelf(w)
 	writeJSON(w, http.StatusOK, &api.SessionResponse{
 		APIVersion: api.Version,
 		Session:    api.NewSessionState(id, sess),
@@ -60,6 +68,7 @@ func (s *server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	s.stampSelf(w)
 	writeJSON(w, http.StatusOK, &api.SessionResponse{
 		APIVersion: api.Version,
 		Session:    api.NewSessionState(id, sess),
@@ -78,7 +87,7 @@ func (s *server) handleSessionMutate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req api.MutateRequest
-	if err := s.decode(w, r, &req); err != nil {
+	if _, err := s.decode(w, r, &req); err != nil {
 		s.fail(w, err)
 		return
 	}
@@ -114,6 +123,7 @@ func (s *server) handleSessionMutate(w http.ResponseWriter, r *http.Request) {
 		resp.Response = api.NewSolveResponse(tree, out, status)
 	}
 	resp.Session = api.NewSessionState(id, sess)
+	s.stampSelf(w)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -134,6 +144,7 @@ func (s *server) handleSessionResolve(w http.ResponseWriter, r *http.Request) {
 	}
 	// Render against the revision the outcome was solved on: a concurrent
 	// mutate may already have advanced sess.Tree().
+	s.stampSelf(w)
 	writeJSON(w, http.StatusOK, &api.SessionResponse{
 		APIVersion: api.Version,
 		Session:    api.NewSessionState(id, sess),
@@ -153,6 +164,7 @@ func (s *server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
 	s.sessMu.Lock()
 	delete(s.sessions, id)
 	s.sessMu.Unlock()
+	s.stampSelf(w)
 	writeJSON(w, http.StatusOK, &api.SessionResponse{
 		APIVersion: api.Version,
 		Session:    api.NewSessionState(id, sess),
@@ -174,12 +186,20 @@ var errSessionNotFound = errors.New("unknown session")
 // expired sessions first and, when the table is still full, the least
 // recently used live one — long-idle dynamic workloads lose their warm
 // state rather than blocking new ones (clients re-open on not_found).
+//
+// In cluster mode the ID is prefixed with this node's ring tag
+// ("<tag>-<random>"): the session is pinned to its creator, and any
+// fleet member receiving a call for it can route to the owner from the
+// ID alone (see sessionRouted).
 func (s *server) storeSession(sess *repro.Session) (string, error) {
 	var raw [16]byte
 	if _, err := rand.Read(raw[:]); err != nil {
 		return "", fmt.Errorf("httpserve: minting session id: %w", err)
 	}
 	id := hex.EncodeToString(raw[:])
+	if cl := s.cfg.Cluster; cl != nil {
+		id = cl.SelfTag() + "-" + id
+	}
 	now := time.Now()
 
 	s.sessMu.Lock()
