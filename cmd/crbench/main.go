@@ -9,8 +9,9 @@
 //	crbench            # run all experiments
 //	crbench -id E1     # one experiment
 //	crbench -markdown > experiments.md
-//	crbench -json > experiments.json
-//	crbench -json -id P1 -out BENCH_PR4.json   # perf record with allocs/op + bytes/op
+//	crbench -json > run.json            # cr-perf-run/v1 record (shared with crload)
+//	crbench -json -id P1 -out BENCH_PR6.json
+//	crbench -json -id P1 -series docs/bench/data.js   # append to the trend series
 package main
 
 import (
@@ -24,9 +25,10 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/bench/series"
 )
 
-// jsonResult is one experiment's machine-readable record.
+// jsonResult is one experiment's record inside the run's Detail payload.
 type jsonResult struct {
 	ID        string     `json:"id"`
 	Title     string     `json:"title"`
@@ -40,9 +42,11 @@ type jsonResult struct {
 func main() {
 	id := flag.String("id", "", "run a single experiment (E1..E13)")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (one array of experiment records)")
+	jsonOut := flag.Bool("json", false, "emit one cr-perf-run/v1 JSON record (tables in .detail, perf scalars in .benches)")
 	timeout := flag.Duration("timeout", 0, "overall deadline; pending experiments are skipped once it expires (0 = none)")
-	out := flag.String("out", "", "write the rendered output to this file instead of stdout (e.g. BENCH_PR4.json)")
+	out := flag.String("out", "", "write the rendered output to this file instead of stdout (e.g. BENCH_PR6.json)")
+	seriesPath := flag.String("series", "", "with -json: also append the run to this data.js trend series")
+	commit := flag.String("commit", "", "commit hash recorded in the -json run (default: git rev-parse HEAD)")
 	flag.Parse()
 	if *markdown && *jsonOut {
 		fmt.Fprintln(os.Stderr, "crbench: -markdown and -json are mutually exclusive")
@@ -83,7 +87,8 @@ func main() {
 		experiments = []bench.Experiment{e}
 	}
 
-	records := []jsonResult{} // non-nil: -json must emit an array, never null
+	records := []jsonResult{} // non-nil: the Detail payload is an array, never null
+	var benches []series.Bench
 	failed := 0
 	for _, e := range experiments {
 		if err := ctx.Err(); err != nil {
@@ -106,6 +111,7 @@ func main() {
 				Columns: tbl.Columns, Rows: tbl.Rows, Notes: tbl.Notes,
 				ElapsedMS: elapsed.Milliseconds(),
 			})
+			benches = append(benches, tbl.Metrics...)
 		case *markdown:
 			fmt.Fprint(dst, tbl.Markdown())
 		default:
@@ -114,11 +120,27 @@ func main() {
 		}
 	}
 	if *jsonOut {
+		if *commit == "" {
+			*commit = series.GitCommit(".")
+		}
+		run, err := series.New("crbench", *commit, benches, records)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crbench: building run record: %v\n", err)
+			os.Exit(1)
+		}
 		enc := json.NewEncoder(dst)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(records); err != nil {
+		if err := enc.Encode(run); err != nil {
 			fmt.Fprintf(os.Stderr, "crbench: encoding JSON: %v\n", err)
 			failed++
+		}
+		if *seriesPath != "" {
+			if err := series.Append(*seriesPath, run); err != nil {
+				fmt.Fprintf(os.Stderr, "crbench: %v\n", err)
+				failed++
+			} else {
+				fmt.Fprintf(os.Stderr, "crbench: appended to %s\n", *seriesPath)
+			}
 		}
 	}
 	if failed > 0 {

@@ -1,0 +1,159 @@
+// Command crload drives a declarative workload against a crserve fleet
+// and records the run in the shared perf-series schema. It either
+// targets an external fleet (-targets) or self-hosts an in-process one
+// (-fleet N), which makes single-binary perf smoke runs possible in CI.
+//
+// Usage:
+//
+//	crload -fleet 2                             # default workload, self-hosted
+//	crload -spec docs/bench/ci-smoke.json -fleet 2 -out run.json
+//	crload -targets http://a:8080,http://b:8080 -rps 500 -duration 30s
+//	crload -fleet 2 -out run.json -series docs/bench/data.js   # append to the trend series
+//	crload -fleet 2 -max-p95 250ms -min-rps-fraction 0.9       # CI gates (exit 1 on breach)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/bench/series"
+	"repro/internal/load"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "JSON workload spec file (default: built-in default workload)")
+	targets := flag.String("targets", "", "comma-separated fleet base URLs (e.g. http://a:8080,http://b:8080)")
+	fleetN := flag.Int("fleet", 0, "self-host an in-process fleet of N nodes instead of -targets")
+
+	name := flag.String("name", "", "override the workload name recorded in results")
+	rps := flag.Float64("rps", 0, "override target requests/second")
+	duration := flag.Duration("duration", 0, "override measured-phase length")
+	warmup := flag.Duration("warmup", -1, "override warmup length (-1 = keep spec value)")
+	seed := flag.Int64("seed", 0, "override the deterministic seed")
+	workers := flag.Int("workers", 0, "override the worker-pool size")
+
+	out := flag.String("out", "", "write the run record (cr-perf-run/v1 JSON) to this file")
+	seriesPath := flag.String("series", "", "append the run to this data.js trend series (window.BENCHMARK_DATA)")
+	commit := flag.String("commit", "", "commit hash recorded in the run (default: git rev-parse HEAD)")
+	quiet := flag.Bool("q", false, "suppress per-interval progress lines")
+
+	maxP95 := flag.Duration("max-p95", 0, "fail if any class's client p95 exceeds this (0 = no gate)")
+	minRPSFrac := flag.Float64("min-rps-fraction", 0, "fail if achieved RPS < fraction*target (0 = no gate)")
+	maxErrFrac := flag.Float64("max-error-fraction", 0, "fail if (errors+timeouts)/sent exceeds this (0 = no gate)")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "crload: "+format+"\n", args...)
+		os.Exit(2)
+	}
+
+	spec := load.DefaultSpec()
+	if *specPath != "" {
+		raw, err := os.ReadFile(*specPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		spec, err = load.ParseSpec(raw)
+		if err != nil {
+			fail("%s: %v", *specPath, err)
+		}
+	}
+	if *name != "" {
+		spec.Name = *name
+	}
+	if *rps > 0 {
+		spec.RPS = *rps
+	}
+	if *duration > 0 {
+		spec.Duration = load.Duration(*duration)
+	}
+	if *warmup >= 0 {
+		spec.Warmup = load.Duration(*warmup)
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	if *workers > 0 {
+		spec.Workers = *workers
+	}
+	if err := spec.Validate(); err != nil {
+		fail("%v", err)
+	}
+
+	var urls []string
+	switch {
+	case *fleetN > 0 && *targets != "":
+		fail("-fleet and -targets are mutually exclusive")
+	case *fleetN > 0:
+		fleet, err := load.SelfHostFleet(*fleetN)
+		if err != nil {
+			fail("starting fleet: %v", err)
+		}
+		defer fleet.Close()
+		urls = fleet.URLs()
+		fmt.Fprintf(os.Stderr, "crload: self-hosted %d-node fleet: %s\n", *fleetN, strings.Join(urls, ", "))
+	case *targets != "":
+		for _, t := range strings.Split(*targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				urls = append(urls, strings.TrimRight(t, "/"))
+			}
+		}
+	default:
+		fail("need -targets or -fleet (see -h)")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := load.RunOptions{Targets: urls}
+	if !*quiet {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "crload: "+format+"\n", args...)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "crload: workload %q: %.0f req/s for %v (+%v warmup) over %d targets\n",
+		spec.Name, spec.RPS, time.Duration(spec.Duration), time.Duration(spec.Warmup), len(urls))
+	res, err := load.Run(ctx, spec, opts)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Print(res.Summary())
+
+	// Persist before gating: a gate breach should still leave the record.
+	if *out != "" || *seriesPath != "" {
+		if *commit == "" {
+			*commit = series.GitCommit(".")
+		}
+		run, err := series.New("crload", *commit, res.Benches(), res)
+		if err != nil {
+			fail("building run record: %v", err)
+		}
+		if *out != "" {
+			if err := run.Write(*out); err != nil {
+				fail("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "crload: wrote %s\n", *out)
+		}
+		if *seriesPath != "" {
+			if err := series.Append(*seriesPath, run); err != nil {
+				fail("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "crload: appended to %s\n", *seriesPath)
+		}
+	}
+
+	if err := res.Check(load.Thresholds{
+		MaxP95:           *maxP95,
+		MinRPSFraction:   *minRPSFrac,
+		MaxErrorFraction: *maxErrFrac,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "crload: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,1115 @@
+window.BENCHMARK_DATA = {
+  "lastUpdate": 1786178150000,
+  "entries": {
+    "crbench": [
+      {
+        "schema": "cr-perf-run/v1",
+        "tool": "crbench",
+        "commit": "2306d74c6065fab7ae16f4ec8c2660f26b1da08e",
+        "timestamp": "2026-08-08T08:35:48Z",
+        "benches": [
+          {
+            "name": "P1/eval/pointer/ns_op",
+            "value": 1181.3752404767304,
+            "unit": "ns/op"
+          },
+          {
+            "name": "P1/eval/pointer/allocs_op",
+            "value": 11,
+            "unit": "allocs/op"
+          },
+          {
+            "name": "P1/eval/compiled/ns_op",
+            "value": 67.88206792174287,
+            "unit": "ns/op"
+          },
+          {
+            "name": "P1/eval/compiled/allocs_op",
+            "value": 0,
+            "unit": "allocs/op"
+          },
+          {
+            "name": "P1/greedy-host/pointer/ns_op",
+            "value": 96020.88721868365,
+            "unit": "ns/op"
+          },
+          {
+            "name": "P1/greedy-host/pointer/allocs_op",
+            "value": 1005,
+            "unit": "allocs/op"
+          },
+          {
+            "name": "P1/greedy-host/compiled/ns_op",
+            "value": 6348.021230385799,
+            "unit": "ns/op"
+          },
+          {
+            "name": "P1/greedy-host/compiled/allocs_op",
+            "value": 5,
+            "unit": "allocs/op"
+          },
+          {
+            "name": "P1/branch-and-bound/pointer/ns_op",
+            "value": 39146.72109322602,
+            "unit": "ns/op"
+          },
+          {
+            "name": "P1/branch-and-bound/pointer/allocs_op",
+            "value": 82,
+            "unit": "allocs/op"
+          },
+          {
+            "name": "P1/branch-and-bound/compiled/ns_op",
+            "value": 6661.701702085954,
+            "unit": "ns/op"
+          },
+          {
+            "name": "P1/branch-and-bound/compiled/allocs_op",
+            "value": 3,
+            "unit": "allocs/op"
+          },
+          {
+            "name": "P1/adapted-ssb/pointer/ns_op",
+            "value": 6312.375155050983,
+            "unit": "ns/op"
+          },
+          {
+            "name": "P1/adapted-ssb/pointer/allocs_op",
+            "value": 69,
+            "unit": "allocs/op"
+          },
+          {
+            "name": "P1/adapted-ssb/compiled/ns_op",
+            "value": 3177.0851145804068,
+            "unit": "ns/op"
+          },
+          {
+            "name": "P1/adapted-ssb/compiled/allocs_op",
+            "value": 12,
+            "unit": "allocs/op"
+          },
+          {
+            "name": "P1/serve-warm/compiled/ns_op",
+            "value": 312.9899612634165,
+            "unit": "ns/op"
+          },
+          {
+            "name": "P1/serve-warm/compiled/allocs_op",
+            "value": 0,
+            "unit": "allocs/op"
+          }
+        ],
+        "detail": [
+          {
+            "id": "P1",
+            "title": "compiled flat-tree plans vs pointer walks (paper tree)",
+            "paper": "engineering extension: ISSUE 4 relayering, not a paper artefact",
+            "columns": [
+              "path",
+              "impl",
+              "ns/op",
+              "allocs/op",
+              "bytes/op"
+            ],
+            "rows": [
+              [
+                "eval",
+                "pointer",
+                "1181",
+                "11",
+                "896"
+              ],
+              [
+                "eval",
+                "compiled",
+                "68",
+                "0",
+                "0"
+              ],
+              [
+                "greedy-host",
+                "pointer",
+                "96021",
+                "1005",
+                "76608"
+              ],
+              [
+                "greedy-host",
+                "compiled",
+                "6348",
+                "5",
+                "392"
+              ],
+              [
+                "branch-and-bound",
+                "pointer",
+                "39147",
+                "82",
+                "4432"
+              ],
+              [
+                "branch-and-bound",
+                "compiled",
+                "6662",
+                "3",
+                "208"
+              ],
+              [
+                "adapted-ssb",
+                "pointer",
+                "6312",
+                "69",
+                "6432"
+              ],
+              [
+                "adapted-ssb",
+                "compiled",
+                "3177",
+                "12",
+                "1760"
+              ],
+              [
+                "serve-warm",
+                "compiled",
+                "313",
+                "0",
+                "0"
+              ]
+            ],
+            "notes": [
+              "eval: compiled is 17.4x the pointer path",
+              "greedy-host: compiled is 15.1x the pointer path",
+              "branch-and-bound: compiled is 5.9x the pointer path",
+              "adapted-ssb: compiled is 2.0x the pointer path"
+            ],
+            "elapsed_ms": 13983
+          }
+        ]
+      },
+      {
+        "schema": "cr-perf-run/v1",
+        "tool": "crbench",
+        "commit": "2306d74c6065fab7ae16f4ec8c2660f26b1da08e",
+        "timestamp": "2026-08-08T08:35:50Z",
+        "benches": [
+          {
+            "name": "P3/load/achieved_rps",
+            "value": 199.9558318895978,
+            "unit": "req/s",
+            "extra": "target 200"
+          },
+          {
+            "name": "P3/load/errors",
+            "value": 0,
+            "unit": "count"
+          },
+          {
+            "name": "P3/load/timeouts",
+            "value": 0,
+            "unit": "count"
+          },
+          {
+            "name": "P3/load/cache_hit_ratio",
+            "value": 0.9478672985781991,
+            "unit": "ratio"
+          },
+          {
+            "name": "P3/load/solve/p50",
+            "value": 327.679,
+            "unit": "us"
+          },
+          {
+            "name": "P3/load/solve/p95",
+            "value": 622.591,
+            "unit": "us"
+          },
+          {
+            "name": "P3/load/solve/p99",
+            "value": 1572.863,
+            "unit": "us",
+            "extra": "236 requests"
+          },
+          {
+            "name": "P3/load/batch/p50",
+            "value": 1703.935,
+            "unit": "us"
+          },
+          {
+            "name": "P3/load/batch/p95",
+            "value": 4718.591,
+            "unit": "us"
+          },
+          {
+            "name": "P3/load/batch/p99",
+            "value": 6412.17,
+            "unit": "us",
+            "extra": "30 requests"
+          },
+          {
+            "name": "P3/load/session-open/p50",
+            "value": 352.255,
+            "unit": "us"
+          },
+          {
+            "name": "P3/load/session-open/p95",
+            "value": 483.327,
+            "unit": "us"
+          },
+          {
+            "name": "P3/load/session-open/p99",
+            "value": 486.763,
+            "unit": "us",
+            "extra": "11 requests"
+          },
+          {
+            "name": "P3/load/session-mutate/p50",
+            "value": 303.103,
+            "unit": "us"
+          },
+          {
+            "name": "P3/load/session-mutate/p95",
+            "value": 868.351,
+            "unit": "us"
+          },
+          {
+            "name": "P3/load/session-mutate/p99",
+            "value": 1435.011,
+            "unit": "us",
+            "extra": "22 requests"
+          },
+          {
+            "name": "P3/load/session-close/p50",
+            "value": 229.12,
+            "unit": "us"
+          },
+          {
+            "name": "P3/load/session-close/p95",
+            "value": 229.12,
+            "unit": "us"
+          },
+          {
+            "name": "P3/load/session-close/p99",
+            "value": 229.12,
+            "unit": "us",
+            "extra": "1 requests"
+          }
+        ],
+        "detail": [
+          {
+            "id": "P3",
+            "title": "perf: open-loop load harness on a 2-node fleet",
+            "paper": "engineering extension: continuous perf tracking, not a paper artefact",
+            "columns": [
+              "class",
+              "count",
+              "errors",
+              "p50",
+              "p95",
+              "p99"
+            ],
+            "rows": [
+              [
+                "solve",
+                "236",
+                "0",
+                "330µs",
+                "620µs",
+                "1.57ms"
+              ],
+              [
+                "batch",
+                "30",
+                "0",
+                "1.7ms",
+                "4.72ms",
+                "6.41ms"
+              ],
+              [
+                "session-open",
+                "11",
+                "0",
+                "350µs",
+                "480µs",
+                "490µs"
+              ],
+              [
+                "session-mutate",
+                "22",
+                "0",
+                "300µs",
+                "870µs",
+                "1.44ms"
+              ],
+              [
+                "session-close",
+                "1",
+                "0",
+                "230µs",
+                "230µs",
+                "230µs"
+              ]
+            ],
+            "notes": [
+              "achieved 200 of 200 req/s target over 1.5s measured (open loop, 0 dropped)",
+              "fleet cache hit ratio 94.8% across 2 nodes; 0 errors, 0 timeouts"
+            ],
+            "elapsed_ms": 1801
+          }
+        ]
+      }
+    ],
+    "crload": [
+      {
+        "schema": "cr-perf-run/v1",
+        "tool": "crload",
+        "commit": "2306d74c6065fab7ae16f4ec8c2660f26b1da08e",
+        "timestamp": "2026-08-08T08:35:24Z",
+        "benches": [
+          {
+            "name": "load/achieved_rps",
+            "value": 299.5409093441918,
+            "unit": "req/s",
+            "extra": "target 300"
+          },
+          {
+            "name": "load/errors",
+            "value": 0,
+            "unit": "count"
+          },
+          {
+            "name": "load/timeouts",
+            "value": 0,
+            "unit": "count"
+          },
+          {
+            "name": "load/cache_hit_ratio",
+            "value": 0.9497005988023952,
+            "unit": "ratio"
+          },
+          {
+            "name": "load/solve/p50",
+            "value": 458.751,
+            "unit": "us"
+          },
+          {
+            "name": "load/solve/p95",
+            "value": 1540.095,
+            "unit": "us"
+          },
+          {
+            "name": "load/solve/p99",
+            "value": 6553.599,
+            "unit": "us",
+            "extra": "2229 requests"
+          },
+          {
+            "name": "load/batch/p50",
+            "value": 2555.903,
+            "unit": "us"
+          },
+          {
+            "name": "load/batch/p95",
+            "value": 7864.319,
+            "unit": "us"
+          },
+          {
+            "name": "load/batch/p99",
+            "value": 13893.631,
+            "unit": "us",
+            "extra": "303 requests"
+          },
+          {
+            "name": "load/simulate/p50",
+            "value": 573.439,
+            "unit": "us"
+          },
+          {
+            "name": "load/simulate/p95",
+            "value": 2162.687,
+            "unit": "us"
+          },
+          {
+            "name": "load/simulate/p99",
+            "value": 5373.951,
+            "unit": "us",
+            "extra": "160 requests"
+          },
+          {
+            "name": "load/session-open/p50",
+            "value": 417.791,
+            "unit": "us"
+          },
+          {
+            "name": "load/session-open/p95",
+            "value": 983.039,
+            "unit": "us"
+          },
+          {
+            "name": "load/session-open/p99",
+            "value": 6306.488,
+            "unit": "us",
+            "extra": "48 requests"
+          },
+          {
+            "name": "load/session-mutate/p50",
+            "value": 352.255,
+            "unit": "us"
+          },
+          {
+            "name": "load/session-mutate/p95",
+            "value": 1638.399,
+            "unit": "us"
+          },
+          {
+            "name": "load/session-mutate/p99",
+            "value": 7208.959,
+            "unit": "us",
+            "extra": "210 requests"
+          },
+          {
+            "name": "load/session-close/p50",
+            "value": 208.895,
+            "unit": "us"
+          },
+          {
+            "name": "load/session-close/p95",
+            "value": 606.207,
+            "unit": "us"
+          },
+          {
+            "name": "load/session-close/p99",
+            "value": 3888.495,
+            "unit": "us",
+            "extra": "50 requests"
+          }
+        ],
+        "detail": {
+          "spec": {
+            "name": "ci-smoke",
+            "seed": 7,
+            "rps": 300,
+            "duration": "10s",
+            "warmup": "2s",
+            "workers": 32,
+            "timeout": "5s",
+            "scrape_interval": "1s",
+            "corpus": {
+              "instances": 32,
+              "min_crus": 8,
+              "max_crus": 20,
+              "satellites": 3,
+              "zipf_s": 1.2
+            },
+            "mix": {
+              "classes": {
+                "batch": 0.1,
+                "session": 0.1,
+                "simulate": 0.05,
+                "solve": 0.75
+              },
+              "batch_min": 4,
+              "batch_max": 12,
+              "session_ops": 4,
+              "mutations_per_op": 2,
+              "drift_fraction": 0.1
+            }
+          },
+          "targets": [
+            "http://127.0.0.1:45193",
+            "http://127.0.0.1:45441"
+          ],
+          "start_unix_ms": 1786178112466,
+          "elapsed_sec": 10.015326476,
+          "target_rps": 300,
+          "achieved_rps": 299.5409093441918,
+          "sent": 3000,
+          "completed": 3000,
+          "errors": 0,
+          "timeouts": 0,
+          "classes": {
+            "batch": {
+              "count": 303,
+              "latency": {
+                "count": 303,
+                "mean_us": 3391.221663366337,
+                "p50_us": 2555.903,
+                "p95_us": 7864.319,
+                "p99_us": 13893.631,
+                "max_us": 18125.259
+              }
+            },
+            "session-close": {
+              "count": 50,
+              "latency": {
+                "count": 50,
+                "mean_us": 359.81402,
+                "p50_us": 208.895,
+                "p95_us": 606.207,
+                "p99_us": 3888.495,
+                "max_us": 3888.495
+              }
+            },
+            "session-mutate": {
+              "count": 210,
+              "latency": {
+                "count": 210,
+                "mean_us": 721.5622047619048,
+                "p50_us": 352.255,
+                "p95_us": 1638.399,
+                "p99_us": 7208.959,
+                "max_us": 22312.973
+              }
+            },
+            "session-open": {
+              "count": 48,
+              "latency": {
+                "count": 48,
+                "mean_us": 620.7002916666667,
+                "p50_us": 417.791,
+                "p95_us": 983.039,
+                "p99_us": 6306.488,
+                "max_us": 6306.488
+              }
+            },
+            "simulate": {
+              "count": 160,
+              "latency": {
+                "count": 160,
+                "mean_us": 934.27068125,
+                "p50_us": 573.439,
+                "p95_us": 2162.687,
+                "p99_us": 5373.951,
+                "max_us": 22109.224
+              }
+            },
+            "solve": {
+              "count": 2229,
+              "latency": {
+                "count": 2229,
+                "mean_us": 727.3753571108119,
+                "p50_us": 458.751,
+                "p95_us": 1540.095,
+                "p99_us": 6553.599,
+                "max_us": 23653.647
+              }
+            }
+          },
+          "nodes": [
+            {
+              "url": "http://127.0.0.1:45193",
+              "cache_hits": 1315,
+              "cache_misses": 68,
+              "cache_shared": 0,
+              "forwards": 1070,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0,
+              "mallocs": 2594638,
+              "num_gc": 148,
+              "heap_alloc_bytes": 10387848,
+              "latency": {
+                "batch": {
+                  "count": 347,
+                  "mean_us": 1877.238749279539,
+                  "p50_us": 1179.647,
+                  "p95_us": 5505.023,
+                  "p99_us": 9437.183,
+                  "max_us": 17455.201
+                },
+                "session_close": {
+                  "count": 47,
+                  "mean_us": 1661.0677234042553,
+                  "p50_us": 102.399,
+                  "p95_us": 9175.039,
+                  "p99_us": 10790.691,
+                  "max_us": 10790.691
+                },
+                "session_mutate": {
+                  "count": 150,
+                  "mean_us": 264.1857866666667,
+                  "p50_us": 233.471,
+                  "p95_us": 385.023,
+                  "p99_us": 1900.543,
+                  "max_us": 3328.43
+                },
+                "session_open": {
+                  "count": 47,
+                  "mean_us": 391.9433829787234,
+                  "p50_us": 286.719,
+                  "p95_us": 1048.575,
+                  "p99_us": 2549.98,
+                  "max_us": 2549.98
+                },
+                "simulate": {
+                  "count": 131,
+                  "mean_us": 604.8656488549618,
+                  "p50_us": 401.407,
+                  "p95_us": 1114.111,
+                  "p99_us": 3342.335,
+                  "max_us": 16084.987
+                },
+                "solve": {
+                  "count": 1781,
+                  "mean_us": 417.00713026389667,
+                  "p50_us": 327.679,
+                  "p95_us": 704.511,
+                  "p99_us": 1900.543,
+                  "max_us": 18699.284
+                }
+              }
+            },
+            {
+              "url": "http://127.0.0.1:45441",
+              "cache_hits": 2650,
+              "cache_misses": 142,
+              "cache_shared": 0,
+              "forwards": 589,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0,
+              "mallocs": 2593831,
+              "num_gc": 148,
+              "heap_alloc_bytes": 10462128,
+              "latency": {
+                "batch": {
+                  "count": 357,
+                  "mean_us": 1794.5697226890757,
+                  "p50_us": 1409.023,
+                  "p95_us": 5242.879,
+                  "p99_us": 7864.319,
+                  "max_us": 10459.363
+                },
+                "session_close": {
+                  "count": 62,
+                  "mean_us": 186.197,
+                  "p50_us": 19.967,
+                  "p95_us": 221.183,
+                  "p99_us": 3145.727,
+                  "max_us": 3333.963
+                },
+                "session_mutate": {
+                  "count": 198,
+                  "mean_us": 368.2219696969697,
+                  "p50_us": 159.743,
+                  "p95_us": 352.255,
+                  "p99_us": 1867.775,
+                  "max_us": 18044.136
+                },
+                "session_open": {
+                  "count": 62,
+                  "mean_us": 220.56735483870966,
+                  "p50_us": 159.743,
+                  "p95_us": 491.519,
+                  "p99_us": 557.055,
+                  "max_us": 1379.641
+                },
+                "simulate": {
+                  "count": 167,
+                  "mean_us": 346.6936347305389,
+                  "p50_us": 278.527,
+                  "p95_us": 770.047,
+                  "p99_us": 1245.183,
+                  "max_us": 1816.878
+                },
+                "solve": {
+                  "count": 2243,
+                  "mean_us": 279.39324788230044,
+                  "p50_us": 192.511,
+                  "p95_us": 540.671,
+                  "p99_us": 1376.255,
+                  "max_us": 17809.475
+                }
+              }
+            }
+          ],
+          "samples": [
+            {
+              "t": 0.001223409,
+              "node": "http://127.0.0.1:45193",
+              "cache_hits": 269,
+              "cache_misses": 14,
+              "cache_shared": 0,
+              "inflight": 0,
+              "goroutines": 53,
+              "heap_alloc_bytes": 3223896,
+              "mallocs": 531142,
+              "num_gc": 49,
+              "forwards": 202,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 0.001223409,
+              "node": "http://127.0.0.1:45441",
+              "cache_hits": 497,
+              "cache_misses": 48,
+              "cache_shared": 0,
+              "inflight": 1,
+              "goroutines": 59,
+              "heap_alloc_bytes": 3352376,
+              "mallocs": 532216,
+              "num_gc": 49,
+              "forwards": 105,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 1.003758419,
+              "node": "http://127.0.0.1:45193",
+              "cache_hits": 410,
+              "cache_misses": 19,
+              "cache_shared": 0,
+              "inflight": 1,
+              "goroutines": 58,
+              "heap_alloc_bytes": 4016992,
+              "mallocs": 774238,
+              "num_gc": 69,
+              "forwards": 308,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 1.003758419,
+              "node": "http://127.0.0.1:45441",
+              "cache_hits": 740,
+              "cache_misses": 63,
+              "cache_shared": 0,
+              "inflight": 0,
+              "goroutines": 56,
+              "heap_alloc_bytes": 4080048,
+              "mallocs": 774541,
+              "num_gc": 69,
+              "forwards": 169,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 2.004235451,
+              "node": "http://127.0.0.1:45193",
+              "cache_hits": 533,
+              "cache_misses": 26,
+              "cache_shared": 0,
+              "inflight": 0,
+              "goroutines": 54,
+              "heap_alloc_bytes": 5107920,
+              "mallocs": 1007576,
+              "num_gc": 86,
+              "forwards": 406,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 2.004235451,
+              "node": "http://127.0.0.1:45441",
+              "cache_hits": 980,
+              "cache_misses": 79,
+              "cache_shared": 0,
+              "inflight": 0,
+              "goroutines": 53,
+              "heap_alloc_bytes": 5185488,
+              "mallocs": 1007866,
+              "num_gc": 86,
+              "forwards": 221,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 3.004088858,
+              "node": "http://127.0.0.1:45193",
+              "cache_hits": 675,
+              "cache_misses": 36,
+              "cache_shared": 0,
+              "inflight": 1,
+              "goroutines": 57,
+              "heap_alloc_bytes": 4813648,
+              "mallocs": 1277670,
+              "num_gc": 105,
+              "forwards": 509,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 3.004088858,
+              "node": "http://127.0.0.1:45441",
+              "cache_hits": 1254,
+              "cache_misses": 92,
+              "cache_shared": 0,
+              "inflight": 0,
+              "goroutines": 56,
+              "heap_alloc_bytes": 5340432,
+              "mallocs": 1280766,
+              "num_gc": 105,
+              "forwards": 284,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 4.003867789,
+              "node": "http://127.0.0.1:45193",
+              "cache_hits": 820,
+              "cache_misses": 44,
+              "cache_shared": 0,
+              "inflight": 1,
+              "goroutines": 55,
+              "heap_alloc_bytes": 3654976,
+              "mallocs": 1566398,
+              "num_gc": 124,
+              "forwards": 615,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 4.003867789,
+              "node": "http://127.0.0.1:45441",
+              "cache_hits": 1549,
+              "cache_misses": 103,
+              "cache_shared": 0,
+              "inflight": 0,
+              "goroutines": 55,
+              "heap_alloc_bytes": 3799968,
+              "mallocs": 1567610,
+              "num_gc": 124,
+              "forwards": 342,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 5.00398569,
+              "node": "http://127.0.0.1:45193",
+              "cache_hits": 941,
+              "cache_misses": 48,
+              "cache_shared": 0,
+              "inflight": 0,
+              "goroutines": 57,
+              "heap_alloc_bytes": 4680416,
+              "mallocs": 1817447,
+              "num_gc": 138,
+              "forwards": 720,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 5.00398569,
+              "node": "http://127.0.0.1:45441",
+              "cache_hits": 1814,
+              "cache_misses": 117,
+              "cache_shared": 0,
+              "inflight": 1,
+              "goroutines": 56,
+              "heap_alloc_bytes": 4809048,
+              "mallocs": 1818081,
+              "num_gc": 138,
+              "forwards": 398,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 6.003760515,
+              "node": "http://127.0.0.1:45193",
+              "cache_hits": 1089,
+              "cache_misses": 55,
+              "cache_shared": 0,
+              "inflight": 1,
+              "goroutines": 58,
+              "heap_alloc_bytes": 6467464,
+              "mallocs": 2089582,
+              "num_gc": 152,
+              "forwards": 826,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 6.003760515,
+              "node": "http://127.0.0.1:45441",
+              "cache_hits": 2079,
+              "cache_misses": 135,
+              "cache_shared": 0,
+              "inflight": 0,
+              "goroutines": 56,
+              "heap_alloc_bytes": 6552696,
+              "mallocs": 2089883,
+              "num_gc": 152,
+              "forwards": 462,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 7.004156524,
+              "node": "http://127.0.0.1:45193",
+              "cache_hits": 1212,
+              "cache_misses": 63,
+              "cache_shared": 0,
+              "inflight": 0,
+              "goroutines": 53,
+              "heap_alloc_bytes": 7697136,
+              "mallocs": 2334928,
+              "num_gc": 164,
+              "forwards": 931,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 7.004156524,
+              "node": "http://127.0.0.1:45441",
+              "cache_hits": 2334,
+              "cache_misses": 146,
+              "cache_shared": 0,
+              "inflight": 0,
+              "goroutines": 53,
+              "heap_alloc_bytes": 7780000,
+              "mallocs": 2335216,
+              "num_gc": 164,
+              "forwards": 514,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 8.003755982,
+              "node": "http://127.0.0.1:45193",
+              "cache_hits": 1339,
+              "cache_misses": 71,
+              "cache_shared": 0,
+              "inflight": 0,
+              "goroutines": 55,
+              "heap_alloc_bytes": 5588352,
+              "mallocs": 2605296,
+              "num_gc": 177,
+              "forwards": 1039,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 8.003755982,
+              "node": "http://127.0.0.1:45441",
+              "cache_hits": 2609,
+              "cache_misses": 161,
+              "cache_shared": 0,
+              "inflight": 1,
+              "goroutines": 61,
+              "heap_alloc_bytes": 5751304,
+              "mallocs": 2606065,
+              "num_gc": 177,
+              "forwards": 572,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 9.003766497,
+              "node": "http://127.0.0.1:45193",
+              "cache_hits": 1452,
+              "cache_misses": 77,
+              "cache_shared": 0,
+              "inflight": 1,
+              "goroutines": 64,
+              "heap_alloc_bytes": 8728096,
+              "mallocs": 2859027,
+              "num_gc": 187,
+              "forwards": 1147,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 9.003766497,
+              "node": "http://127.0.0.1:45441",
+              "cache_hits": 2879,
+              "cache_misses": 177,
+              "cache_shared": 0,
+              "inflight": 0,
+              "goroutines": 62,
+              "heap_alloc_bytes": 5571784,
+              "mallocs": 2860084,
+              "num_gc": 188,
+              "forwards": 628,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 10.004039453,
+              "node": "http://127.0.0.1:45193",
+              "cache_hits": 1581,
+              "cache_misses": 82,
+              "cache_shared": 0,
+              "inflight": 9,
+              "goroutines": 145,
+              "heap_alloc_bytes": 9891128,
+              "mallocs": 3122878,
+              "num_gc": 197,
+              "forwards": 1262,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 10.004039453,
+              "node": "http://127.0.0.1:45441",
+              "cache_hits": 3147,
+              "cache_misses": 190,
+              "cache_shared": 0,
+              "inflight": 1,
+              "goroutines": 123,
+              "heap_alloc_bytes": 10144008,
+              "mallocs": 3124310,
+              "num_gc": 197,
+              "forwards": 693,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 10.015327996,
+              "node": "http://127.0.0.1:45193",
+              "cache_hits": 1584,
+              "cache_misses": 82,
+              "cache_shared": 0,
+              "inflight": 0,
+              "goroutines": 21,
+              "heap_alloc_bytes": 10387848,
+              "mallocs": 3125780,
+              "num_gc": 197,
+              "forwards": 1272,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            },
+            {
+              "t": 10.015327996,
+              "node": "http://127.0.0.1:45441",
+              "cache_hits": 3147,
+              "cache_misses": 190,
+              "cache_shared": 0,
+              "inflight": 0,
+              "goroutines": 21,
+              "heap_alloc_bytes": 10462128,
+              "mallocs": 3126047,
+              "num_gc": 197,
+              "forwards": 694,
+              "hedges": 0,
+              "local_fallbacks": 0,
+              "failed_requests": 0
+            }
+          ]
+        }
+      }
+    ]
+  }
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/load"
+)
+
+// P3LoadHarness runs the trace-driven load harness end to end against a
+// self-hosted 2-node fleet: the default 80/10/10 solve/batch/session
+// blend over a small Zipfian corpus, open-loop at a modest rate, with
+// the /debug/vars collector on. The table is the client-observed
+// per-class record; Metrics carries the same scalars crload persists,
+// so CI trends one series whether the run came from the experiment
+// registry or the standalone tool. Kept short — the experiment suite
+// runs this on every `go test ./internal/bench`.
+func P3LoadHarness() (*Table, error) {
+	spec := &load.Spec{
+		Name:     "p3-smoke",
+		Seed:     7,
+		RPS:      200,
+		Duration: load.Duration(1500 * time.Millisecond),
+		Warmup:   load.Duration(300 * time.Millisecond),
+		Workers:  16,
+		Corpus:   load.CorpusSpec{Instances: 16, MinCRUs: 6, MaxCRUs: 12, Satellites: 3, ZipfS: 1.2},
+		Mix: load.MixSpec{
+			Classes:    map[string]float64{load.ClassSolve: 0.8, load.ClassBatch: 0.1, load.ClassSession: 0.1},
+			SessionOps: 3,
+		},
+		ScrapeInterval: load.Duration(500 * time.Millisecond),
+	}
+	spec.ApplyDefaults()
+
+	fleet, err := load.SelfHostFleet(2)
+	if err != nil {
+		return nil, fmt.Errorf("P3: starting fleet: %w", err)
+	}
+	defer fleet.Close()
+
+	res, err := load.Run(context.Background(), spec, load.RunOptions{Targets: fleet.URLs()})
+	if err != nil {
+		return nil, fmt.Errorf("P3: %w", err)
+	}
+	if res.Completed == 0 {
+		return nil, fmt.Errorf("P3: no requests completed")
+	}
+
+	t := &Table{
+		ID:      "P3",
+		Title:   "perf: open-loop load harness on a 2-node fleet",
+		Paper:   "engineering extension: continuous perf tracking, not a paper artefact",
+		Columns: []string{"class", "count", "errors", "p50", "p95", "p99"},
+	}
+	us := func(v float64) string {
+		return time.Duration(v * float64(time.Microsecond)).Round(10 * time.Microsecond).String()
+	}
+	for _, class := range []string{load.ClassSolve, load.ClassBatch, load.ClassSessionOpen, load.ClassSessionMutate, load.ClassSessionClose} {
+		st, ok := res.Classes[class]
+		if !ok {
+			continue
+		}
+		t.AddRow(class, st.Count, st.Errors+st.Timeouts,
+			us(st.Latency.P50US), us(st.Latency.P95US), us(st.Latency.P99US))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("achieved %.0f of %.0f req/s target over %.1fs measured (open loop, %d dropped)",
+			res.AchievedRPS, res.TargetRPS, res.ElapsedSec, res.Dropped),
+		fmt.Sprintf("fleet cache hit ratio %.1f%% across %d nodes; %d errors, %d timeouts",
+			100*res.CacheHitRatio(), len(res.Nodes), res.Errors, res.Timeouts))
+
+	// Same scalars crload records, prefixed with the experiment id.
+	for _, b := range res.Benches() {
+		b.Name = "P3/" + b.Name
+		t.Metrics = append(t.Metrics, b)
+	}
+	return t, nil
+}

@@ -118,6 +118,8 @@ func P1CompiledVsPointer() (*Table, error) {
 		r := testing.Benchmark(v.fn)
 		ns := float64(r.T.Nanoseconds()) / float64(r.N)
 		tbl.AddRow(v.path, v.impl, fmt.Sprintf("%.0f", ns), r.AllocsPerOp(), r.AllocedBytesPerOp())
+		tbl.AddMetric(v.path+"/"+v.impl+"/ns_op", ns, "ns/op")
+		tbl.AddMetric(v.path+"/"+v.impl+"/allocs_op", float64(r.AllocsPerOp()), "allocs/op")
 		pair := nsByPath[v.path]
 		if v.impl == "pointer" {
 			pair[0] = ns

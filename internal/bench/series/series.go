@@ -1,0 +1,194 @@
+// Package series defines the one versioned perf-run schema every
+// measurement tool in this repo writes — crbench experiment runs and
+// crload load-harness runs alike — and the append-only series file the
+// runs accumulate into. A Run is (schema, tool, commit, timestamp,
+// benches[]) plus an opaque tool-specific detail payload; the series
+// file (docs/bench/data.js) is the window.BENCHMARK_DATA shape used by
+// github-action-benchmark dashboards, so the perf trajectory renders
+// with stock tooling and diffing two runs is a jq one-liner.
+package series
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Schema is the run-record version. Consumers reject records whose
+// schema they do not know instead of guessing at fields.
+const Schema = "cr-perf-run/v1"
+
+// Bench is one scalar measurement: a flat (name, value, unit) triple,
+// the least common denominator every dashboard understands.
+type Bench struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	Extra string  `json:"extra,omitempty"`
+}
+
+// Run is one tool invocation's record.
+type Run struct {
+	Schema    string          `json:"schema"`
+	Tool      string          `json:"tool"`
+	Commit    string          `json:"commit,omitempty"`
+	Timestamp string          `json:"timestamp"` // RFC 3339
+	Benches   []Bench         `json:"benches"`
+	Detail    json.RawMessage `json:"detail,omitempty"` // tool-specific payload (tables, full load result)
+}
+
+// New assembles a Run stamped with the current time. detail may be nil;
+// anything else is marshalled into the Detail payload.
+func New(tool, commit string, benches []Bench, detail any) (*Run, error) {
+	r := &Run{
+		Schema:    Schema,
+		Tool:      tool,
+		Commit:    commit,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Benches:   benches,
+	}
+	if r.Benches == nil {
+		r.Benches = []Bench{} // a run always carries an array, never null
+	}
+	if detail != nil {
+		raw, err := json.Marshal(detail)
+		if err != nil {
+			return nil, fmt.Errorf("series: marshalling detail: %w", err)
+		}
+		r.Detail = raw
+	}
+	return r, nil
+}
+
+// Validate checks the invariants consumers rely on.
+func (r *Run) Validate() error {
+	switch {
+	case r == nil:
+		return fmt.Errorf("series: nil run")
+	case r.Schema != Schema:
+		return fmt.Errorf("series: unknown schema %q (want %q)", r.Schema, Schema)
+	case r.Tool == "":
+		return fmt.Errorf("series: missing tool")
+	case r.Timestamp == "":
+		return fmt.Errorf("series: missing timestamp")
+	}
+	if _, err := time.Parse(time.RFC3339, r.Timestamp); err != nil {
+		return fmt.Errorf("series: bad timestamp %q: %w", r.Timestamp, err)
+	}
+	for i, b := range r.Benches {
+		if b.Name == "" || b.Unit == "" {
+			return fmt.Errorf("series: bench %d missing name or unit: %+v", i, b)
+		}
+	}
+	return nil
+}
+
+// Write persists the run as indented JSON at path (the BENCH_PRn.json
+// form: one run per file).
+func (r *Run) Write(path string) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// ReadRun loads and validates a single-run file.
+func ReadRun(path string) (*Run, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Run
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("series: parsing %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("series: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Data is the accumulated series: every run ever appended, grouped by
+// tool, newest last — the window.BENCHMARK_DATA shape.
+type Data struct {
+	LastUpdate int64             `json:"lastUpdate"` // unix millis of the newest append
+	Entries    map[string][]*Run `json:"entries"`
+}
+
+const dataPrefix = "window.BENCHMARK_DATA = "
+
+// Append adds run to the series file at path, creating the file (and
+// its directory) on first use. The file is a data.js assignment so a
+// static dashboard page can <script src> it directly; Load parses the
+// same file back.
+func Append(path string, run *Run) error {
+	if err := run.Validate(); err != nil {
+		return err
+	}
+	data, err := Load(path)
+	if os.IsNotExist(err) {
+		data, err = &Data{Entries: map[string][]*Run{}}, nil
+	}
+	if err != nil {
+		return err
+	}
+	data.Entries[run.Tool] = append(data.Entries[run.Tool], run)
+	ts, err := time.Parse(time.RFC3339, run.Timestamp)
+	if err != nil {
+		return fmt.Errorf("series: %w", err)
+	}
+	if ms := ts.UnixMilli(); ms > data.LastUpdate {
+		data.LastUpdate = ms
+	}
+
+	raw, err := json.MarshalIndent(data, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, []byte(dataPrefix+string(raw)+"\n"), 0o644)
+}
+
+// Load parses a series file written by Append.
+func Load(path string) (*Data, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	body := strings.TrimSpace(string(raw))
+	body = strings.TrimPrefix(body, strings.TrimSpace(dataPrefix))
+	body = strings.TrimSuffix(body, ";")
+	var data Data
+	if err := json.Unmarshal([]byte(body), &data); err != nil {
+		return nil, fmt.Errorf("series: parsing %s: %w", path, err)
+	}
+	if data.Entries == nil {
+		data.Entries = map[string][]*Run{}
+	}
+	return &data, nil
+}
+
+// GitCommit best-effort resolves the repository's HEAD commit for run
+// stamping. It returns "" when git or the repository is unavailable —
+// a run without provenance still beats no run.
+func GitCommit(dir string) string {
+	cmd := exec.Command("git", "rev-parse", "HEAD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,0 +1,103 @@
+package series
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testRun(t *testing.T, tool string, benches ...Bench) *Run {
+	t.Helper()
+	r, err := New(tool, "deadbeef", benches, map[string]string{"k": "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	r := testRun(t, "crload", Bench{Name: "p95", Value: 1.25, Unit: "us"})
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRun(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != Schema || back.Tool != "crload" || back.Commit != "deadbeef" {
+		t.Fatalf("round trip drifted: %+v", back)
+	}
+	if len(back.Benches) != 1 || back.Benches[0].Value != 1.25 {
+		t.Fatalf("benches: %+v", back.Benches)
+	}
+	var detail map[string]string
+	if err := json.Unmarshal(back.Detail, &detail); err != nil || detail["k"] != "v" {
+		t.Fatalf("detail: %s (%v)", back.Detail, err)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := []*Run{
+		nil,
+		{Schema: "bogus/v9", Tool: "x", Timestamp: "2026-01-01T00:00:00Z"},
+		{Schema: Schema, Timestamp: "2026-01-01T00:00:00Z"},
+		{Schema: Schema, Tool: "x"},
+		{Schema: Schema, Tool: "x", Timestamp: "yesterday-ish"},
+		{Schema: Schema, Tool: "x", Timestamp: "2026-01-01T00:00:00Z", Benches: []Bench{{Value: 1}}},
+	}
+	for i, r := range cases {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d should have failed validation: %+v", i, r)
+		}
+	}
+}
+
+func TestAppendAccumulates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench", "data.js")
+
+	if err := Append(path, testRun(t, "crbench", Bench{Name: "a", Value: 1, Unit: "ns/op"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, testRun(t, "crload", Bench{Name: "b", Value: 2, Unit: "req/s"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, testRun(t, "crload", Bench{Name: "c", Value: 3, Unit: "us"})); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(raw), "window.BENCHMARK_DATA = {") {
+		t.Fatalf("file is not a data.js assignment: %.60s", raw)
+	}
+
+	data, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Entries["crbench"]) != 1 || len(data.Entries["crload"]) != 2 {
+		t.Fatalf("entries: crbench=%d crload=%d", len(data.Entries["crbench"]), len(data.Entries["crload"]))
+	}
+	// Append-only: the first crload run is still the first.
+	if data.Entries["crload"][0].Benches[0].Name != "b" {
+		t.Fatalf("run order lost: %+v", data.Entries["crload"])
+	}
+	if data.LastUpdate == 0 {
+		t.Fatal("lastUpdate not stamped")
+	}
+}
+
+func TestAppendRejectsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.js")
+	if err := Append(path, &Run{Schema: "nope"}); err == nil {
+		t.Fatal("invalid run appended")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("file created for invalid run")
+	}
+}

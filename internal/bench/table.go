@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/bench/series"
 )
 
 // Table is one experiment's output.
@@ -13,6 +15,16 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string // measured-vs-paper commentary appended below the table
+	// Metrics are the experiment's trendable scalars in the shared
+	// perf-series schema: perf experiments (P*) fill them so crbench -out
+	// and crload persist through the same cr-perf-run/v1 record.
+	Metrics []series.Bench
+}
+
+// AddMetric appends one trendable scalar under this experiment's id
+// (name becomes "<ID>/<name>").
+func (t *Table) AddMetric(name string, value float64, unit string) {
+	t.Metrics = append(t.Metrics, series.Bench{Name: t.ID + "/" + name, Value: value, Unit: unit})
 }
 
 // AddRow appends a row, formatting every cell with %v.
@@ -125,6 +137,7 @@ func All() []Experiment {
 		{"E17", "§6 future work: DAG-structured procedures", E17DAG},
 		{"P1", "perf: compiled flat-tree plans vs pointer walks", P1CompiledVsPointer},
 		{"P2", "perf: clustered serving 1-node vs 3-node", P2ClusterScaling},
+		{"P3", "perf: open-loop load harness on a 2-node fleet", P3LoadHarness},
 	}
 }
 

@@ -1,0 +1,9 @@
+// Package hdr provides a compact log-linear latency histogram in the
+// spirit of HDR histograms: constant memory, lock-free concurrent
+// recording, and quantile reads with bounded relative error (~3%). It is
+// the one histogram implementation shared by the serving layer (per
+// endpoint latency gauges in /debug/vars, internal/httpserve) and the
+// load harness (per request-class client latencies, internal/load), so
+// server-side and client-side numbers are bucketed identically and can
+// be compared directly.
+package hdr

@@ -1,0 +1,214 @@
+package hdr
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Bucketing: values (nanoseconds) below subCount index directly; larger
+// values split each power-of-two range into subCount linear sub-buckets,
+// so the relative bucket width is 1/subCount (~3%) everywhere. maxValue
+// caps the representable range at ~2.4 hours — anything slower saturates
+// into the top bucket, which is already a dead request by any SLO.
+const (
+	subBits    = 5
+	subCount   = 1 << subBits // 32 sub-buckets per power of two
+	maxExp     = 43
+	maxValue   = uint64(1)<<maxExp - 1
+	numBuckets = (maxExp-subBits)*subCount + subCount
+)
+
+// Histogram records non-negative durations and answers quantiles over
+// them. The zero value is ready to use; all methods are safe for
+// concurrent callers. Memory is fixed (~10 KiB) regardless of count.
+type Histogram struct {
+	counts [numBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // nanoseconds
+	max    atomic.Uint64
+	min    atomic.Uint64 // offset by +1 so zero means "unset"
+}
+
+// bucketIndex maps a value to its bucket. Inverse (up to bucket width)
+// of bucketValue.
+func bucketIndex(v uint64) int {
+	if v < subCount {
+		return int(v)
+	}
+	e := bits.Len64(v) - 1 // >= subBits
+	base := (e - subBits + 1) * subCount
+	sub := int(v>>uint(e-subBits)) - subCount // in [0, subCount)
+	return base + sub
+}
+
+// bucketValue returns the upper bound of bucket i — quantiles round up,
+// never flattering the tail.
+func bucketValue(i int) uint64 {
+	if i < subCount {
+		return uint64(i)
+	}
+	block := i/subCount - 1 // 0-based block of 2^e ranges past the linear head
+	e := block + subBits
+	sub := uint64(i%subCount) + subCount // restore the implicit high bit
+	return (sub+1)<<uint(e-subBits) - 1
+}
+
+// RecordValue adds one observation of v nanoseconds.
+func (h *Histogram) RecordValue(v uint64) {
+	if v > maxValue {
+		v = maxValue
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	for {
+		old := h.min.Load()
+		if old != 0 && v+1 >= old {
+			break
+		}
+		if h.min.CompareAndSwap(old, v+1) {
+			break
+		}
+	}
+}
+
+// Record adds one observed duration.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.RecordValue(uint64(d))
+}
+
+// Count reports the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Max reports the largest recorded value in nanoseconds (exact, not
+// bucket-rounded).
+func (h *Histogram) Max() uint64 { return h.max.Load() }
+
+// Min reports the smallest recorded value in nanoseconds (0 if empty).
+func (h *Histogram) Min() uint64 {
+	if m := h.min.Load(); m > 0 {
+		return m - 1
+	}
+	return 0
+}
+
+// Mean reports the arithmetic mean in nanoseconds (0 if empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns the value at quantile q in [0,1] as a duration,
+// rounded up to its bucket bound. Concurrent recording skews the answer
+// by at most the in-flight records — fine for monitoring reads.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q*float64(n) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	if target > n {
+		target = n
+	}
+	var seen uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= target {
+			v := bucketValue(i)
+			if m := h.max.Load(); v > m {
+				v = m // never report past the true maximum
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Merge adds other's observations into h (other keeps its contents).
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	var added, sum uint64
+	for i := range other.counts {
+		if c := other.counts[i].Load(); c > 0 {
+			h.counts[i].Add(c)
+			added += c
+		}
+	}
+	if added == 0 {
+		return
+	}
+	sum = other.sum.Load()
+	h.count.Add(added)
+	h.sum.Add(sum)
+	for {
+		old := h.max.Load()
+		v := other.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	for {
+		old := h.min.Load()
+		v := other.min.Load()
+		if v == 0 || (old != 0 && v >= old) {
+			break
+		}
+		if h.min.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// Summary is the JSON snapshot of a histogram, in microseconds — the
+// natural unit for serving latencies (sub-µs buckets still render as
+// fractions). It is what /debug/vars publishes per endpoint and what
+// load results persist per request class.
+type Summary struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// Snapshot captures the histogram's current summary.
+func (h *Histogram) Snapshot() Summary {
+	us := func(ns float64) float64 { return ns / 1e3 }
+	return Summary{
+		Count:  h.Count(),
+		MeanUS: us(h.Mean()),
+		P50US:  us(float64(h.Quantile(0.50))),
+		P95US:  us(float64(h.Quantile(0.95))),
+		P99US:  us(float64(h.Quantile(0.99))),
+		MaxUS:  us(float64(h.Max())),
+	}
+}

@@ -1,0 +1,118 @@
+package hdr
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Every representable value must land in a bucket whose upper bound is
+// >= the value and within the promised ~3% relative width.
+func TestBucketRoundTrip(t *testing.T) {
+	values := []uint64{0, 1, 5, 31, 32, 33, 100, 999, 1_000, 65_535, 1 << 20, 123_456_789, maxValue}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10_000; i++ {
+		values = append(values, uint64(rng.Int63n(int64(maxValue))))
+	}
+	for _, v := range values {
+		i := bucketIndex(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		up := bucketValue(i)
+		if up < v {
+			t.Fatalf("bucketValue(bucketIndex(%d)) = %d < value", v, up)
+		}
+		if v >= subCount && float64(up-v) > 0.04*float64(v) {
+			t.Fatalf("bucket width too coarse at %d: upper %d (+%.1f%%)", v, up, 100*float64(up-v)/float64(v))
+		}
+		if i > 0 && bucketValue(i-1) >= v {
+			t.Fatalf("value %d belongs in bucket %d but bucket %d already covers it", v, i, i-1)
+		}
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	var h Histogram
+	for v := 1; v <= 1000; v++ {
+		h.RecordValue(uint64(v) * 1000) // 1µs .. 1ms in 1µs steps
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	check := func(q float64, want time.Duration) {
+		got := h.Quantile(q)
+		lo, hi := float64(want)*0.95, float64(want)*1.05
+		if float64(got) < lo || float64(got) > hi {
+			t.Errorf("q%.2f = %v, want within 5%% of %v", q, got, want)
+		}
+	}
+	check(0.50, 500*time.Microsecond)
+	check(0.95, 950*time.Microsecond)
+	check(0.99, 990*time.Microsecond)
+	if h.Max() != 1_000_000 {
+		t.Errorf("max = %d, want 1000000", h.Max())
+	}
+	if h.Min() != 1000 {
+		t.Errorf("min = %d, want 1000", h.Min())
+	}
+	if m := h.Mean(); m < 495_000 || m > 506_000 {
+		t.Errorf("mean = %f, want ~500500", m)
+	}
+	if q := h.Quantile(1.0); q != time.Duration(h.Max()) {
+		t.Errorf("q1.0 = %v, want max %d", q, h.Max())
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Min() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must read as all zeros")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.P99US != 0 {
+		t.Fatalf("empty snapshot: %+v", s)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b, whole Histogram
+	for v := 1; v <= 100; v++ {
+		a.RecordValue(uint64(v))
+		whole.RecordValue(uint64(v))
+	}
+	for v := 101; v <= 200; v++ {
+		b.RecordValue(uint64(v))
+		whole.RecordValue(uint64(v))
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Max() != whole.Max() || a.Min() != whole.Min() {
+		t.Fatalf("merge drifted: count %d/%d max %d/%d min %d/%d",
+			a.Count(), whole.Count(), a.Max(), whole.Max(), a.Min(), whole.Min())
+	}
+	if a.Quantile(0.5) != whole.Quantile(0.5) {
+		t.Fatalf("merged p50 %v != recorded-together p50 %v", a.Quantile(0.5), whole.Quantile(0.5))
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.RecordValue(uint64(rng.Int63n(1_000_000)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+}

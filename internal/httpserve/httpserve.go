@@ -76,20 +76,20 @@ func New(cfg Config) *Server {
 	if cfg.SessionTTL == 0 {
 		cfg.SessionTTL = 30 * time.Minute
 	}
-	s := &server{cfg: cfg, started: time.Now(), sessions: map[string]*sessionEntry{}}
+	s := &server{cfg: cfg, started: time.Now(), sessions: map[string]*sessionEntry{}, metrics: newMetrics()}
 	if cfg.MaxInflight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInflight)
 	}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/solve", s.limited(s.handleSolve))
-	mux.HandleFunc("POST /v1/batch", s.limited(s.handleBatch))
-	mux.HandleFunc("POST /v1/simulate", s.limited(s.handleSimulate))
-	mux.HandleFunc("POST /v1/session", s.limited(s.handleSessionOpen))
-	mux.HandleFunc("GET /v1/session/{id}", s.sessionRouted(s.handleSessionGet))
-	mux.HandleFunc("POST /v1/session/{id}/mutate", s.limited(s.sessionRouted(s.handleSessionMutate)))
-	mux.HandleFunc("POST /v1/session/{id}/resolve", s.limited(s.sessionRouted(s.handleSessionResolve)))
-	mux.HandleFunc("DELETE /v1/session/{id}", s.sessionRouted(s.handleSessionClose))
+	mux.HandleFunc("POST /v1/solve", s.timed(epSolve, s.limited(s.handleSolve)))
+	mux.HandleFunc("POST /v1/batch", s.timed(epBatch, s.limited(s.handleBatch)))
+	mux.HandleFunc("POST /v1/simulate", s.timed(epSimulate, s.limited(s.handleSimulate)))
+	mux.HandleFunc("POST /v1/session", s.timed(epSessionOpen, s.limited(s.handleSessionOpen)))
+	mux.HandleFunc("GET /v1/session/{id}", s.timed(epSessionGet, s.sessionRouted(s.handleSessionGet)))
+	mux.HandleFunc("POST /v1/session/{id}/mutate", s.timed(epSessionMutate, s.limited(s.sessionRouted(s.handleSessionMutate))))
+	mux.HandleFunc("POST /v1/session/{id}/resolve", s.timed(epSessionResolve, s.limited(s.sessionRouted(s.handleSessionResolve))))
+	mux.HandleFunc("DELETE /v1/session/{id}", s.timed(epSessionClose, s.sessionRouted(s.handleSessionClose)))
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -104,6 +104,7 @@ type server struct {
 	started  time.Time
 	slots    chan struct{} // nil = unbounded
 	draining atomic.Bool
+	metrics  *metrics
 
 	sessMu   sync.Mutex
 	sessions map[string]*sessionEntry
@@ -316,6 +317,12 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // cumulative allocation counters, so a dashboard can confirm the warm
 // serve path really holds its zero-allocation contract in production
 // (mallocs should be flat between scrapes under a cache-hit-heavy load).
+//
+// The "latency" block carries per-endpoint quantile summaries (count,
+// mean/p50/p95/p99/max in µs) and "inflight" the concurrently-served
+// request gauge — the server-side half of what the crload harness
+// measures from the client side (internal/load's collector scrapes both
+// and persists them next to the client histograms).
 func (s *server) handleVars(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	fmt.Fprint(w, "{")
@@ -340,6 +347,8 @@ func (s *server) handleVars(w http.ResponseWriter, _ *http.Request) {
 			"live":    int64(s.sessionCount()),
 			"evicted": s.sessionsEvicted.Load(),
 		},
+		"latency":  s.metrics.latencyVars(),
+		"inflight": s.metrics.inflight.Load(),
 		"runtime": map[string]any{
 			"gomaxprocs":        runtime.GOMAXPROCS(0),
 			"num_cpu":           runtime.NumCPU(),

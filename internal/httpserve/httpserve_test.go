@@ -442,3 +442,50 @@ func TestBatchItemCount(t *testing.T) {
 		seen[item.Response.Fingerprint] = true
 	}
 }
+
+func TestVarsLatencyAndInflight(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+
+	// Drive a few labelled endpoints, including a failing solve — errors
+	// must be measured too.
+	for i := 0; i < 3; i++ {
+		post(t, srv.URL+"/v1/solve", api.SolveRequest{Spec: testSpec("lat")})
+	}
+	post(t, srv.URL+"/v1/solve", api.SolveRequest{}) // invalid: still timed
+	post(t, srv.URL+"/v1/batch", api.BatchRequest{Items: []api.SolveRequest{{Spec: testSpec("lat-b")}}})
+
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Crserve struct {
+			Latency  map[string]map[string]float64 `json:"latency"`
+			Inflight int64                         `json:"inflight"`
+		} `json:"crserve"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	solve := vars.Crserve.Latency["solve"]
+	if solve == nil {
+		t.Fatalf("no solve latency block: %+v", vars.Crserve.Latency)
+	}
+	if got := solve["count"]; got != 4 {
+		t.Errorf("solve count = %v, want 4 (3 ok + 1 invalid)", got)
+	}
+	if solve["p95_us"] <= 0 || solve["max_us"] < solve["p50_us"] {
+		t.Errorf("implausible solve quantiles: %+v", solve)
+	}
+	if batch := vars.Crserve.Latency["batch"]; batch == nil || batch["count"] != 1 {
+		t.Errorf("batch latency block: %+v", batch)
+	}
+	if _, ok := vars.Crserve.Latency["session_open"]; ok {
+		t.Error("unused endpoint must be omitted from the latency block")
+	}
+	// The scrape itself holds no labelled endpoint, so nothing is in flight.
+	if vars.Crserve.Inflight != 0 {
+		t.Errorf("inflight = %d, want 0", vars.Crserve.Inflight)
+	}
+}

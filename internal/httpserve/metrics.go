@@ -1,0 +1,77 @@
+package httpserve
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hdr"
+)
+
+// Endpoint labels of the latency gauges published in /debug/vars. The
+// set is fixed at construction so recording is a map read on an
+// immutable map — no lock on the request path.
+const (
+	epSolve          = "solve"
+	epBatch          = "batch"
+	epSimulate       = "simulate"
+	epSessionOpen    = "session_open"
+	epSessionGet     = "session_get"
+	epSessionMutate  = "session_mutate"
+	epSessionResolve = "session_resolve"
+	epSessionClose   = "session_close"
+)
+
+// trackedEndpoints lists every labelled endpoint, in the order the
+// /debug/vars block reports them.
+var trackedEndpoints = []string{
+	epSolve, epBatch, epSimulate,
+	epSessionOpen, epSessionGet, epSessionMutate, epSessionResolve, epSessionClose,
+}
+
+// metrics carries the server-side observability state: one latency
+// histogram per endpoint plus the in-flight gauge. Server-side latency
+// covers the full handler (decode, route/forward, solve, encode), so a
+// load harness scraping it sees everything but the network itself —
+// the client-minus-server gap is the wire plus queueing.
+type metrics struct {
+	latency  map[string]*hdr.Histogram
+	inflight atomic.Int64
+}
+
+func newMetrics() *metrics {
+	m := &metrics{latency: make(map[string]*hdr.Histogram, len(trackedEndpoints))}
+	for _, ep := range trackedEndpoints {
+		m.latency[ep] = &hdr.Histogram{}
+	}
+	return m
+}
+
+// timed wraps a handler with the endpoint's histogram and the in-flight
+// gauge. It is the outermost wrapper on every labelled route, so
+// rejected (429) and failed requests are measured too — tail latency
+// that only counts successes is fiction.
+func (s *server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.metrics.latency[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.inflight.Add(1)
+		start := time.Now()
+		defer func() {
+			hist.Record(time.Since(start))
+			s.metrics.inflight.Add(-1)
+		}()
+		h(w, r)
+	}
+}
+
+// latencyVars snapshots every endpoint histogram for /debug/vars,
+// omitting endpoints that have served nothing to keep scrapes small.
+func (m *metrics) latencyVars() map[string]hdr.Summary {
+	out := make(map[string]hdr.Summary, len(trackedEndpoints))
+	for _, ep := range trackedEndpoints {
+		if snap := m.latency[ep].Snapshot(); snap.Count > 0 {
+			out[ep] = snap
+		}
+	}
+	return out
+}

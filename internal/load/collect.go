@@ -1,0 +1,202 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/hdr"
+)
+
+// serverVars is the typed slice of one node's /debug/vars "crserve"
+// block — exactly the counters the harness correlates with client-side
+// latency. The cache block has no JSON tags server-side (Go field
+// names); decoding is case-insensitive so untagged fields match.
+type serverVars struct {
+	Cache struct {
+		Hits, Misses, Shared, Errors, Evictions int64
+	} `json:"cache"`
+	Requests map[string]int64       `json:"requests"`
+	Sessions map[string]int64       `json:"sessions"`
+	Latency  map[string]hdr.Summary `json:"latency"`
+	Inflight int64                  `json:"inflight"`
+	Runtime  struct {
+		HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+		Mallocs        uint64  `json:"mallocs"`
+		NumGC          uint64  `json:"num_gc"`
+		GCCPUFraction  float64 `json:"gc_cpu_fraction"`
+	} `json:"runtime"`
+	Goroutines int64 `json:"goroutines"`
+	Cluster    struct {
+		Stats struct {
+			Forwards        int64 `json:"forwards"`
+			ForwardFailures int64 `json:"forward_failures"`
+			Hedges          int64 `json:"hedges"`
+			LocalFallbacks  int64 `json:"local_fallbacks"`
+			ScatterBatches  int64 `json:"scatter_batches"`
+			ProxiedSessions int64 `json:"proxied_sessions"`
+		} `json:"stats"`
+	} `json:"cluster"`
+}
+
+// Sample is one node's counters at one collector tick, cumulative since
+// node start (consumers diff consecutive samples for per-second rates).
+type Sample struct {
+	OffsetSec      float64 `json:"t"` // seconds since the measured phase began
+	Node           string  `json:"node"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheShared    int64   `json:"cache_shared"`
+	Inflight       int64   `json:"inflight"`
+	Goroutines     int64   `json:"goroutines"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	Mallocs        uint64  `json:"mallocs"`
+	NumGC          uint64  `json:"num_gc"`
+	Forwards       int64   `json:"forwards"`
+	Hedges         int64   `json:"hedges"`
+	LocalFallbacks int64   `json:"local_fallbacks"`
+	FailedRequests int64   `json:"failed_requests"`
+}
+
+func (v *serverVars) sample(node string, offset time.Duration) Sample {
+	return Sample{
+		OffsetSec:      offset.Seconds(),
+		Node:           node,
+		CacheHits:      v.Cache.Hits,
+		CacheMisses:    v.Cache.Misses,
+		CacheShared:    v.Cache.Shared,
+		Inflight:       v.Inflight,
+		Goroutines:     v.Goroutines,
+		HeapAllocBytes: v.Runtime.HeapAllocBytes,
+		Mallocs:        v.Runtime.Mallocs,
+		NumGC:          v.Runtime.NumGC,
+		Forwards:       v.Cluster.Stats.Forwards,
+		Hedges:         v.Cluster.Stats.Hedges,
+		LocalFallbacks: v.Cluster.Stats.LocalFallbacks,
+		FailedRequests: v.Requests["failed"],
+	}
+}
+
+// collector periodically scrapes every target's /debug/vars during the
+// measured phase. The first scrape (at measure start) is the baseline
+// the per-node deltas subtract; the last is the final state carrying
+// the server-side latency quantiles.
+type collector struct {
+	targets      []string
+	interval     time.Duration
+	measureStart time.Time
+	logf         func(string, ...any)
+	client       *http.Client
+
+	mu       sync.Mutex
+	samples  []Sample
+	baseline map[string]*serverVars
+	final    map[string]*serverVars
+	failures int
+}
+
+func newCollector(spec *Spec, targets []string, measureStart time.Time, logf func(string, ...any)) *collector {
+	return &collector{
+		targets:      targets,
+		interval:     time.Duration(spec.ScrapeInterval),
+		measureStart: measureStart,
+		logf:         logf,
+		// Scrapes use their own short-deadline client: a fleet too busy
+		// to answer introspection in 2s is itself a finding (counted in
+		// failures), and run cancellation must not kill the final scrape.
+		client: &http.Client{Timeout: 2 * time.Second},
+	}
+}
+
+// run scrapes from measure start until ctx is cancelled, then takes the
+// final scrape. It is the collector goroutine's body.
+func (c *collector) run(ctx context.Context) {
+	select {
+	case <-time.After(time.Until(c.measureStart)):
+	case <-ctx.Done():
+		return
+	}
+	c.mu.Lock()
+	c.baseline = c.scrapeAll(true)
+	c.mu.Unlock()
+
+	ticker := time.NewTicker(c.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			c.mu.Lock()
+			c.final = c.scrapeAll(true)
+			c.mu.Unlock()
+			return
+		case <-ticker.C:
+			c.mu.Lock()
+			c.scrapeAll(true)
+			c.mu.Unlock()
+			c.progress()
+		}
+	}
+}
+
+// scrapeAll scrapes every target once, appending one sample per
+// reachable node. Callers hold c.mu.
+func (c *collector) scrapeAll(record bool) map[string]*serverVars {
+	offset := time.Since(c.measureStart)
+	out := make(map[string]*serverVars, len(c.targets))
+	for _, target := range c.targets {
+		vars, err := c.scrape(target)
+		if err != nil {
+			c.failures++
+			continue
+		}
+		out[target] = vars
+		if record {
+			c.samples = append(c.samples, vars.sample(target, offset))
+		}
+	}
+	return out
+}
+
+func (c *collector) scrape(target string) (*serverVars, error) {
+	resp, err := c.client.Get(target + "/debug/vars")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("load: %s/debug/vars: HTTP %d", target, resp.StatusCode)
+	}
+	var wrapper struct {
+		Crserve *serverVars `json:"crserve"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&wrapper); err != nil {
+		return nil, fmt.Errorf("load: parsing %s/debug/vars: %w", target, err)
+	}
+	if wrapper.Crserve == nil {
+		return nil, fmt.Errorf("load: %s/debug/vars has no crserve block", target)
+	}
+	return wrapper.Crserve, nil
+}
+
+// progress emits one fleet-wide summary line per tick.
+func (c *collector) progress() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.samples) == 0 {
+		return
+	}
+	offset := c.samples[len(c.samples)-1].OffsetSec
+	var hits, misses, inflight int64
+	n := 0
+	for i := len(c.samples) - 1; i >= 0 && c.samples[i].OffsetSec == offset; i-- {
+		hits += c.samples[i].CacheHits
+		misses += c.samples[i].CacheMisses
+		inflight += c.samples[i].Inflight
+		n++
+	}
+	c.logf("t=%.0fs fleet: %d nodes, cache %d/%d hit/miss, %d in flight",
+		offset, n, hits, misses, inflight)
+}

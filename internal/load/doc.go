@@ -1,0 +1,35 @@
+// Package load is the trace-driven load harness: it turns a declarative
+// workload spec into sustained open-loop traffic against a crserve
+// fleet and measures both sides of the wire.
+//
+// The pieces:
+//
+//   - Spec (spec.go): the JSON/flag-driven workload description — target
+//     RPS, duration and warmup, a generated instance corpus (tree-size
+//     distribution, Zipfian popularity), and the request mix (solve /
+//     batch / simulate / session-churn classes, algorithm mix, batch
+//     sizes, mutation rates).
+//   - Generator (gen.go): deterministic request sampling over the spec.
+//     The same seed always produces the same corpus and the same request
+//     stream, so a run is reproducible end to end.
+//   - Run (run.go): the open-loop driver — a pacer emits ticks at the
+//     target rate regardless of how the fleet is coping (the open-loop
+//     property that exposes queueing collapse, which closed-loop
+//     clients hide), workers execute them, and per-class HDR histograms
+//     record client-observed latency split into warmup and measure
+//     phases.
+//   - collector (collect.go): a per-interval scraper of every target's
+//     /debug/vars — cache hit counters, cluster forward/hedge/fallback
+//     counters, allocator and GC gauges, server-side latency quantiles
+//     — persisted as timestamped samples next to the client numbers.
+//   - Result (result.go): the run record — per-class quantiles and
+//     error/timeout counts, achieved vs target RPS, per-node counter
+//     deltas and the sample series — plus the conversion to the
+//     versioned perf-run schema (internal/bench/series) that CI and the
+//     BENCH_PRn.json trajectory consume, and the threshold checks the
+//     perf-smoke CI step gates on.
+//
+// cmd/crload is the CLI front end; it can aim at an external -targets
+// list or self-host an in-process fleet (SelfHostFleet) for
+// single-binary smoke runs.
+package load

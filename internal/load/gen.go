@@ -1,0 +1,216 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro"
+	"repro/api"
+	"repro/internal/workload"
+)
+
+// corpusEntry is one generated problem instance. Index order is
+// popularity order: entry 0 is the Zipf head.
+type corpusEntry struct {
+	spec        *repro.Spec
+	fingerprint string
+	cruNames    []string
+	hostTimes   []float64 // base profile the mutation drift wanders around
+	satTimes    []float64
+}
+
+// Draw is one drawn request descriptor: which class, against which
+// corpus instance, with which algorithm override, and (batch class) how
+// many items. Drawing is separated from execution so the request mix
+// is testable without a fleet.
+type Draw struct {
+	Class     string
+	Instance  int
+	Algorithm string // "" = server default
+	BatchSize int
+}
+
+// weighted is one cumulative-weight table entry for O(log n) sampling.
+type weighted struct {
+	cum   float64
+	value string
+}
+
+// Generator derives the corpus and the sampling tables from a validated
+// spec. It is immutable after construction and shared by every worker;
+// per-worker randomness lives in Samplers.
+type Generator struct {
+	spec       *Spec
+	corpus     []*corpusEntry
+	classes    []weighted
+	algorithms []weighted // empty = always server default
+	classTotal float64
+	algTotal   float64
+}
+
+// NewGenerator builds the instance corpus deterministically from
+// spec.Seed. The same spec always yields byte-identical request bodies.
+func NewGenerator(spec *Spec) (*Generator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{spec: spec}
+
+	rng := rand.New(rand.NewSource(spec.Seed))
+	c := spec.Corpus
+	g.corpus = make([]*corpusEntry, c.Instances)
+	for i := range g.corpus {
+		n := c.MinCRUs + rng.Intn(c.MaxCRUs-c.MinCRUs+1)
+		tree := workload.Random(rng, workload.DefaultRandomSpec(n, c.Satellites))
+		spec := repro.ToSpec(tree, fmt.Sprintf("load-%d", i))
+		entry := &corpusEntry{spec: spec, fingerprint: repro.Fingerprint(tree)}
+		for _, cru := range spec.CRUs {
+			entry.cruNames = append(entry.cruNames, cru.Name)
+			entry.hostTimes = append(entry.hostTimes, cru.HostTime)
+			entry.satTimes = append(entry.satTimes, cru.SatTime)
+		}
+		g.corpus[i] = entry
+	}
+
+	g.classes, g.classTotal = cumulate(spec.Mix.Classes)
+	g.algorithms, g.algTotal = cumulate(spec.Mix.Algorithms)
+	return g, nil
+}
+
+// cumulate flattens a weight map into a sorted cumulative table. Map
+// iteration order is random, so the keys are sorted first — determinism
+// across runs is the whole point.
+func cumulate(weights map[string]float64) ([]weighted, float64) {
+	keys := make([]string, 0, len(weights))
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	table := make([]weighted, 0, len(keys))
+	var cum float64
+	for _, k := range keys {
+		cum += weights[k]
+		table = append(table, weighted{cum: cum, value: k})
+	}
+	return table, cum
+}
+
+func pick(table []weighted, total float64, rng *rand.Rand) string {
+	if len(table) == 0 {
+		return ""
+	}
+	x := rng.Float64() * total
+	i := sort.Search(len(table), func(i int) bool { return table[i].cum > x })
+	if i >= len(table) {
+		i = len(table) - 1
+	}
+	return table[i].value
+}
+
+// Instances reports the corpus size.
+func (g *Generator) Instances() int { return len(g.corpus) }
+
+// Fingerprint returns instance i's canonical identity (for affinity
+// assertions in tests and results).
+func (g *Generator) Fingerprint(i int) string { return g.corpus[i].fingerprint }
+
+// Sampler draws a deterministic request stream from the generator.
+// Each worker owns one (seeded distinctly), so the combined stream is
+// stable regardless of scheduling.
+type Sampler struct {
+	g    *Generator
+	rng  *rand.Rand
+	zipf *rand.Zipf // nil = uniform popularity
+}
+
+// NewSampler returns a sampler seeded with the spec seed xor'd with id.
+func (g *Generator) NewSampler(id int64) *Sampler {
+	rng := rand.New(rand.NewSource(g.spec.Seed*1_000_003 + id))
+	s := &Sampler{g: g, rng: rng}
+	if zs := g.spec.Corpus.ZipfS; zs > 1 && len(g.corpus) > 1 {
+		s.zipf = rand.NewZipf(rng, zs, 1, uint64(len(g.corpus)-1))
+	}
+	return s
+}
+
+// instance draws a corpus index by popularity.
+func (s *Sampler) instance() int {
+	if s.zipf == nil {
+		return s.rng.Intn(len(s.g.corpus))
+	}
+	return int(s.zipf.Uint64())
+}
+
+// Draw samples the next request descriptor.
+func (s *Sampler) Draw() Draw {
+	smp := Draw{
+		Class:     pick(s.g.classes, s.g.classTotal, s.rng),
+		Instance:  s.instance(),
+		Algorithm: pick(s.g.algorithms, s.g.algTotal, s.rng),
+	}
+	if smp.Class == ClassBatch {
+		m := s.g.spec.Mix
+		smp.BatchSize = m.BatchMin + s.rng.Intn(m.BatchMax-m.BatchMin+1)
+	}
+	return smp
+}
+
+// SolveBody renders a solve request for the sample.
+func (g *Generator) SolveBody(smp Draw) ([]byte, error) {
+	return json.Marshal(&api.SolveRequest{
+		Spec:      g.corpus[smp.Instance].spec,
+		Algorithm: smp.Algorithm,
+	})
+}
+
+// SimulateBody renders a simulate request: solve plus a short replay on
+// the discrete-event testbed (the heavier read path).
+func (g *Generator) SimulateBody(smp Draw) ([]byte, error) {
+	return json.Marshal(&api.SimulateRequest{
+		SolveRequest: api.SolveRequest{Spec: g.corpus[smp.Instance].spec, Algorithm: smp.Algorithm},
+		Frames:       2,
+	})
+}
+
+// BatchBody renders a batch of smp.BatchSize items whose instances are
+// drawn from the same popularity distribution — repeats within a batch
+// are intentional (they exercise the server's per-batch dedup).
+func (g *Generator) BatchBody(s *Sampler, smp Draw) ([]byte, error) {
+	items := make([]api.SolveRequest, smp.BatchSize)
+	for i := range items {
+		items[i] = api.SolveRequest{Spec: g.corpus[s.instance()].spec, Algorithm: smp.Algorithm}
+	}
+	return json.Marshal(&api.BatchRequest{Items: items})
+}
+
+// OpenBody renders a session-open request for the sample's instance.
+func (g *Generator) OpenBody(smp Draw) ([]byte, error) {
+	return json.Marshal(&api.OpenSessionRequest{
+		SolveRequest: api.SolveRequest{Spec: g.corpus[smp.Instance].spec, Algorithm: smp.Algorithm},
+	})
+}
+
+// MutateBody renders one mutate+resolve call: MutationsPerOp
+// weight-updates that drift random CRUs of the instance around their
+// base profile by ±DriftFraction. Drifting from the base (not the
+// current value) keeps long sessions' weights bounded.
+func (g *Generator) MutateBody(s *Sampler, instance int) ([]byte, error) {
+	entry := g.corpus[instance]
+	m := g.spec.Mix
+	muts := make([]api.Mutation, m.MutationsPerOp)
+	for i := range muts {
+		j := s.rng.Intn(len(entry.cruNames))
+		drift := 1 + m.DriftFraction*(2*s.rng.Float64()-1)
+		host := entry.hostTimes[j] * drift
+		sat := entry.satTimes[j] * drift
+		muts[i] = api.Mutation{
+			Op:       api.OpWeightUpdate,
+			Node:     entry.cruNames[j],
+			HostTime: &host,
+			SatTime:  &sat,
+		}
+	}
+	return json.Marshal(&api.MutateRequest{Mutations: muts, Resolve: true})
+}

@@ -1,0 +1,181 @@
+package load
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"encoding/json"
+	"repro/api"
+)
+
+func testSpec() *Spec {
+	s := &Spec{
+		Name:     "gen-test",
+		Seed:     42,
+		RPS:      100,
+		Duration: Duration(time.Second),
+		Corpus:   CorpusSpec{Instances: 32, MinCRUs: 6, MaxCRUs: 12, Satellites: 3, ZipfS: 1.2},
+		Mix: MixSpec{
+			Classes:    map[string]float64{ClassSolve: 0.6, ClassBatch: 0.2, ClassSimulate: 0.1, ClassSession: 0.1},
+			Algorithms: map[string]float64{"adapted-ssb": 0.5, "greedy-host": 0.3, "": 0.2},
+		},
+	}
+	s.ApplyDefaults()
+	return s
+}
+
+// TestGeneratorDeterministic: identical specs must yield byte-identical
+// request bodies and identical draw sequences — that is what makes load
+// runs comparable across commits.
+func TestGeneratorDeterministic(t *testing.T) {
+	a, err := NewGenerator(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGenerator(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Instances() != b.Instances() {
+		t.Fatalf("corpus sizes differ: %d vs %d", a.Instances(), b.Instances())
+	}
+	for i := 0; i < a.Instances(); i++ {
+		if a.Fingerprint(i) != b.Fingerprint(i) {
+			t.Fatalf("instance %d fingerprints differ", i)
+		}
+	}
+	sa, sb := a.NewSampler(3), b.NewSampler(3)
+	for i := 0; i < 1000; i++ {
+		da, db := sa.Draw(), sb.Draw()
+		if da != db {
+			t.Fatalf("draw %d differs: %+v vs %+v", i, da, db)
+		}
+		ba, err := a.SolveBody(da)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := b.SolveBody(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ba, bb) {
+			t.Fatalf("draw %d solve bodies differ", i)
+		}
+	}
+}
+
+// TestSamplerMixTolerance draws a large sample and asserts the class and
+// algorithm mixes land within 3 points of the spec weights, and batch
+// sizes stay in bounds.
+func TestSamplerMixTolerance(t *testing.T) {
+	spec := testSpec()
+	g, err := NewGenerator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	classes := map[string]int{}
+	algs := map[string]int{}
+	smp := g.NewSampler(0)
+	for i := 0; i < n; i++ {
+		d := smp.Draw()
+		classes[d.Class]++
+		algs[d.Algorithm]++
+		if d.Class == ClassBatch {
+			if d.BatchSize < spec.Mix.BatchMin || d.BatchSize > spec.Mix.BatchMax {
+				t.Fatalf("batch size %d outside [%d,%d]", d.BatchSize, spec.Mix.BatchMin, spec.Mix.BatchMax)
+			}
+		} else if d.BatchSize != 0 {
+			t.Fatalf("non-batch draw carries batch size %d", d.BatchSize)
+		}
+		if d.Instance < 0 || d.Instance >= g.Instances() {
+			t.Fatalf("instance %d outside corpus [0,%d)", d.Instance, g.Instances())
+		}
+	}
+	const tolerance = 0.03
+	for class, weight := range spec.Mix.Classes {
+		got := float64(classes[class]) / n
+		if math.Abs(got-weight) > tolerance {
+			t.Errorf("class %q fraction %.3f, want %.2f±%.2f", class, got, weight, tolerance)
+		}
+	}
+	for alg, weight := range spec.Mix.Algorithms {
+		got := float64(algs[alg]) / n
+		if math.Abs(got-weight) > tolerance {
+			t.Errorf("algorithm %q fraction %.3f, want %.2f±%.2f", alg, got, weight, tolerance)
+		}
+	}
+}
+
+// TestZipfHeadSkew: with s=1.2 over 32 instances, instance 0 must be
+// sampled far above the uniform share; with uniform popularity it must
+// not be.
+func TestZipfHeadSkew(t *testing.T) {
+	const n = 20000
+	head := func(zipfS float64) float64 {
+		spec := testSpec()
+		spec.Corpus.ZipfS = zipfS
+		g, err := NewGenerator(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		smp := g.NewSampler(0)
+		hits := 0
+		for i := 0; i < n; i++ {
+			if smp.Draw().Instance == 0 {
+				hits++
+			}
+		}
+		return float64(hits) / n
+	}
+	uniform := 1.0 / 32
+	if got := head(1.2); got < 3*uniform {
+		t.Errorf("zipf 1.2 head fraction %.3f, want well above uniform %.3f", got, uniform)
+	}
+	if got := head(-1); math.Abs(got-uniform) > 0.02 {
+		t.Errorf("uniform head fraction %.3f, want about %.3f", got, uniform)
+	}
+}
+
+// TestBodiesDecode exercises every body builder once and checks the
+// wire shapes decode back into the API DTOs.
+func TestBodiesDecode(t *testing.T) {
+	g, err := NewGenerator(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp := g.NewSampler(1)
+	d := Draw{Class: ClassBatch, Instance: 2, Algorithm: "adapted-ssb", BatchSize: 5}
+
+	raw, err := g.SolveBody(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var solve api.SolveRequest
+	if err := json.Unmarshal(raw, &solve); err != nil || solve.Spec == nil || len(solve.Spec.CRUs) == 0 {
+		t.Fatalf("solve body bad: err=%v spec=%+v", err, solve.Spec)
+	}
+
+	raw, err = g.BatchBody(smp, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch api.BatchRequest
+	if err := json.Unmarshal(raw, &batch); err != nil || len(batch.Items) != 5 {
+		t.Fatalf("batch body bad: err=%v items=%d", err, len(batch.Items))
+	}
+
+	raw, err = g.MutateBody(smp, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mut api.MutateRequest
+	if err := json.Unmarshal(raw, &mut); err != nil || len(mut.Mutations) != 1 || !mut.Resolve {
+		t.Fatalf("mutate body bad: err=%v %+v", err, mut)
+	}
+	if mut.Mutations[0].Op != api.OpWeightUpdate || mut.Mutations[0].HostTime == nil {
+		t.Fatalf("mutation shape bad: %+v", mut.Mutations[0])
+	}
+}

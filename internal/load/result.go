@@ -1,0 +1,255 @@
+package load
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/bench/series"
+	"repro/internal/hdr"
+)
+
+// ClassStats is one request class's client-observed record.
+type ClassStats struct {
+	Count    uint64      `json:"count"` // completed OK in the measured phase
+	Errors   uint64      `json:"errors,omitempty"`
+	Timeouts uint64      `json:"timeouts,omitempty"`
+	Latency  hdr.Summary `json:"latency"`
+}
+
+// NodeStats is one fleet member's server-side record over the measured
+// phase: counter deltas (final minus baseline scrape) plus its final
+// per-endpoint latency quantiles.
+type NodeStats struct {
+	URL            string                 `json:"url"`
+	CacheHits      int64                  `json:"cache_hits"`
+	CacheMisses    int64                  `json:"cache_misses"`
+	CacheShared    int64                  `json:"cache_shared"`
+	Forwards       int64                  `json:"forwards"`
+	Hedges         int64                  `json:"hedges"`
+	LocalFallbacks int64                  `json:"local_fallbacks"`
+	FailedRequests int64                  `json:"failed_requests"`
+	Mallocs        uint64                 `json:"mallocs"`
+	NumGC          uint64                 `json:"num_gc"`
+	HeapAllocBytes uint64                 `json:"heap_alloc_bytes"` // final, not delta
+	Latency        map[string]hdr.Summary `json:"latency,omitempty"`
+}
+
+// Result is one run's complete record: the spec that produced it, the
+// client-observed per-class stats, the server-side per-node deltas, and
+// the per-interval sample series. It is the Detail payload of a crload
+// series.Run.
+type Result struct {
+	Spec       *Spec    `json:"spec"`
+	Targets    []string `json:"targets"`
+	StartMS    int64    `json:"start_unix_ms"`
+	ElapsedSec float64  `json:"elapsed_sec"` // measured phase wall time
+
+	TargetRPS   float64 `json:"target_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	Sent        uint64  `json:"sent"`
+	Completed   uint64  `json:"completed"`
+	Errors      uint64  `json:"errors"`
+	Timeouts    uint64  `json:"timeouts"`
+	Dropped     uint64  `json:"dropped,omitempty"` // pacer ticks shed at full backlog
+
+	Classes map[string]*ClassStats `json:"classes"`
+	Nodes   []NodeStats            `json:"nodes,omitempty"`
+	Samples []Sample               `json:"samples,omitempty"`
+
+	ScrapeFailures int `json:"scrape_failures,omitempty"`
+}
+
+// assemble folds the runner and collector state into the Result.
+func (r *runner) assemble(start time.Time, elapsed time.Duration, col *collector) *Result {
+	res := &Result{
+		Spec:       r.spec,
+		Targets:    r.targets,
+		StartMS:    start.UnixMilli(),
+		ElapsedSec: elapsed.Seconds(),
+		TargetRPS:  r.spec.RPS,
+		Sent:       r.sent.Load(),
+		Dropped:    r.dropped.Load(),
+		Classes:    map[string]*ClassStats{},
+	}
+	for _, class := range resultClasses {
+		st := r.classes[class]
+		n := st.hist.Count()
+		errs, tos := st.errors.Load(), st.timeouts.Load()
+		if n == 0 && errs == 0 && tos == 0 {
+			continue // class not in the mix
+		}
+		res.Classes[class] = &ClassStats{
+			Count:    n,
+			Errors:   errs,
+			Timeouts: tos,
+			Latency:  st.hist.Snapshot(),
+		}
+		res.Completed += n
+		res.Errors += errs
+		res.Timeouts += tos
+	}
+	if res.ElapsedSec > 0 {
+		res.AchievedRPS = float64(res.Completed) / res.ElapsedSec
+	}
+
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	res.Samples = col.samples
+	res.ScrapeFailures = col.failures
+	for _, target := range r.targets {
+		fin := col.final[target]
+		if fin == nil {
+			continue // unreachable at the end: its samples still tell the story
+		}
+		node := NodeStats{
+			URL:            target,
+			HeapAllocBytes: fin.Runtime.HeapAllocBytes,
+			Latency:        fin.Latency,
+		}
+		base := col.baseline[target]
+		if base == nil {
+			base = &serverVars{}
+		}
+		node.CacheHits = fin.Cache.Hits - base.Cache.Hits
+		node.CacheMisses = fin.Cache.Misses - base.Cache.Misses
+		node.CacheShared = fin.Cache.Shared - base.Cache.Shared
+		node.Forwards = fin.Cluster.Stats.Forwards - base.Cluster.Stats.Forwards
+		node.Hedges = fin.Cluster.Stats.Hedges - base.Cluster.Stats.Hedges
+		node.LocalFallbacks = fin.Cluster.Stats.LocalFallbacks - base.Cluster.Stats.LocalFallbacks
+		node.FailedRequests = fin.Requests["failed"] - base.Requests["failed"]
+		node.Mallocs = fin.Runtime.Mallocs - base.Runtime.Mallocs
+		node.NumGC = fin.Runtime.NumGC - base.Runtime.NumGC
+		res.Nodes = append(res.Nodes, node)
+	}
+	return res
+}
+
+// CacheHitRatio is the fleet-wide hit fraction over the measured phase
+// (hits / (hits+misses)); 0 when nothing was cached-checked.
+func (r *Result) CacheHitRatio() float64 {
+	var hits, misses int64
+	for _, n := range r.Nodes {
+		hits += n.CacheHits
+		misses += n.CacheMisses
+	}
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// Benches flattens the run into the versioned perf-series scalars: the
+// rate, each class's p50/p95/p99, and the fleet counters CI trends.
+func (r *Result) Benches() []series.Bench {
+	b := []series.Bench{
+		{Name: "load/achieved_rps", Value: r.AchievedRPS, Unit: "req/s",
+			Extra: fmt.Sprintf("target %.0f", r.TargetRPS)},
+		{Name: "load/errors", Value: float64(r.Errors), Unit: "count"},
+		{Name: "load/timeouts", Value: float64(r.Timeouts), Unit: "count"},
+		{Name: "load/cache_hit_ratio", Value: r.CacheHitRatio(), Unit: "ratio"},
+	}
+	for _, class := range resultClasses {
+		st, ok := r.Classes[class]
+		if !ok || st.Count == 0 {
+			continue
+		}
+		b = append(b,
+			series.Bench{Name: "load/" + class + "/p50", Value: st.Latency.P50US, Unit: "us"},
+			series.Bench{Name: "load/" + class + "/p95", Value: st.Latency.P95US, Unit: "us"},
+			series.Bench{Name: "load/" + class + "/p99", Value: st.Latency.P99US, Unit: "us",
+				Extra: fmt.Sprintf("%d requests", st.Count)},
+		)
+	}
+	return b
+}
+
+// Summary renders the human-readable run report.
+func (r *Result) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "workload %q: %.0f/%.0f req/s achieved/target over %.1fs",
+		r.Spec.Name, r.AchievedRPS, r.TargetRPS, r.ElapsedSec)
+	fmt.Fprintf(&sb, " — %d ok, %d errors, %d timeouts", r.Completed, r.Errors, r.Timeouts)
+	if r.Dropped > 0 {
+		fmt.Fprintf(&sb, ", %d dropped (backlog full: fleet saturated)", r.Dropped)
+	}
+	sb.WriteByte('\n')
+
+	fmt.Fprintf(&sb, "%-16s %10s %8s %9s %9s %9s %9s\n",
+		"class", "count", "errors", "p50", "p95", "p99", "max")
+	us := func(v float64) string {
+		return time.Duration(v * float64(time.Microsecond)).Round(10 * time.Microsecond).String()
+	}
+	for _, class := range resultClasses {
+		st, ok := r.Classes[class]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-16s %10d %8d %9s %9s %9s %9s\n",
+			class, st.Count, st.Errors+st.Timeouts,
+			us(st.Latency.P50US), us(st.Latency.P95US), us(st.Latency.P99US), us(st.Latency.MaxUS))
+	}
+
+	if len(r.Nodes) > 0 {
+		fmt.Fprintf(&sb, "fleet: cache hit ratio %.1f%%", 100*r.CacheHitRatio())
+		var fwd, hedge, fall int64
+		for _, n := range r.Nodes {
+			fwd += n.Forwards
+			hedge += n.Hedges
+			fall += n.LocalFallbacks
+		}
+		fmt.Fprintf(&sb, ", %d forwards, %d hedges, %d local fallbacks over %d nodes\n",
+			fwd, hedge, fall, len(r.Nodes))
+	}
+	if r.ScrapeFailures > 0 {
+		fmt.Fprintf(&sb, "warning: %d /debug/vars scrapes failed\n", r.ScrapeFailures)
+	}
+	return sb.String()
+}
+
+// Thresholds are the perf-smoke gates CI applies to a run. Zero-valued
+// fields are not checked.
+type Thresholds struct {
+	// MaxP95 bounds every class's client-observed p95.
+	MaxP95 time.Duration
+	// MinRPSFraction requires achieved >= fraction * target.
+	MinRPSFraction float64
+	// MaxErrorFraction bounds (errors+timeouts)/sent. Use a tiny
+	// positive value (not 0) to mean "none allowed" — 0 disables.
+	MaxErrorFraction float64
+}
+
+// Check applies the thresholds, returning one error naming every
+// violated gate.
+func (r *Result) Check(th Thresholds) error {
+	var probs []string
+	if th.MaxP95 > 0 {
+		classes := make([]string, 0, len(r.Classes))
+		for class := range r.Classes {
+			classes = append(classes, class)
+		}
+		sort.Strings(classes)
+		for _, class := range classes {
+			st := r.Classes[class]
+			if p95 := time.Duration(st.Latency.P95US * float64(time.Microsecond)); p95 > th.MaxP95 {
+				probs = append(probs, fmt.Sprintf("%s p95 %v exceeds %v", class, p95, th.MaxP95))
+			}
+		}
+	}
+	if th.MinRPSFraction > 0 && r.AchievedRPS < th.MinRPSFraction*r.TargetRPS {
+		probs = append(probs, fmt.Sprintf("achieved %.0f req/s below %.0f%% of target %.0f",
+			r.AchievedRPS, 100*th.MinRPSFraction, r.TargetRPS))
+	}
+	if th.MaxErrorFraction > 0 && r.Sent > 0 {
+		frac := float64(r.Errors+r.Timeouts) / float64(r.Sent)
+		if frac > th.MaxErrorFraction {
+			probs = append(probs, fmt.Sprintf("error fraction %.3f exceeds %.3f (%d errors + %d timeouts / %d sent)",
+				frac, th.MaxErrorFraction, r.Errors, r.Timeouts, r.Sent))
+		}
+	}
+	if len(probs) > 0 {
+		return fmt.Errorf("load: thresholds violated:\n  - %s", strings.Join(probs, "\n  - "))
+	}
+	return nil
+}

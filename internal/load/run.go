@@ -1,0 +1,335 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/api"
+	"repro/internal/hdr"
+)
+
+// Client-side histogram classes. The session class fans out into its
+// three wire operations so open/mutate/close tails are visible apart.
+const (
+	ClassSessionOpen   = "session-open"
+	ClassSessionMutate = "session-mutate"
+	ClassSessionClose  = "session-close"
+)
+
+// resultClasses is every class a run may report, in display order.
+var resultClasses = []string{
+	ClassSolve, ClassBatch, ClassSimulate,
+	ClassSessionOpen, ClassSessionMutate, ClassSessionClose,
+}
+
+// RunOptions carries the non-spec run inputs.
+type RunOptions struct {
+	// Targets are the fleet base URLs (required). Plain requests
+	// round-robin across them; session calls stick to the node that
+	// opened the session.
+	Targets []string
+	// Client overrides the HTTP client (default: fresh client with the
+	// spec's per-request timeout).
+	Client *http.Client
+	// Logf, when set, receives one progress line per scrape interval.
+	Logf func(format string, args ...any)
+}
+
+// classState accumulates one request class's client-side measurements.
+type classState struct {
+	hist     hdr.Histogram
+	errors   atomic.Uint64
+	timeouts atomic.Uint64
+}
+
+// runner is the shared state of one Run call.
+type runner struct {
+	spec    *Spec
+	gen     *Generator
+	client  *http.Client
+	targets []string
+	rr      atomic.Uint64 // round-robin target cursor
+
+	measureStart time.Time
+	end          time.Time
+
+	classes map[string]*classState
+	sent    atomic.Uint64 // measured-phase issues (incl. failures)
+	dropped atomic.Uint64 // pacer ticks shed because the backlog was full
+}
+
+// tick is one paced request slot; sched is its intended start time and
+// decides warmup-vs-measure membership, so the measured request count
+// is exactly RPS x duration regardless of queueing.
+type tick struct{ sched time.Time }
+
+// sessionState is a worker's one live session (sticky to its opener).
+type sessionState struct {
+	id       string
+	target   string
+	instance int
+	opsLeft  int
+}
+
+// Run executes the spec against the targets: warmup, then the measured
+// open-loop phase, with the collector scraping /debug/vars throughout
+// the measured window. It returns the assembled Result; an error means
+// the run could not execute at all (bad spec, no targets) — individual
+// request failures are data, not errors.
+func Run(ctx context.Context, spec *Spec, opts RunOptions) (*Result, error) {
+	if len(opts.Targets) == 0 {
+		return nil, fmt.Errorf("load: no targets")
+	}
+	gen, err := NewGenerator(spec)
+	if err != nil {
+		return nil, err
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: time.Duration(spec.Timeout)}
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	r := &runner{
+		spec:    spec,
+		gen:     gen,
+		client:  client,
+		targets: opts.Targets,
+		classes: map[string]*classState{},
+	}
+	for _, c := range resultClasses {
+		r.classes[c] = &classState{}
+	}
+
+	warmup := time.Duration(spec.Warmup)
+	duration := time.Duration(spec.Duration)
+	start := time.Now()
+	r.measureStart = start.Add(warmup)
+	r.end = r.measureStart.Add(duration)
+
+	col := newCollector(spec, opts.Targets, r.measureStart, logf)
+	colCtx, colStop := context.WithCancel(ctx)
+	var colWG sync.WaitGroup
+	if time.Duration(spec.ScrapeInterval) > 0 {
+		colWG.Add(1)
+		go func() {
+			defer colWG.Done()
+			col.run(colCtx)
+		}()
+	}
+
+	// Backlog of about two seconds at target rate: an open-loop pacer
+	// never slows down, so when the fleet falls further behind than
+	// this, ticks are shed and counted — saturation stays measured
+	// instead of silently turning the run closed-loop.
+	backlog := int(2 * spec.RPS)
+	if backlog < 64 {
+		backlog = 64
+	}
+	ticks := make(chan tick, backlog)
+
+	var workers sync.WaitGroup
+	for w := 0; w < spec.Workers; w++ {
+		workers.Add(1)
+		go func(id int64) {
+			defer workers.Done()
+			r.worker(ctx, gen.NewSampler(id), ticks)
+		}(int64(w))
+	}
+
+	r.pace(ctx, start, ticks)
+	close(ticks)
+	workers.Wait()
+	// Draining queued ticks may run past the nominal end; achieved RPS
+	// divides by true wall time, so a backlog shows up as a shortfall.
+	elapsed := time.Since(r.measureStart)
+
+	colStop()
+	colWG.Wait()
+
+	return r.assemble(start, elapsed, col), nil
+}
+
+// pace emits one tick per 1/RPS interval from start until the end of
+// the measured window (or ctx cancellation). When the loop falls behind
+// wall clock it emits immediately until caught up — the open-loop
+// contract is "n-th request at start + n/RPS", not "RPS on average".
+func (r *runner) pace(ctx context.Context, start time.Time, ticks chan<- tick) {
+	interval := time.Duration(float64(time.Second) / r.spec.RPS)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	for n := int64(0); ; n++ {
+		sched := start.Add(time.Duration(n) * interval)
+		if !sched.Before(r.end) {
+			return
+		}
+		if wait := time.Until(sched); wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return
+			}
+		} else if ctx.Err() != nil {
+			return
+		}
+		select {
+		case ticks <- tick{sched: sched}:
+		default:
+			if !sched.Before(r.measureStart) {
+				r.dropped.Add(1)
+			}
+		}
+	}
+}
+
+// worker executes ticks until the channel closes.
+func (r *runner) worker(ctx context.Context, smp *Sampler, ticks <-chan tick) {
+	var sess *sessionState
+	for t := range ticks {
+		if ctx.Err() != nil {
+			break
+		}
+		measured := !t.sched.Before(r.measureStart)
+		sess = r.execute(ctx, smp, sess, measured)
+	}
+	// Best-effort cleanup outside the measured window: leaked sessions
+	// would distort a subsequent run against the same fleet.
+	if sess != nil {
+		r.closeSession(ctx, sess, false)
+	}
+}
+
+// execute issues one request for the next sample, returning the
+// worker's session state (advanced by session-class ticks).
+func (r *runner) execute(ctx context.Context, smp *Sampler, sess *sessionState, measured bool) *sessionState {
+	s := smp.Draw()
+	switch s.Class {
+	case ClassSolve:
+		body, _ := r.gen.SolveBody(s)
+		r.do(ctx, ClassSolve, http.MethodPost, r.nextTarget()+"/v1/solve", body, measured, nil)
+	case ClassSimulate:
+		body, _ := r.gen.SimulateBody(s)
+		r.do(ctx, ClassSimulate, http.MethodPost, r.nextTarget()+"/v1/simulate", body, measured, nil)
+	case ClassBatch:
+		body, _ := r.gen.BatchBody(smp, s)
+		r.do(ctx, ClassBatch, http.MethodPost, r.nextTarget()+"/v1/batch", body, measured, nil)
+	case ClassSession:
+		return r.sessionTick(ctx, smp, s, sess, measured)
+	}
+	return sess
+}
+
+// sessionTick advances the worker's session lifecycle by one wire call:
+// open when none is live, mutate+resolve while ops remain, close after.
+func (r *runner) sessionTick(ctx context.Context, smp *Sampler, s Draw, sess *sessionState, measured bool) *sessionState {
+	if sess == nil {
+		body, _ := r.gen.OpenBody(s)
+		target := r.nextTarget()
+		var opened api.SessionResponse
+		ok := r.do(ctx, ClassSessionOpen, http.MethodPost, target+"/v1/session", body, measured, &opened)
+		if !ok || opened.Session.SessionID == "" {
+			return nil
+		}
+		return &sessionState{
+			id:       opened.Session.SessionID,
+			target:   target,
+			instance: s.Instance,
+			opsLeft:  r.spec.Mix.SessionOps,
+		}
+	}
+	if sess.opsLeft > 0 {
+		body, _ := r.gen.MutateBody(smp, sess.instance)
+		url := sess.target + "/v1/session/" + sess.id + "/mutate"
+		if !r.do(ctx, ClassSessionMutate, http.MethodPost, url, body, measured, nil) {
+			return nil // evicted or expired: next session tick re-opens
+		}
+		sess.opsLeft--
+		return sess
+	}
+	r.closeSession(ctx, sess, measured)
+	return nil
+}
+
+func (r *runner) closeSession(ctx context.Context, sess *sessionState, measured bool) {
+	r.do(ctx, ClassSessionClose, http.MethodDelete, sess.target+"/v1/session/"+sess.id, nil, measured, nil)
+}
+
+// nextTarget round-robins the fleet, so even a single-connection client
+// exercises cross-node routing.
+func (r *runner) nextTarget() string {
+	return r.targets[r.rr.Add(1)%uint64(len(r.targets))]
+}
+
+// do issues one HTTP call and records it under class. It returns true
+// on HTTP 200; when into is non-nil the body is decoded into it.
+func (r *runner) do(ctx context.Context, class, method, url string, body []byte, measured bool, into any) bool {
+	st := r.classes[class]
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, reader)
+	if err != nil {
+		if measured {
+			r.sent.Add(1)
+			st.errors.Add(1)
+		}
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	start := time.Now()
+	resp, err := r.client.Do(req)
+	lat := time.Since(start)
+	if measured {
+		r.sent.Add(1)
+	}
+	if err != nil {
+		if measured {
+			if isTimeout(err) {
+				st.timeouts.Add(1)
+			} else {
+				st.errors.Add(1)
+			}
+		}
+		return false
+	}
+	defer resp.Body.Close()
+	ok := resp.StatusCode == http.StatusOK
+	if ok && into != nil {
+		err = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(into)
+		ok = err == nil
+	}
+	io.Copy(io.Discard, resp.Body) // drain for connection reuse
+	if measured {
+		if ok {
+			st.hist.Record(lat)
+		} else {
+			st.errors.Add(1)
+		}
+	}
+	return ok
+}
+
+func isTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

@@ -1,0 +1,128 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/bench/series"
+)
+
+// TestRunSmoke is the e2e smoke: a short low-rate run against a
+// self-hosted 2-node fleet must complete requests across the classes
+// with zero errors, carry per-node server stats, and survive the
+// series.Run round trip that crload persists.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts a fleet")
+	}
+	fleet, err := SelfHostFleet(2)
+	if err != nil {
+		t.Fatalf("SelfHostFleet: %v", err)
+	}
+	defer fleet.Close()
+
+	spec := &Spec{
+		Name:     "smoke",
+		Seed:     11,
+		RPS:      150,
+		Duration: Duration(1200 * time.Millisecond),
+		Warmup:   Duration(200 * time.Millisecond),
+		Workers:  16,
+		Corpus:   CorpusSpec{Instances: 8, MinCRUs: 5, MaxCRUs: 9, Satellites: 3, ZipfS: 1.5},
+		Mix: MixSpec{
+			Classes:    map[string]float64{ClassSolve: 0.7, ClassBatch: 0.15, ClassSession: 0.15},
+			SessionOps: 2,
+		},
+		ScrapeInterval: Duration(300 * time.Millisecond),
+	}
+	spec.ApplyDefaults()
+
+	res, err := Run(context.Background(), spec, RunOptions{Targets: fleet.URLs(), Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	t.Logf("\n%s", res.Summary())
+
+	if res.Completed == 0 || res.AchievedRPS <= 0 {
+		t.Fatalf("no throughput: completed=%d rps=%.1f", res.Completed, res.AchievedRPS)
+	}
+	if res.Errors != 0 {
+		t.Errorf("want zero errors, got %d", res.Errors)
+	}
+	if res.Timeouts != 0 {
+		t.Errorf("want zero timeouts, got %d", res.Timeouts)
+	}
+	for _, class := range []string{ClassSolve, ClassBatch, ClassSessionOpen} {
+		st, ok := res.Classes[class]
+		if !ok || st.Count == 0 {
+			t.Errorf("class %q saw no completed requests", class)
+			continue
+		}
+		if st.Latency.P95US <= 0 || st.Latency.P50US > st.Latency.P95US {
+			t.Errorf("class %q quantiles incoherent: %+v", class, st.Latency)
+		}
+	}
+	if len(res.Nodes) != 2 {
+		t.Fatalf("want 2 node stats, got %d", len(res.Nodes))
+	}
+	var served int64
+	for _, n := range res.Nodes {
+		served += n.CacheHits + n.CacheMisses
+		if len(n.Latency) == 0 {
+			t.Errorf("node %s reported no server-side latency", n.URL)
+		}
+	}
+	if served == 0 {
+		t.Error("fleet cache counters never moved: collector deltas broken")
+	}
+	if len(res.Samples) == 0 {
+		t.Error("collector recorded no samples")
+	}
+	if res.ScrapeFailures != 0 {
+		t.Errorf("scrape failures against a live fleet: %d", res.ScrapeFailures)
+	}
+
+	// Thresholds: a healthy loopback fleet clears generous gates.
+	if err := res.Check(Thresholds{MaxP95: 3 * time.Second, MinRPSFraction: 0.5, MaxErrorFraction: 1e-9}); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+	// And a hostile gate trips with a named violation.
+	if err := res.Check(Thresholds{MaxP95: time.Nanosecond}); err == nil {
+		t.Error("nanosecond p95 gate should have tripped")
+	}
+
+	// Persist exactly the way crload does and read it back.
+	run, err := series.New("crload", "testcommit", res.Benches(), res)
+	if err != nil {
+		t.Fatalf("series.New: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := run.Write(path); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := series.ReadRun(path)
+	if err != nil {
+		t.Fatalf("ReadRun: %v", err)
+	}
+	if back.Tool != "crload" || len(back.Benches) == 0 {
+		t.Fatalf("round-tripped run malformed: %+v", back)
+	}
+	var detail Result
+	if err := json.Unmarshal(back.Detail, &detail); err != nil {
+		t.Fatalf("decoding Detail: %v", err)
+	}
+	if detail.Completed != res.Completed || detail.Spec.Name != "smoke" {
+		t.Errorf("Detail did not round-trip: %d vs %d", detail.Completed, res.Completed)
+	}
+}
+
+// TestRunRequiresTargets covers the only hard-error path.
+func TestRunRequiresTargets(t *testing.T) {
+	_, err := Run(context.Background(), DefaultSpec(), RunOptions{})
+	if err == nil {
+		t.Fatal("want error with no targets")
+	}
+}

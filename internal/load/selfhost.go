@@ -1,0 +1,19 @@
+package load
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/httpserve"
+)
+
+// SelfHostFleet starts an n-node in-process crserve fleet for
+// single-binary load runs (crload -fleet, the e2e smoke test and the P3
+// experiment): real loopback HTTP, consistent-hash routing, health
+// probes on. Callers own Close.
+func SelfHostFleet(n int) (*httpserve.Fleet, error) {
+	return httpserve.StartFleet(n, httpserve.FleetOptions{
+		Cluster:     cluster.Config{VirtualNodes: 64, ProbeInterval: 500 * time.Millisecond},
+		StartProbes: true,
+	})
+}

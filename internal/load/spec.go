@@ -1,0 +1,308 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+// Request classes a workload mixes. "session" is churn: each sampled
+// session tick advances one worker-held session through its
+// open → mutate+resolve… → close lifecycle, so one spec knob drives all
+// three session endpoints.
+const (
+	ClassSolve    = "solve"
+	ClassBatch    = "batch"
+	ClassSimulate = "simulate"
+	ClassSession  = "session"
+)
+
+// knownClasses guards Validate against typos in spec files.
+var knownClasses = map[string]bool{
+	ClassSolve: true, ClassBatch: true, ClassSimulate: true, ClassSession: true,
+}
+
+// Duration is a time.Duration that travels as a human-readable string
+// ("10s", "1m30s") in JSON spec files.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as its string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "10s"-style strings or bare numbers (seconds).
+func (d *Duration) UnmarshalJSON(raw []byte) error {
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		parsed, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("load: bad duration %q: %w", s, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	var secs float64
+	if err := json.Unmarshal(raw, &secs); err != nil {
+		return fmt.Errorf("load: duration must be a string like \"10s\" or a number of seconds: %s", raw)
+	}
+	*d = Duration(time.Duration(secs * float64(time.Second)))
+	return nil
+}
+
+// CorpusSpec describes the generated instance population the workload
+// draws from: how many distinct trees, their size distribution, and how
+// skewed their popularity is.
+type CorpusSpec struct {
+	// Instances is the number of distinct problem instances (default 64).
+	Instances int `json:"instances,omitempty"`
+	// MinCRUs/MaxCRUs bound the uniform tree-size distribution
+	// (processing CRUs per instance; defaults 8 and 24).
+	MinCRUs int `json:"min_crus,omitempty"`
+	MaxCRUs int `json:"max_crus,omitempty"`
+	// Satellites per instance (default 3).
+	Satellites int `json:"satellites,omitempty"`
+	// ZipfS is the Zipfian popularity skew over the corpus: values > 1
+	// (rand.Zipf's requirement) skew towards instance 0 — 1.1 is mild
+	// web-like skew, 2 is a hot-key workload. 0 means the default (1.1);
+	// any negative value selects uniform popularity.
+	ZipfS float64 `json:"zipf_s,omitempty"`
+}
+
+// MixSpec describes what the generated requests look like.
+type MixSpec struct {
+	// Classes weights the request classes (solve, batch, simulate,
+	// session). Weights are relative; absent means the default
+	// 80/10/0/10 solve/batch/simulate/session blend.
+	Classes map[string]float64 `json:"classes,omitempty"`
+	// Algorithms weights the per-request algorithm choice by registered
+	// name; an extra empty-string key means "server default". Absent
+	// means every request uses the server default (the paper's adapted
+	// SSB).
+	Algorithms map[string]float64 `json:"algorithms,omitempty"`
+	// BatchMin/BatchMax bound the uniform batch-size distribution for
+	// the batch class (defaults 4 and 16).
+	BatchMin int `json:"batch_min,omitempty"`
+	BatchMax int `json:"batch_max,omitempty"`
+	// SessionOps is how many mutate+resolve round trips a session serves
+	// before it closes (default 4) — the session-churn rate knob.
+	SessionOps int `json:"session_ops,omitempty"`
+	// MutationsPerOp is the number of weight-update mutations bundled
+	// into each mutate call (default 1) — the mutation-rate knob.
+	MutationsPerOp int `json:"mutations_per_op,omitempty"`
+	// DriftFraction is the relative amplitude of each weight drift
+	// (default 0.1: weights wander ±10% per mutation).
+	DriftFraction float64 `json:"drift_fraction,omitempty"`
+}
+
+// Spec is the declarative workload: everything a run needs besides the
+// target list. The zero value is not runnable — start from DefaultSpec
+// or a parsed file; Validate reports every problem at once.
+type Spec struct {
+	// Name labels the run in results files.
+	Name string `json:"name,omitempty"`
+	// Seed makes the corpus and the request stream deterministic
+	// (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// RPS is the open-loop target request rate (required, > 0).
+	RPS float64 `json:"rps"`
+	// Duration is the measured phase length (required, > 0).
+	Duration Duration `json:"duration"`
+	// Warmup precedes the measured phase: traffic flows (filling caches
+	// and JITting the fleet warm) but lands in discarded histograms.
+	Warmup Duration `json:"warmup,omitempty"`
+	// Workers bounds concurrent in-flight requests (default 32). In an
+	// open-loop run the pacer never slows down for saturated workers;
+	// the backlog it builds is itself a measurement (see Result).
+	Workers int `json:"workers,omitempty"`
+	// Timeout is the per-request client timeout (default 5s); expiries
+	// count as timeouts, not errors.
+	Timeout Duration `json:"timeout,omitempty"`
+	// ScrapeInterval paces the /debug/vars collector (default 1s;
+	// negative disables scraping).
+	ScrapeInterval Duration `json:"scrape_interval,omitempty"`
+
+	Corpus CorpusSpec `json:"corpus"`
+	Mix    MixSpec    `json:"mix"`
+}
+
+// DefaultSpec is the baseline workload: 100 RPS of 80/10/10
+// solve/batch/session traffic over 64 mildly Zipfian instances for 10s
+// after a 2s warmup. Flags and spec files override from here.
+func DefaultSpec() *Spec {
+	s := &Spec{
+		Name:     "default",
+		Seed:     1,
+		RPS:      100,
+		Duration: Duration(10 * time.Second),
+		Warmup:   Duration(2 * time.Second),
+	}
+	s.ApplyDefaults()
+	return s
+}
+
+// ApplyDefaults fills every optional zero field with its documented
+// default. Parse and ParseSpec call it; hand-built specs should too.
+func (s *Spec) ApplyDefaults() {
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Workers == 0 {
+		s.Workers = 32
+	}
+	if s.Timeout == 0 {
+		s.Timeout = Duration(5 * time.Second)
+	}
+	if s.ScrapeInterval == 0 {
+		s.ScrapeInterval = Duration(time.Second)
+	}
+	c := &s.Corpus
+	if c.Instances == 0 {
+		c.Instances = 64
+	}
+	if c.MinCRUs == 0 {
+		c.MinCRUs = 8
+	}
+	if c.MaxCRUs == 0 {
+		c.MaxCRUs = 24
+	}
+	if c.Satellites == 0 {
+		c.Satellites = 3
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.1
+	}
+	m := &s.Mix
+	if len(m.Classes) == 0 {
+		m.Classes = map[string]float64{ClassSolve: 0.8, ClassBatch: 0.1, ClassSession: 0.1}
+	}
+	if m.BatchMin == 0 {
+		m.BatchMin = 4
+	}
+	if m.BatchMax == 0 {
+		m.BatchMax = 16
+	}
+	if m.SessionOps == 0 {
+		m.SessionOps = 4
+	}
+	if m.MutationsPerOp == 0 {
+		m.MutationsPerOp = 1
+	}
+	if m.DriftFraction == 0 {
+		m.DriftFraction = 0.1
+	}
+}
+
+// ParseSpec decodes a JSON workload spec strictly (unknown fields are
+// typos), applies defaults, and validates.
+func ParseSpec(raw []byte) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("load: decoding spec: %w", err)
+	}
+	s.ApplyDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the whole spec and reports every violation in one
+// error — a spec file author fixes one round, not one field per round.
+func (s *Spec) Validate() error {
+	var probs []string
+	bad := func(format string, args ...any) { probs = append(probs, fmt.Sprintf(format, args...)) }
+
+	if s.RPS <= 0 {
+		bad("rps must be > 0 (got %g)", s.RPS)
+	}
+	if s.Duration <= 0 {
+		bad("duration must be > 0 (got %v)", time.Duration(s.Duration))
+	}
+	if s.Warmup < 0 {
+		bad("warmup must be >= 0 (got %v)", time.Duration(s.Warmup))
+	}
+	if s.Workers < 1 {
+		bad("workers must be >= 1 (got %d)", s.Workers)
+	}
+	if s.Timeout <= 0 {
+		bad("timeout must be > 0 (got %v)", time.Duration(s.Timeout))
+	}
+
+	c := s.Corpus
+	if c.Instances < 1 {
+		bad("corpus.instances must be >= 1 (got %d)", c.Instances)
+	}
+	if c.MinCRUs < 1 {
+		bad("corpus.min_crus must be >= 1 (got %d)", c.MinCRUs)
+	}
+	if c.MaxCRUs < c.MinCRUs {
+		bad("corpus.max_crus (%d) must be >= corpus.min_crus (%d)", c.MaxCRUs, c.MinCRUs)
+	}
+	if c.Satellites < 1 {
+		bad("corpus.satellites must be >= 1 (got %d)", c.Satellites)
+	}
+	if c.ZipfS > 0 && c.ZipfS <= 1 {
+		bad("corpus.zipf_s must be negative (uniform) or > 1 (got %g)", c.ZipfS)
+	}
+
+	m := s.Mix
+	var total float64
+	for class, w := range m.Classes {
+		if !knownClasses[class] {
+			bad("mix.classes: unknown class %q (known: solve, batch, simulate, session)", class)
+		}
+		if w <= 0 {
+			bad("mix.classes[%q] weight must be > 0 (got %g)", class, w)
+		}
+		total += w
+	}
+	if len(m.Classes) > 0 && total <= 0 {
+		bad("mix.classes weights sum to nothing")
+	}
+	for alg, w := range m.Algorithms {
+		if w <= 0 {
+			bad("mix.algorithms[%q] weight must be > 0 (got %g)", alg, w)
+		}
+		if alg == "" {
+			continue // "" = server default, always valid
+		}
+		if _, ok := repro.Capability(repro.Algorithm(alg)); !ok {
+			bad("mix.algorithms: unknown algorithm %q (known: %s)", alg, algorithmNames())
+		}
+	}
+	if m.BatchMin < 1 {
+		bad("mix.batch_min must be >= 1 (got %d)", m.BatchMin)
+	}
+	if m.BatchMax < m.BatchMin {
+		bad("mix.batch_max (%d) must be >= mix.batch_min (%d)", m.BatchMax, m.BatchMin)
+	}
+	if m.SessionOps < 1 {
+		bad("mix.session_ops must be >= 1 (got %d)", m.SessionOps)
+	}
+	if m.MutationsPerOp < 1 {
+		bad("mix.mutations_per_op must be >= 1 (got %d)", m.MutationsPerOp)
+	}
+	if m.DriftFraction <= 0 || m.DriftFraction >= 1 {
+		bad("mix.drift_fraction must be in (0,1) (got %g)", m.DriftFraction)
+	}
+
+	if len(probs) > 0 {
+		return fmt.Errorf("load: invalid spec:\n  - %s", strings.Join(probs, "\n  - "))
+	}
+	return nil
+}
+
+func algorithmNames() string {
+	names := repro.Algorithms()
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = string(n)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,138 @@
+package load
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDefaultSpecValidates(t *testing.T) {
+	if err := DefaultSpec().Validate(); err != nil {
+		t.Fatalf("DefaultSpec().Validate() = %v", err)
+	}
+}
+
+func TestParseSpecFile(t *testing.T) {
+	raw := []byte(`{
+		"name": "ci-smoke",
+		"seed": 7,
+		"rps": 250,
+		"duration": "3s",
+		"warmup": 0.5,
+		"corpus": {"instances": 16, "min_crus": 6, "max_crus": 10, "zipf_s": 1.3},
+		"mix": {
+			"classes": {"solve": 0.7, "batch": 0.2, "session": 0.1},
+			"algorithms": {"adapted-ssb": 0.9, "": 0.1},
+			"batch_min": 2, "batch_max": 8
+		}
+	}`)
+	s, err := ParseSpec(raw)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if s.Name != "ci-smoke" || s.Seed != 7 || s.RPS != 250 {
+		t.Errorf("header fields wrong: %+v", s)
+	}
+	if time.Duration(s.Duration) != 3*time.Second {
+		t.Errorf("duration = %v, want 3s", time.Duration(s.Duration))
+	}
+	if time.Duration(s.Warmup) != 500*time.Millisecond {
+		t.Errorf("numeric warmup = %v, want 500ms (seconds)", time.Duration(s.Warmup))
+	}
+	// Defaults filled where the file was silent.
+	if s.Workers != 32 || time.Duration(s.Timeout) != 5*time.Second {
+		t.Errorf("defaults not applied: workers=%d timeout=%v", s.Workers, time.Duration(s.Timeout))
+	}
+	if s.Mix.SessionOps != 4 {
+		t.Errorf("session_ops default not applied: %d", s.Mix.SessionOps)
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	_, err := ParseSpec([]byte(`{"rps": 10, "duration": "1s", "rsp": 20}`))
+	if err == nil {
+		t.Fatal("want error for unknown field, got nil")
+	}
+}
+
+func TestParseSpecRejectsBadDuration(t *testing.T) {
+	_, err := ParseSpec([]byte(`{"rps": 10, "duration": "fast"}`))
+	if err == nil || !strings.Contains(err.Error(), "bad duration") {
+		t.Fatalf("want bad-duration error, got %v", err)
+	}
+}
+
+// TestValidateCollectsEveryViolation feeds one thoroughly broken spec
+// and asserts the error names each problem class, all in one round.
+func TestValidateCollectsEveryViolation(t *testing.T) {
+	s := &Spec{
+		RPS:      0,
+		Duration: Duration(-time.Second),
+		Workers:  1,
+		Timeout:  Duration(time.Second),
+		Corpus: CorpusSpec{
+			Instances: 4, MinCRUs: 10, MaxCRUs: 5, Satellites: 2,
+			ZipfS: 0.5, // in (0,1]: rand.Zipf cannot represent it
+		},
+		Mix: MixSpec{
+			Classes:        map[string]float64{"solve": 1, "teleport": 2},
+			Algorithms:     map[string]float64{"quantum-annealing-9000": 1},
+			BatchMin:       4,
+			BatchMax:       2,
+			SessionOps:     1,
+			MutationsPerOp: 1,
+			DriftFraction:  0.1,
+		},
+	}
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("want validation error, got nil")
+	}
+	for _, want := range []string{
+		"rps must be > 0",
+		"duration must be > 0",
+		"max_crus (5) must be >= corpus.min_crus (10)",
+		"zipf_s",
+		`unknown class "teleport"`,
+		`unknown algorithm "quantum-annealing-9000"`,
+		"batch_max (2) must be >= mix.batch_min (4)",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error missing %q:\n%v", want, err)
+		}
+	}
+}
+
+func TestValidateRejectsNonPositiveWeights(t *testing.T) {
+	s := DefaultSpec()
+	s.Mix.Classes = map[string]float64{"solve": -1}
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "weight must be > 0") {
+		t.Fatalf("want weight error, got %v", err)
+	}
+}
+
+func TestValidateAcceptsUniformZipf(t *testing.T) {
+	s := DefaultSpec()
+	s.Corpus.ZipfS = -1 // explicit uniform popularity
+	if err := s.Validate(); err != nil {
+		t.Fatalf("negative zipf_s (uniform) should validate: %v", err)
+	}
+}
+
+func TestDurationRoundTrip(t *testing.T) {
+	s := DefaultSpec()
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	back, err := ParseSpec(raw)
+	if err != nil {
+		t.Fatalf("re-parse marshaled spec: %v", err)
+	}
+	if time.Duration(back.Duration) != time.Duration(s.Duration) ||
+		time.Duration(back.Warmup) != time.Duration(s.Warmup) {
+		t.Errorf("durations did not round-trip: %+v vs %+v", back, s)
+	}
+}
