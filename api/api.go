@@ -135,6 +135,12 @@ type SolveResponse struct {
 	Stats       *SearchStats      `json:"stats,omitempty"`
 	Work        int               `json:"work,omitempty"`
 	ElapsedUS   int64             `json:"elapsed_us"`
+	// Partial marks a best-effort anytime result: feasible, not proven
+	// optimal (the deadline or budget expired first).
+	Partial bool `json:"partial,omitempty"`
+	// LowerBound is the solver's proof floor on the optimal delay, when
+	// one exists; a completed exact solve reports its own delay.
+	LowerBound float64 `json:"lower_bound,omitempty"`
 }
 
 // NewSolveResponse converts an Outcome into its wire form. status is the
@@ -152,6 +158,8 @@ func NewSolveResponse(t *repro.Tree, out *repro.Outcome, status repro.CacheStatu
 		Assignment:  assignmentNames(t, out.Assignment),
 		Work:        out.Work,
 		ElapsedUS:   out.Elapsed.Microseconds(),
+		Partial:     out.Partial,
+		LowerBound:  out.LowerBound,
 	}
 	if bd := out.Breakdown; bd != nil {
 		wire := &Breakdown{HostTime: bd.HostTime, MaxSatLoad: bd.MaxSatLoad}
@@ -275,6 +283,7 @@ type AlgorithmInfo struct {
 	Seeded    bool   `json:"seeded"`
 	Weighted  bool   `json:"weighted"`
 	WarmStart bool   `json:"warm_start"`
+	Anytime   bool   `json:"anytime"`
 	Summary   string `json:"summary,omitempty"`
 }
 
@@ -292,7 +301,7 @@ func ListAlgorithms() *AlgorithmsResponse {
 		resp.Algorithms = append(resp.Algorithms, AlgorithmInfo{
 			Name: string(name), Exact: caps.Exact, Budget: caps.Budget,
 			Seeded: caps.Seeded, Weighted: caps.Weighted,
-			WarmStart: caps.WarmStart, Summary: caps.Summary,
+			WarmStart: caps.WarmStart, Anytime: caps.Anytime, Summary: caps.Summary,
 		})
 	}
 	return resp

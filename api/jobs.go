@@ -1,0 +1,149 @@
+package api
+
+import (
+	"time"
+
+	"repro"
+	"repro/internal/jobs"
+)
+
+// JobRequest submits an asynchronous solve. The embedded SolveRequest
+// carries the instance and solver parameters; an empty algorithm lets the
+// server's metareasoning planner choose from instance features.
+type JobRequest struct {
+	SolveRequest
+	// DeadlineMS bounds the whole job — queue wait plus solve — from
+	// submission. Anytime solvers return their best-so-far (partial=true,
+	// with a bound gap) when it expires; 0 means run to completion.
+	// When absent, a timeout_ms is adopted as the deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Portfolio races the exact solver against a heuristic, first
+	// acceptable bound gap wins. The planner may also enable it.
+	Portfolio bool `json:"portfolio,omitempty"`
+}
+
+// Validate extends SolveRequest.Validate with the job fields.
+func (r *JobRequest) Validate() error {
+	if err := r.SolveRequest.Validate(); err != nil {
+		return err
+	}
+	if r.DeadlineMS < 0 {
+		return &Error{Code: CodeInvalidRequest, Message: "negative deadline_ms"}
+	}
+	return nil
+}
+
+// JobSpec converts the wire request into the manager's form. The tree is
+// passed in (already built and validated by Tree()).
+func (r *JobRequest) JobSpec(tree *repro.Tree) jobs.Request {
+	deadline := time.Duration(r.DeadlineMS) * time.Millisecond
+	if deadline == 0 && r.TimeoutMS > 0 {
+		deadline = time.Duration(r.TimeoutMS) * time.Millisecond
+	}
+	req := jobs.Request{
+		Tree:      tree,
+		Algorithm: repro.Algorithm(r.Algorithm),
+		Seed:      r.Seed,
+		Budget:    r.Budget,
+		Deadline:  deadline,
+		Portfolio: r.Portfolio,
+	}
+	if r.Weights != nil {
+		req.Weights = repro.Weights{WS: r.Weights.WS, WB: r.Weights.WB}
+	}
+	return req
+}
+
+// JobIncumbent is the wire form of one streamed improvement.
+type JobIncumbent struct {
+	Seq        int     `json:"seq"`
+	Algorithm  string  `json:"algorithm"`
+	Delay      float64 `json:"delay"`
+	LowerBound float64 `json:"lower_bound,omitempty"`
+	// Gap is the relative bound gap (delay-bound)/bound, -1 without a
+	// bound (heuristic incumbents carry none).
+	Gap       float64 `json:"gap"`
+	Work      int     `json:"work,omitempty"`
+	ElapsedMS int64   `json:"elapsed_ms"`
+}
+
+// NewJobIncumbent converts one ring entry.
+func NewJobIncumbent(inc jobs.Incumbent) JobIncumbent {
+	return JobIncumbent{
+		Seq:        inc.Seq,
+		Algorithm:  string(inc.Algorithm),
+		Delay:      inc.Delay,
+		LowerBound: inc.LowerBound,
+		Gap:        inc.Gap(),
+		Work:       inc.Work,
+		ElapsedMS:  inc.Elapsed.Milliseconds(),
+	}
+}
+
+// JobResponse is a job's wire snapshot: lifecycle state, the planner's
+// decision, the retained incumbent tail and — once done — the final
+// solve result with its bound gap.
+type JobResponse struct {
+	APIVersion  string `json:"api_version"`
+	JobID       string `json:"job_id"`
+	State       string `json:"state"`
+	Fingerprint string `json:"fingerprint"`
+	// Algorithm is the planned primary solver (empty while queued without
+	// a pinned algorithm).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Portfolio and Heuristic describe the race when portfolio mode ran.
+	Portfolio bool   `json:"portfolio,omitempty"`
+	Heuristic string `json:"heuristic,omitempty"`
+	// PlanReason is the planner's one-line explanation.
+	PlanReason string `json:"plan_reason,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+	ElapsedMS  int64  `json:"elapsed_ms"`
+	// Incumbents is the retained tail of the progress ring, oldest first.
+	Incumbents []JobIncumbent `json:"incumbents,omitempty"`
+	// NextSeq resumes an incumbent stream: pass it as from_seq.
+	NextSeq int `json:"next_seq"`
+	// Result is present once the job is done; result.partial marks a
+	// best-effort answer with Gap reporting its proven distance.
+	Result *SolveResponse `json:"result,omitempty"`
+	// Gap is the result's relative bound gap: 0 for a proven optimum, -1
+	// when unknown.
+	Gap float64 `json:"gap"`
+	// Error is present for failed jobs.
+	Error *Error `json:"error,omitempty"`
+}
+
+// NewJobResponse converts a job snapshot into its wire form.
+func NewJobResponse(st jobs.Status) *JobResponse {
+	resp := &JobResponse{
+		APIVersion:  Version,
+		JobID:       st.ID,
+		State:       string(st.State),
+		Fingerprint: repro.Fingerprint(st.Request.Tree),
+		DeadlineMS:  st.Request.Deadline.Milliseconds(),
+		NextSeq:     st.NextSeq,
+		Gap:         st.Gap(),
+	}
+	if st.Planned {
+		resp.Algorithm = string(st.Plan.Algorithm)
+		resp.Portfolio = st.Plan.Portfolio
+		resp.Heuristic = string(st.Plan.Heuristic)
+		resp.PlanReason = st.Plan.Reason
+	} else if st.Request.Algorithm != "" {
+		resp.Algorithm = string(st.Request.Algorithm)
+	}
+	end := time.Now()
+	if st.State.Terminal() {
+		end = st.Finished
+	}
+	resp.ElapsedMS = end.Sub(st.Submitted).Milliseconds()
+	for _, inc := range st.Incumbents {
+		resp.Incumbents = append(resp.Incumbents, NewJobIncumbent(inc))
+	}
+	if st.Result != nil {
+		resp.Result = NewSolveResponse(st.Request.Tree, st.Result, repro.CacheMiss)
+	}
+	if st.State == jobs.StateFailed && st.Err != nil {
+		resp.Error = FromError(st.Err)
+	}
+	return resp
+}

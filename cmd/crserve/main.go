@@ -13,6 +13,10 @@
 //	POST   /v1/session/{id}/mutate  mutate a session's tree (optionally resolve)
 //	POST   /v1/session/{id}/resolve warm re-solve of the current revision
 //	DELETE /v1/session/{id}         close a session
+//	POST   /v1/jobs                 submit an async anytime solve job
+//	GET    /v1/jobs/{id}            job snapshot (?wait=ms long-polls for completion)
+//	GET    /v1/jobs/{id}/events     Server-Sent Events stream of improving incumbents
+//	DELETE /v1/jobs/{id}            cancel a job
 //	GET    /v1/algorithms           list the registered solvers
 //	GET    /v1/cluster              fleet membership, ring state, routing counters
 //	GET    /healthz                 liveness probe ("ok", or "draining" while shutting down)
@@ -58,6 +62,9 @@ func main() {
 	maxBatch := flag.Int("max-batch", 1024, "max items per batch request")
 	maxSessions := flag.Int("max-sessions", 1024, "max live dynamic-tree sessions; excess opens evict the least recently used")
 	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle expiry for dynamic-tree sessions (negative disables)")
+	jobWorkers := flag.Int("job-workers", 0, "async job tier worker pool size (0 = batch parallelism)")
+	jobQueue := flag.Int("job-queue", 256, "max queued async jobs; excess submits get HTTP 429")
+	jobTTL := flag.Duration("job-ttl", 10*time.Minute, "retention of finished async job results")
 	grace := flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on shutdown")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	peers := flag.String("peers", "", "comma-separated peer base URLs; enables cluster routing (requires -advertise)")
@@ -103,6 +110,9 @@ func main() {
 		MaxSessions:      *maxSessions,
 		SessionTTL:       *sessionTTL,
 		Cluster:          cl,
+		JobWorkers:       *jobWorkers,
+		JobQueueDepth:    *jobQueue,
+		JobTTL:           *jobTTL,
 	})
 
 	srv := &http.Server{
@@ -175,6 +185,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "crserve: shutdown: %v\n", err)
 		os.Exit(1)
 	}
+	// The listener is closed: cancel running jobs and stop the workers.
+	handler.Close()
 	st := service.Stats()
 	fmt.Fprintf(os.Stderr, "crserve: bye (cache: %d hits, %d misses, %d shared, %d stored)\n",
 		st.Hits, st.Misses, st.Shared, st.Size)

@@ -66,6 +66,43 @@ type Request struct {
 	// their walk), all others ignore it, and hints that are not feasible
 	// for Tree are dropped before dispatch.
 	Warm *model.Assignment
+
+	// OnIncumbent, when set, is invoked by anytime solvers (capability
+	// Anytime) each time they improve their incumbent. The callback runs
+	// synchronously on the solver goroutine, so it must be fast and must
+	// not retain Incumbent.Assignment beyond the call unless the solver
+	// documents it as caller-owned (all built-in anytime solvers pass a
+	// fresh clone). Non-anytime solvers ignore it.
+	OnIncumbent func(Incumbent)
+
+	// BestEffort asks anytime solvers to return their best-so-far
+	// assignment with Finding.Partial set instead of failing with
+	// ErrBudgetExceeded / a context error when the budget or deadline
+	// expires after at least one feasible incumbent exists. Solvers
+	// without the Anytime capability ignore it.
+	BestEffort bool
+}
+
+// Incumbent is one improving solution streamed by an anytime solver.
+type Incumbent struct {
+	// Assignment is a caller-owned clone of the incumbent assignment.
+	Assignment *model.Assignment
+	// Delay is the incumbent's objective value.
+	Delay float64
+	// LowerBound is the solver's current proof floor on the optimum
+	// (0 when the solver has none — heuristics stream 0).
+	LowerBound float64
+	// Work is the solver's effort counter at the time of the improvement.
+	Work int
+}
+
+// Gap reports the relative bound gap (Delay-LowerBound)/LowerBound, or
+// -1 when no lower bound is available.
+func (inc Incumbent) Gap() float64 {
+	if inc.LowerBound <= 0 {
+		return -1
+	}
+	return (inc.Delay - inc.LowerBound) / inc.LowerBound
 }
 
 // SearchStats reports how a graph-based solve went.
@@ -88,6 +125,13 @@ type Outcome struct {
 	Elapsed    time.Duration // solve plus evaluation wall time
 	Work       int           // algorithm-specific effort counter
 	Stats      *SearchStats  // populated by the graph-based solvers
+
+	// Partial marks a best-effort result cut short by budget or deadline;
+	// Exact is false for partial results even from exact solvers.
+	Partial bool
+	// LowerBound is the solver's proof floor on the optimal delay
+	// (0 = none). A completed exact solve reports LowerBound == Delay.
+	LowerBound float64
 }
 
 // Solve dispatches the request without cancellation support.
@@ -142,9 +186,11 @@ func SolveContext(ctx context.Context, req Request) (*Outcome, error) {
 	out := &Outcome{
 		Algorithm:  alg,
 		Assignment: finding.Assignment,
-		Exact:      caps.Exact,
+		Exact:      caps.Exact && !finding.Partial,
 		Work:       finding.Work,
 		Stats:      finding.Stats,
+		Partial:    finding.Partial,
+		LowerBound: finding.LowerBound,
 	}
 	bd, err := eval.Evaluate(req.Tree, out.Assignment)
 	if err != nil {
@@ -152,6 +198,12 @@ func SolveContext(ctx context.Context, req Request) (*Outcome, error) {
 	}
 	out.Breakdown = bd
 	out.Delay = bd.Delay
+	// A completed exact search proves its own answer: the delay is a
+	// tight lower bound even when the solver reported none (or reported
+	// one off by float noise from its incremental bookkeeping).
+	if out.Exact {
+		out.LowerBound = out.Delay
+	}
 	// Stamp after evaluation: the reported solve time covers the full
 	// request, not just the search.
 	out.Elapsed = time.Since(start)

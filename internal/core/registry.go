@@ -16,6 +16,7 @@ type Capabilities struct {
 	Seeded    bool   // randomised; Request.Seed selects the run
 	Weighted  bool   // honours Request.Weights (weighted S/B objectives)
 	WarmStart bool   // honours Request.Warm (seeds the search from a prior assignment)
+	Anytime   bool   // streams incumbents via Request.OnIncumbent and honours Request.BestEffort
 	Summary   string // one-line human description
 }
 
@@ -26,6 +27,15 @@ type Finding struct {
 	Assignment *model.Assignment
 	Work       int          // algorithm-specific effort counter
 	Stats      *SearchStats // populated by the graph-based solvers
+
+	// Partial marks a best-effort result: the budget or deadline expired
+	// before the search completed, so an exact solver's assignment is the
+	// incumbent, not a proven optimum.
+	Partial bool
+	// LowerBound is a proof floor on the optimal delay, when the solver
+	// can supply one (0 means "no bound"). For a completed exact search it
+	// equals the returned delay.
+	LowerBound float64
 }
 
 // SolveFunc runs one algorithm on a request. Implementations must honour

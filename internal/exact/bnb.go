@@ -62,7 +62,31 @@ var bnbScratches = pool.NewArena(func() *bnbScratch { return new(bnbScratch) })
 // and prunes most of the search. The result is still exact — seeding only
 // ever tightens the incumbent, and ties keep the seed itself.
 func BranchAndBoundFrom(ctx context.Context, t *model.Tree, maxNodes int, warm *model.Assignment) (*Result, error) {
-	maxNodes = core.IntOr(maxNodes, 1<<22)
+	return BranchAndBoundOpts(ctx, t, BnBOptions{MaxNodes: maxNodes, Warm: warm})
+}
+
+// BnBOptions parameterises one anytime branch-and-bound run.
+type BnBOptions struct {
+	// MaxNodes caps the number of search nodes (0 means 1<<22).
+	MaxNodes int
+	// Warm optionally seeds the incumbent (see BranchAndBoundFrom).
+	Warm *model.Assignment
+	// OnIncumbent, when set, receives every incumbent improvement with a
+	// freshly cloned assignment and the global lower bound. It runs on the
+	// search goroutine between branches.
+	OnIncumbent func(core.Incumbent)
+	// BestEffort returns the incumbent with Result.Partial set — instead
+	// of ErrBudget or the context error — when the node budget or the
+	// deadline expires. The incumbent is always feasible (the baselines
+	// seed it before the search starts).
+	BestEffort bool
+}
+
+// BranchAndBoundOpts is the anytime entry point: BranchAndBoundFrom plus
+// incumbent streaming and best-effort deadline handling.
+func BranchAndBoundOpts(ctx context.Context, t *model.Tree, opts BnBOptions) (*Result, error) {
+	maxNodes := core.IntOr(opts.MaxNodes, 1<<22)
+	warm := opts.Warm
 	c := model.Compile(t)
 	n := c.Len()
 	res := &Result{Delay: math.Inf(1)}
@@ -76,6 +100,29 @@ func BranchAndBoundFrom(ctx context.Context, t *model.Tree, maxNodes int, warm *
 	sc.seed = pool.Keep(sc.seed, n)
 	sc.loads = pool.Slice(sc.loads, c.NumSats)
 
+	// The forced-host table at the root — processing no assignment can
+	// move off the host — is a cheap valid lower bound on every completion,
+	// which is what anytime consumers need to report a gap. It is weak
+	// (it ignores communication and satellite load) but never wrong; a
+	// completed search replaces it with the proven optimum.
+	globalLB := c.Forced[c.RootPos]
+	res.LowerBound = globalLB
+	// stream clones the incumbent out to the callback. sc.best is pooled
+	// scratch, so the callback gets a fresh Assignment it may keep.
+	stream := func() {
+		if opts.OnIncumbent == nil {
+			return
+		}
+		asg := model.NewAssignment(t)
+		c.StoreAssignment(asg, sc.best)
+		opts.OnIncumbent(core.Incumbent{
+			Assignment: asg,
+			Delay:      res.Delay,
+			LowerBound: globalLB,
+			Work:       res.Explored,
+		})
+	}
+
 	// Seed the incumbent with the better of the two trivial baselines —
 	// and the warm hint, when one is offered — so pruning bites from the
 	// first branches.
@@ -83,6 +130,7 @@ func BranchAndBoundFrom(ctx context.Context, t *model.Tree, maxNodes int, warm *
 		if d := eval.FlatDelay(c, loc, fr); d < res.Delay {
 			res.Delay = d
 			copy(sc.best, loc)
+			stream()
 		}
 	}
 	c.TopmostLocations(sc.seed)
@@ -139,6 +187,7 @@ func BranchAndBoundFrom(ctx context.Context, t *model.Tree, maxNodes int, warm *
 			if d := hostTime + maxLoad(); d < res.Delay {
 				res.Delay = d
 				copy(sc.best, loc)
+				stream()
 			}
 			return
 		}
@@ -203,15 +252,27 @@ func BranchAndBoundFrom(ctx context.Context, t *model.Tree, maxNodes int, warm *
 	}
 	rec()
 	sc.stack = stack[:0]
-	if ctxErr != nil {
-		return nil, ctxErr
-	}
-	if budgetHit {
-		return nil, ErrBudget
-	}
 	if math.IsInf(res.Delay, 1) {
 		// Cannot happen for valid trees (all-host is always feasible).
+		if ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, ErrBudget
+	}
+	switch {
+	case ctxErr != nil:
+		if !opts.BestEffort {
+			return nil, ctxErr
+		}
+		res.Partial = true
+	case budgetHit:
+		if !opts.BestEffort {
+			return nil, ErrBudget
+		}
+		res.Partial = true
+	default:
+		// The search completed: the incumbent is the proven optimum.
+		res.LowerBound = res.Delay
 	}
 	asg := model.NewAssignment(t)
 	c.StoreAssignment(asg, sc.best)

@@ -15,6 +15,15 @@ type Result struct {
 	Assignment *model.Assignment
 	Delay      float64
 	Explored   int // assignments (BruteForce) or search nodes (BranchAndBound) visited
+
+	// Partial marks a best-effort branch-and-bound result: the budget or
+	// deadline expired and BnBOptions.BestEffort asked for the incumbent
+	// instead of an error. Optimality is not proven.
+	Partial bool
+	// LowerBound is a valid floor on the optimal delay: the forced-host
+	// bound while the search runs, and the proven optimum (== Delay) once
+	// a branch-and-bound completes. Zero when the solver computes none.
+	LowerBound float64
 }
 
 // ErrBudget is returned when a solver exceeds its exploration budget. It

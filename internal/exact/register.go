@@ -25,13 +25,24 @@ func init() {
 		Exact:     true,
 		Budget:    true,
 		WarmStart: true,
+		Anytime:   true,
 		Summary:   "branch-and-bound over the cut decision tree (node budget)",
 	}, func(ctx context.Context, req core.Request) (core.Finding, error) {
-		res, err := BranchAndBoundFrom(ctx, req.Tree, req.Budget, req.Warm)
+		res, err := BranchAndBoundOpts(ctx, req.Tree, BnBOptions{
+			MaxNodes:    req.Budget,
+			Warm:        req.Warm,
+			OnIncumbent: req.OnIncumbent,
+			BestEffort:  req.BestEffort,
+		})
 		if err != nil {
 			return core.Finding{}, err
 		}
-		return core.Finding{Assignment: res.Assignment, Work: res.Explored}, nil
+		return core.Finding{
+			Assignment: res.Assignment,
+			Work:       res.Explored,
+			Partial:    res.Partial,
+			LowerBound: res.LowerBound,
+		}, nil
 	})
 }
 

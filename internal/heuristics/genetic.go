@@ -2,6 +2,7 @@ package heuristics
 
 import (
 	"context"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -25,6 +26,15 @@ type GeneticConfig struct {
 	// warm-start hook): after a small instance drift the previous
 	// revision's solution is usually one mutation from optimal again.
 	Init *model.Assignment
+
+	// OnImprove, when set, receives every improvement of the population's
+	// best individual (including the initial population's) with a fresh
+	// assignment clone. Heuristics carry no bound proof, so
+	// Incumbent.LowerBound is 0.
+	OnImprove func(core.Incumbent)
+	// BestEffort returns the best-so-far with Result.Partial set instead
+	// of a context error when the deadline expires between generations.
+	BestEffort bool
 }
 
 func (c GeneticConfig) withDefaults() GeneticConfig {
@@ -158,10 +168,38 @@ func GeneticContext(ctx context.Context, t *model.Tree, cfg GeneticConfig) (*Res
 		return best
 	}
 
+	// stream clones the current best out to the improvement callback.
+	bestSeen := math.Inf(1)
+	stream := func(work int) {
+		if cfg.OnImprove == nil {
+			return
+		}
+		best := pop[0]
+		for _, ind := range pop[1:] {
+			if ind.delay < best.delay {
+				best = ind
+			}
+		}
+		if best.delay >= bestSeen {
+			return
+		}
+		bestSeen = best.delay
+		decode(best.genome)
+		asg := model.NewAssignment(t)
+		c.StoreAssignment(asg, st.loc)
+		cfg.OnImprove(core.Incumbent{Assignment: asg, Delay: best.delay, Work: work})
+	}
+
 	evaluations := len(pop)
+	stream(evaluations)
+	partial := false
 	for gen := 0; gen < cfg.Generations; gen++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			if !cfg.BestEffort {
+				return nil, err
+			}
+			partial = true
+			break
 		}
 		byDelay()
 		next := make([]individual, 0, cfg.Population)
@@ -192,11 +230,12 @@ func GeneticContext(ctx context.Context, t *model.Tree, cfg GeneticConfig) (*Res
 			evaluations++
 		}
 		pop = next
+		stream(evaluations)
 	}
 	byDelay()
 	best := pop[0]
 	decode(best.genome)
 	asg := model.NewAssignment(t)
 	c.StoreAssignment(asg, st.loc)
-	return &Result{Assignment: asg, Delay: best.delay, Work: evaluations}, nil
+	return &Result{Assignment: asg, Delay: best.delay, Work: evaluations, Partial: partial}, nil
 }

@@ -18,6 +18,10 @@ type Result struct {
 	Assignment *model.Assignment
 	Delay      float64
 	Work       int
+
+	// Partial marks a best-effort result: the deadline expired mid-walk
+	// and BestEffort asked for the best-so-far instead of an error.
+	Partial bool
 }
 
 // AllHost returns the trivial everything-on-host baseline.
@@ -183,6 +187,15 @@ type AnnealConfig struct {
 	// assignment to anneal from (the warm-start hook). It is never
 	// modified.
 	Init *model.Assignment
+
+	// OnImprove, when set, receives every improvement of the walk's best
+	// assignment (including the starting point) with a fresh clone the
+	// callback may keep. Heuristics have no bound proof, so
+	// Incumbent.LowerBound is 0.
+	OnImprove func(core.Incumbent)
+	// BestEffort returns the best-so-far with Result.Partial set instead
+	// of a context error when the deadline expires mid-walk.
+	BestEffort bool
 }
 
 // Anneal runs simulated annealing over the sink/lift move neighbourhood.
@@ -228,10 +241,24 @@ func AnnealContext(ctx context.Context, t *model.Tree, cfg AnnealConfig) (*Resul
 
 	copy(st.best, st.loc)
 	bestDelay := delay
+	stream := func(work int) {
+		if cfg.OnImprove == nil {
+			return
+		}
+		asg := model.NewAssignment(t)
+		c.StoreAssignment(asg, st.best)
+		cfg.OnImprove(core.Incumbent{Assignment: asg, Delay: bestDelay, Work: work})
+	}
+	stream(0)
+	partial := false
 	for step := 0; step < steps; step++ {
 		if step&0x3f == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				if !cfg.BestEffort {
+					return nil, err
+				}
+				partial = true
+				break
 			}
 		}
 		st.moves = appendMoves(st.moves[:0], c, st.loc)
@@ -247,6 +274,7 @@ func AnnealContext(ctx context.Context, t *model.Tree, cfg AnnealConfig) (*Resul
 			if delay < bestDelay {
 				copy(st.best, st.loc)
 				bestDelay = delay
+				stream(step + 1)
 			}
 		} else {
 			st.loc[mv.pos] = old
@@ -255,7 +283,7 @@ func AnnealContext(ctx context.Context, t *model.Tree, cfg AnnealConfig) (*Resul
 	}
 	asg := model.NewAssignment(t)
 	c.StoreAssignment(asg, st.best)
-	return &Result{Assignment: asg, Delay: bestDelay, Work: steps}, nil
+	return &Result{Assignment: asg, Delay: bestDelay, Work: steps, Partial: partial}, nil
 }
 
 func startAssignment(t *model.Tree, s Start) *model.Assignment {

@@ -31,16 +31,28 @@ func init() {
 	core.Register(core.Annealing, core.Capabilities{
 		Seeded:    true,
 		WarmStart: true,
+		Anytime:   true,
 		Summary:   "simulated annealing over the cut-move neighbourhood",
 	}, func(ctx context.Context, req core.Request) (core.Finding, error) {
-		return finding(AnnealContext(ctx, req.Tree, AnnealConfig{Seed: req.Seed, Init: req.Warm}))
+		return finding(AnnealContext(ctx, req.Tree, AnnealConfig{
+			Seed:       req.Seed,
+			Init:       req.Warm,
+			OnImprove:  req.OnIncumbent,
+			BestEffort: req.BestEffort,
+		}))
 	})
 	core.Register(core.Genetic, core.Capabilities{
 		Seeded:    true,
 		WarmStart: true,
+		Anytime:   true,
 		Summary:   "genetic algorithm over cut genomes (paper §6 future work)",
 	}, func(ctx context.Context, req core.Request) (core.Finding, error) {
-		return finding(GeneticContext(ctx, req.Tree, GeneticConfig{Seed: req.Seed, Init: req.Warm}))
+		return finding(GeneticContext(ctx, req.Tree, GeneticConfig{
+			Seed:       req.Seed,
+			Init:       req.Warm,
+			OnImprove:  req.OnIncumbent,
+			BestEffort: req.BestEffort,
+		}))
 	})
 }
 
@@ -62,5 +74,5 @@ func finding(r *Result, err error) (core.Finding, error) {
 	if err != nil {
 		return core.Finding{}, err
 	}
-	return core.Finding{Assignment: r.Assignment, Work: r.Work}, nil
+	return core.Finding{Assignment: r.Assignment, Work: r.Work, Partial: r.Partial}, nil
 }

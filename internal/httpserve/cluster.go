@@ -201,13 +201,15 @@ func batchItemKey(it *api.SolveRequest) string {
 	return string(b)
 }
 
-// sessionRouted steers session calls to the node their ID is pinned to:
-// a GET answers 307 (the client can talk to the owner directly from then
-// on), mutating calls are proxied with the hop guard. Unknown tags fall
-// through to the local lookup's not_found; an unreachable owner answers
-// CodeUnavailable — the session's warm state lives only there, so no
-// other node can serve it.
-func (s *server) sessionRouted(h http.HandlerFunc) http.HandlerFunc {
+// ownerRouted steers ID-pinned calls — sessions and jobs, whose IDs are
+// minted as "<node tag>-<random>" by their owner — to the node the ID
+// names: a GET answers 307 (the client can talk to the owner directly
+// from then on), mutating calls are proxied with the hop guard. Unknown
+// tags fall through to the local lookup's not_found; an unreachable
+// owner answers CodeUnavailable — the pinned state (a session's warm
+// tree, a job's progress ring) lives only there, so no other node can
+// serve it.
+func (s *server) ownerRouted(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		cl := s.cfg.Cluster
 		if cl == nil || forwarded(r) {
@@ -247,8 +249,8 @@ func (s *server) sessionRouted(h http.HandlerFunc) http.HandlerFunc {
 			}
 			s.fail(w, &api.Error{
 				Code:    api.CodeUnavailable,
-				Message: fmt.Sprintf("session owner %s unreachable", node),
-				Details: map[string]string{"session_id": id, "owner": node},
+				Message: fmt.Sprintf("owner %s unreachable", node),
+				Details: map[string]string{"id": id, "owner": node},
 			})
 			return
 		}

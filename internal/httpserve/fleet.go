@@ -115,13 +115,14 @@ func (f *Fleet) URLs() []string {
 	return out
 }
 
-// Close stops every node's probes and listener.
+// Close stops every node's probes, job workers and listener.
 func (f *Fleet) Close() {
 	for _, n := range f.Nodes {
 		if n == nil {
 			continue
 		}
 		n.Cluster.Stop()
+		n.Handler.Close()
 		n.srv.Close()
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"repro"
 	"repro/api"
 	"repro/internal/cluster"
+	"repro/internal/jobs"
 	"repro/internal/pool"
 )
 
@@ -49,6 +50,18 @@ type Config struct {
 	// owner, and sessions pin to the node that opened them. Nil serves
 	// everything locally (single-node mode).
 	Cluster *cluster.Cluster
+	// JobWorkers sizes the async job tier's solver pool (default
+	// BatchParallelism). Jobs queue behind the pool rather than compete
+	// with synchronous solves for the in-flight slots.
+	JobWorkers int
+	// JobQueueDepth bounds queued-but-not-running jobs (default 256);
+	// submits past it are rejected with CodeOverloaded.
+	JobQueueDepth int
+	// JobTTL is how long finished jobs stay pollable (default 10m).
+	JobTTL time.Duration
+	// JobPlanner overrides the metareasoning policy picking each job's
+	// algorithm and budget (default jobs.DefaultPlanner()).
+	JobPlanner *jobs.Planner
 }
 
 // Server is the routed handler with its drain control. It implements
@@ -76,20 +89,38 @@ func New(cfg Config) *Server {
 	if cfg.SessionTTL == 0 {
 		cfg.SessionTTL = 30 * time.Minute
 	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = cfg.BatchParallelism
+	}
 	s := &server{cfg: cfg, started: time.Now(), sessions: map[string]*sessionEntry{}, metrics: newMetrics()}
 	if cfg.MaxInflight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInflight)
 	}
+	jcfg := jobs.Config{
+		Service:    cfg.Service,
+		Workers:    cfg.JobWorkers,
+		QueueDepth: cfg.JobQueueDepth,
+		ResultTTL:  cfg.JobTTL,
+		Planner:    cfg.JobPlanner,
+	}
+	if cl := cfg.Cluster; cl != nil {
+		jcfg.SelfTag = cl.SelfTag()
+	}
+	s.jobs = jobs.New(jcfg)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.timed(epSolve, s.limited(s.handleSolve)))
 	mux.HandleFunc("POST /v1/batch", s.timed(epBatch, s.limited(s.handleBatch)))
 	mux.HandleFunc("POST /v1/simulate", s.timed(epSimulate, s.limited(s.handleSimulate)))
 	mux.HandleFunc("POST /v1/session", s.timed(epSessionOpen, s.limited(s.handleSessionOpen)))
-	mux.HandleFunc("GET /v1/session/{id}", s.timed(epSessionGet, s.sessionRouted(s.handleSessionGet)))
-	mux.HandleFunc("POST /v1/session/{id}/mutate", s.timed(epSessionMutate, s.limited(s.sessionRouted(s.handleSessionMutate))))
-	mux.HandleFunc("POST /v1/session/{id}/resolve", s.timed(epSessionResolve, s.limited(s.sessionRouted(s.handleSessionResolve))))
-	mux.HandleFunc("DELETE /v1/session/{id}", s.timed(epSessionClose, s.sessionRouted(s.handleSessionClose)))
+	mux.HandleFunc("GET /v1/session/{id}", s.timed(epSessionGet, s.ownerRouted(s.handleSessionGet)))
+	mux.HandleFunc("POST /v1/session/{id}/mutate", s.timed(epSessionMutate, s.limited(s.ownerRouted(s.handleSessionMutate))))
+	mux.HandleFunc("POST /v1/session/{id}/resolve", s.timed(epSessionResolve, s.limited(s.ownerRouted(s.handleSessionResolve))))
+	mux.HandleFunc("DELETE /v1/session/{id}", s.timed(epSessionClose, s.ownerRouted(s.handleSessionClose)))
+	mux.HandleFunc("POST /v1/jobs", s.timed(epJobSubmit, s.limited(s.handleJobSubmit)))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.timed(epJobGet, s.ownerRouted(s.handleJobGet)))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.ownerRouted(s.handleJobEvents))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.timed(epJobCancel, s.ownerRouted(s.handleJobCancel)))
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -109,9 +140,12 @@ type server struct {
 	sessMu   sync.Mutex
 	sessions map[string]*sessionEntry
 
+	jobs *jobs.Manager
+
 	solves, batches, simulates, rejected, failed atomic.Int64
 	sessionCalls, mutates, resolves              atomic.Int64
 	sessionsEvicted                              atomic.Int64
+	jobSubmits                                   atomic.Int64
 }
 
 // ServeHTTP dispatches to the routed mux.
@@ -132,6 +166,15 @@ func (s *server) Drain() {
 
 // Draining reports whether Drain was called.
 func (s *server) Draining() bool { return s.draining.Load() }
+
+// Close stops the async job tier: running jobs are cancelled, queued
+// jobs drain as canceled, and the workers exit. The HTTP routes keep
+// answering (polls of finished jobs still work) — callers close the
+// listener separately.
+func (s *server) Close() { s.jobs.Close() }
+
+// Jobs exposes the job manager, for tests and embedders.
+func (s *server) Jobs() *jobs.Manager { return s.jobs }
 
 // limited wraps a handler with the concurrency limiter: a request that
 // finds every slot taken is rejected immediately — shedding load beats
@@ -340,9 +383,11 @@ func (s *server) handleVars(w http.ResponseWriter, _ *http.Request) {
 			"session_open": s.sessionCalls.Load(),
 			"mutate":       s.mutates.Load(),
 			"resolve":      s.resolves.Load(),
+			"job_submit":   s.jobSubmits.Load(),
 			"rejected":     s.rejected.Load(),
 			"failed":       s.failed.Load(),
 		},
+		"jobs": s.jobs.Stats(),
 		"sessions": map[string]int64{
 			"live":    int64(s.sessionCount()),
 			"evicted": s.sessionsEvicted.Load(),
@@ -410,5 +455,12 @@ func writeJSON(w http.ResponseWriter, status int, payload any) {
 }
 
 func writeError(w http.ResponseWriter, e *api.Error) {
-	writeJSON(w, e.Code.HTTPStatus(), e)
+	status := e.Code.HTTPStatus()
+	if status == http.StatusTooManyRequests {
+		// Load shedding is by design momentary (a full limiter or job
+		// queue, not a stuck server): tell well-behaved clients when to
+		// come back instead of letting them hammer the limiter.
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, e)
 }

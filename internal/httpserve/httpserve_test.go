@@ -36,8 +36,12 @@ func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *repro.Service) 
 	if cfg.Service == nil {
 		cfg.Service = repro.NewService(nil, 128)
 	}
-	srv := httptest.NewServer(New(cfg))
-	t.Cleanup(srv.Close)
+	h := New(cfg)
+	srv := httptest.NewServer(h)
+	t.Cleanup(func() {
+		srv.Close()
+		h.Close()
+	})
 	return srv, cfg.Service
 }
 

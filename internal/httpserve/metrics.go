@@ -20,6 +20,9 @@ const (
 	epSessionMutate  = "session_mutate"
 	epSessionResolve = "session_resolve"
 	epSessionClose   = "session_close"
+	epJobSubmit      = "job_submit"
+	epJobGet         = "job_get"
+	epJobCancel      = "job_cancel"
 )
 
 // trackedEndpoints lists every labelled endpoint, in the order the
@@ -27,6 +30,7 @@ const (
 var trackedEndpoints = []string{
 	epSolve, epBatch, epSimulate,
 	epSessionOpen, epSessionGet, epSessionMutate, epSessionResolve, epSessionClose,
+	epJobSubmit, epJobGet, epJobCancel,
 }
 
 // metrics carries the server-side observability state: one latency

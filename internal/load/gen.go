@@ -185,6 +185,17 @@ func (g *Generator) BatchBody(s *Sampler, smp Draw) ([]byte, error) {
 	return json.Marshal(&api.BatchRequest{Items: items})
 }
 
+// JobBody renders an async job submit for the sample's instance,
+// carrying the mix's deadline and portfolio knobs.
+func (g *Generator) JobBody(smp Draw) ([]byte, error) {
+	m := g.spec.Mix
+	return json.Marshal(&api.JobRequest{
+		SolveRequest: api.SolveRequest{Spec: g.corpus[smp.Instance].spec, Algorithm: smp.Algorithm},
+		DeadlineMS:   m.JobDeadlineMS,
+		Portfolio:    m.JobPortfolio,
+	})
+}
+
 // OpenBody renders a session-open request for the sample's instance.
 func (g *Generator) OpenBody(smp Draw) ([]byte, error) {
 	return json.Marshal(&api.OpenSessionRequest{

@@ -23,12 +23,15 @@ const (
 	ClassSessionOpen   = "session-open"
 	ClassSessionMutate = "session-mutate"
 	ClassSessionClose  = "session-close"
+	ClassJobSubmit     = "job-submit"
+	ClassJobPoll       = "job-poll"
 )
 
 // resultClasses is every class a run may report, in display order.
 var resultClasses = []string{
 	ClassSolve, ClassBatch, ClassSimulate,
 	ClassSessionOpen, ClassSessionMutate, ClassSessionClose,
+	ClassJobSubmit, ClassJobPoll,
 }
 
 // RunOptions carries the non-spec run inputs.
@@ -230,8 +233,51 @@ func (r *runner) execute(ctx context.Context, smp *Sampler, sess *sessionState, 
 		r.do(ctx, ClassBatch, http.MethodPost, r.nextTarget()+"/v1/batch", body, measured, nil)
 	case ClassSession:
 		return r.sessionTick(ctx, smp, s, sess, measured)
+	case ClassJobs:
+		r.jobTick(ctx, s, measured)
 	}
 	return sess
+}
+
+// jobTick submits one async job and long-polls it to a terminal state.
+// The submit and each poll are recorded as their own wire classes — the
+// job's server-side runtime is what the polls *wait out*, so each poll
+// caps its wait (100ms) rather than absorbing the whole solve into one
+// latency sample.
+func (r *runner) jobTick(ctx context.Context, smp Draw, measured bool) {
+	body, _ := r.gen.JobBody(smp)
+	target := r.nextTarget()
+	var resp api.JobResponse
+	if !r.do(ctx, ClassJobSubmit, http.MethodPost, target+"/v1/jobs", body, measured, &resp) || resp.JobID == "" {
+		return
+	}
+	// Jobs are owner-pinned; polling the submit target follows the 307 to
+	// the owner when the submit was forwarded.
+	url := target + "/v1/jobs/" + resp.JobID + "?wait=100"
+	deadline := time.Now().Add(time.Duration(r.spec.Timeout))
+	state := resp.State
+	for !jobTerminal(state) {
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			if measured {
+				r.classes[ClassJobPoll].timeouts.Add(1)
+			}
+			return
+		}
+		var poll api.JobResponse
+		if !r.do(ctx, ClassJobPoll, http.MethodGet, url, nil, measured, &poll) {
+			return
+		}
+		state = poll.State
+	}
+}
+
+// jobTerminal mirrors jobs.State.Terminal at the wire level.
+func jobTerminal(state string) bool {
+	switch state {
+	case "done", "failed", "canceled", "expired":
+		return true
+	}
+	return false
 }
 
 // sessionTick advances the worker's session lifecycle by one wire call:

@@ -33,8 +33,9 @@ func TestRunSmoke(t *testing.T) {
 		Workers:  16,
 		Corpus:   CorpusSpec{Instances: 8, MinCRUs: 5, MaxCRUs: 9, Satellites: 3, ZipfS: 1.5},
 		Mix: MixSpec{
-			Classes:    map[string]float64{ClassSolve: 0.7, ClassBatch: 0.15, ClassSession: 0.15},
-			SessionOps: 2,
+			Classes:       map[string]float64{ClassSolve: 0.6, ClassBatch: 0.15, ClassSession: 0.15, ClassJobs: 0.1},
+			SessionOps:    2,
+			JobDeadlineMS: 200,
 		},
 		ScrapeInterval: Duration(300 * time.Millisecond),
 	}
@@ -55,7 +56,7 @@ func TestRunSmoke(t *testing.T) {
 	if res.Timeouts != 0 {
 		t.Errorf("want zero timeouts, got %d", res.Timeouts)
 	}
-	for _, class := range []string{ClassSolve, ClassBatch, ClassSessionOpen} {
+	for _, class := range []string{ClassSolve, ClassBatch, ClassSessionOpen, ClassJobSubmit, ClassJobPoll} {
 		st, ok := res.Classes[class]
 		if !ok || st.Count == 0 {
 			t.Errorf("class %q saw no completed requests", class)

@@ -18,11 +18,13 @@ const (
 	ClassBatch    = "batch"
 	ClassSimulate = "simulate"
 	ClassSession  = "session"
+	ClassJobs     = "jobs"
 )
 
 // knownClasses guards Validate against typos in spec files.
 var knownClasses = map[string]bool{
 	ClassSolve: true, ClassBatch: true, ClassSimulate: true, ClassSession: true,
+	ClassJobs: true,
 }
 
 // Duration is a time.Duration that travels as a human-readable string
@@ -96,6 +98,13 @@ type MixSpec struct {
 	// DriftFraction is the relative amplitude of each weight drift
 	// (default 0.1: weights wander ±10% per mutation).
 	DriftFraction float64 `json:"drift_fraction,omitempty"`
+	// JobDeadlineMS is the deadline submitted with each jobs-class
+	// request (0 = none: jobs run to completion). A deadline makes the
+	// anytime tier return best-effort partial results under load.
+	JobDeadlineMS int64 `json:"job_deadline_ms,omitempty"`
+	// JobPortfolio submits jobs-class requests in portfolio mode (exact
+	// vs heuristic race).
+	JobPortfolio bool `json:"job_portfolio,omitempty"`
 }
 
 // Spec is the declarative workload: everything a run needs besides the
@@ -255,7 +264,7 @@ func (s *Spec) Validate() error {
 	var total float64
 	for class, w := range m.Classes {
 		if !knownClasses[class] {
-			bad("mix.classes: unknown class %q (known: solve, batch, simulate, session)", class)
+			bad("mix.classes: unknown class %q (known: solve, batch, simulate, session, jobs)", class)
 		}
 		if w <= 0 {
 			bad("mix.classes[%q] weight must be > 0 (got %g)", class, w)
@@ -290,6 +299,9 @@ func (s *Spec) Validate() error {
 	}
 	if m.DriftFraction <= 0 || m.DriftFraction >= 1 {
 		bad("mix.drift_fraction must be in (0,1) (got %g)", m.DriftFraction)
+	}
+	if m.JobDeadlineMS < 0 {
+		bad("mix.job_deadline_ms must be >= 0 (got %d)", m.JobDeadlineMS)
 	}
 
 	if len(probs) > 0 {

@@ -125,6 +125,9 @@ type (
 	Capabilities = core.Capabilities
 	// Outcome is a uniform solver result.
 	Outcome = core.Outcome
+	// Incumbent is one improving solution streamed by an anytime solver
+	// through WithIncumbents.
+	Incumbent = core.Incumbent
 	// SearchStats details a graph-based solver's run.
 	SearchStats = core.SearchStats
 	// Request is a parameterised solve call (see the deprecated SolveWith;

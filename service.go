@@ -89,6 +89,18 @@ func (s *Service) solveCached(ctx context.Context, t *Tree, cfg settings) (*Outc
 	if t == nil {
 		return nil, CacheMiss, fmt.Errorf("%w: nil tree", ErrInvalidTree)
 	}
+	// Anytime requests bypass the cache entirely: a best-effort outcome is
+	// deadline-shaped (Partial results must never be stored or served as
+	// the instance's answer), and an incumbent callback is a side effect a
+	// cache hit would silently skip.
+	if cfg.bestEffort || cfg.onIncumbent != nil {
+		s.cache.RecordMiss()
+		out, err := s.solve(ctx, t, cfg)
+		if err != nil {
+			return nil, CacheMiss, err
+		}
+		return out, CacheMiss, nil
+	}
 	// The cache key is assembled into a pooled byte buffer and looked up
 	// with the allocation-free byte path first: on a warm hit (the
 	// steady-state serving regime) the whole call — fingerprint memo
@@ -236,6 +248,8 @@ func remapOutcome(out *Outcome, from, to *Tree) (*Outcome, error) {
 		Elapsed:    out.Elapsed,
 		Work:       out.Work,
 		Stats:      out.Stats,
+		Partial:    out.Partial,
+		LowerBound: out.LowerBound,
 	}, nil
 }
 

@@ -27,6 +27,8 @@ type settings struct {
 	timeout     time.Duration
 	parallelism int
 	warm        *Assignment
+	onIncumbent func(Incumbent)
+	bestEffort  bool
 }
 
 // Option configures a Solver (in NewSolver) or a single call (in Solve and
@@ -56,6 +58,20 @@ func WithTimeout(d time.Duration) Option { return func(s *settings) { s.timeout 
 
 // WithParallelism bounds SolveBatch's worker pool (default runtime.NumCPU).
 func WithParallelism(n int) Option { return func(s *settings) { s.parallelism = n } }
+
+// WithIncumbents streams improving assignments from anytime solvers
+// (BranchBound, Annealing, Genetic — see Capabilities.Anytime): each time
+// the search improves its incumbent, fn receives a caller-owned clone with
+// the current delay and bound. fn runs synchronously on the solving
+// goroutine, so it must return quickly. Non-anytime solvers ignore it.
+func WithIncumbents(fn func(Incumbent)) Option { return func(s *settings) { s.onIncumbent = fn } }
+
+// WithBestEffort makes anytime solvers return their best-so-far assignment
+// with Outcome.Partial set — instead of an error matching ErrBudgetExceeded
+// or ErrCanceled — when the budget or WithTimeout deadline expires. A
+// partial outcome from an exact solver is feasible but not proven optimal;
+// Outcome.LowerBound carries whatever floor the solver established.
+func WithBestEffort() Option { return func(s *settings) { s.bestEffort = true } }
 
 // WithWarmStart offers a prior assignment as the starting point of the
 // search — typically a previous revision's solution projected onto a
@@ -121,12 +137,14 @@ func solveOne(ctx context.Context, t *Tree, cfg settings) (*Outcome, error) {
 		defer cancel()
 	}
 	req := core.Request{
-		Tree:      t,
-		Algorithm: cfg.algorithm,
-		Weights:   cfg.weights,
-		Seed:      cfg.seed,
-		Budget:    cfg.budget,
-		Warm:      cfg.warm,
+		Tree:        t,
+		Algorithm:   cfg.algorithm,
+		Weights:     cfg.weights,
+		Seed:        cfg.seed,
+		Budget:      cfg.budget,
+		Warm:        cfg.warm,
+		OnIncumbent: cfg.onIncumbent,
+		BestEffort:  cfg.bestEffort,
 	}
 	if t != nil {
 		// Compile (or fetch) the flat plan here so every dispatch — batch
