@@ -57,6 +57,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheSize := flag.Int("cache", 4096, "result cache capacity in outcomes (0 disables the store, keeping singleflight)")
 	parallelism := flag.Int("parallelism", 0, "batch worker pool size (0 = NumCPU)")
+	solveWorkers := flag.Int("solve-workers", 0, "worker count inside one solve for Parallel-capable solvers (0 = GOMAXPROCS)")
 	requestTimeout := flag.Duration("request-timeout", 15*time.Second, "server-side ceiling per request (0 = none)")
 	maxInflight := flag.Int("max-inflight", 256, "max concurrently served requests; excess get HTTP 429 (0 = unbounded)")
 	maxBatch := flag.Int("max-batch", 1024, "max items per batch request")
@@ -99,7 +100,10 @@ func main() {
 		}
 	}
 
-	solver := repro.NewSolver(repro.WithParallelism(*parallelism))
+	solver := repro.NewSolver(
+		repro.WithParallelism(*parallelism),
+		repro.WithSolveParallelism(*solveWorkers),
+	)
 	service := repro.NewService(solver, *cacheSize)
 	handler := httpserve.New(httpserve.Config{
 		Service:          service,

@@ -138,6 +138,7 @@ func All() []Experiment {
 		{"P1", "perf: compiled flat-tree plans vs pointer walks", P1CompiledVsPointer},
 		{"P2", "perf: clustered serving 1-node vs 3-node", P2ClusterScaling},
 		{"P3", "perf: open-loop load harness on a 2-node fleet", P3LoadHarness},
+		{"P4", "perf: parallel branch-and-bound cores + batch eval lanes", P4ParallelCores},
 	}
 }
 

@@ -41,6 +41,15 @@ const (
 	Annealing Algorithm = "annealing"
 	// Genetic is the §6 future-work genetic algorithm.
 	Genetic Algorithm = "genetic"
+	// ParallelBnB is the work-stealing parallel branch-and-bound: exact,
+	// and saturating Request.Parallelism cores on one solve.
+	ParallelBnB Algorithm = "parallel-bnb"
+	// AnnealingPack runs a pack of independent annealing walks in lockstep
+	// over the batch evaluation kernel. The pack width is pinned in its
+	// config, not taken from Request.Parallelism: width changes the answer,
+	// and the parallelism hint is excluded from cache identity on the
+	// promise it never does.
+	AnnealingPack Algorithm = "annealing-pack"
 )
 
 // Request describes one solve.
@@ -50,6 +59,14 @@ type Request struct {
 	Weights   dwg.Weights // zero selects the S+B delay objective
 	Seed      int64       // randomised heuristics only
 	Budget    int         // node/frontier budget for exact searches (0 = default)
+
+	// Parallelism bounds the intra-solve worker count (or lane width) of
+	// solvers whose capabilities declare Parallel: 0 selects the solver's
+	// default (GOMAXPROCS for the work-stealing branch-and-bound). It is
+	// advisory and never changes an exact solver's answer — only how many
+	// cores the search saturates — so the serving layers exclude it from
+	// the cache identity; solvers without the capability ignore it.
+	Parallelism int
 
 	// Plan is the compiled flat-tree plan of Tree. Leave nil to have
 	// SolveContext resolve it (Compile memoises the plan on the tree, so
@@ -172,6 +189,11 @@ func SolveContext(ctx context.Context, req Request) (*Outcome, error) {
 	// degrade to a cold solve, never corrupt the search).
 	if req.Warm != nil && (!caps.WarmStart || req.Warm.Validate(req.Tree) != nil) {
 		req.Warm = nil
+	}
+	// Parallelism is likewise advisory: zero it for solvers that do not
+	// declare the capability so their SolveFuncs never see a stray hint.
+	if !caps.Parallel {
+		req.Parallelism = 0
 	}
 
 	start := time.Now()

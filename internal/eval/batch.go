@@ -1,0 +1,86 @@
+package eval
+
+import (
+	"repro/internal/model"
+	"repro/internal/pool"
+)
+
+// BatchFrame is the pooled scratch of the batch evaluation kernel: K
+// lanes of per-satellite accumulator pairs, flattened lane-major so one
+// node's K updates touch K strided slots of one backing array. Frames
+// live in a striped per-P free list rather than a sync.Pool, so the
+// parallel consumers (genetic populations, annealing restart packs,
+// worker fleets) stay at zero steady-state allocations across GC cycles.
+type BatchFrame struct {
+	satProc, satComm []float64 // lane k, satellite s at [k*numSats+s]
+	host             []float64 // per-lane host-time accumulator
+}
+
+var batchFrames = pool.NewStriped(func() *BatchFrame { return new(BatchFrame) })
+
+// GetBatchFrame checks a BatchFrame out of the striped arena.
+func GetBatchFrame() *BatchFrame { return batchFrames.Get() }
+
+// PutBatchFrame returns a BatchFrame to the striped arena.
+func PutBatchFrame(f *BatchFrame) { batchFrames.Put(f) }
+
+// FlatDelayBatch evaluates K candidate location vectors against the
+// compiled plan in one pre-order traversal, writing each lane's delay to
+// out[k]. Every locs[k] must be a feasible position-indexed vector of
+// length c.Len(), and out must have length len(locs).
+//
+// The kernel is the data-parallel form of FlatDelay: the plan's arrays
+// are swept once and each node's contribution is applied to all K
+// accumulator lanes, so evaluating a population costs one pass over the
+// plan instead of K. Per lane the floating-point additions happen in
+// exactly the order FlatDelay performs them, so each out[k] is
+// bit-identical to FlatDelay(c, locs[k], f) — the property
+// FuzzFlatDelayBatch pins and the batch consumers' determinism tests
+// (identical results at any lane width) rely on.
+func FlatDelayBatch(c *model.Compiled, locs [][]model.Location, out []float64, f *BatchFrame) {
+	k := len(locs)
+	if k == 0 {
+		return
+	}
+	if len(out) != k {
+		panic("eval: FlatDelayBatch out length != lane count")
+	}
+	ns := c.NumSats
+	f.satProc = pool.Slice(f.satProc, k*ns)
+	f.satComm = pool.Slice(f.satComm, k*ns)
+	f.host = pool.Slice(f.host, k)
+	for _, p := range c.Pre {
+		// Per-node plan reads hoisted out of the lane loop: the inner body
+		// is pure lane-local accumulator traffic.
+		par := c.Parent[p]
+		proc := c.Proc[p]
+		ht, st, up := c.HostTime[p], c.SatTime[p], c.UpComm[p]
+		row := 0
+		for lane := 0; lane < k; lane++ {
+			loc := locs[lane]
+			l := loc[p]
+			onHost := l.IsHost()
+			if proc {
+				if onHost {
+					f.host[lane] += ht
+				} else if sat, ok := l.Satellite(); ok {
+					f.satProc[row+int(sat)] += st
+				}
+			}
+			if par >= 0 && !onHost && loc[par].IsHost() {
+				sat, _ := l.Satellite()
+				f.satComm[row+int(sat)] += up
+			}
+			row += ns
+		}
+	}
+	for lane := 0; lane < k; lane++ {
+		var b float64
+		for s := 0; s < ns; s++ {
+			if v := f.satProc[lane*ns+s] + f.satComm[lane*ns+s]; v > b {
+				b = v
+			}
+		}
+		out[lane] = f.host[lane] + b
+	}
+}

@@ -1,0 +1,133 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// decodeCuts fills loc with a feasible assignment derived from an
+// arbitrary bit string: walking the plan in pre-order, the subtree of a
+// monochromatic non-root CRU sinks to its satellite when its bit is set
+// (bits below a cut are skipped), exactly the genetic genome decoding.
+// Any byte string therefore maps to a feasible location vector, which is
+// what lets the fuzzer drive the kernel with raw input.
+func decodeCuts(c *model.Compiled, bits []byte, loc []model.Location) {
+	c.BaseLocations(loc)
+	if len(bits) == 0 {
+		return
+	}
+	site := 0
+	for i := 0; i < len(c.Pre); {
+		p := c.Pre[i]
+		if c.Proc[p] && p != c.RootPos && c.Colour[p] != model.NoSatellite {
+			bit := bits[site%len(bits)]>>(site%8)&1 == 1
+			site++
+			if bit {
+				c.FillSpan(loc, p, model.OnSatellite(c.Colour[p]))
+				i += int(p - c.Start[p] + 1)
+				continue
+			}
+		}
+		i++
+	}
+}
+
+// TestFlatDelayBatchParity: for random instances and random feasible
+// lane sets of every width, each batch lane is bit-identical to an
+// independent FlatDelay call — and, transitively, to PointerDelay.
+func TestFlatDelayBatchParity(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		spec := workload.DefaultRandomSpec(8+int(seed)*5, 2+int(seed)%4)
+		spec.Clustered = seed%2 == 0
+		tree := workload.Random(rng, spec)
+		c := model.Compile(tree)
+
+		for _, lanes := range []int{1, 2, 3, 8, 17} {
+			locs := make([][]model.Location, lanes)
+			bits := make([]byte, 16)
+			for k := range locs {
+				locs[k] = make([]model.Location, c.Len())
+				rng.Read(bits)
+				decodeCuts(c, bits, locs[k])
+			}
+			out := make([]float64, lanes)
+			bf := GetBatchFrame()
+			FlatDelayBatch(c, locs, out, bf)
+			PutBatchFrame(bf)
+
+			fr := GetFrame()
+			for k := range locs {
+				if want := FlatDelay(c, locs[k], fr); out[k] != want {
+					t.Fatalf("seed %d lanes %d lane %d: batch %v != FlatDelay %v", seed, lanes, k, out[k], want)
+				}
+				asg := model.NewAssignment(tree)
+				c.StoreAssignment(asg, locs[k])
+				if want := PointerDelay(tree, asg); out[k] != want {
+					t.Fatalf("seed %d lanes %d lane %d: batch %v != PointerDelay %v", seed, lanes, k, out[k], want)
+				}
+			}
+			PutFrame(fr)
+		}
+	}
+}
+
+// TestFlatDelayBatchEmptyAndMismatch pins the edge contract: zero lanes
+// is a no-op and a mismatched out slice panics loudly.
+func TestFlatDelayBatchEmptyAndMismatch(t *testing.T) {
+	tree := workload.PaperTree()
+	c := model.Compile(tree)
+	bf := GetBatchFrame()
+	defer PutBatchFrame(bf)
+	FlatDelayBatch(c, nil, nil, bf) // no lanes: must not touch anything
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched out length did not panic")
+		}
+	}()
+	loc := make([]model.Location, c.Len())
+	c.BaseLocations(loc)
+	FlatDelayBatch(c, [][]model.Location{loc}, make([]float64, 2), bf)
+}
+
+// FuzzFlatDelayBatch cross-checks the batch kernel against K independent
+// FlatDelay calls on assignments decoded from arbitrary fuzz input.
+func FuzzFlatDelayBatch(f *testing.F) {
+	f.Add(int64(1), uint8(3), []byte{0x00})
+	f.Add(int64(7), uint8(1), []byte{0xff, 0x0f})
+	f.Add(int64(42), uint8(9), []byte{0xa5, 0x5a, 0x33, 0xcc})
+	f.Fuzz(func(t *testing.T, treeSeed int64, lanes uint8, bits []byte) {
+		k := int(lanes%16) + 1
+		rng := rand.New(rand.NewSource(treeSeed))
+		spec := workload.DefaultRandomSpec(6+int(uint64(treeSeed)%30), 2+int(uint64(treeSeed)%3))
+		tree := workload.Random(rng, spec)
+		c := model.Compile(tree)
+
+		locs := make([][]model.Location, k)
+		for i := range locs {
+			locs[i] = make([]model.Location, c.Len())
+			// Rotate the bit string per lane so lanes differ.
+			lane := bits
+			if len(bits) > 0 {
+				lane = append(append([]byte(nil), bits[i%len(bits):]...), bits[:i%len(bits)]...)
+			}
+			decodeCuts(c, lane, locs[i])
+		}
+		out := make([]float64, k)
+		bf := GetBatchFrame()
+		FlatDelayBatch(c, locs, out, bf)
+		PutBatchFrame(bf)
+
+		fr := GetFrame()
+		defer PutFrame(fr)
+		for i := range locs {
+			if want := FlatDelay(c, locs[i], fr); out[i] != want {
+				t.Fatalf("lane %d/%d: batch %v != scalar %v", i, k, out[i], want)
+			}
+		}
+	})
+}

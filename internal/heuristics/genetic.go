@@ -21,6 +21,12 @@ type GeneticConfig struct {
 	Mutation    float64 // per-gene flip probability, default 0.05
 	Elite       int     // survivors copied verbatim, default 2
 	Tournament  int     // tournament size, default 3
+	// Lanes is the width of the batch evaluation kernel: genomes are
+	// scored Lanes at a time with one plan traversal per chunk (default
+	// 8). Each lane's delay is bit-identical to a scalar evaluation, so
+	// the lane width never changes the result — only the number of plan
+	// sweeps per generation.
+	Lanes int
 	// Init, when non-nil, is a feasible assignment whose cut genome joins
 	// the initial population next to the two trivial baselines (the
 	// warm-start hook): after a small instance drift the previous
@@ -48,6 +54,7 @@ func (c GeneticConfig) withDefaults() GeneticConfig {
 	if c.Tournament <= 1 {
 		c.Tournament = 3
 	}
+	c.Lanes = core.IntOr(c.Lanes, 8)
 	return c
 }
 
@@ -65,10 +72,12 @@ func Genetic(t *model.Tree, cfg GeneticConfig) *Result {
 
 // GeneticContext is Genetic with cancellation: the context is checked once
 // per generation. On cancellation the returned error is the context's and
-// the result is nil. Genomes decode into a pooled position vector by
-// pre-order span skipping over the compiled plan and are scored with the
-// flat kernel, so one decode+evaluation costs two flat passes and zero
-// allocation (the genomes themselves are the population's only churn).
+// the result is nil. Genomes decode into position vectors by pre-order
+// span skipping over the compiled plan and each generation is scored with
+// the batch kernel, cfg.Lanes genomes per plan traversal — the evaluation
+// consumes no randomness and every lane is bit-identical to a scalar
+// FlatDelay call, so the result for a fixed seed is independent of the
+// lane width (TestGeneticBatchDeterministic pins this).
 func GeneticContext(ctx context.Context, t *model.Tree, cfg GeneticConfig) (*Result, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -90,39 +99,62 @@ func GeneticContext(ctx context.Context, t *model.Tree, cfg GeneticConfig) (*Res
 
 	st := moveStates.Get()
 	defer moveStates.Put(st)
-	fr := eval.GetFrame()
-	defer eval.PutFrame(fr)
 	st.loc = pool.Keep(st.loc, c.Len())
 
-	// decode fills st.loc with the genome's assignment: scan pre-order,
+	// decodeInto fills dst with the genome's assignment: scan pre-order,
 	// sink the whole span at the first set site bit, and skip the subtree
 	// (genes below a cut are ignored). Subtrees are contiguous in
 	// pre-order too, so the skip is an index jump, not a walk.
-	decode := func(genome []bool) {
-		c.BaseLocations(st.loc)
+	decodeInto := func(dst []model.Location, genome []bool) {
+		c.BaseLocations(dst)
 		for i := 0; i < len(c.Pre); {
 			p := c.Pre[i]
 			if si := siteOf[p]; si >= 0 && genome[si] {
-				c.FillSpan(st.loc, p, model.OnSatellite(c.Colour[p]))
+				c.FillSpan(dst, p, model.OnSatellite(c.Colour[p]))
 				i += int(p - c.Start[p] + 1)
 				continue
 			}
 			i++
 		}
 	}
+	decode := func(genome []bool) { decodeInto(st.loc, genome) }
 
 	type individual struct {
 		genome []bool
 		delay  float64
 	}
-	evalGenome := func(g []bool) individual {
-		decode(g)
-		return individual{genome: g, delay: eval.FlatDelay(c, st.loc, fr)}
-	}
 
 	if len(sites) == 0 {
 		asg := model.NewAssignment(t)
 		return &Result{Assignment: asg, Delay: eval.MustDelay(t, asg)}, nil
+	}
+
+	// scorePop fills in the delays of inds, cfg.Lanes genomes per plan
+	// traversal. Decoding and scoring consume no randomness, so deferring
+	// evaluation to the end of a generation leaves the rng stream — and
+	// therefore the whole run — identical to genome-at-a-time scoring.
+	bf := eval.GetBatchFrame()
+	defer eval.PutBatchFrame(bf)
+	laneLoc := make([][]model.Location, cfg.Lanes)
+	for i := range laneLoc {
+		laneLoc[i] = make([]model.Location, c.Len())
+	}
+	laneOut := make([]float64, cfg.Lanes)
+	scorePop := func(inds []individual) {
+		for lo := 0; lo < len(inds); lo += cfg.Lanes {
+			hi := lo + cfg.Lanes
+			if hi > len(inds) {
+				hi = len(inds)
+			}
+			k := hi - lo
+			for j := 0; j < k; j++ {
+				decodeInto(laneLoc[j], inds[lo+j].genome)
+			}
+			eval.FlatDelayBatch(c, laneLoc[:k], laneOut[:k], bf)
+			for j := 0; j < k; j++ {
+				inds[lo+j].delay = laneOut[j]
+			}
+		}
 	}
 
 	pop := make([]individual, cfg.Population)
@@ -131,17 +163,16 @@ func GeneticContext(ctx context.Context, t *model.Tree, cfg GeneticConfig) (*Res
 		for j := range g {
 			g[j] = rng.Intn(2) == 0
 		}
-		pop[i] = evalGenome(g)
+		pop[i] = individual{genome: g}
 	}
 	// Seed the population with both trivial baselines.
-	allHost := make([]bool, len(sites))
-	pop[0] = evalGenome(allHost)
-	topmost := make([]bool, len(sites))
-	for j := range topmost {
-		topmost[j] = true // redundant bits are ignored below the first cut
-	}
+	pop[0].genome = make([]bool, len(sites))
 	if len(pop) > 1 {
-		pop[1] = evalGenome(topmost)
+		topmost := make([]bool, len(sites))
+		for j := range topmost {
+			topmost[j] = true // redundant bits are ignored below the first cut
+		}
+		pop[1].genome = topmost
 	}
 	if cfg.Init != nil && len(pop) > 2 {
 		// Encode the warm assignment as a cut genome: a site's bit is set
@@ -153,8 +184,9 @@ func GeneticContext(ctx context.Context, t *model.Tree, cfg GeneticConfig) (*Res
 			_, onSat := cfg.Init.At(c.Post[p]).Satellite()
 			warm[j] = onSat
 		}
-		pop[2] = evalGenome(warm)
+		pop[2].genome = warm
 	}
+	scorePop(pop)
 
 	byDelay := func() { sort.Slice(pop, func(i, j int) bool { return pop[i].delay < pop[j].delay }) }
 	tournament := func() individual {
@@ -206,6 +238,7 @@ func GeneticContext(ctx context.Context, t *model.Tree, cfg GeneticConfig) (*Res
 		for e := 0; e < cfg.Elite && e < len(pop); e++ {
 			next = append(next, pop[e])
 		}
+		elites := len(next)
 		for len(next) < cfg.Population {
 			a, b := tournament(), tournament()
 			child := make([]bool, len(sites))
@@ -226,9 +259,10 @@ func GeneticContext(ctx context.Context, t *model.Tree, cfg GeneticConfig) (*Res
 					child[j] = !child[j]
 				}
 			}
-			next = append(next, evalGenome(child))
+			next = append(next, individual{genome: child})
 			evaluations++
 		}
+		scorePop(next[elites:]) // elites keep their scored delays
 		pop = next
 		stream(evaluations)
 	}

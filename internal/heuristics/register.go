@@ -41,6 +41,24 @@ func init() {
 			BestEffort: req.BestEffort,
 		}))
 	})
+	// AnnealingPack deliberately does not declare Parallel: its restart
+	// count is configuration (changing it changes the answer), and the
+	// serving layers exclude Request.Parallelism from the cache identity
+	// on the promise that parallelism never changes a solver's output. The
+	// registered form therefore always runs the default pack.
+	core.Register(core.AnnealingPack, core.Capabilities{
+		Seeded:    true,
+		WarmStart: true,
+		Anytime:   true,
+		Summary:   "portfolio of annealing restarts in lockstep over the batch kernel",
+	}, func(ctx context.Context, req core.Request) (core.Finding, error) {
+		return finding(AnnealRestarts(ctx, req.Tree, AnnealPackConfig{
+			Seed:       req.Seed,
+			Init:       req.Warm,
+			OnImprove:  req.OnIncumbent,
+			BestEffort: req.BestEffort,
+		}))
+	})
 	core.Register(core.Genetic, core.Capabilities{
 		Seeded:    true,
 		WarmStart: true,

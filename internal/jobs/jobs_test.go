@@ -291,10 +291,12 @@ func TestPlannerPolicy(t *testing.T) {
 		{"rush heuristic", jobs.Features{Nodes: 60, Colours: 2, Deadline: 5 * time.Millisecond}, repro.Annealing, false},
 		{"rush many colours", jobs.Features{Nodes: 60, Colours: 4, Deadline: 5 * time.Millisecond}, repro.Genetic, false},
 		{"backlog sheds", jobs.Features{Nodes: 60, Colours: 2, QueueDepth: 64}, repro.Annealing, false},
-		{"deadline races", jobs.Features{Nodes: 60, Colours: 2, Deadline: time.Second}, repro.BranchBound, true},
-		{"explicit portfolio", jobs.Features{Nodes: 60, Colours: 2, Portfolio: true}, repro.BranchBound, true},
+		{"deadline races", jobs.Features{Nodes: 60, Colours: 2, Deadline: time.Second}, repro.ParallelBnB, true},
+		{"deadline races mid-size sequential", jobs.Features{Nodes: 40, Colours: 2, Deadline: time.Second}, repro.BranchBound, true},
+		{"explicit portfolio", jobs.Features{Nodes: 60, Colours: 2, Portfolio: true}, repro.ParallelBnB, true},
 		{"explicit portfolio on small instance", jobs.Features{Nodes: 10, Colours: 2, Portfolio: true}, repro.BranchBound, true},
-		{"no deadline exact", jobs.Features{Nodes: 60, Colours: 2}, repro.BranchBound, false},
+		{"no deadline mid-size exact", jobs.Features{Nodes: 40, Colours: 2}, repro.BranchBound, false},
+		{"no deadline large goes parallel", jobs.Features{Nodes: 60, Colours: 2}, repro.ParallelBnB, false},
 		{"pinned", jobs.Features{Nodes: 60, Colours: 2, Algorithm: repro.Genetic}, repro.Genetic, false},
 	}
 	for _, tc := range cases {

@@ -77,11 +77,23 @@ type Planner struct {
 	DeepQueue int
 	// GapThreshold is the portfolio acceptance gap. Default 0.02.
 	GapThreshold float64
+	// ParallelNodes is the instance size from which the exact lane runs
+	// the work-stealing parallel branch-and-bound instead of the
+	// sequential one: a search that large is the only job a core will see
+	// for a while, so saturating the node with one solve beats keeping
+	// cores free for queue parallelism. Default 48.
+	ParallelNodes int
 }
 
 // DefaultPlanner returns the stock policy.
 func DefaultPlanner() *Planner {
-	return &Planner{SmallNodes: 24, RushDeadline: 10 * time.Millisecond, DeepQueue: 32, GapThreshold: 0.02}
+	return &Planner{
+		SmallNodes:    24,
+		RushDeadline:  10 * time.Millisecond,
+		DeepQueue:     32,
+		GapThreshold:  0.02,
+		ParallelNodes: 48,
+	}
 }
 
 // Plan decides one request. Pinned algorithms are honoured as-is (with a
@@ -99,6 +111,14 @@ func (p *Planner) Plan(f Features) Plan {
 		// explores it better than a single annealing walk.
 		heur = repro.Genetic
 	}
+	// The exact lane: sequential branch-and-bound for mid-size searches,
+	// the work-stealing parallel one once the instance is large enough to
+	// dominate a node anyway. The two return the same delay, so the switch
+	// is pure wall-time policy.
+	exact := repro.BranchBound
+	if f.Nodes >= p.ParallelNodes {
+		exact = repro.ParallelBnB
+	}
 
 	if f.Algorithm != "" {
 		plan := Plan{Algorithm: f.Algorithm, Reason: "algorithm pinned by request"}
@@ -113,7 +133,7 @@ func (p *Planner) Plan(f Features) Plan {
 
 	if f.Portfolio {
 		return Plan{
-			Algorithm:    repro.BranchBound,
+			Algorithm:    exact,
 			Portfolio:    true,
 			Heuristic:    heur,
 			GapThreshold: p.GapThreshold,
@@ -140,7 +160,7 @@ func (p *Planner) Plan(f Features) Plan {
 		}
 	case f.Deadline > 0:
 		return Plan{
-			Algorithm:    repro.BranchBound,
+			Algorithm:    exact,
 			Portfolio:    true,
 			Heuristic:    heur,
 			GapThreshold: p.GapThreshold,
@@ -148,7 +168,7 @@ func (p *Planner) Plan(f Features) Plan {
 		}
 	default:
 		return Plan{
-			Algorithm: repro.BranchBound,
+			Algorithm: exact,
 			Reason:    "no deadline: exact branch-and-bound",
 		}
 	}

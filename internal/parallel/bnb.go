@@ -1,0 +1,520 @@
+package parallel
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/exact"
+	"repro/internal/model"
+	"repro/internal/pool"
+)
+
+// Options parameterises one work-stealing branch-and-bound run.
+type Options struct {
+	// Workers is the number of concurrent search workers (0 means
+	// GOMAXPROCS). The worker count never changes the returned delay —
+	// only the wall time and which of several co-optimal assignments is
+	// reported.
+	Workers int
+	// MaxNodes caps the total search nodes across all workers (0 means
+	// 1<<22). The cap is enforced in per-worker strides, so the final
+	// explored count may overshoot by a few strides per worker.
+	MaxNodes int
+	// Warm optionally seeds the shared incumbent before the workers start
+	// (see exact.BranchAndBoundFrom — the answer is unchanged, only the
+	// first bound is tighter).
+	Warm *model.Assignment
+	// OnIncumbent, when set, receives every improvement of the shared
+	// incumbent with a freshly cloned assignment. Calls are serialised and
+	// strictly decreasing in Delay, regardless of how many workers race.
+	OnIncumbent func(core.Incumbent)
+	// BestEffort returns the incumbent with Result.Partial set — instead
+	// of ErrBudget or the context error — when the node budget or the
+	// deadline expires. The incumbent is always feasible (the baselines
+	// seed it before the search starts).
+	BestEffort bool
+}
+
+// frame is one stealable unit of search: a full snapshot of the
+// sequential solver's working state (partial location vector, decision
+// stack, satellite load table and the two incremental bound terms) at the
+// point a branch was forked. A worker resumes a frame by running the
+// plain depth-first search on it; nothing in a frame is shared.
+type frame struct {
+	loc             []model.Location
+	stack           []int32
+	loads           []float64
+	hostTime        float64
+	forcedRemaining float64
+}
+
+// framePool keeps frames on per-P striped free lists so fork/release
+// cycles allocate nothing in steady state even with every core forking.
+var framePool = pool.NewStriped(func() *frame { return new(frame) })
+
+const (
+	// lowWater: a worker forks the second branch of a decision onto its
+	// deque only while the deque is shorter than this, so steady-state
+	// search runs the plain sequential recursion with no synchronisation.
+	lowWater = 4
+	// exploredStride is how many nodes a worker explores between flushes
+	// of its local counter into the shared budget counter.
+	exploredStride = 64
+	// ctxStride is how many nodes a worker explores between context
+	// polls (matches the sequential solver's &0xff cadence).
+	ctxStride = 256
+)
+
+// search is the state shared by the workers of one run.
+type search struct {
+	ctx  context.Context
+	c    *model.Compiled
+	tree *model.Tree
+
+	// bound is the incumbent delay as IEEE-754 bits, tightened by CAS.
+	// Every worker prunes against it at every node, so an improvement on
+	// one core cuts the search on all of them within a few instructions.
+	bound    atomic.Uint64
+	explored atomic.Int64
+	maxNodes int64
+
+	stop      atomic.Bool
+	budgetHit atomic.Bool
+	errMu     sync.Mutex
+	err       error // first context error, under errMu
+
+	// incMu serialises incumbent storage and streaming: the CAS above
+	// makes pruning fast, this mutex makes the best assignment and the
+	// OnIncumbent stream consistent and strictly improving.
+	incMu     sync.Mutex
+	best      []model.Location
+	bestDelay float64
+	globalLB  float64
+	onInc     func(core.Incumbent)
+
+	// Deques of stealable frames, one per worker, all under one mutex:
+	// owners pop their own tail (depth-first order), thieves take a
+	// victim's head (the largest remaining subtrees). Frames are rare —
+	// they exist only while some deque is near-empty — so one lock is
+	// cheaper than per-deque protocols and makes the empty+pending==0
+	// termination test race-free.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	deques  [][]*frame
+	pending int          // frames queued or being searched, under mu
+	queued  atomic.Int64 // frames queued, for the fork heuristic
+	dlen    []atomic.Int32
+	maxLive int64
+}
+
+// worker is the per-goroutine view: its deque index plus the local node
+// counters that batch updates of the shared budget counter.
+type worker struct {
+	s   *search
+	id  int
+	n   int64 // nodes explored by this worker
+	est int64 // estimated global total: shared counter at last flush + local since
+}
+
+func maxLoad(loads []float64) float64 {
+	m := 0.0
+	for _, v := range loads {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func (s *search) incumbent() float64 { return math.Float64frombits(s.bound.Load()) }
+
+// improve publishes a complete assignment of delay d: the atomic bound is
+// tightened first so every worker prunes against d immediately, then the
+// assignment is stored and streamed under incMu. Losing a CAS race to a
+// better delay abandons the publish — the better solution is already (or
+// about to be) stored by its finder.
+func (s *search) improve(loc []model.Location, d float64) {
+	for {
+		cur := s.bound.Load()
+		if d >= math.Float64frombits(cur) {
+			return
+		}
+		if s.bound.CompareAndSwap(cur, math.Float64bits(d)) {
+			break
+		}
+	}
+	s.incMu.Lock()
+	if d < s.bestDelay {
+		s.bestDelay = d
+		copy(s.best, loc)
+		if s.onInc != nil {
+			asg := model.NewAssignment(s.tree)
+			s.c.StoreAssignment(asg, s.best)
+			s.onInc(core.Incumbent{
+				Assignment: asg,
+				Delay:      d,
+				LowerBound: s.globalLB,
+				Work:       int(s.explored.Load()),
+			})
+		}
+	}
+	s.incMu.Unlock()
+}
+
+// halt asks every worker to unwind: the first context error wins, later
+// ones (and budget halts, which pass nil) keep it. The broadcast happens
+// with mu held so a thief between its stop check and cond.Wait cannot
+// miss the wakeup.
+func (s *search) halt(err error) {
+	if err != nil {
+		s.errMu.Lock()
+		if s.err == nil {
+			s.err = err
+		}
+		s.errMu.Unlock()
+	}
+	s.mu.Lock()
+	s.stop.Store(true)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// step performs the per-node accounting: the shared explored counter is
+// flushed every exploredStride nodes and the context polled every
+// ctxStride, while the budget is tested every node against the worker's
+// running estimate (shared total at the last flush plus local nodes
+// since) — exact for one worker, at most a stride per peer stale
+// otherwise. It reports whether the search may continue.
+func (w *worker) step() bool {
+	w.n++
+	w.est++
+	if w.n&(exploredStride-1) == 0 {
+		w.est = w.s.explored.Add(exploredStride)
+		if w.n&(ctxStride-1) == 0 {
+			if err := w.s.ctx.Err(); err != nil {
+				w.s.halt(err)
+				return false
+			}
+		}
+	}
+	if w.est > w.s.maxNodes {
+		w.s.budgetHit.Store(true)
+		w.s.halt(nil)
+		return false
+	}
+	return !w.s.stop.Load()
+}
+
+// fork snapshots f into a fresh pooled frame.
+func (s *search) fork(f *frame) *frame {
+	nf := framePool.Get()
+	nf.loc = append(nf.loc[:0], f.loc...)
+	nf.stack = append(nf.stack[:0], f.stack...)
+	nf.loads = append(nf.loads[:0], f.loads...)
+	nf.hostTime = f.hostTime
+	nf.forcedRemaining = f.forcedRemaining
+	return nf
+}
+
+// shouldSplit decides whether to fork the second branch of the current
+// decision: only while the worker's own deque is hungry and the global
+// frame population is bounded, so deep searches do not snapshot the state
+// at every node.
+func (s *search) shouldSplit(id int) bool {
+	return int(s.dlen[id].Load()) < lowWater && s.queued.Load() < s.maxLive
+}
+
+func (s *search) push(id int, f *frame) {
+	s.mu.Lock()
+	s.pending++
+	s.deques[id] = append(s.deques[id], f)
+	s.dlen[id].Add(1)
+	s.queued.Add(1)
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// take returns the next frame for worker id — its own newest frame, else
+// the oldest frame of the first non-empty victim — or nil when the search
+// is over (every frame fully explored, or a stop was requested).
+func (s *search) take(id int) *frame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.stop.Load() {
+			return nil
+		}
+		if d := s.deques[id]; len(d) > 0 {
+			f := d[len(d)-1]
+			d[len(d)-1] = nil
+			s.deques[id] = d[:len(d)-1]
+			s.dlen[id].Add(-1)
+			s.queued.Add(-1)
+			return f
+		}
+		for i := 1; i < len(s.deques); i++ {
+			v := (id + i) % len(s.deques)
+			if d := s.deques[v]; len(d) > 0 {
+				f := d[0]
+				copy(d, d[1:])
+				d[len(d)-1] = nil
+				s.deques[v] = d[:len(d)-1]
+				s.dlen[v].Add(-1)
+				s.queued.Add(-1)
+				return f
+			}
+		}
+		if s.pending == 0 {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// release retires a fully searched frame. The last release wakes every
+// waiting thief so they can observe termination.
+func (s *search) release(f *frame) {
+	framePool.Put(f)
+	s.mu.Lock()
+	s.pending--
+	if s.pending == 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// run is one worker goroutine: take a frame, search it to exhaustion
+// (forking branches for hungry peers along the way), repeat.
+func (s *search) run(id int) {
+	w := &worker{s: s, id: id}
+	for {
+		f := s.take(id)
+		if f == nil {
+			break
+		}
+		w.dfs(f)
+		s.release(f)
+	}
+	if r := w.n & (exploredStride - 1); r != 0 {
+		s.explored.Add(r)
+	}
+}
+
+// dfs is the sequential branch-and-bound recursion (see exact.
+// BranchAndBoundOpts — same branching, same bound, same ordering) over a
+// private frame, with two parallel twists: the bound test reads the
+// shared atomic incumbent, and when the worker's deque runs dry the
+// second branch of a decision is snapshotted and published instead of
+// searched in-line.
+func (w *worker) dfs(f *frame) {
+	if !w.step() {
+		return
+	}
+	s := w.s
+	c := s.c
+	bound := f.hostTime + f.forcedRemaining + maxLoad(f.loads)
+	if bound >= s.incumbent() {
+		return // cannot beat the incumbent
+	}
+	if len(f.stack) == 0 {
+		// Complete assignment; the committed terms are now exact.
+		if d := f.hostTime + maxLoad(f.loads); d < s.incumbent() {
+			s.improve(f.loc, d)
+		}
+		return
+	}
+	p := f.stack[len(f.stack)-1]
+	f.stack = f.stack[:len(f.stack)-1]
+	f.forcedRemaining -= c.Forced[p]
+	defer func() { // restore for the caller
+		f.stack = append(f.stack, p)
+		f.forcedRemaining += c.Forced[p]
+	}()
+
+	if !c.Proc[p] {
+		// Sensor whose parent is hosted: the raw frame crosses the uplink.
+		f.loads[c.Sensor[p]] += c.UpComm[p]
+		w.dfs(f)
+		f.loads[c.Sensor[p]] -= c.UpComm[p]
+		return
+	}
+
+	sat := c.Colour[p]
+	sinkable := sat != model.NoSatellite && p != c.RootPos
+	kids := c.Children(p)
+	sinkDelta := 0.0
+	if sinkable {
+		cur := maxLoad(f.loads)
+		sinkDelta = math.Max(cur, f.loads[sat]+c.SubSat[p]+c.UpComm[p]) - cur
+	}
+	sink := func() {
+		delta := c.SubSat[p] + c.UpComm[p]
+		f.loads[sat] += delta
+		c.FillSpan(f.loc, p, model.OnSatellite(sat))
+		w.dfs(f)
+		c.FillSpan(f.loc, p, model.Host)
+		f.loads[sat] -= delta
+	}
+	host := func() {
+		f.hostTime += c.HostTime[p]
+		f.loc[p] = model.Host
+		f.stack = append(f.stack, kids...)
+		for _, ch := range kids {
+			f.forcedRemaining += c.Forced[ch]
+		}
+		w.dfs(f)
+		for _, ch := range kids {
+			f.forcedRemaining -= c.Forced[ch]
+		}
+		f.stack = f.stack[:len(f.stack)-len(kids)]
+		f.hostTime -= c.HostTime[p]
+	}
+	if !sinkable {
+		host()
+		return
+	}
+	// Explore the branch with the smaller immediate objective increase
+	// first; the other one either runs in-line or becomes a stealable
+	// frame. The snapshot captures the state a recursive entry into the
+	// second branch would see, so the frame's consumer starts with the
+	// same bound test the recursion would have performed.
+	sinkFirst := sinkDelta <= c.HostTime[p]
+	if s.shouldSplit(w.id) {
+		nf := s.fork(f)
+		if sinkFirst { // second branch: host
+			nf.hostTime += c.HostTime[p]
+			nf.loc[p] = model.Host
+			nf.stack = append(nf.stack, kids...)
+			for _, ch := range kids {
+				nf.forcedRemaining += c.Forced[ch]
+			}
+		} else { // second branch: sink
+			delta := c.SubSat[p] + c.UpComm[p]
+			nf.loads[sat] += delta
+			c.FillSpan(nf.loc, p, model.OnSatellite(sat))
+		}
+		s.push(w.id, nf)
+		if sinkFirst {
+			sink()
+		} else {
+			host()
+		}
+		return
+	}
+	if sinkFirst {
+		sink()
+		host()
+	} else {
+		host()
+		sink()
+	}
+}
+
+// BranchAndBound runs the work-stealing parallel branch-and-bound. The
+// returned delay is exact (equal to the sequential solver's) whenever the
+// search completes within budget and deadline; the worker count only
+// affects wall time and which of several co-optimal assignments is
+// reported. See the package comment for the decomposition and the
+// incumbent protocol.
+func BranchAndBound(ctx context.Context, t *model.Tree, opts Options) (*exact.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c := model.Compile(t)
+	n := c.Len()
+	nw := opts.Workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+
+	s := &search{
+		ctx:       ctx,
+		c:         c,
+		tree:      t,
+		maxNodes:  int64(core.IntOr(opts.MaxNodes, 1<<22)),
+		best:      make([]model.Location, n),
+		bestDelay: math.Inf(1),
+		globalLB:  c.Forced[c.RootPos],
+		onInc:     opts.OnIncumbent,
+		deques:    make([][]*frame, nw),
+		dlen:      make([]atomic.Int32, nw),
+		maxLive:   int64(64 * nw),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.bound.Store(math.Float64bits(math.Inf(1)))
+
+	// Seed the incumbent with the trivial baselines (and the warm hint)
+	// before any worker starts, exactly like the sequential solver: the
+	// very first bound tests prune, and BestEffort always has a feasible
+	// incumbent to fall back on.
+	fr := eval.GetFrame()
+	seed := make([]model.Location, n)
+	c.TopmostLocations(seed)
+	s.improve(seed, eval.FlatDelay(c, seed, fr))
+	c.BaseLocations(seed)
+	s.improve(seed, eval.FlatDelay(c, seed, fr))
+	if opts.Warm != nil && opts.Warm.Validate(t) == nil {
+		c.LoadLocations(seed, opts.Warm)
+		s.improve(seed, eval.FlatDelay(c, seed, fr))
+	}
+	eval.PutFrame(fr)
+
+	// The root frame is the whole search.
+	root := framePool.Get()
+	root.loc = pool.Keep(root.loc, n)
+	c.BaseLocations(root.loc)
+	root.stack = append(root.stack[:0], c.RootPos)
+	root.loads = pool.Slice(root.loads, c.NumSats)
+	root.hostTime = 0
+	root.forcedRemaining = c.Forced[c.RootPos]
+	s.pending = 1
+	s.deques[0] = append(s.deques[0], root)
+	s.dlen[0].Add(1)
+	s.queued.Add(1)
+
+	var wg sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s.run(id)
+		}(i)
+	}
+	wg.Wait()
+	// A halted run leaves unexplored frames behind; recycle them.
+	for _, d := range s.deques {
+		for _, f := range d {
+			framePool.Put(f)
+		}
+	}
+
+	res := &exact.Result{
+		Delay:      s.bestDelay,
+		Explored:   int(s.explored.Load()),
+		LowerBound: s.globalLB,
+	}
+	switch {
+	case s.err != nil:
+		if !opts.BestEffort {
+			return nil, s.err
+		}
+		res.Partial = true
+	case s.budgetHit.Load():
+		if !opts.BestEffort {
+			return nil, exact.ErrBudget
+		}
+		res.Partial = true
+	default:
+		// The search completed: the incumbent is the proven optimum.
+		res.LowerBound = res.Delay
+	}
+	asg := model.NewAssignment(t)
+	c.StoreAssignment(asg, s.best)
+	res.Assignment = asg
+	return res, nil
+}

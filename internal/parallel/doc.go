@@ -1,0 +1,28 @@
+// Package parallel holds the intra-node parallel solve kernels: a
+// work-stealing parallel branch-and-bound over compiled flat-tree plans
+// that saturates every core on one node before the cluster ring forwards
+// a single request, in the spirit of the paper's host–satellites
+// decomposition where independent subtrees are the natural unit of
+// concurrent work.
+//
+// The search decomposes exactly like the sequential solver in
+// internal/exact: post-order subtree spans are the branching unit (host
+// vs. sink-whole-subtree per monochromatic CRU), and a partial search
+// state — location vector, decision stack, satellite load table — is a
+// self-contained, stealable *frame*. Each worker runs the sequential
+// depth-first search over its current frame, forking the less-promising
+// branch of a decision onto its own deque whenever the deque runs dry;
+// idle workers steal the oldest (largest-subtree) frame from a victim.
+// A single worker therefore replays the sequential search order exactly,
+// and N workers explore disjoint subtrees of the same decision tree.
+//
+// Exactness under concurrency comes from the incumbent protocol: the
+// best known delay lives in one atomic word (IEEE-754 bits, tightened by
+// compare-and-swap), so the instant any worker improves it every other
+// worker's bound test — re-evaluated at every search node and at every
+// frame pop — prunes against the new value. Pruning only ever removes
+// provably non-improving branches, so the completed search returns the
+// same optimal delay as the sequential solver, which is what
+// TestParallelBnBExact pins across ~200 random instances and the
+// -race stress tier hammers for memory-model races.
+package parallel

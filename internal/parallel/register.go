@@ -1,0 +1,38 @@
+package parallel
+
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
+// The parallel solver registers itself with the core registry; importing
+// this package (directly or via repro/internal/algorithms) makes it
+// dispatchable by name.
+func init() {
+	core.Register(core.ParallelBnB, core.Capabilities{
+		Exact:     true,
+		Budget:    true,
+		WarmStart: true,
+		Anytime:   true,
+		Parallel:  true,
+		Summary:   "work-stealing parallel branch-and-bound (node budget, Request.Parallelism workers)",
+	}, func(ctx context.Context, req core.Request) (core.Finding, error) {
+		res, err := BranchAndBound(ctx, req.Tree, Options{
+			Workers:     req.Parallelism,
+			MaxNodes:    req.Budget,
+			Warm:        req.Warm,
+			OnIncumbent: req.OnIncumbent,
+			BestEffort:  req.BestEffort,
+		})
+		if err != nil {
+			return core.Finding{}, err
+		}
+		return core.Finding{
+			Assignment: res.Assignment,
+			Work:       res.Explored,
+			Partial:    res.Partial,
+			LowerBound: res.LowerBound,
+		}, nil
+	})
+}

@@ -1,0 +1,55 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+)
+
+type blob struct{ buf []byte }
+
+func TestStripedReuse(t *testing.T) {
+	allocs := 0
+	s := NewStriped(func() *blob { allocs++; return &blob{buf: make([]byte, 64)} })
+	a := s.Get()
+	s.Put(a)
+	b := s.Get()
+	if a != b {
+		t.Fatal("striped pool did not reuse the parked object")
+	}
+	if allocs != 1 {
+		t.Fatalf("allocs = %d, want 1", allocs)
+	}
+	s.Put(nil) // must be a no-op
+	s.Put(b)
+}
+
+func TestStripedConcurrent(t *testing.T) {
+	s := NewStriped(func() *blob { return new(blob) })
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				x := s.Get()
+				if x == nil {
+					t.Error("Get returned nil")
+					return
+				}
+				x.buf = append(x.buf[:0], byte(seed))
+				s.Put(x)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestStripedSteadyStateAllocs: once a stripe is primed, a Get/Put cycle
+// performs no allocation — the contract the parallel kernels rely on.
+func TestStripedSteadyStateAllocs(t *testing.T) {
+	s := NewStriped(func() *blob { return &blob{buf: make([]byte, 1024)} })
+	s.Put(s.Get()) // prime one stripe
+	if n := testing.AllocsPerRun(200, func() { s.Put(s.Get()) }); n != 0 {
+		t.Fatalf("steady-state Get/Put allocates %.1f/op, want 0", n)
+	}
+}

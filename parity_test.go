@@ -19,6 +19,7 @@ import (
 	"repro/internal/exact"
 	"repro/internal/heuristics"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/workload"
 )
 
@@ -175,6 +176,47 @@ func TestParityGenetic(t *testing.T) {
 			if want := eval.PointerDelay(tree, r.Assignment); r.Delay != want {
 				t.Fatalf("scenario %d seed %d: genetic reports %v, pointer eval of its assignment is %v",
 					i, seed, r.Delay, want)
+			}
+		}
+	}
+}
+
+// TestParityParallelBnB anchors the work-stealing search against the
+// sequential branch-and-bound on every parity scenario. This file is
+// deliberately untagged, so the test runs in both the plain and the -race
+// CI lanes without duplication: under -race it doubles as a concurrency
+// check on the shared-incumbent protocol.
+//
+// Unlike the pointer/compiled pairs above, the two searches do not share
+// a floating-point trajectory: frames snapshot accumulator state at fork
+// points instead of replaying the +=/-= backtracking, so delays agree to
+// tolerance, not bits. With a single worker the exploration *order* still
+// replays the sequential DFS exactly, which pins the node count.
+func TestParityParallelBnB(t *testing.T) {
+	ctx := context.Background()
+	for i, tree := range parityScenarios(t) {
+		seq, err := exact.BranchAndBound(tree, 0)
+		if err != nil {
+			t.Fatalf("scenario %d: sequential err %v", i, err)
+		}
+		tol := 1e-9 * (1 + seq.Delay)
+		for _, workers := range []int{1, 2} {
+			par, err := parallel.BranchAndBound(ctx, tree, parallel.Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("scenario %d workers %d: %v", i, workers, err)
+			}
+			if d := par.Delay - seq.Delay; d > tol || d < -tol {
+				t.Fatalf("scenario %d workers %d: parallel %v != sequential %v",
+					i, workers, par.Delay, seq.Delay)
+			}
+			want := eval.PointerDelay(tree, par.Assignment)
+			if d := par.Delay - want; d > tol || d < -tol {
+				t.Fatalf("scenario %d workers %d: reports %v, its assignment evaluates to %v",
+					i, workers, par.Delay, want)
+			}
+			if workers == 1 && par.Explored != seq.Explored {
+				t.Fatalf("scenario %d: single-worker node count %d != sequential %d (search order changed)",
+					i, par.Explored, seq.Explored)
 			}
 		}
 	}

@@ -176,6 +176,8 @@ const (
 	GreedyTop       = core.GreedyTop
 	Annealing       = core.Annealing
 	Genetic         = core.Genetic
+	ParallelBnB     = core.ParallelBnB
+	AnnealingPack   = core.AnnealingPack
 )
 
 // Simulator timing models.

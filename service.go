@@ -295,7 +295,10 @@ var keyBufs = pool.NewArena(func() *keyBuf { return new(keyBuf) })
 // tree's structural fingerprint plus every parameter that changes the
 // answer. The timeout is excluded (it bounds the work, not the result),
 // warm-start hints are excluded (they are advisory and reach the cache
-// only for exact solvers, whose answer they cannot change), parameters
+// only for exact solvers, whose answer they cannot change), solve
+// parallelism is excluded (Parallel-capable solvers promise the worker
+// count changes wall time, never the answer — which is why annealing-pack
+// pins its restart width instead of consuming the hint), parameters
 // the chosen algorithm declares it ignores are normalised away (a seed on
 // the deterministic adapted-ssb must not fragment the cache), and zero
 // weights collapse onto the default S+B objective so both spellings

@@ -26,6 +26,7 @@ type settings struct {
 	budget      int
 	timeout     time.Duration
 	parallelism int
+	solveWork   int
 	warm        *Assignment
 	onIncumbent func(Incumbent)
 	bestEffort  bool
@@ -58,6 +59,15 @@ func WithTimeout(d time.Duration) Option { return func(s *settings) { s.timeout 
 
 // WithParallelism bounds SolveBatch's worker pool (default runtime.NumCPU).
 func WithParallelism(n int) Option { return func(s *settings) { s.parallelism = n } }
+
+// WithSolveParallelism bounds the worker count inside one solve for
+// solvers whose Capabilities declare Parallel (ParallelBnB's work-stealing
+// search; default GOMAXPROCS). It is orthogonal to WithParallelism, which
+// fans out across batch items: one saturates a node with a single large
+// instance, the other with many independent ones. The hint is advisory —
+// it never changes an exact solver's answer, so it is excluded from the
+// Service's cache identity, and solvers without the capability ignore it.
+func WithSolveParallelism(n int) Option { return func(s *settings) { s.solveWork = n } }
 
 // WithIncumbents streams improving assignments from anytime solvers
 // (BranchBound, Annealing, Genetic — see Capabilities.Anytime): each time
@@ -142,6 +152,7 @@ func solveOne(ctx context.Context, t *Tree, cfg settings) (*Outcome, error) {
 		Weights:     cfg.weights,
 		Seed:        cfg.seed,
 		Budget:      cfg.budget,
+		Parallelism: cfg.solveWork,
 		Warm:        cfg.warm,
 		OnIncumbent: cfg.onIncumbent,
 		BestEffort:  cfg.bestEffort,
