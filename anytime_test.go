@@ -147,6 +147,25 @@ func TestBestEffortBudgetPartialVsExact(t *testing.T) {
 	}
 }
 
+// TestBruteForceProvesItsOwnBound: a finished enumeration has checked
+// every assignment, so the anytime contract requires it to close its own
+// gap — LowerBound == Delay — exactly like a completed branch-and-bound.
+// (It used to report the static root floor, leaving a phantom gap that
+// made exhaustive answers look unproven to gap-driven clients.)
+func TestBruteForceProvesItsOwnBound(t *testing.T) {
+	tree := workload.Random(rand.New(rand.NewSource(2)), workload.DefaultRandomSpec(12, 3))
+	out, err := repro.NewSolver().Solve(context.Background(), tree, repro.WithAlgorithm(repro.BruteForce))
+	if err != nil {
+		t.Fatalf("brute: %v", err)
+	}
+	if !out.Exact || out.Partial {
+		t.Fatalf("finished enumeration not exact: exact=%v partial=%v", out.Exact, out.Partial)
+	}
+	if out.LowerBound != out.Delay {
+		t.Fatalf("finished enumeration must prove its own delay: lb=%v delay=%v", out.LowerBound, out.Delay)
+	}
+}
+
 // TestBestEffortDeadline: a wall-clock deadline far shorter than the
 // exact solve returns a feasible partial answer instead of an error.
 func TestBestEffortDeadline(t *testing.T) {

@@ -1,10 +1,12 @@
-// Anytime jobs: start the crserve HTTP stack in-process, submit a hard
-// instance as an asynchronous job, and watch the incumbent stream close
-// its bound gap live over Server-Sent Events. Then put the same instance
-// under a deadline it cannot meet exactly and compare the returned
-// partial result — feasible, with a proven lower bound — against the
-// exact optimum. The same calls work against a standalone
-// `crserve -addr :8080` with curl (see the README's "Anytime jobs").
+// Anytime jobs: start the crserve HTTP stack in-process, put a hard
+// instance under a deadline it cannot meet exactly and inspect the
+// returned partial result — feasible, with a proven lower bound — then
+// submit it unconstrained and watch the incumbent stream close its
+// bound gap live over Server-Sent Events. A final rushed resubmit shows
+// the job tier's bound memoization: once a search has proven the
+// instance, the recorded optimum replays instantly, deadline or not.
+// The same calls work against a standalone `crserve -addr :8080` with
+// curl (see the README's "Anytime jobs").
 package main
 
 import (
@@ -51,7 +53,18 @@ func main() {
 	rng := rand.New(rand.NewSource(1))
 	spec := repro.ToSpec(workload.Random(rng, workload.DefaultRandomSpec(40, 3)), "hard-40")
 
-	// --- 1. submit, then watch the incumbent stream ---
+	// --- 1. under a deadline it cannot meet exactly (cold cache) ---
+	var rushed api.JobResponse
+	mustPost(base+"/v1/jobs", api.JobRequest{
+		SolveRequest: api.SolveRequest{Spec: spec, Algorithm: string(repro.BranchBound), Budget: 1 << 28},
+		DeadlineMS:   50,
+	}, &rushed)
+	partial := pollDone(base, rushed.JobID)
+	fmt.Printf("deadline 50ms: state=%s partial=%v delay=%.4g lower_bound=%.4g gap=%.1f%%\n\n",
+		partial.State, partial.Result.Partial, partial.Result.Delay,
+		partial.Result.LowerBound, 100*partial.Gap)
+
+	// --- 2. unconstrained: watch the incumbent stream close the gap ---
 	var job api.JobResponse
 	mustPost(base+"/v1/jobs", api.JobRequest{
 		SolveRequest: api.SolveRequest{Spec: spec, Algorithm: string(repro.BranchBound), Budget: 1 << 28},
@@ -61,20 +74,19 @@ func main() {
 	final := streamEvents(base, job.JobID)
 	fmt.Printf("\njob finished: state=%s exact=%v delay=%.4g in %dms (plan: %s)\n\n",
 		final.State, final.Result.Exact, final.Result.Delay, final.ElapsedMS, final.PlanReason)
+	fmt.Printf("exact optimum %.4g — the 50ms deadline cost %.2f%% delay\n",
+		final.Result.Delay,
+		100*(partial.Result.Delay-final.Result.Delay)/final.Result.Delay)
 
-	// --- 2. the same instance under a deadline it cannot meet exactly ---
-	var rushed api.JobResponse
+	// --- 3. rushed again: the bound cache replays the recorded proof ---
+	var again api.JobResponse
 	mustPost(base+"/v1/jobs", api.JobRequest{
 		SolveRequest: api.SolveRequest{Spec: spec, Algorithm: string(repro.BranchBound), Budget: 1 << 28},
 		DeadlineMS:   50,
-	}, &rushed)
-	partial := pollDone(base, rushed.JobID)
-	fmt.Printf("deadline 50ms: state=%s partial=%v delay=%.4g lower_bound=%.4g gap=%.1f%%\n",
-		partial.State, partial.Result.Partial, partial.Result.Delay,
-		partial.Result.LowerBound, 100*partial.Gap)
-	fmt.Printf("exact optimum was %.4g — the deadline cost %.2f%% delay\n",
-		final.Result.Delay,
-		100*(partial.Result.Delay-final.Result.Delay)/final.Result.Delay)
+	}, &again)
+	replay := pollDone(base, again.JobID)
+	fmt.Printf("same deadline, resubmitted: state=%s exact=%v delay=%.4g in %dms — memoized proof, no search\n",
+		replay.State, replay.Result.Exact, replay.Result.Delay, replay.ElapsedMS)
 }
 
 // streamEvents consumes the job's SSE feed, printing each improving

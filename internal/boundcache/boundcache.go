@@ -1,0 +1,236 @@
+// Package boundcache is the bound-memoization store of the exact
+// searches: a sharded, bounded, concurrency-safe map from a subtree's
+// identity — its Merkle (cr2) hash plus the boundary context the search
+// sees — to a proven lower bound on that subtree's standalone delay and,
+// for exhausted subtrees, the optimal sub-assignment pattern itself.
+//
+// # Key semantics
+//
+// A subtree's Merkle hash (model.SubtreeHashes) pins everything a solver
+// reads: the shape and planar embedding, every h/s/c profile as exact
+// float bits, and the satellite partition renumbered structurally. Two
+// positions — in the same tree, across revisions of a session, or across
+// different instances of a corpus — with equal hashes are
+// indistinguishable to the search, so a bound proven under one is valid
+// under the other. The only solver-relevant fact the hash cannot see is
+// *where the subtree sits*: the global root may never sink to a
+// satellite while every other monochromatic subtree may, so Key.Root
+// records that one bit of boundary context. Sats and Bands (the distinct
+// satellites and maximal same-satellite leaf runs under the subtree) are
+// derivable from the hashed content and ride along as belt-and-braces
+// context: if the hash scheme ever changes what it covers, entries keyed
+// by an older notion of identity miss instead of corrupting a search.
+//
+// Parallelism, warm hints, budgets and deadlines stay out of the key for
+// the same reason they stay out of the serving layers' cache identity:
+// they are advisory and never change an exact answer, only how fast it
+// is proven.
+//
+// # Invalidation
+//
+// There is none — entries are never wrong, only unreachable. A mutation
+// changes the Merkle hashes along the root-to-edit spine, so the next
+// solve misses exactly on the dirty spine and re-proves it, while every
+// untouched subtree still hits. Capacity pressure recycles entries with
+// a second-chance sweep.
+//
+// # Concurrency
+//
+// Lookup takes a shard read-lock and allocates nothing (CI-guarded);
+// Insert takes the shard write-lock, keeps the more proven of the old
+// and new entry, and evicts unused entries when the shard is full.
+// Entries are immutable after insertion, so readers never observe a
+// partially built value. Concurrent solves of the same uncached subtree
+// race benignly: both prove the same bound and the second Insert is a
+// no-op.
+package boundcache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one memoizable subtree: its Merkle hash plus the
+// boundary context the search sees (see the package comment).
+type Key struct {
+	// Hash is the subtree's cr2 Merkle hash (model.SubtreeHashes).
+	Hash [32]byte
+	// Root marks the global-root context, where sinking is forbidden.
+	Root bool
+	// Sats is the number of distinct satellites under the subtree.
+	Sats int32
+	// Bands is the number of maximal same-satellite leaf runs.
+	Bands int32
+}
+
+// Entry is one proven fact about a subtree, immutable after Insert.
+type Entry struct {
+	// LB is a proven lower bound on the subtree's standalone delay (the
+	// host time it adds plus the satellite load it adds, with its parent
+	// hosted). When Complete, LB is the exact optimum.
+	LB float64
+	// Complete marks an exhausted search: LB is the optimal standalone
+	// delay and Pattern reconstructs the optimal sub-assignment.
+	Complete bool
+	// Pattern is the optimal sub-assignment, one flag per post-order
+	// offset into the subtree's span: true = the processing CRU is sunk
+	// to its subtree colour, false = it stays on the host. Sensor
+	// offsets are ignored (sensors are pinned). Nil unless Complete.
+	Pattern []bool
+
+	used atomic.Bool // second-chance bit, set on hit
+}
+
+const numShards = 64
+
+// Config sizes a Cache. Zero values select the defaults.
+type Config struct {
+	// Capacity bounds the total entries held (default 1 << 14).
+	Capacity int
+	// MinSpan is the smallest subtree span worth memoizing; solvers fall
+	// back to their static bound below it (default 8).
+	MinSpan int
+}
+
+// Stats is a point-in-time snapshot of a cache's counters.
+type Stats struct {
+	Hits      int64 // lookups that found an entry
+	Misses    int64 // lookups that found none
+	Stores    int64 // inserts that added or strengthened an entry
+	Evictions int64 // entries recycled under capacity pressure
+	Entries   int64 // entries currently held
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[Key]*Entry
+}
+
+// Cache is a sharded, bounded store of proven subtree bounds. The zero
+// value is not usable; call New.
+type Cache struct {
+	shards  [numShards]shard
+	perShrd int
+	minSpan int
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	stores    atomic.Int64
+	evictions atomic.Int64
+}
+
+// New returns an empty cache sized by cfg.
+func New(cfg Config) *Cache {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = 1 << 14
+	}
+	per := (capacity + numShards - 1) / numShards
+	if per < 1 {
+		per = 1
+	}
+	minSpan := cfg.MinSpan
+	if minSpan <= 0 {
+		minSpan = 8
+	}
+	c := &Cache{perShrd: per, minSpan: minSpan}
+	for i := range c.shards {
+		c.shards[i].m = make(map[Key]*Entry)
+	}
+	return c
+}
+
+// MinSpan is the smallest subtree span worth memoizing.
+func (c *Cache) MinSpan() int { return c.minSpan }
+
+func (c *Cache) shardFor(k *Key) *shard {
+	return &c.shards[k.Hash[0]&(numShards-1)]
+}
+
+// Lookup returns the entry proven for k, if any. The hot path of the
+// exact searches: it allocates nothing (CI-guarded) and takes only a
+// shard read-lock.
+func (c *Cache) Lookup(k Key) (*Entry, bool) {
+	s := c.shardFor(&k)
+	s.mu.RLock()
+	e := s.m[k]
+	s.mu.RUnlock()
+	if e == nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	e.used.Store(true)
+	c.hits.Add(1)
+	return e, true
+}
+
+// Insert records e as proven for k. When an entry already exists the
+// more proven one is kept: Complete beats incomplete, and a higher LB
+// beats a lower one — bounds only ever tighten, so racing solvers of
+// the same subtree cannot weaken the store. e must not be modified by
+// the caller after Insert.
+func (c *Cache) Insert(k Key, e *Entry) {
+	if e == nil {
+		return
+	}
+	s := c.shardFor(&k)
+	s.mu.Lock()
+	if old := s.m[k]; old != nil {
+		if old.Complete || (!e.Complete && old.LB >= e.LB) {
+			s.mu.Unlock()
+			return
+		}
+	} else if len(s.m) >= c.perShrd {
+		c.evictLocked(s)
+	}
+	s.m[k] = e
+	s.mu.Unlock()
+	c.stores.Add(1)
+}
+
+// evictLocked recycles one entry by second chance: the sweep clears
+// used bits as it passes and removes the first entry found cold; if
+// every entry was hot, the first one swept is removed (its bit was
+// just cleared). Map iteration order randomises the sweep start, which
+// is what keeps one hot key from pinning its shard forever.
+func (c *Cache) evictLocked(s *shard) {
+	var fallback Key
+	first := true
+	for k, e := range s.m {
+		if !e.used.Swap(false) {
+			delete(s.m, k)
+			c.evictions.Add(1)
+			return
+		}
+		if first {
+			fallback, first = k, false
+		}
+	}
+	if !first {
+		delete(s.m, fallback)
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the number of entries currently held.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Stores:    c.stores.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   int64(c.Len()),
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/boundcache"
 	"repro/internal/dwg"
 	"repro/internal/eval"
 	"repro/internal/model"
@@ -98,6 +99,16 @@ type Request struct {
 	// expires after at least one feasible incumbent exists. Solvers
 	// without the Anytime capability ignore it.
 	BestEffort bool
+
+	// Bounds is an optional bound-memoization cache for the exact
+	// searches (capability Bounds): proven subtree lower bounds, keyed
+	// by Merkle hash, tighten pruning across solves — session revisions
+	// re-search only the dirty spine, corpus siblings share proofs. It
+	// is advisory and never changes an exact solver's answer (property-
+	// tested), only the nodes explored, so the serving layers exclude it
+	// from cache identity exactly like Warm and Parallelism; solvers
+	// without the capability ignore it.
+	Bounds *boundcache.Cache
 }
 
 // Incumbent is one improving solution streamed by an anytime solver.
@@ -149,6 +160,14 @@ type Outcome struct {
 	// LowerBound is the solver's proof floor on the optimal delay
 	// (0 = none). A completed exact solve reports LowerBound == Delay.
 	LowerBound float64
+
+	// Node accounting of the memoized exact searches (zero elsewhere):
+	// branches cut by the pruning bound and bound-cache hits/misses.
+	// With Work (nodes explored) these make the memoization speedup
+	// measurable per solve; /debug/vars aggregates them fleet-wide.
+	Pruned      int
+	BoundHits   int
+	BoundMisses int
 }
 
 // Solve dispatches the request without cancellation support.
@@ -195,6 +214,11 @@ func SolveContext(ctx context.Context, req Request) (*Outcome, error) {
 	if !caps.Parallel {
 		req.Parallelism = 0
 	}
+	// So is the bound cache: only solvers declaring the capability may
+	// consult or populate it.
+	if !caps.Bounds {
+		req.Bounds = nil
+	}
 
 	start := time.Now()
 	finding, err := fn(ctx, req)
@@ -206,13 +230,16 @@ func SolveContext(ctx context.Context, req Request) (*Outcome, error) {
 	}
 
 	out := &Outcome{
-		Algorithm:  alg,
-		Assignment: finding.Assignment,
-		Exact:      caps.Exact && !finding.Partial,
-		Work:       finding.Work,
-		Stats:      finding.Stats,
-		Partial:    finding.Partial,
-		LowerBound: finding.LowerBound,
+		Algorithm:   alg,
+		Assignment:  finding.Assignment,
+		Exact:       caps.Exact && !finding.Partial,
+		Work:        finding.Work,
+		Stats:       finding.Stats,
+		Partial:     finding.Partial,
+		LowerBound:  finding.LowerBound,
+		Pruned:      finding.Pruned,
+		BoundHits:   finding.BoundHits,
+		BoundMisses: finding.BoundMisses,
 	}
 	bd, err := eval.Evaluate(req.Tree, out.Assignment)
 	if err != nil {

@@ -18,6 +18,7 @@ type Capabilities struct {
 	WarmStart bool   // honours Request.Warm (seeds the search from a prior assignment)
 	Anytime   bool   // streams incumbents via Request.OnIncumbent and honours Request.BestEffort
 	Parallel  bool   // honours Request.Parallelism (intra-solve workers or lanes)
+	Bounds    bool   // honours Request.Bounds (memoized subtree bound cache)
 	Summary   string // one-line human description
 }
 
@@ -37,6 +38,11 @@ type Finding struct {
 	// can supply one (0 means "no bound"). For a completed exact search it
 	// equals the returned delay.
 	LowerBound float64
+
+	// Node accounting of the memoized exact searches; zero elsewhere.
+	Pruned      int
+	BoundHits   int
+	BoundMisses int
 }
 
 // SolveFunc runs one algorithm on a request. Implementations must honour

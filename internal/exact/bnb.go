@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 
+	"repro/internal/boundcache"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/model"
@@ -32,6 +33,14 @@ import (
 // performs no allocation and no pointer chasing. BranchAndBoundPointer is
 // the original node-walking implementation, retained for parity tests.
 //
+// A fourth, optional pruning is bound memoization (BnBOptions.Bounds):
+// proven standalone lower bounds of whole subtrees, keyed by their
+// Merkle hashes, join the bound as per-stack-entry extras, and subtrees
+// whose hashes were proven in a previous solve are not searched at all.
+// Without a cache handle the search is bit-identical to the
+// pre-memoization solver — same traversal, same explored count — which
+// is what the pointer/compiled parity tests pin.
+//
 // maxNodes caps the number of search nodes (0 means 1<<22).
 func BranchAndBound(t *model.Tree, maxNodes int) (*Result, error) {
 	return BranchAndBoundContext(context.Background(), t, maxNodes)
@@ -46,11 +55,12 @@ func BranchAndBoundContext(ctx context.Context, t *model.Tree, maxNodes int) (*R
 
 // bnbScratch is the pooled working set of one branch-and-bound (or
 // brute-force) run: the partial and incumbent location vectors, the dense
-// per-satellite load table and the DFS stack.
+// per-satellite load table, the DFS stack and its extras prefix-maximum.
 type bnbScratch struct {
 	loc, best, seed []model.Location
 	loads           []float64
 	stack           []int32
+	exm             []float64
 }
 
 var bnbScratches = pool.NewArena(func() *bnbScratch { return new(bnbScratch) })
@@ -80,16 +90,207 @@ type BnBOptions struct {
 	// deadline expires. The incumbent is always feasible (the baselines
 	// seed it before the search starts).
 	BestEffort bool
+	// Bounds attaches the bound-memoization cache: proven standalone
+	// subtree bounds tighten the pruning bound, proven whole instances
+	// return without searching, and the solve's own proofs are recorded
+	// for the next one. Purely advisory — the returned delay is unchanged
+	// (property-tested), only the explored node count shrinks — so the
+	// serving layers exclude it from cache identity. Nil disables
+	// memoization and the search is bit-identical to the plain solver.
+	Bounds *boundcache.Cache
+}
+
+// bnbRun is one depth-first branch-and-bound over one subtree span: the
+// whole tree for a top-level solve, a single subtree for the
+// memoization pre-pass's standalone sub-solves. Runs belonging to one
+// solve share the explored/pruned counters, the node budget and the
+// pooled scratch vectors.
+type bnbRun struct {
+	ctx       context.Context
+	c         *model.Compiled
+	res       *Result // Explored/Pruned accumulate here across sub-solves
+	maxNodes  int
+	budgetHit bool
+	ctxErr    error
+
+	loc, best []model.Location
+	loads     []float64
+	stack     []int32
+
+	// extra[p] is subtree p's proven standalone lower bound minus
+	// Forced[p] — the part of its future cost the forced-host term
+	// cannot see — and exm is the running prefix maximum of extra over
+	// the stack, maintained push-for-push with it. Both nil when bound
+	// memoization is off, leaving the bound exactly hostTime + forced +
+	// maxLoad as before.
+	extra []float64
+	exm   []float64
+
+	hostTime        float64
+	forcedRemaining float64
+	bestDelay       float64
+	spanStart       int32
+	spanEnd         int32
+	onBetter        func() // top level only: publish res.Delay + stream
+}
+
+// pushExtra appends extra e to the prefix-maximum stack exm.
+func pushExtra(exm []float64, e float64) []float64 {
+	if n := len(exm); n > 0 && exm[n-1] > e {
+		e = exm[n-1]
+	}
+	return append(exm, e)
+}
+
+func maxLoadOf(loads []float64) float64 {
+	m := 0.0
+	for _, v := range loads {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// dfs is the search recursion, identical to the historical closure-based
+// solver when extra == nil (the parity tests pin its traversal), with
+// the memoized extras folded into the bound otherwise. The stack uses
+// explicit push/pop discipline (see BruteForce for why re-sliced
+// frontier arguments would alias).
+func (r *bnbRun) dfs() {
+	if r.budgetHit || r.ctxErr != nil {
+		return
+	}
+	r.res.Explored++
+	if r.res.Explored > r.maxNodes {
+		r.budgetHit = true
+		return
+	}
+	if r.res.Explored&0xff == 0 {
+		if err := r.ctx.Err(); err != nil {
+			r.ctxErr = err
+			return
+		}
+	}
+	c := r.c
+	load := maxLoadOf(r.loads)
+	lower := load
+	if n := len(r.exm); n > 0 && r.exm[n-1] > lower {
+		// Some pending subtree is proven to add more delay than any
+		// committed satellite carries yet.
+		lower = r.exm[n-1]
+	}
+	if bound := r.hostTime + r.forcedRemaining + lower; bound >= r.bestDelay {
+		r.res.Pruned++
+		return // cannot beat the incumbent
+	}
+	if len(r.stack) == 0 {
+		// Complete assignment; the committed terms are now exact.
+		if d := r.hostTime + load; d < r.bestDelay {
+			r.bestDelay = d
+			copy(r.best[r.spanStart:r.spanEnd], r.loc[r.spanStart:r.spanEnd])
+			if r.onBetter != nil {
+				r.onBetter()
+			}
+		}
+		return
+	}
+	p := r.stack[len(r.stack)-1]
+	r.stack = r.stack[:len(r.stack)-1]
+	if r.exm != nil {
+		r.exm = r.exm[:len(r.exm)-1]
+	}
+	r.forcedRemaining -= c.Forced[p]
+	defer func() { // restore for the caller
+		r.stack = append(r.stack, p)
+		if r.exm != nil {
+			r.exm = pushExtra(r.exm, r.extra[p])
+		}
+		r.forcedRemaining += c.Forced[p]
+	}()
+
+	if !c.Proc[p] {
+		// Sensor whose parent is hosted (sensors under sunk subtrees
+		// are never on the stack): the raw frame crosses the uplink.
+		r.loads[c.Sensor[p]] += c.UpComm[p]
+		r.dfs()
+		r.loads[c.Sensor[p]] -= c.UpComm[p]
+		return
+	}
+
+	sat := c.Colour[p]
+	sinkable := sat != model.NoSatellite && p != c.RootPos
+	kids := c.Children(p)
+	sink := func() {
+		delta := c.SubSat[p] + c.UpComm[p]
+		r.loads[sat] += delta
+		c.FillSpan(r.loc, p, model.OnSatellite(sat))
+		r.dfs()
+		c.FillSpan(r.loc, p, model.Host)
+		r.loads[sat] -= delta
+	}
+	host := func() {
+		r.hostTime += c.HostTime[p]
+		r.loc[p] = model.Host
+		r.stack = append(r.stack, kids...)
+		// Children re-enter the forced estimate individually.
+		for _, ch := range kids {
+			r.forcedRemaining += c.Forced[ch]
+		}
+		if r.exm != nil {
+			for _, ch := range kids {
+				r.exm = pushExtra(r.exm, r.extra[ch])
+			}
+		}
+		r.dfs()
+		for _, ch := range kids {
+			r.forcedRemaining -= c.Forced[ch]
+		}
+		r.stack = r.stack[:len(r.stack)-len(kids)]
+		if r.exm != nil {
+			r.exm = r.exm[:len(r.exm)-len(kids)]
+		}
+		r.hostTime -= c.HostTime[p]
+	}
+	if !sinkable {
+		host()
+		return
+	}
+	// Explore the branch with the smaller immediate objective increase
+	// first so strong incumbents appear early.
+	sinkDelta := math.Max(load, r.loads[sat]+c.SubSat[p]+c.UpComm[p]) - load
+	if sinkDelta <= c.HostTime[p] {
+		sink()
+		host()
+	} else {
+		host()
+		sink()
+	}
 }
 
 // BranchAndBoundOpts is the anytime entry point: BranchAndBoundFrom plus
-// incumbent streaming and best-effort deadline handling.
+// incumbent streaming, best-effort deadline handling and bound
+// memoization.
 func BranchAndBoundOpts(ctx context.Context, t *model.Tree, opts BnBOptions) (*Result, error) {
 	maxNodes := core.IntOr(opts.MaxNodes, 1<<22)
 	warm := opts.Warm
 	c := model.Compile(t)
 	n := c.Len()
 	res := &Result{Delay: math.Inf(1)}
+
+	// The memoization pre-pass runs first: a complete entry for the whole
+	// instance short-circuits the solve, and the per-subtree extras it
+	// proves (or replays from previous solves) arm the bound below.
+	var seed *BoundSeed
+	if opts.Bounds != nil {
+		seed = PrepareBounds(ctx, t, opts.Bounds, maxNodes)
+		res.Explored = seed.Explored
+		res.Pruned = seed.Pruned
+		res.BoundHits, res.BoundMisses = seed.Hits, seed.Misses
+		if e := seed.RootEntry; e != nil {
+			return RootHitResult(t, c, e, res, opts.OnIncumbent), nil
+		}
+	}
 
 	sc := bnbScratches.Get()
 	defer bnbScratches.Put(sc)
@@ -100,12 +301,27 @@ func BranchAndBoundOpts(ctx context.Context, t *model.Tree, opts BnBOptions) (*R
 	sc.seed = pool.Keep(sc.seed, n)
 	sc.loads = pool.Slice(sc.loads, c.NumSats)
 
+	run := &bnbRun{
+		ctx: ctx, c: c, res: res, maxNodes: maxNodes,
+		loc: sc.loc, best: sc.best, loads: sc.loads,
+		bestDelay: math.Inf(1), spanStart: 0, spanEnd: int32(n),
+	}
+
 	// The forced-host table at the root — processing no assignment can
 	// move off the host — is a cheap valid lower bound on every completion,
 	// which is what anytime consumers need to report a gap. It is weak
-	// (it ignores communication and satellite load) but never wrong; a
-	// completed search replaces it with the proven optimum.
+	// (it ignores communication and satellite load) but never wrong; the
+	// memoized pre-pass tightens it, and a completed search replaces it
+	// with the proven optimum.
 	globalLB := c.Forced[c.RootPos]
+	if seed != nil {
+		run.extra = seed.Extra
+		if seed.RootLB > globalLB {
+			globalLB = seed.RootLB
+		}
+		run.budgetHit = seed.BudgetHit
+		run.ctxErr = seed.Err
+	}
 	res.LowerBound = globalLB
 	// stream clones the incumbent out to the callback. sc.best is pooled
 	// scratch, so the callback gets a fresh Assignment it may keep.
@@ -127,7 +343,8 @@ func BranchAndBoundOpts(ctx context.Context, t *model.Tree, opts BnBOptions) (*R
 	// and the warm hint, when one is offered — so pruning bites from the
 	// first branches.
 	improve := func(loc []model.Location) {
-		if d := eval.FlatDelay(c, loc, fr); d < res.Delay {
+		if d := eval.FlatDelay(c, loc, fr); d < run.bestDelay {
+			run.bestDelay = d
 			res.Delay = d
 			copy(sc.best, loc)
 			stream()
@@ -142,140 +359,78 @@ func BranchAndBoundOpts(ctx context.Context, t *model.Tree, opts BnBOptions) (*R
 		improve(sc.seed)
 	}
 
-	loc, loads := sc.loc, sc.loads
-	c.BaseLocations(loc)
-	var hostTime float64
-	forcedRemaining := c.Forced[c.RootPos]
-	budgetHit := false
-	var ctxErr error
-
-	maxLoad := func() float64 {
-		m := 0.0
-		for _, v := range loads {
-			if v > m {
-				m = v
-			}
-		}
-		return m
+	c.BaseLocations(sc.loc)
+	run.forcedRemaining = c.Forced[c.RootPos]
+	run.stack = append(sc.stack[:0], c.RootPos)
+	if run.extra != nil {
+		run.exm = append(sc.exm[:0], run.extra[c.RootPos])
 	}
-
-	// Explicit shared stack with push/pop discipline (see BruteForce for
-	// why re-sliced frontier arguments would alias).
-	stack := append(sc.stack[:0], c.RootPos)
-	var rec func()
-	rec = func() {
-		if budgetHit || ctxErr != nil {
-			return
-		}
-		res.Explored++
-		if res.Explored > maxNodes {
-			budgetHit = true
-			return
-		}
-		if res.Explored&0xff == 0 {
-			if err := ctx.Err(); err != nil {
-				ctxErr = err
-				return
-			}
-		}
-		bound := hostTime + forcedRemaining + maxLoad()
-		if bound >= res.Delay {
-			return // cannot beat the incumbent
-		}
-		if len(stack) == 0 {
-			// Complete assignment; the committed terms are now exact.
-			if d := hostTime + maxLoad(); d < res.Delay {
-				res.Delay = d
-				copy(sc.best, loc)
-				stream()
-			}
-			return
-		}
-		p := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		forcedRemaining -= c.Forced[p]
-		defer func() { // restore for the caller
-			stack = append(stack, p)
-			forcedRemaining += c.Forced[p]
-		}()
-
-		if !c.Proc[p] {
-			// Sensor whose parent is hosted (sensors under sunk subtrees
-			// are never on the stack): the raw frame crosses the uplink.
-			loads[c.Sensor[p]] += c.UpComm[p]
-			rec()
-			loads[c.Sensor[p]] -= c.UpComm[p]
-			return
-		}
-
-		sat := c.Colour[p]
-		sinkable := sat != model.NoSatellite && p != c.RootPos
-		kids := c.Children(p)
-		sink := func() {
-			delta := c.SubSat[p] + c.UpComm[p]
-			loads[sat] += delta
-			c.FillSpan(loc, p, model.OnSatellite(sat))
-			rec()
-			c.FillSpan(loc, p, model.Host)
-			loads[sat] -= delta
-		}
-		host := func() {
-			hostTime += c.HostTime[p]
-			loc[p] = model.Host
-			stack = append(stack, kids...)
-			// Children re-enter the forced estimate individually.
-			for _, ch := range kids {
-				forcedRemaining += c.Forced[ch]
-			}
-			rec()
-			for _, ch := range kids {
-				forcedRemaining -= c.Forced[ch]
-			}
-			stack = stack[:len(stack)-len(kids)]
-			hostTime -= c.HostTime[p]
-		}
-		if !sinkable {
-			host()
-			return
-		}
-		// Explore the branch with the smaller immediate objective increase
-		// first so strong incumbents appear early.
-		cur := maxLoad()
-		sinkDelta := math.Max(cur, loads[sat]+c.SubSat[p]+c.UpComm[p]) - cur
-		if sinkDelta <= c.HostTime[p] {
-			sink()
-			host()
-		} else {
-			host()
-			sink()
-		}
+	run.onBetter = func() {
+		res.Delay = run.bestDelay
+		stream()
 	}
-	rec()
-	sc.stack = stack[:0]
+	run.dfs()
+	sc.stack = run.stack[:0]
+	if run.exm != nil {
+		sc.exm = run.exm[:0]
+	}
 	if math.IsInf(res.Delay, 1) {
 		// Cannot happen for valid trees (all-host is always feasible).
-		if ctxErr != nil {
-			return nil, ctxErr
+		if run.ctxErr != nil {
+			return nil, run.ctxErr
 		}
 		return nil, ErrBudget
 	}
 	switch {
-	case ctxErr != nil:
+	case run.ctxErr != nil:
 		if !opts.BestEffort {
-			return nil, ctxErr
+			return nil, run.ctxErr
 		}
 		res.Partial = true
-	case budgetHit:
+	case run.budgetHit:
 		if !opts.BestEffort {
 			return nil, ErrBudget
 		}
 		res.Partial = true
 	default:
 		// The search completed: the incumbent is the proven optimum.
+		// Record it so the next solve of this exact instance — any
+		// session revision or corpus member with the same Merkle root —
+		// is a lookup instead of a search.
 		res.LowerBound = res.Delay
+		if seed != nil {
+			seed.RecordRoot(opts.Bounds, c, sc.best, res.Delay)
+		}
 	}
 	asg := model.NewAssignment(t)
 	c.StoreAssignment(asg, sc.best)
 	res.Assignment = asg
 	return res, nil
+}
+
+// RootHitResult materialises a solve whose whole instance was already
+// proven: the cached optimal pattern is replayed onto a fresh
+// assignment, no search node is explored, and anytime consumers still
+// observe one (final) incumbent. Shared with the work-stealing solver,
+// whose pre-pass can hit the same root entry.
+func RootHitResult(t *model.Tree, c *model.Compiled, e *boundcache.Entry, res *Result, onInc func(core.Incumbent)) *Result {
+	res.Delay = e.LB
+	res.LowerBound = e.LB
+	loc := make([]model.Location, c.Len())
+	c.BaseLocations(loc)
+	applyPattern(c, loc, c.RootPos, e.Pattern)
+	asg := model.NewAssignment(t)
+	c.StoreAssignment(asg, loc)
+	res.Assignment = asg
+	if onInc != nil {
+		inc := model.NewAssignment(t)
+		c.StoreAssignment(inc, loc)
+		onInc(core.Incumbent{
+			Assignment: inc,
+			Delay:      res.Delay,
+			LowerBound: res.LowerBound,
+			Work:       res.Explored,
+		})
+	}
+	return res
 }

@@ -1,0 +1,301 @@
+package exact
+
+import (
+	"context"
+	"math"
+
+	"repro/internal/boundcache"
+	"repro/internal/model"
+	"repro/internal/pool"
+)
+
+// BoundSeed is the product of the bound-memoization pre-pass shared by
+// the sequential and the work-stealing branch-and-bound: per-subtree
+// pruning extras, a tightened root lower bound, and — when the whole
+// instance was proven by an earlier solve — the complete answer.
+type BoundSeed struct {
+	// Extra[p] is a proven lower bound on subtree p's standalone delay
+	// (host time it adds plus satellite load it adds, parent hosted)
+	// minus Forced[p]: the part of p's future cost the forced-host bound
+	// cannot see. The searches keep a prefix maximum of Extra over their
+	// decision stack and fold it into the pruning bound.
+	Extra []float64
+	// RootLB is a proven floor on the instance's optimal delay, at least
+	// Forced[RootPos] and usually far tighter: LowerBound starts here.
+	RootLB float64
+	// RootKey is the instance's own cache key (Merkle root, Root
+	// context); a completed search inserts its proof under it.
+	RootKey boundcache.Key
+	// RootEntry, when non-nil, is a complete entry for the whole
+	// instance: the optimum is RootEntry.LB and RootEntry.Pattern
+	// reconstructs it — no search is needed.
+	RootEntry *boundcache.Entry
+
+	Explored  int // nodes spent proving uncached subtrees
+	Pruned    int // branches cut during those sub-solves
+	Hits      int // cache lookups that found a proven entry
+	Misses    int // cache lookups that found none
+	BudgetHit bool
+	Err       error
+}
+
+// PrepareBounds consults and populates the bound cache for one solve of
+// t. It walks the subtrees in post order (children before parents):
+// each memoizable subtree — processing, non-root, span at least the
+// cache's MinSpan — either replays its proven standalone bound from the
+// cache or is solved standalone right here (a bounded branch-and-bound
+// of just that span, itself pruned by the extras already proven for its
+// descendants) and the proof inserted. Smaller subtrees get a static
+// closed-form floor: for a sensor its uplink cost; for a CRU the better
+// of sinking whole (SubSat + UpComm) and hosting it above its
+// children's recursive floors.
+//
+// On a warm re-solve after a mutation only the dirty Merkle spine
+// misses, so the pre-pass re-proves exactly the subtrees the edit
+// touched and the main search starts with every clean region's exact
+// cost already in its bound.
+//
+// The node budget is shared with the main search via BoundSeed.Explored;
+// on budget or context expiry the remaining subtrees degrade to their
+// static floors and the caller sees BudgetHit/Err.
+func PrepareBounds(ctx context.Context, t *model.Tree, bc *boundcache.Cache, maxNodes int) *BoundSeed {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c := model.Compile(t)
+	n := c.Len()
+	hashes := model.SubtreeHashes(t)
+	seed := &BoundSeed{}
+
+	// Boundary-context scratch for key construction (see spanKey).
+	epoch := make([]int32, c.NumSats)
+	gen := int32(0)
+
+	seed.RootKey = spanKey(c, hashes, epoch, &gen, c.RootPos, true)
+	cachedRoot := 0.0
+	if e, ok := bc.Lookup(seed.RootKey); ok {
+		seed.Hits++
+		if e.Complete && len(e.Pattern) == n {
+			seed.RootEntry = e
+			seed.RootLB = e.LB
+			return seed
+		}
+		cachedRoot = e.LB
+	} else {
+		seed.Misses++
+	}
+
+	lbc := make([]float64, n)
+	extra := make([]float64, n)
+	res := &Result{Delay: math.Inf(1)} // counter sink for the sub-solves
+
+	sc := bnbScratches.Get()
+	defer bnbScratches.Put(sc)
+	sc.loc = pool.Keep(sc.loc, n)
+	sc.best = pool.Keep(sc.best, n)
+	sc.loads = pool.Slice(sc.loads, c.NumSats)
+	run := &bnbRun{
+		ctx: ctx, c: c, res: res, maxNodes: maxNodes,
+		loc: sc.loc, best: sc.best, loads: sc.loads,
+		stack: sc.stack[:0], exm: sc.exm[:0], extra: extra,
+	}
+	c.BaseLocations(sc.loc)
+	minSpan := int32(bc.MinSpan())
+
+	// One ascending pass: positions are post-ordered, so every child's
+	// static floor and extra are ready before its parent needs them, and
+	// a standalone sub-solve of p reuses the exact bounds just proven
+	// for p's own descendants.
+	for p := int32(0); p < int32(n); p++ {
+		if !c.Proc[p] {
+			// A sensor with a hosted parent puts its raw frame on the
+			// uplink; nothing forced offsets it.
+			lbc[p] = c.UpComm[p]
+			extra[p] = c.UpComm[p]
+			continue
+		}
+		sum, mx := 0.0, 0.0
+		for _, ch := range c.Children(p) {
+			sum += c.Forced[ch]
+			if e := lbc[ch] - c.Forced[ch]; e > mx {
+				mx = e
+			}
+		}
+		// Host option: p's own time, every child's forced floor, and the
+		// largest child excess — any completion hosting p pays at least
+		// this. Sink option (monochromatic non-root only): the whole
+		// subtree's satellite time plus its uplink, exactly.
+		v := c.HostTime[p] + sum + mx
+		if sat := c.Colour[p]; sat != model.NoSatellite && p != c.RootPos {
+			if s := c.SubSat[p] + c.UpComm[p]; s < v {
+				v = s
+			}
+		}
+		lbc[p] = v
+		tb := v
+		if p != c.RootPos && p+1-c.Start[p] >= minSpan {
+			k := spanKey(c, hashes, epoch, &gen, p, false)
+			if e, ok := bc.Lookup(k); ok {
+				seed.Hits++
+				if e.LB > tb {
+					tb = e.LB
+				}
+			} else {
+				seed.Misses++
+				if d, ok := run.solveSpan(p, v-c.Forced[p]); ok {
+					bc.Insert(k, completedEntry(c, sc.best, p, d))
+					if d > tb {
+						tb = d
+					}
+				}
+			}
+		}
+		if e := tb - c.Forced[p]; e > 0 {
+			extra[p] = e
+		}
+	}
+	sc.stack = run.stack[:0]
+	sc.exm = run.exm[:0]
+
+	rootLB := lbc[c.RootPos]
+	if cachedRoot > rootLB {
+		rootLB = cachedRoot
+	}
+	seed.RootLB = rootLB
+	if e := rootLB - c.Forced[c.RootPos]; e > 0 {
+		extra[c.RootPos] = e
+	}
+	seed.Extra = extra
+	seed.Explored = res.Explored
+	seed.Pruned = res.Pruned
+	seed.BudgetHit = run.budgetHit
+	seed.Err = run.ctxErr
+	return seed
+}
+
+// RecordRoot inserts a completed search's whole-instance proof — the
+// optimal locations and their delay — under the pre-pass's root key, so
+// the next solve of the same instance is a cache hit.
+func (seed *BoundSeed) RecordRoot(bc *boundcache.Cache, c *model.Compiled, best []model.Location, d float64) {
+	bc.Insert(seed.RootKey, completedEntry(c, best, c.RootPos, d))
+}
+
+// solveSpan runs the standalone branch-and-bound of the subtree at p —
+// parent hosted, sinking allowed (p is never the global root here) —
+// and returns its exact optimal delay, leaving the optimal locations in
+// best's span. rootExtra seeds the stack's prefix maximum with p's own
+// static floor so a tight baseline can prune the root node itself. ok
+// is false when the budget or deadline expired first; nothing is then
+// proven and the caller falls back to the static floor.
+func (r *bnbRun) solveSpan(p int32, rootExtra float64) (float64, bool) {
+	if r.budgetHit || r.ctxErr != nil {
+		return 0, false
+	}
+	c := r.c
+	start, end := c.Start[p], p+1
+
+	// Closed-form baselines: everything hosted (the span's sensors load
+	// their satellites, every CRU's time lands on the host) and the
+	// whole subtree sunk. loads is all-zero between sub-solves, so the
+	// per-satellite sums are exact; they are re-zeroed explicitly
+	// because float backtracking does not cancel bit-exactly.
+	hostAdd := 0.0
+	for q := start; q < end; q++ {
+		if c.Proc[q] {
+			hostAdd += c.HostTime[q]
+		} else {
+			r.loads[c.Sensor[q]] += c.UpComm[q]
+		}
+	}
+	r.bestDelay = hostAdd + maxLoadOf(r.loads)
+	for q := start; q < end; q++ {
+		if !c.Proc[q] {
+			r.loads[c.Sensor[q]] = 0
+		}
+	}
+	r.spanStart, r.spanEnd = start, end
+	copy(r.best[start:end], r.loc[start:end]) // all-host baseline
+	if s := c.SubSat[p] + c.UpComm[p]; s < r.bestDelay {
+		r.bestDelay = s
+		c.FillSpan(r.best, p, model.OnSatellite(c.Colour[p]))
+	}
+
+	r.hostTime = 0
+	r.forcedRemaining = c.Forced[p]
+	r.stack = append(r.stack[:0], p)
+	if rootExtra < 0 {
+		rootExtra = 0
+	}
+	r.exm = append(r.exm[:0], rootExtra)
+	r.onBetter = nil
+	r.dfs()
+	r.stack = r.stack[:0]
+	r.exm = r.exm[:0]
+	// The unwinding restored loc's span to all-host; zero the span's
+	// satellites exactly for the next sub-solve.
+	for q := start; q < end; q++ {
+		if !c.Proc[q] {
+			r.loads[c.Sensor[q]] = 0
+		}
+	}
+	if r.budgetHit || r.ctxErr != nil {
+		return 0, false
+	}
+	return r.bestDelay, true
+}
+
+// spanKey builds subtree p's cache key: its Merkle hash, the root
+// context bit, and the boundary context — how many distinct satellites
+// and maximal same-satellite leaf runs sit under p. epoch/gen implement
+// an O(leaves) distinct count without clearing between calls.
+func spanKey(c *model.Compiled, hashes [][32]byte, epoch []int32, gen *int32, p int32, root bool) boundcache.Key {
+	k := boundcache.Key{Hash: hashes[c.Post[p]], Root: root}
+	lo, hi := c.LeafLo[p], c.LeafHi[p]
+	if lo < 0 || hi < lo || int(hi) >= len(c.Leaves) {
+		return k
+	}
+	*gen++
+	g := *gen
+	prev := model.NoSatellite
+	for i := lo; i <= hi; i++ {
+		s := c.Sensor[c.Leaves[i]]
+		if s != prev {
+			k.Bands++
+			prev = s
+		}
+		if epoch[s] != g {
+			epoch[s] = g
+			k.Sats++
+		}
+	}
+	return k
+}
+
+// completedEntry packages the optimal sub-assignment of the subtree at
+// p (read from best's span) as a complete cache entry of delay d. The
+// pattern is colour-relative — one sunk bit per span offset — so it
+// replays onto any structurally identical subtree.
+func completedEntry(c *model.Compiled, best []model.Location, p int32, d float64) *boundcache.Entry {
+	start := c.Start[p]
+	pat := make([]bool, p+1-start)
+	for i := range pat {
+		q := start + int32(i)
+		pat[i] = !c.Proc[q] || best[q] != model.Host
+	}
+	return &boundcache.Entry{LB: d, Complete: true, Pattern: pat}
+}
+
+// applyPattern replays a complete entry's pattern onto loc's span
+// (pre-filled with BaseLocations): sunk CRUs go to their own subtree
+// colour, which is uniform over a sunk monochromatic region, so the
+// pattern is position-local and valid across structurally identical
+// trees.
+func applyPattern(c *model.Compiled, loc []model.Location, p int32, pat []bool) {
+	start := c.Start[p]
+	for i, sunk := range pat {
+		q := start + int32(i)
+		if sunk && c.Proc[q] {
+			loc[q] = model.OnSatellite(c.Colour[q])
+		}
+	}
+}

@@ -22,8 +22,16 @@ type Result struct {
 	Partial bool
 	// LowerBound is a valid floor on the optimal delay: the forced-host
 	// bound while the search runs, and the proven optimum (== Delay) once
-	// a branch-and-bound completes. Zero when the solver computes none.
+	// an exact search completes. Zero when the solver computes none.
 	LowerBound float64
+
+	// Node accounting of the memoized branch-and-bound searches: branches
+	// cut by the pruning bound, and bound-cache lookups that hit or
+	// missed (a miss is re-proven and inserted). All zero when bound
+	// memoization is off.
+	Pruned      int
+	BoundHits   int
+	BoundMisses int
 }
 
 // ErrBudget is returned when a solver exceeds its exploration budget. It
@@ -128,6 +136,10 @@ func BruteForceContext(ctx context.Context, t *model.Tree, maxExplored int) (*Re
 		asg := model.NewAssignment(t)
 		c.StoreAssignment(asg, sc.best)
 		res.Assignment = asg
+		// A finished enumeration proves its own answer, exactly like a
+		// completed branch-and-bound: pin the floor to the optimum so
+		// anytime consumers see a closed gap from the Result itself.
+		res.LowerBound = res.Delay
 	}
 	return res, nil
 }

@@ -26,22 +26,27 @@ func init() {
 		Budget:    true,
 		WarmStart: true,
 		Anytime:   true,
-		Summary:   "branch-and-bound over the cut decision tree (node budget)",
+		Bounds:    true,
+		Summary:   "branch-and-bound over the cut decision tree (node budget, bound memoization)",
 	}, func(ctx context.Context, req core.Request) (core.Finding, error) {
 		res, err := BranchAndBoundOpts(ctx, req.Tree, BnBOptions{
 			MaxNodes:    req.Budget,
 			Warm:        req.Warm,
 			OnIncumbent: req.OnIncumbent,
 			BestEffort:  req.BestEffort,
+			Bounds:      req.Bounds,
 		})
 		if err != nil {
 			return core.Finding{}, err
 		}
 		return core.Finding{
-			Assignment: res.Assignment,
-			Work:       res.Explored,
-			Partial:    res.Partial,
-			LowerBound: res.LowerBound,
+			Assignment:  res.Assignment,
+			Work:        res.Explored,
+			Partial:     res.Partial,
+			LowerBound:  res.LowerBound,
+			Pruned:      res.Pruned,
+			BoundHits:   res.BoundHits,
+			BoundMisses: res.BoundMisses,
 		}, nil
 	})
 }

@@ -146,6 +146,28 @@ type server struct {
 	sessionCalls, mutates, resolves              atomic.Int64
 	sessionsEvicted                              atomic.Int64
 	jobSubmits                                   atomic.Int64
+
+	// Search-node accounting summed over every synchronous solve served
+	// (the async job tier keeps its own in jobs.Stats): nodes explored,
+	// branches pruned, and bound-memoization hits/misses. Exposed as the
+	// "search" block of /debug/vars so a dashboard can watch the
+	// explored-per-solve trend fall as session bound caches warm up.
+	explored, pruned       atomic.Int64
+	boundHits, boundMisses atomic.Int64
+}
+
+// recordOutcome folds a served outcome's node accounting into the search
+// counters; cache hits replay a stored outcome, so their counters recount
+// the original search (cheap, and the trend stays interpretable next to
+// the cache block's hit ratio).
+func (s *server) recordOutcome(out *repro.Outcome) {
+	if out == nil {
+		return
+	}
+	s.explored.Add(int64(out.Work))
+	s.pruned.Add(int64(out.Pruned))
+	s.boundHits.Add(int64(out.BoundHits))
+	s.boundMisses.Add(int64(out.BoundMisses))
 }
 
 // ServeHTTP dispatches to the routed mux.
@@ -229,6 +251,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	s.recordOutcome(out)
 	s.stampSelf(w)
 	writeJSON(w, http.StatusOK, api.NewSolveResponse(tree, out, status))
 }
@@ -280,6 +303,7 @@ func (s *server) solveItem(ctx context.Context, item *api.SolveRequest) api.Batc
 	if err != nil {
 		return api.BatchItem{Error: api.FromError(err)}
 	}
+	s.recordOutcome(out)
 	return api.BatchItem{Response: api.NewSolveResponse(tree, out, status)}
 }
 
@@ -311,6 +335,7 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	s.recordOutcome(out)
 	res, err := repro.Simulate(tree, out.Assignment, simCfg)
 	if err != nil {
 		s.fail(w, err)
@@ -388,6 +413,12 @@ func (s *server) handleVars(w http.ResponseWriter, _ *http.Request) {
 			"failed":       s.failed.Load(),
 		},
 		"jobs": s.jobs.Stats(),
+		"search": map[string]int64{
+			"explored":     s.explored.Load(),
+			"pruned":       s.pruned.Load(),
+			"bound_hits":   s.boundHits.Load(),
+			"bound_misses": s.boundMisses.Load(),
+		},
 		"sessions": map[string]int64{
 			"live":    int64(s.sessionCount()),
 			"evicted": s.sessionsEvicted.Load(),

@@ -117,6 +117,16 @@ func TestJobDeadlineVsExactOverHTTP(t *testing.T) {
 	srv, _ := newTestServer(t, Config{})
 	spec := randomSpec(1, 40) // ~400ms of unconstrained branch-and-bound
 
+	// The deadline job runs first: the tier's bound cache is cold, so the
+	// 50ms budget genuinely truncates the search. (Submitted after the
+	// unconstrained job it would replay that job's recorded optimum from
+	// the shared bound cache and come back exact in microseconds.)
+	rushed := submitJob(t, srv.URL, &api.JobRequest{
+		SolveRequest: api.SolveRequest{Spec: spec, Algorithm: string(repro.BranchBound), Budget: 1 << 28},
+		DeadlineMS:   50,
+	})
+	partial := pollJob(t, srv.URL, rushed.JobID, 10*time.Second)
+
 	full := submitJob(t, srv.URL, &api.JobRequest{
 		SolveRequest: api.SolveRequest{Spec: spec, Algorithm: string(repro.BranchBound), Budget: 1 << 28},
 	})
@@ -128,11 +138,6 @@ func TestJobDeadlineVsExactOverHTTP(t *testing.T) {
 		t.Fatalf("proven optimum should report gap 0, got %v", exact.Gap)
 	}
 
-	rushed := submitJob(t, srv.URL, &api.JobRequest{
-		SolveRequest: api.SolveRequest{Spec: spec, Algorithm: string(repro.BranchBound), Budget: 1 << 28},
-		DeadlineMS:   50,
-	})
-	partial := pollJob(t, srv.URL, rushed.JobID, 10*time.Second)
 	if partial.State != "done" || partial.Result == nil {
 		t.Fatalf("deadline job: state=%q error=%+v", partial.State, partial.Error)
 	}

@@ -120,6 +120,7 @@ func (s *server) handleSessionMutate(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, wire)
 			return
 		}
+		s.recordOutcome(out)
 		resp.Response = api.NewSolveResponse(tree, out, status)
 	}
 	resp.Session = api.NewSessionState(id, sess)
@@ -142,6 +143,7 @@ func (s *server) handleSessionResolve(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	s.recordOutcome(out)
 	// Render against the revision the outcome was solved on: a concurrent
 	// mutate may already have advanced sess.Tree().
 	s.stampSelf(w)

@@ -125,6 +125,15 @@ type Stats struct {
 	QueueDepth int   `json:"queue_depth"`
 	Running    int   `json:"running"`
 	Live       int   `json:"live"`
+
+	// Search-node accounting summed over finished solves: nodes explored,
+	// branches pruned, and the shared bound cache's hit/miss split. The
+	// explored-per-job trend is the live measure of how much the bound
+	// memoization is saving the tier.
+	Explored    int64 `json:"explored"`
+	Pruned      int64 `json:"pruned"`
+	BoundHits   int64 `json:"bound_hits"`
+	BoundMisses int64 `json:"bound_misses"`
 }
 
 // Manager owns the job table, the bounded queue and the worker pool.
@@ -142,6 +151,17 @@ type Manager struct {
 	submitted, completed, canceled atomic.Int64
 	expired, failed, reaped        atomic.Int64
 	running                        atomic.Int64
+
+	explored, pruned       atomic.Int64
+	boundHits, boundMisses atomic.Int64
+
+	// bounds is the tier-wide bound-memoization cache, attached to every
+	// solve: jobs over the same (or mutated copies of the same) instance
+	// replay each other's proven subtree bounds, and a resubmitted
+	// identical instance — whose anytime solve bypasses the Service's
+	// outcome cache by design — is answered by replaying the recorded
+	// optimal pattern instead of re-searching.
+	bounds *repro.BoundCache
 }
 
 // New starts a Manager with cfg.Workers workers.
@@ -166,11 +186,12 @@ func New(cfg Config) *Manager {
 	}
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:   cfg,
-		queue: make(chan *Job, cfg.QueueDepth),
-		ctx:   ctx,
-		stop:  stop,
-		jobs:  map[string]*Job{},
+		cfg:    cfg,
+		queue:  make(chan *Job, cfg.QueueDepth),
+		ctx:    ctx,
+		stop:   stop,
+		jobs:   map[string]*Job{},
+		bounds: repro.NewBoundCache(repro.BoundCacheConfig{}),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -260,15 +281,19 @@ func (m *Manager) Stats() Stats {
 	live := len(m.jobs)
 	m.mu.Unlock()
 	return Stats{
-		Submitted:  m.submitted.Load(),
-		Completed:  m.completed.Load(),
-		Canceled:   m.canceled.Load(),
-		Expired:    m.expired.Load(),
-		Failed:     m.failed.Load(),
-		Reaped:     m.reaped.Load(),
-		QueueDepth: len(m.queue),
-		Running:    int(m.running.Load()),
-		Live:       live,
+		Submitted:   m.submitted.Load(),
+		Completed:   m.completed.Load(),
+		Canceled:    m.canceled.Load(),
+		Expired:     m.expired.Load(),
+		Failed:      m.failed.Load(),
+		Reaped:      m.reaped.Load(),
+		QueueDepth:  len(m.queue),
+		Running:     int(m.running.Load()),
+		Live:        live,
+		Explored:    m.explored.Load(),
+		Pruned:      m.pruned.Load(),
+		BoundHits:   m.boundHits.Load(),
+		BoundMisses: m.boundMisses.Load(),
 	}
 }
 
@@ -352,6 +377,7 @@ func (m *Manager) run(j *Job) {
 		out, err = m.portfolio(ctx, j, plan)
 	} else {
 		out, _, err = m.cfg.Service.Solve(ctx, j.req.Tree, m.solveOpts(j, plan, plan.Algorithm)...)
+		m.noteOutcome(out)
 	}
 
 	switch {
@@ -376,14 +402,27 @@ func (m *Manager) run(j *Job) {
 	}
 }
 
+// noteOutcome folds one finished solve's node accounting into the
+// manager counters (nil outcomes — failed solves — contribute nothing).
+func (m *Manager) noteOutcome(out *repro.Outcome) {
+	if out == nil {
+		return
+	}
+	m.explored.Add(int64(out.Work))
+	m.pruned.Add(int64(out.Pruned))
+	m.boundHits.Add(int64(out.BoundHits))
+	m.boundMisses.Add(int64(out.BoundMisses))
+}
+
 // solveOpts assembles one solve's option list: the request parameters,
-// the plan's algorithm and budget, best-effort mode and the incumbent
-// hook feeding the job's ring.
+// the plan's algorithm and budget, best-effort mode, the shared bound
+// cache and the incumbent hook feeding the job's ring.
 func (m *Manager) solveOpts(j *Job, plan Plan, alg repro.Algorithm) []repro.Option {
 	opts := []repro.Option{
 		repro.WithAlgorithm(alg),
 		repro.WithSeed(j.req.Seed),
 		repro.WithBestEffort(),
+		repro.WithBoundCache(m.bounds),
 		repro.WithIncumbents(func(inc repro.Incumbent) { j.record(alg, inc) }),
 	}
 	if budget := j.req.Budget; budget != 0 {
@@ -437,6 +476,7 @@ func (m *Manager) portfolio(ctx context.Context, j *Job, plan Plan) (*repro.Outc
 			note(inc)
 		}))
 		out, _, err := m.cfg.Service.Solve(raceCtx, j.req.Tree, opts...)
+		m.noteOutcome(out)
 		return lane{out: out, err: err}
 	}
 

@@ -72,18 +72,10 @@ func TestJobDeadlinePartialVsExact(t *testing.T) {
 	tree := mediumTree()
 	m := newManager(t, jobs.Config{Workers: 1})
 
-	full, err := m.Submit(jobs.Request{Tree: tree, Algorithm: repro.BranchBound, Budget: 1 << 28})
-	if err != nil {
-		t.Fatalf("Submit: %v", err)
-	}
-	if got := full.Wait(t.Context(), time.Minute); got != jobs.StateDone {
-		t.Fatalf("unconstrained job state = %v", got)
-	}
-	exact := full.Snapshot()
-	if exact.Result == nil || !exact.Result.Exact || exact.Result.Partial {
-		t.Fatalf("unconstrained job not exact: %+v", exact.Result)
-	}
-
+	// The deadline job runs first, against a cold bound cache, so the
+	// 50ms deadline genuinely truncates the search; submitted after the
+	// unconstrained job it would replay that job's recorded optimum from
+	// the manager's shared bound cache and come back exact instantly.
 	rushed, err := m.Submit(jobs.Request{
 		Tree: tree, Algorithm: repro.BranchBound, Budget: 1 << 28,
 		Deadline: 50 * time.Millisecond,
@@ -95,6 +87,18 @@ func TestJobDeadlinePartialVsExact(t *testing.T) {
 		t.Fatalf("deadline job state = %v", got)
 	}
 	st := rushed.Snapshot()
+
+	full, err := m.Submit(jobs.Request{Tree: tree, Algorithm: repro.BranchBound, Budget: 1 << 28})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if got := full.Wait(t.Context(), time.Minute); got != jobs.StateDone {
+		t.Fatalf("unconstrained job state = %v", got)
+	}
+	exact := full.Snapshot()
+	if exact.Result == nil || !exact.Result.Exact || exact.Result.Partial {
+		t.Fatalf("unconstrained job not exact: %+v", exact.Result)
+	}
 	if st.Result == nil || !st.Result.Partial {
 		t.Fatalf("deadline job should be partial: %+v", st.Result)
 	}

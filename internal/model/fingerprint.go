@@ -63,6 +63,19 @@ func Fingerprint(t *Tree) string {
 	return m.fp
 }
 
+// SubtreeHashes returns the per-subtree Merkle hashes of t, indexed by
+// NodeID — the building blocks of Fingerprint, exposed so the exact
+// searches can key memoized subtree bounds by content. Two equal hashes
+// (within a tree, across session revisions, or across instances of a
+// corpus) certify structurally identical subtrees: same shape and planar
+// embedding, same profiles as exact float bits, same structural
+// satellite partition. The fingerprint memo is computed on first use and
+// the returned slice aliases it; callers must treat it as read-only.
+func SubtreeHashes(t *Tree) [][sha256.Size]byte {
+	Fingerprint(t)
+	return t.fpm.Load().node
+}
+
 // adoptFingerprintMemo seeds t's fingerprint memo from base's, invalidating
 // the dirty nodes and all their ancestors. The caller guarantees t and base
 // share shape, planar embedding and satellite partition (profile-only

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/boundcache"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/exact"
@@ -38,6 +39,13 @@ type Options struct {
 	// deadline expires. The incumbent is always feasible (the baselines
 	// seed it before the search starts).
 	BestEffort bool
+	// Bounds attaches the bound-memoization cache (see
+	// exact.BnBOptions.Bounds): the sequential pre-pass runs before the
+	// workers start, its per-subtree extras arm every worker's bound
+	// read-only, and a proven whole instance returns without spawning
+	// workers at all. Nil leaves the search bit-identical to the
+	// pre-memoization solver.
+	Bounds *boundcache.Cache
 }
 
 // frame is one stealable unit of search: a full snapshot of the
@@ -49,6 +57,7 @@ type frame struct {
 	loc             []model.Location
 	stack           []int32
 	loads           []float64
+	exm             []float64 // prefix max of memoized extras along stack; empty when off
 	hostTime        float64
 	forcedRemaining float64
 }
@@ -81,7 +90,13 @@ type search struct {
 	// one core cuts the search on all of them within a few instructions.
 	bound    atomic.Uint64
 	explored atomic.Int64
+	pruned   atomic.Int64
 	maxNodes int64
+
+	// extra is the memoized pre-pass's per-subtree bound excess table
+	// (see exact.BoundSeed.Extra), read-only across the workers; nil
+	// when bound memoization is off.
+	extra []float64
 
 	stop      atomic.Bool
 	budgetHit atomic.Bool
@@ -118,6 +133,7 @@ type worker struct {
 	s   *search
 	id  int
 	n   int64 // nodes explored by this worker
+	pr  int64 // branches pruned by this worker, flushed on exit
 	est int64 // estimated global total: shared counter at last flush + local since
 }
 
@@ -216,9 +232,18 @@ func (s *search) fork(f *frame) *frame {
 	nf.loc = append(nf.loc[:0], f.loc...)
 	nf.stack = append(nf.stack[:0], f.stack...)
 	nf.loads = append(nf.loads[:0], f.loads...)
+	nf.exm = append(nf.exm[:0], f.exm...)
 	nf.hostTime = f.hostTime
 	nf.forcedRemaining = f.forcedRemaining
 	return nf
+}
+
+// pushExtra appends extra e to a frame's prefix-maximum stack.
+func pushExtra(exm []float64, e float64) []float64 {
+	if n := len(exm); n > 0 && exm[n-1] > e {
+		e = exm[n-1]
+	}
+	return append(exm, e)
 }
 
 // shouldSplit decides whether to fork the second branch of the current
@@ -303,6 +328,9 @@ func (s *search) run(id int) {
 	if r := w.n & (exploredStride - 1); r != 0 {
 		s.explored.Add(r)
 	}
+	if w.pr != 0 {
+		s.pruned.Add(w.pr)
+	}
 }
 
 // dfs is the sequential branch-and-bound recursion (see exact.
@@ -317,22 +345,35 @@ func (w *worker) dfs(f *frame) {
 	}
 	s := w.s
 	c := s.c
-	bound := f.hostTime + f.forcedRemaining + maxLoad(f.loads)
-	if bound >= s.incumbent() {
+	load := maxLoad(f.loads)
+	lower := load
+	if n := len(f.exm); n > 0 && f.exm[n-1] > lower {
+		// Some pending subtree is proven to add more delay than any
+		// committed satellite carries yet (memoized extras).
+		lower = f.exm[n-1]
+	}
+	if bound := f.hostTime + f.forcedRemaining + lower; bound >= s.incumbent() {
+		w.pr++
 		return // cannot beat the incumbent
 	}
 	if len(f.stack) == 0 {
 		// Complete assignment; the committed terms are now exact.
-		if d := f.hostTime + maxLoad(f.loads); d < s.incumbent() {
+		if d := f.hostTime + load; d < s.incumbent() {
 			s.improve(f.loc, d)
 		}
 		return
 	}
 	p := f.stack[len(f.stack)-1]
 	f.stack = f.stack[:len(f.stack)-1]
+	if s.extra != nil {
+		f.exm = f.exm[:len(f.exm)-1]
+	}
 	f.forcedRemaining -= c.Forced[p]
 	defer func() { // restore for the caller
 		f.stack = append(f.stack, p)
+		if s.extra != nil {
+			f.exm = pushExtra(f.exm, s.extra[p])
+		}
 		f.forcedRemaining += c.Forced[p]
 	}()
 
@@ -349,8 +390,7 @@ func (w *worker) dfs(f *frame) {
 	kids := c.Children(p)
 	sinkDelta := 0.0
 	if sinkable {
-		cur := maxLoad(f.loads)
-		sinkDelta = math.Max(cur, f.loads[sat]+c.SubSat[p]+c.UpComm[p]) - cur
+		sinkDelta = math.Max(load, f.loads[sat]+c.SubSat[p]+c.UpComm[p]) - load
 	}
 	sink := func() {
 		delta := c.SubSat[p] + c.UpComm[p]
@@ -367,11 +407,19 @@ func (w *worker) dfs(f *frame) {
 		for _, ch := range kids {
 			f.forcedRemaining += c.Forced[ch]
 		}
+		if s.extra != nil {
+			for _, ch := range kids {
+				f.exm = pushExtra(f.exm, s.extra[ch])
+			}
+		}
 		w.dfs(f)
 		for _, ch := range kids {
 			f.forcedRemaining -= c.Forced[ch]
 		}
 		f.stack = f.stack[:len(f.stack)-len(kids)]
+		if s.extra != nil {
+			f.exm = f.exm[:len(f.exm)-len(kids)]
+		}
 		f.hostTime -= c.HostTime[p]
 	}
 	if !sinkable {
@@ -392,6 +440,11 @@ func (w *worker) dfs(f *frame) {
 			nf.stack = append(nf.stack, kids...)
 			for _, ch := range kids {
 				nf.forcedRemaining += c.Forced[ch]
+			}
+			if s.extra != nil {
+				for _, ch := range kids {
+					nf.exm = pushExtra(nf.exm, s.extra[ch])
+				}
 			}
 		} else { // second branch: sink
 			delta := c.SubSat[p] + c.UpComm[p]
@@ -431,12 +484,30 @@ func BranchAndBound(ctx context.Context, t *model.Tree, opts Options) (*exact.Re
 	if nw <= 0 {
 		nw = runtime.GOMAXPROCS(0)
 	}
+	maxNodes := core.IntOr(opts.MaxNodes, 1<<22)
+
+	// The memoization pre-pass runs sequentially before any worker
+	// exists: a proven whole instance returns immediately, and the
+	// extras table it builds is read-only to the workers afterwards.
+	var seedB *exact.BoundSeed
+	if opts.Bounds != nil {
+		seedB = exact.PrepareBounds(ctx, t, opts.Bounds, maxNodes)
+		if e := seedB.RootEntry; e != nil {
+			res := &exact.Result{
+				Explored:    seedB.Explored,
+				Pruned:      seedB.Pruned,
+				BoundHits:   seedB.Hits,
+				BoundMisses: seedB.Misses,
+			}
+			return exact.RootHitResult(t, c, e, res, opts.OnIncumbent), nil
+		}
+	}
 
 	s := &search{
 		ctx:       ctx,
 		c:         c,
 		tree:      t,
-		maxNodes:  int64(core.IntOr(opts.MaxNodes, 1<<22)),
+		maxNodes:  int64(maxNodes),
 		best:      make([]model.Location, n),
 		bestDelay: math.Inf(1),
 		globalLB:  c.Forced[c.RootPos],
@@ -447,6 +518,22 @@ func BranchAndBound(ctx context.Context, t *model.Tree, opts Options) (*exact.Re
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.bound.Store(math.Float64bits(math.Inf(1)))
+	if seedB != nil {
+		s.extra = seedB.Extra
+		if seedB.RootLB > s.globalLB {
+			s.globalLB = seedB.RootLB
+		}
+		s.explored.Store(int64(seedB.Explored))
+		s.pruned.Store(int64(seedB.Pruned))
+		if seedB.BudgetHit {
+			s.budgetHit.Store(true)
+			s.stop.Store(true)
+		}
+		if seedB.Err != nil {
+			s.err = seedB.Err
+			s.stop.Store(true)
+		}
+	}
 
 	// Seed the incumbent with the trivial baselines (and the warm hint)
 	// before any worker starts, exactly like the sequential solver: the
@@ -470,6 +557,10 @@ func BranchAndBound(ctx context.Context, t *model.Tree, opts Options) (*exact.Re
 	c.BaseLocations(root.loc)
 	root.stack = append(root.stack[:0], c.RootPos)
 	root.loads = pool.Slice(root.loads, c.NumSats)
+	root.exm = root.exm[:0] // pooled frames may carry a stale stack
+	if s.extra != nil {
+		root.exm = pushExtra(root.exm, s.extra[c.RootPos])
+	}
 	root.hostTime = 0
 	root.forcedRemaining = c.Forced[c.RootPos]
 	s.pending = 1
@@ -496,7 +587,11 @@ func BranchAndBound(ctx context.Context, t *model.Tree, opts Options) (*exact.Re
 	res := &exact.Result{
 		Delay:      s.bestDelay,
 		Explored:   int(s.explored.Load()),
+		Pruned:     int(s.pruned.Load()),
 		LowerBound: s.globalLB,
+	}
+	if seedB != nil {
+		res.BoundHits, res.BoundMisses = seedB.Hits, seedB.Misses
 	}
 	switch {
 	case s.err != nil:
@@ -510,8 +605,12 @@ func BranchAndBound(ctx context.Context, t *model.Tree, opts Options) (*exact.Re
 		}
 		res.Partial = true
 	default:
-		// The search completed: the incumbent is the proven optimum.
+		// The search completed: the incumbent is the proven optimum, and
+		// worth remembering — the next solve of this instance is a lookup.
 		res.LowerBound = res.Delay
+		if seedB != nil {
+			seedB.RecordRoot(opts.Bounds, c, s.best, res.Delay)
+		}
 	}
 	asg := model.NewAssignment(t)
 	c.StoreAssignment(asg, s.best)

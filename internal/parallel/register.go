@@ -16,7 +16,8 @@ func init() {
 		WarmStart: true,
 		Anytime:   true,
 		Parallel:  true,
-		Summary:   "work-stealing parallel branch-and-bound (node budget, Request.Parallelism workers)",
+		Bounds:    true,
+		Summary:   "work-stealing parallel branch-and-bound (node budget, Request.Parallelism workers, bound memoization)",
 	}, func(ctx context.Context, req core.Request) (core.Finding, error) {
 		res, err := BranchAndBound(ctx, req.Tree, Options{
 			Workers:     req.Parallelism,
@@ -24,15 +25,19 @@ func init() {
 			Warm:        req.Warm,
 			OnIncumbent: req.OnIncumbent,
 			BestEffort:  req.BestEffort,
+			Bounds:      req.Bounds,
 		})
 		if err != nil {
 			return core.Finding{}, err
 		}
 		return core.Finding{
-			Assignment: res.Assignment,
-			Work:       res.Explored,
-			Partial:    res.Partial,
-			LowerBound: res.LowerBound,
+			Assignment:  res.Assignment,
+			Work:        res.Explored,
+			Partial:     res.Partial,
+			LowerBound:  res.LowerBound,
+			Pruned:      res.Pruned,
+			BoundHits:   res.BoundHits,
+			BoundMisses: res.BoundMisses,
 		}, nil
 	})
 }

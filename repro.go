@@ -89,6 +89,7 @@ import (
 	"io"
 
 	_ "repro/internal/algorithms" // link every built-in solver into the registry
+	"repro/internal/boundcache"
 	"repro/internal/core"
 	"repro/internal/dwg"
 	"repro/internal/eval"
@@ -139,6 +140,13 @@ type (
 	SimConfig = sim.Config
 	// SimResult is a simulation outcome.
 	SimResult = sim.Result
+	// BoundCache memoizes proven subtree bounds across exact solves; attach
+	// one with WithBoundCache.
+	BoundCache = boundcache.Cache
+	// BoundCacheConfig sizes a BoundCache.
+	BoundCacheConfig = boundcache.Config
+	// BoundCacheStats reports a BoundCache's hit/store/eviction counters.
+	BoundCacheStats = boundcache.Stats
 )
 
 // Structured errors of the solve service, matched with errors.Is.
@@ -217,6 +225,11 @@ func DOT(t *Tree, title string) string { return model.DOT(t, title) }
 // costs and satellite partition, regardless of names) share it. It is the
 // instance identity the Service caches by.
 func Fingerprint(t *Tree) string { return model.Fingerprint(t) }
+
+// NewBoundCache returns a bound-memoization cache for the exact searches
+// (see WithBoundCache). The zero BoundCacheConfig selects the default
+// capacity and minimum memoized span.
+func NewBoundCache(cfg BoundCacheConfig) *BoundCache { return boundcache.New(cfg) }
 
 // NewAssignment returns the everything-on-host assignment for t.
 func NewAssignment(t *Tree) *Assignment { return model.NewAssignment(t) }

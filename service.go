@@ -298,7 +298,10 @@ var keyBufs = pool.NewArena(func() *keyBuf { return new(keyBuf) })
 // only for exact solvers, whose answer they cannot change), solve
 // parallelism is excluded (Parallel-capable solvers promise the worker
 // count changes wall time, never the answer — which is why annealing-pack
-// pins its restart width instead of consuming the hint), parameters
+// pins its restart width instead of consuming the hint), the bound cache
+// is excluded (Bounds-capable solvers promise memoized bounds change the
+// nodes explored, never the delay — property-tested by the parity
+// suite), parameters
 // the chosen algorithm declares it ignores are normalised away (a seed on
 // the deterministic adapted-ssb must not fragment the cache), and zero
 // weights collapse onto the default S+B objective so both spellings

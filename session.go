@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/boundcache"
 	"repro/internal/incremental"
 )
 
@@ -66,11 +67,21 @@ type Session struct {
 // OpenSession starts a session on t. The options become the session's
 // solve defaults, layered over the Service solver's own defaults and
 // overridable per Resolve call.
+//
+// Every session carries its own bound-memoization cache (unless the
+// options attach one explicitly): exact re-solves after a mutation then
+// re-search only the subtrees the edit touched, replaying proven bounds
+// for everything else. Pass a shared cache via WithBoundCache to pool
+// proofs across sessions solving related instances.
 func (s *Service) OpenSession(t *Tree, opts ...Option) (*Session, error) {
 	if t == nil {
 		return nil, fmt.Errorf("%w: nil tree", ErrInvalidTree)
 	}
-	return &Session{svc: s, cfg: s.solver.settingsFor(opts), tree: t}, nil
+	cfg := s.solver.settingsFor(opts)
+	if cfg.bounds == nil {
+		cfg.bounds = boundcache.New(boundcache.Config{})
+	}
+	return &Session{svc: s, cfg: cfg, tree: t}, nil
 }
 
 // Tree returns the current revision's tree (immutable; a later Mutate

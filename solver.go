@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/boundcache"
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/pool"
@@ -30,6 +31,7 @@ type settings struct {
 	warm        *Assignment
 	onIncumbent func(Incumbent)
 	bestEffort  bool
+	bounds      *boundcache.Cache
 }
 
 // Option configures a Solver (in NewSolver) or a single call (in Solve and
@@ -94,6 +96,18 @@ func WithBestEffort() Option { return func(s *settings) { s.bestEffort = true } 
 // identity.
 func WithWarmStart(a *Assignment) Option { return func(s *settings) { s.warm = a } }
 
+// WithBoundCache attaches a bound-memoization cache to the exact searches
+// (BranchBound, ParallelBnB — see Capabilities.Bounds): proven per-subtree
+// lower bounds, keyed by the subtrees' canonical content hashes, carry
+// across solves, so re-solving a mutated instance re-searches only the
+// subtrees the edit actually touched and re-solving an identical instance
+// is a lookup. The hint is advisory and never changes an exact solver's
+// answer — only the nodes it explores — so, like WithWarmStart and
+// WithSolveParallelism, it is excluded from the Service's cache identity.
+// The same cache may back any number of concurrent solves; Session
+// attaches one per session automatically.
+func WithBoundCache(bc *BoundCache) Option { return func(s *settings) { s.bounds = bc } }
+
 // NewSolver returns a Solver whose defaults are the given options.
 func NewSolver(opts ...Option) *Solver {
 	s := &Solver{}
@@ -156,6 +170,7 @@ func solveOne(ctx context.Context, t *Tree, cfg settings) (*Outcome, error) {
 		Warm:        cfg.warm,
 		OnIncumbent: cfg.onIncumbent,
 		BestEffort:  cfg.bestEffort,
+		Bounds:      cfg.bounds,
 	}
 	if t != nil {
 		// Compile (or fetch) the flat plan here so every dispatch — batch
