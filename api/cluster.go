@@ -13,6 +13,12 @@ const (
 	// produced the response — observability for routing and cache
 	// affinity, never consulted for routing decisions.
 	ServedByHeader = "X-CR-Served-By"
+	// EpochHeader carries a membership-view epoch. Health-probe responses
+	// advertise the responder's current epoch on it (the gossip path that
+	// lets a node missing a broadcast catch up), and migration pushes
+	// stamp the epoch that justified them so a receiver on a newer view
+	// can reject stale state.
+	EpochHeader = "X-CR-Epoch"
 )
 
 // ClusterNode is one fleet member's introspection record.
@@ -25,6 +31,9 @@ type ClusterNode struct {
 	Self bool `json:"self,omitempty"`
 	// State: ready | draining | dead.
 	State string `json:"state"`
+	// StateSinceMS is milliseconds since the node last changed state
+	// (how long it has been ready/draining/dead).
+	StateSinceMS int64 `json:"state_since_ms,omitempty"`
 	// Failures is the node's consecutive health-probe failure count.
 	Failures int `json:"failures,omitempty"`
 	// LastSeenMS is milliseconds since the node last answered a probe
@@ -39,6 +48,8 @@ type ClusterResponse struct {
 	APIVersion   string           `json:"api_version"`
 	Enabled      bool             `json:"enabled"`
 	Self         string           `json:"self,omitempty"`
+	Epoch        uint64           `json:"epoch,omitempty"`
+	Members      []string         `json:"members,omitempty"`
 	VirtualNodes int              `json:"virtual_nodes,omitempty"`
 	Nodes        []ClusterNode    `json:"nodes,omitempty"`
 	Stats        map[string]int64 `json:"stats,omitempty"`

@@ -44,6 +44,10 @@ const (
 	// backoff — if the owner is gone for good the retry turns into
 	// not_found once its membership state settles.
 	CodeUnavailable ErrorCode = "unavailable"
+	// CodeStaleEpoch: a migration push or membership update carried an
+	// epoch below the receiver's current view — the sender acted on an
+	// outdated ring and its state must not be adopted.
+	CodeStaleEpoch ErrorCode = "stale_epoch"
 	// CodeInternal: an unclassified server-side failure.
 	CodeInternal ErrorCode = "internal"
 )
@@ -63,6 +67,8 @@ func (c ErrorCode) HTTPStatus() int {
 		return http.StatusTooManyRequests
 	case CodeUnavailable:
 		return http.StatusServiceUnavailable
+	case CodeStaleEpoch:
+		return http.StatusConflict
 	default:
 		return http.StatusInternalServerError
 	}

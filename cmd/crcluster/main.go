@@ -6,11 +6,18 @@
 // per-node hit rates), scatter-gather splits batches by owner, and the
 // summary prints the fleet's routing counters.
 //
+// The fleet is elastic: -join-after spawns an extra node mid-run (warm
+// state for the ranges it takes over is pushed to it before routing
+// flips), and -autoscale lets a load watcher sampling /debug/vars grow
+// and shrink the fleet under sustained pressure.
+//
 // Usage:
 //
 //	crcluster                     # 3 nodes, 600 requests, 16 clients
 //	crcluster -nodes 5 -requests 5000 -clients 64
 //	crcluster -trees 100 -repeat 10 -seed 7
+//	crcluster -requests 5000 -join-after 2s      # watch a warm join mid-load
+//	crcluster -requests 20000 -autoscale -max-nodes 6
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"repro"
 	"repro/api"
 	"repro/internal/cluster"
+	"repro/internal/elastic"
 	"repro/internal/httpserve"
 	"repro/internal/workload"
 )
@@ -42,15 +50,30 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	virtualNodes := flag.Int("virtual-nodes", 64, "ring points per node")
 	batch := flag.Int("batch", 0, "send every <n> requests as one scatter-gathered batch (0 = single solves)")
+	joinAfter := flag.Duration("join-after", 0, "spawn one extra node this long into the run (0 disables)")
+	autoscale := flag.Bool("autoscale", false, "sample fleet pressure and spawn/drain nodes under sustained load")
+	maxNodes := flag.Int("max-nodes", 8, "autoscaler ceiling on the fleet size")
+	highInflight := flag.Int64("high-inflight", 0, "autoscaler fleet-wide in-flight threshold (0 = half the client count)")
 	flag.Parse()
 
-	if err := run(*nodes, *requests, *clients, *trees, *treeSize, *seed, *virtualNodes, *batch); err != nil {
+	opts := runOptions{
+		joinAfter: *joinAfter, autoscale: *autoscale,
+		maxNodes: *maxNodes, highInflight: *highInflight,
+	}
+	if err := run(*nodes, *requests, *clients, *trees, *treeSize, *seed, *virtualNodes, *batch, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "crcluster: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(nodes, requests, clients, trees, treeSize int, seed int64, virtualNodes, batch int) error {
+type runOptions struct {
+	joinAfter    time.Duration
+	autoscale    bool
+	maxNodes     int
+	highInflight int64
+}
+
+func run(nodes, requests, clients, trees, treeSize int, seed int64, virtualNodes, batch int, opts runOptions) error {
 	fleet, err := httpserve.StartFleet(nodes, httpserve.FleetOptions{
 		Cluster:     cluster.Config{VirtualNodes: virtualNodes, ProbeInterval: 500 * time.Millisecond},
 		StartProbes: true,
@@ -62,6 +85,43 @@ func run(nodes, requests, clients, trees, treeSize int, seed int64, virtualNodes
 	fmt.Printf("fleet of %d nodes:\n", nodes)
 	for i, u := range fleet.URLs() {
 		fmt.Printf("  node %d: %s\n", i, u)
+	}
+
+	if opts.joinAfter > 0 {
+		timer := time.AfterFunc(opts.joinAfter, func() {
+			if n, err := fleet.Spawn(); err != nil {
+				fmt.Fprintf(os.Stderr, "crcluster: mid-run join: %v\n", err)
+			} else {
+				fmt.Printf("  joined %s at %v into the run\n", n.URL, opts.joinAfter)
+			}
+		})
+		defer timer.Stop()
+	}
+	if opts.autoscale {
+		hi := opts.highInflight
+		if hi <= 0 {
+			hi = int64(clients)/2 + 1
+		}
+		watcher, err := elastic.NewWatcher(elastic.WatcherConfig{
+			Sample:       elastic.VarsSampler(nil, fleet.URLs),
+			Interval:     250 * time.Millisecond,
+			HighInflight: hi,
+			SustainUp:    4,
+			SustainDown:  20,
+			MinNodes:     nodes,
+			MaxNodes:     opts.maxNodes,
+			Nodes:        fleet.Alive,
+			Spawn:        func() error { _, err := fleet.Spawn(); return err },
+			Drain:        fleet.DrainNewest,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("  "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		watcher.Start()
+		defer watcher.Stop()
 	}
 
 	// Workload: the paper tree plus random instances, as wire specs.
@@ -167,5 +227,18 @@ func run(nodes, requests, clients, trees, treeSize int, seed int64, virtualNodes
 	}
 	distinct := int64(len(specs))
 	fmt.Printf("\n%d distinct instances, %d cold solves across the fleet (perfect affinity = equal)\n", distinct, misses)
+
+	if len(fleet.Nodes) > nodes || opts.autoscale {
+		fmt.Printf("\nelastic: fleet grew %d -> %d nodes (%d alive), epoch %d\n",
+			nodes, len(fleet.Nodes), fleet.Alive(), fleet.Nodes[0].Cluster.Epoch())
+		for i, n := range fleet.Nodes {
+			ec := n.Elastic.Counters()
+			if ec.Migrations == 0 && ec.EntriesAdopted == 0 {
+				continue
+			}
+			fmt.Printf("  node %d: %d migrations, %d entries pushed, %d adopted\n",
+				i, ec.Migrations, ec.EntriesPushed, ec.EntriesAdopted)
+		}
+	}
 	return nil
 }

@@ -86,6 +86,7 @@ func main() {
 	}
 
 	var urls []string
+	var onEvent func(action string) error
 	switch {
 	case *fleetN > 0 && *targets != "":
 		fail("-fleet and -targets are mutually exclusive")
@@ -96,6 +97,7 @@ func main() {
 		}
 		defer fleet.Close()
 		urls = fleet.URLs()
+		onEvent = load.FleetEvent(fleet)
 		fmt.Fprintf(os.Stderr, "crload: self-hosted %d-node fleet: %s\n", *fleetN, strings.Join(urls, ", "))
 	case *targets != "":
 		for _, t := range strings.Split(*targets, ",") {
@@ -110,7 +112,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := load.RunOptions{Targets: urls}
+	opts := load.RunOptions{Targets: urls, OnEvent: onEvent}
 	if !*quiet {
 		opts.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "crload: "+format+"\n", args...)

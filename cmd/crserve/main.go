@@ -19,6 +19,10 @@
 //	DELETE /v1/jobs/{id}            cancel a job
 //	GET    /v1/algorithms           list the registered solvers
 //	GET    /v1/cluster              fleet membership, ring state, routing counters
+//	POST   /v1/cluster/members      propose or relay a membership change (join/leave at runtime)
+//	POST   /v1/migrate/cache        node-to-node push of warm result-cache entries
+//	POST   /v1/migrate/sessions     node-to-node push of session snapshots
+//	POST   /v1/migrate/bounds       node-to-node push of proven bound-cache entries
 //	GET    /healthz                 liveness probe ("ok", or "draining" while shutting down)
 //	GET    /debug/vars              cache/request/session/cluster counters + expvar
 //
@@ -52,8 +56,25 @@ import (
 
 	"repro"
 	"repro/internal/cluster"
+	"repro/internal/elastic"
 	"repro/internal/httpserve"
 )
+
+// readPeersFile reads a seed list: one peer base URL per line, blank
+// lines and #-comments ignored.
+func readPeersFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading peers file: %w", err)
+	}
+	var peers []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if line = strings.TrimSpace(line); line != "" && !strings.HasPrefix(line, "#") {
+			peers = append(peers, line)
+		}
+	}
+	return peers, nil
+}
 
 // heapBallast pins a large dead allocation for the process lifetime so
 // the collector's pacing target (live heap × GOGC%) sits far above the
@@ -80,6 +101,7 @@ func main() {
 	grace := flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on shutdown")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	peers := flag.String("peers", "", "comma-separated peer base URLs; enables cluster routing (requires -advertise)")
+	peersFile := flag.String("peers-file", "", "file with one peer base URL per line; SIGHUP re-reads it and proposes the new membership to the fleet (requires -advertise)")
 	advertise := flag.String("advertise", "", "this node's base URL as peers reach it (e.g. http://10.0.0.1:8080)")
 	virtualNodes := flag.Int("virtual-nodes", 64, "consistent-hash ring points per node")
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "peer health-probe period")
@@ -103,9 +125,9 @@ func main() {
 	gcVars.Add("gogc_percent", int64(*gogc))
 
 	var cl *cluster.Cluster
-	if *peers != "" || *advertise != "" {
+	if *peers != "" || *peersFile != "" || *advertise != "" {
 		if *advertise == "" {
-			fmt.Fprintln(os.Stderr, "crserve: -peers requires -advertise (this node's base URL)")
+			fmt.Fprintln(os.Stderr, "crserve: -peers/-peers-file requires -advertise (this node's base URL)")
 			os.Exit(2)
 		}
 		var peerList []string
@@ -114,12 +136,24 @@ func main() {
 				peerList = append(peerList, p)
 			}
 		}
+		if *peersFile != "" {
+			fromFile, err := readPeersFile(*peersFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "crserve: %v\n", err)
+				os.Exit(2)
+			}
+			peerList = append(peerList, fromFile...)
+		}
 		var err error
 		cl, err = cluster.New(cluster.Config{
 			Self:          *advertise,
 			Peers:         peerList,
 			VirtualNodes:  *virtualNodes,
 			ProbeInterval: *probeInterval,
+			// Epoch 1 leaves room below every runtime view change (epochs
+			// must strictly grow), so a static seed list can still be
+			// superseded by an operator update or a SIGHUP reload.
+			Epoch: 1,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "crserve: %v\n", err)
@@ -156,8 +190,37 @@ func main() {
 	defer stop()
 
 	if cl != nil {
+		// Elastic membership: peers can join and leave at runtime via
+		// POST /v1/cluster/members or probe gossip, with warm state pushed
+		// ahead of every routing flip.
+		mgr := handler.AttachElastic(nil)
 		cl.Start()
 		defer cl.Stop()
+
+		// SIGHUP re-reads the seed file and proposes the new view — the
+		// operator path for growing or shrinking the fleet without
+		// restarting any node.
+		if *peersFile != "" {
+			hup := make(chan os.Signal, 1)
+			signal.Notify(hup, syscall.SIGHUP)
+			go func() {
+				for range hup {
+					fromFile, err := readPeersFile(*peersFile)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "crserve: SIGHUP reload: %v\n", err)
+						continue
+					}
+					members := elastic.NormalizeMembers(append([]string{*advertise}, fromFile...))
+					epoch, err := mgr.Propose(members)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "crserve: SIGHUP membership proposal: %v\n", err)
+						continue
+					}
+					fmt.Fprintf(os.Stderr, "crserve: SIGHUP applied membership epoch %d (%d members)\n",
+						epoch, len(members))
+				}
+			}()
+		}
 	}
 
 	errc := make(chan error, 1)

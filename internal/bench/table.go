@@ -140,6 +140,7 @@ func All() []Experiment {
 		{"P3", "perf: open-loop load harness on a 2-node fleet", P3LoadHarness},
 		{"P4", "perf: parallel branch-and-bound cores + batch eval lanes", P4ParallelCores},
 		{"P5", "perf: bound memoization, cold vs warm exact re-solve", P5BoundMemo},
+		{"P6", "perf: GC pacing (gogc + ballast) under elastic fleet load", P6GCTuning},
 	}
 }
 

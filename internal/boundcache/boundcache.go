@@ -46,6 +46,7 @@
 package boundcache
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -164,21 +165,21 @@ func (c *Cache) Lookup(k Key) (*Entry, bool) {
 	return e, true
 }
 
-// Insert records e as proven for k. When an entry already exists the
-// more proven one is kept: Complete beats incomplete, and a higher LB
-// beats a lower one — bounds only ever tighten, so racing solvers of
-// the same subtree cannot weaken the store. e must not be modified by
-// the caller after Insert.
-func (c *Cache) Insert(k Key, e *Entry) {
+// Insert records e as proven for k, reporting whether the store changed.
+// When an entry already exists the more proven one is kept: Complete
+// beats incomplete, and a higher LB beats a lower one — bounds only ever
+// tighten, so racing solvers of the same subtree cannot weaken the
+// store. e must not be modified by the caller after Insert.
+func (c *Cache) Insert(k Key, e *Entry) bool {
 	if e == nil {
-		return
+		return false
 	}
 	s := c.shardFor(&k)
 	s.mu.Lock()
 	if old := s.m[k]; old != nil {
 		if old.Complete || (!e.Complete && old.LB >= e.LB) {
 			s.mu.Unlock()
-			return
+			return false
 		}
 	} else if len(s.m) >= c.perShrd {
 		c.evictLocked(s)
@@ -186,6 +187,7 @@ func (c *Cache) Insert(k Key, e *Entry) {
 	s.m[k] = e
 	s.mu.Unlock()
 	c.stores.Add(1)
+	return true
 }
 
 // evictLocked recycles one entry by second chance: the sweep clears
@@ -210,6 +212,69 @@ func (c *Cache) evictLocked(s *shard) {
 		delete(s.m, fallback)
 		c.evictions.Add(1)
 	}
+}
+
+// Exported is one serialisable entry: the key plus the proven fact,
+// detached from the in-store Entry (whose second-chance bit must not
+// travel).
+type Exported struct {
+	Key      Key
+	LB       float64
+	Complete bool
+	Pattern  []bool
+}
+
+// Export returns up to limit entries, most valuable first: complete
+// entries (which short-circuit whole subtrees) before bound-only ones,
+// root-context entries (which short-circuit whole instances) before
+// interior ones, then tighter bounds first. The migration path ships
+// these to nodes that may re-solve overlapping instances.
+func (c *Cache) Export(limit int) []Exported {
+	if limit <= 0 {
+		return nil
+	}
+	var all []Exported
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for k, e := range s.m {
+			all = append(all, Exported{Key: k, LB: e.LB, Complete: e.Complete, Pattern: e.Pattern})
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if a.Complete != b.Complete {
+			return a.Complete
+		}
+		if a.Key.Root != b.Key.Root {
+			return a.Key.Root
+		}
+		return a.LB > b.LB
+	})
+	if len(all) > limit {
+		all = all[:limit]
+	}
+	return all
+}
+
+// Import adopts exported entries, returning how many were stored. The
+// keeps-more-proven Insert semantics make adoption idempotent and safe
+// against concurrent local proving: a weaker migrated fact never
+// overwrites a stronger local one.
+func (c *Cache) Import(entries []Exported) int {
+	adopted := 0
+	for i := range entries {
+		ex := &entries[i]
+		e := &Entry{LB: ex.LB, Complete: ex.Complete}
+		if ex.Complete && len(ex.Pattern) > 0 {
+			e.Pattern = append([]bool(nil), ex.Pattern...)
+		}
+		if c.Insert(ex.Key, e) {
+			adopted++
+		}
+	}
+	return adopted
 }
 
 // Len returns the number of entries currently held.

@@ -258,6 +258,50 @@ func (c *Cache) storeLocked(s *shard, key string, val any) {
 	}
 }
 
+// KV is one exported cache entry.
+type KV struct {
+	Key string
+	Val any
+}
+
+// Export returns up to limit stored entries whose key passes keep (nil
+// keeps everything), most recently used first within each shard — the
+// top-K selection of the warm-state migration path. Exporting does not
+// disturb recency.
+func (c *Cache) Export(limit int, keep func(key string) bool) []KV {
+	if limit <= 0 {
+		return nil
+	}
+	out := make([]KV, 0, min(limit, 64))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*entry)
+			if keep != nil && !keep(e.key) {
+				continue
+			}
+			out = append(out, KV{Key: e.key, Val: e.val})
+			if len(out) >= limit {
+				s.mu.Unlock()
+				return out
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Put stores val under key directly, bypassing the flight machinery —
+// the adoption path for entries migrated from another node. Counted as
+// neither hit nor miss: no lookup was served.
+func (c *Cache) Put(key string, val any) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	c.storeLocked(s, key, val)
+	s.mu.Unlock()
+}
+
 // Len returns the number of stored entries.
 func (c *Cache) Len() int {
 	n := 0

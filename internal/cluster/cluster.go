@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -21,8 +22,12 @@ type Config struct {
 	// Self is this node's advertised base URL (required; it is the node's
 	// identity on the ring).
 	Self string
-	// Peers are the other nodes' base URLs (static seed list).
+	// Peers are the other nodes' base URLs (initial seed list; the view
+	// can grow and shrink at runtime via ApplyView).
 	Peers []string
+	// Epoch numbers the initial membership view (default 0). Any view
+	// applied at runtime must carry a strictly higher epoch.
+	Epoch uint64
 	// VirtualNodes per member on the ring (default 64).
 	VirtualNodes int
 	// ProbeInterval is the health-probe period (default 2s).
@@ -58,23 +63,43 @@ type Stats struct {
 // NodeInfo is one member's introspection record (see httpserve's
 // /v1/cluster).
 type NodeInfo struct {
-	ID       string
-	Tag      string
-	Self     bool
-	State    State
-	Failures int
-	LastSeen time.Time
+	ID         string
+	Tag        string
+	Self       bool
+	State      State
+	StateSince time.Time
+	Failures   int
+	LastSeen   time.Time
 }
 
-// Cluster is one node's routing brain: the ring, the membership view,
-// and the forwarding client with its breakers.
-type Cluster struct {
-	cfg      Config
+// view is one immutable epoch of the fleet: the ring, the tag index and
+// the per-peer breakers. Forwarding reads the current view lock-free;
+// ApplyView swaps the whole thing atomically, carrying surviving peers'
+// breakers across so their failure history is not amnestied by a
+// membership change — and dropping removed peers' breakers, which is
+// what releases their circuit state.
+type view struct {
+	epoch    uint64
 	ring     *Ring
-	mem      *Membership
-	breakers map[string]*Breaker
-	client   *http.Client
 	byTag    map[string]string
+	retired  map[string]string // departed members' tags → last-known URL
+	breakers map[string]*Breaker
+}
+
+// maxRetiredTags bounds the departed-member tag table carried across
+// views. Overflow drops arbitrary entries: their ID-pinned calls answer
+// not_found, as an evicted session would.
+const maxRetiredTags = 64
+
+// Cluster is one node's routing brain: the epoch-numbered ring view, the
+// membership prober, and the forwarding client with its breakers.
+type Cluster struct {
+	cfg    Config
+	mem    *Membership
+	client *http.Client
+
+	viewMu sync.Mutex // serialises view transitions; reads go via v
+	v      atomic.Pointer[view]
 
 	forwards, forwardFailures, hedges atomic.Int64
 	localFallbacks, scatters          atomic.Int64
@@ -95,23 +120,59 @@ func New(cfg Config) (*Cluster, error) {
 	if client == nil {
 		client = &http.Client{}
 	}
-	members := append([]string{cfg.Self}, cfg.Peers...)
-	ring := NewRing(members, cfg.VirtualNodes)
 	c := &Cluster{
-		cfg:      cfg,
+		cfg:    cfg,
+		mem:    NewMembership(cfg.Self, cfg.Peers, cfg.ProbeInterval, cfg.FailThreshold, client),
+		client: client,
+	}
+	members := append([]string{cfg.Self}, cfg.Peers...)
+	c.v.Store(c.buildView(cfg.Epoch, members, nil))
+	return c, nil
+}
+
+// buildView assembles an immutable view, reusing prev's breakers for
+// peers that survive the transition.
+func (c *Cluster) buildView(epoch uint64, members []string, prev *view) *view {
+	ring := NewRing(members, c.cfg.VirtualNodes)
+	nv := &view{
+		epoch:    epoch,
 		ring:     ring,
-		mem:      NewMembership(cfg.Self, cfg.Peers, cfg.ProbeInterval, cfg.FailThreshold, client),
-		breakers: make(map[string]*Breaker, len(ring.Nodes())),
-		client:   client,
-		byTag:    make(map[string]string, len(ring.Nodes())),
+		byTag:    make(map[string]string, ring.Len()),
+		retired:  make(map[string]string),
+		breakers: make(map[string]*Breaker, ring.Len()),
 	}
 	for _, n := range ring.Nodes() {
-		if n != cfg.Self {
-			c.breakers[n] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		nv.byTag[Tag(n)] = n
+		if n == c.cfg.Self {
+			continue
 		}
-		c.byTag[Tag(n)] = n
+		if prev != nil {
+			if b, ok := prev.breakers[n]; ok {
+				nv.breakers[n] = b
+				continue
+			}
+		}
+		nv.breakers[n] = NewBreaker(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown)
 	}
-	return c, nil
+	// Members that left this view (or an earlier one) keep their tag
+	// resolvable: a departed node serves its relocation tombstones while
+	// draining, so ID-pinned calls from third nodes — which route by tag,
+	// not by tombstone — must still be able to name it. A tag readopted
+	// by a live member always wins over its retired entry.
+	if prev != nil {
+		carry := func(tag, node string) {
+			if _, live := nv.byTag[tag]; !live && len(nv.retired) < maxRetiredTags {
+				nv.retired[tag] = node
+			}
+		}
+		for t, n := range prev.retired {
+			carry(t, n)
+		}
+		for t, n := range prev.byTag {
+			carry(t, n)
+		}
+	}
+	return nv
 }
 
 // Start launches the background health probes.
@@ -126,21 +187,79 @@ func (c *Cluster) Self() string { return c.cfg.Self }
 // SelfTag returns this node's session-ID tag.
 func (c *Cluster) SelfTag() string { return Tag(c.cfg.Self) }
 
-// Size returns the fleet size (self included).
-func (c *Cluster) Size() int { return c.ring.Len() }
+// Epoch returns the current membership view's epoch.
+func (c *Cluster) Epoch() uint64 { return c.v.Load().epoch }
+
+// Ring returns the current view's ring (immutable).
+func (c *Cluster) Ring() *Ring { return c.v.Load().ring }
+
+// Members returns the current view's member list in ring order (a copy).
+func (c *Cluster) Members() []string {
+	nodes := c.v.Load().ring.Nodes()
+	out := make([]string, len(nodes))
+	copy(out, nodes)
+	return out
+}
+
+// BuildRing previews the ring a member list would produce under this
+// cluster's virtual-node setting, without applying anything — the
+// elastic layer diffs it against Ring() to find moved ownership before
+// flipping routing.
+func (c *Cluster) BuildRing(members []string) *Ring {
+	return NewRing(members, c.cfg.VirtualNodes)
+}
+
+// ApplyView swaps in a new membership view. The epoch must be strictly
+// higher than the current one (stale and duplicate views are ignored);
+// on success the previous ring is returned so callers can diff. The
+// membership prober is reconciled in the same step: removed peers stop
+// being probed and their breaker state is dropped with the old view.
+// Self need not be in members — a node that has been voted out keeps
+// serving (draining) with a ring that routes everything away from it.
+func (c *Cluster) ApplyView(epoch uint64, members []string) (prev *Ring, applied bool) {
+	c.viewMu.Lock()
+	defer c.viewMu.Unlock()
+	cur := c.v.Load()
+	if epoch <= cur.epoch {
+		return cur.ring, false
+	}
+	nv := c.buildView(epoch, members, cur)
+	peers := make([]string, 0, len(members))
+	for _, n := range members {
+		if n != c.cfg.Self {
+			peers = append(peers, n)
+		}
+	}
+	c.mem.SetPeers(peers)
+	c.v.Store(nv)
+	return cur.ring, true
+}
+
+// Size returns the fleet size (self included while self is a member).
+func (c *Cluster) Size() int { return c.v.Load().ring.Len() }
 
 // VirtualNodes returns the ring's per-node point count.
-func (c *Cluster) VirtualNodes() int { return c.ring.VirtualNodes() }
+func (c *Cluster) VirtualNodes() int { return c.v.Load().ring.VirtualNodes() }
 
 // Owner returns the ring owner of key, alive or not — cache-affinity
 // ground truth, not a routing decision (use Plan for that).
-func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
+func (c *Cluster) Owner(key string) string { return c.v.Load().ring.Owner(key) }
 
-// NodeByTag resolves a session-ID tag back to the node it names.
+// NodeByTag resolves a session-ID tag back to the node it names —
+// current members first, then departed ones still answering relocation
+// redirects from their draining window.
 func (c *Cluster) NodeByTag(tag string) (string, bool) {
-	n, ok := c.byTag[tag]
+	v := c.v.Load()
+	if n, ok := v.byTag[tag]; ok {
+		return n, true
+	}
+	n, ok := v.retired[tag]
 	return n, ok
 }
+
+// OnEpoch registers the gossip callback fed by probe responses (see
+// Membership.OnEpoch).
+func (c *Cluster) OnEpoch(fn func(peer string, epoch uint64)) { c.mem.OnEpoch(fn) }
 
 // SetDraining flips this node's advertised state, so peers' probes stop
 // routing new work here while in-flight requests finish.
@@ -159,14 +278,15 @@ func (c *Cluster) SetDraining(on bool) {
 // its hedge replica; anything beyond that is better served locally than
 // through a third network hop.
 func (c *Cluster) Plan(key string) []string {
+	v := c.v.Load()
 	var remotes []string
-	for _, n := range c.ring.Replicas(key, c.ring.Len()) {
+	for _, n := range v.ring.Replicas(key, v.ring.Len()) {
 		if n == c.cfg.Self {
 			// Self outranks the remaining replicas: prefer any
 			// higher-ranked live remote, else serve locally.
 			return remotes
 		}
-		if c.routable(n) {
+		if c.routableIn(v, n) {
 			remotes = append(remotes, n)
 			if len(remotes) == 2 {
 				return remotes
@@ -176,15 +296,21 @@ func (c *Cluster) Plan(key string) []string {
 	return remotes
 }
 
-// routable reports whether a peer should receive new work now. The
+// routableIn reports whether a peer should receive new work now. The
 // breaker check is read-only: the half-open trial is claimed only when
 // a request is actually sent (forwardOne), never while planning.
-func (c *Cluster) routable(n string) bool {
+func (c *Cluster) routableIn(v *view, n string) bool {
 	if c.mem.State(n) != StateReady {
 		return false
 	}
-	b := c.breakers[n]
+	b := v.breakers[n]
 	return b == nil || b.Routable()
+}
+
+// breaker returns node's breaker in the current view (nil for self or
+// nodes outside the view — such as one removed mid-flight).
+func (c *Cluster) breaker(node string) *Breaker {
+	return c.v.Load().breakers[node]
 }
 
 // ForwardResult is one successful forward: the peer's verbatim response.
@@ -268,7 +394,7 @@ func (c *Cluster) Forward(ctx context.Context, nodes []string, method, path stri
 // nothing about the peer's health, so it releases any claimed half-open
 // trial instead of recording a failure.
 func (c *Cluster) forwardOne(ctx context.Context, node, method, path string, body []byte) (ForwardResult, error) {
-	if b := c.breakers[node]; b != nil && !b.Allow() {
+	if b := c.breaker(node); b != nil && !b.Allow() {
 		return ForwardResult{}, fmt.Errorf("cluster: %s circuit open", node)
 	}
 	var rd io.Reader
@@ -297,7 +423,7 @@ func (c *Cluster) forwardOne(ctx context.Context, node, method, path string, bod
 		c.settle(ctx, node)
 		return ForwardResult{}, fmt.Errorf("cluster: %s answered %d", node, resp.StatusCode)
 	}
-	if b2 := c.breakers[node]; b2 != nil {
+	if b2 := c.breaker(node); b2 != nil {
 		b2.Success()
 	}
 	return ForwardResult{Status: resp.StatusCode, Body: b, Node: node}, nil
@@ -311,7 +437,7 @@ func (c *Cluster) settle(ctx context.Context, node string) {
 		c.release(node)
 		return
 	}
-	b := c.breakers[node]
+	b := c.breaker(node)
 	if b == nil {
 		return
 	}
@@ -320,7 +446,7 @@ func (c *Cluster) settle(ctx context.Context, node string) {
 }
 
 func (c *Cluster) release(node string) {
-	if b := c.breakers[node]; b != nil {
+	if b := c.breaker(node); b != nil {
 		b.Release()
 	}
 }
@@ -356,7 +482,8 @@ func (c *Cluster) Snapshot() []NodeInfo {
 	for i, m := range infos {
 		out[i] = NodeInfo{
 			ID: m.ID, Tag: Tag(m.ID), Self: m.Self,
-			State: m.State, Failures: m.Failures, LastSeen: m.LastSeen,
+			State: m.State, StateSince: m.StateSince,
+			Failures: m.Failures, LastSeen: m.LastSeen,
 		}
 	}
 	return out

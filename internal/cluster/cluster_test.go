@@ -40,12 +40,12 @@ func TestPlanOwnership(t *testing.T) {
 	peers := []string{"http://n2", "http://n3"}
 	c := testCluster(t, self, peers, Config{})
 
-	selfKey := findKey(t, c.ring, self)
+	selfKey := findKey(t, c.Ring(), self)
 	if got := c.Plan(selfKey); len(got) != 0 {
 		t.Fatalf("self-owned key planned remotes %v", got)
 	}
 	for _, peer := range peers {
-		key := findKey(t, c.ring, peer)
+		key := findKey(t, c.Ring(), peer)
 		got := c.Plan(key)
 		if len(got) == 0 || got[0] != peer {
 			t.Fatalf("key owned by %q planned %v", peer, got)
@@ -62,7 +62,7 @@ func TestPlanSkipsDeadAndBrokenPeers(t *testing.T) {
 	self := "http://n1"
 	owner := "http://n2"
 	c := testCluster(t, self, []string{owner, "http://n3"}, Config{BreakerThreshold: 1, BreakerCooldown: time.Hour})
-	key := findKey(t, c.ring, owner)
+	key := findKey(t, c.Ring(), owner)
 
 	// Dead by membership: the owner disappears from the plan.
 	p := c.mem.byID[owner]
@@ -75,13 +75,13 @@ func TestPlanSkipsDeadAndBrokenPeers(t *testing.T) {
 	p.state.Store(int32(StateReady))
 
 	// Open breaker: same effect, without waiting for a probe round.
-	c.breakers[owner].Failure()
+	c.breaker(owner).Failure()
 	for _, n := range c.Plan(key) {
 		if n == owner {
 			t.Fatalf("circuit-broken owner still planned: %v", c.Plan(key))
 		}
 	}
-	c.breakers[owner].Success()
+	c.breaker(owner).Success()
 	if got := c.Plan(key); len(got) == 0 || got[0] != owner {
 		t.Fatalf("recovered owner not planned first: %v", got)
 	}
@@ -95,15 +95,15 @@ func TestPlanDoesNotConsumeHalfOpenTrial(t *testing.T) {
 	self := "http://n1"
 	owner := "http://n2"
 	c := testCluster(t, self, []string{owner, "http://n3"}, Config{BreakerThreshold: 1, BreakerCooldown: 10 * time.Millisecond})
-	key := findKey(t, c.ring, owner)
-	c.breakers[owner].Failure()
+	key := findKey(t, c.Ring(), owner)
+	c.breaker(owner).Failure()
 	time.Sleep(15 * time.Millisecond)
 	for i := 0; i < 5; i++ {
 		if got := c.Plan(key); len(got) == 0 || got[0] != owner {
 			t.Fatalf("plan %d after cooldown: %v", i, got)
 		}
 	}
-	if !c.breakers[owner].Allow() {
+	if !c.breaker(owner).Allow() {
 		t.Fatal("half-open trial was consumed by planning")
 	}
 }
@@ -151,7 +151,7 @@ func TestForwardFailsOverOn5xx(t *testing.T) {
 	if res.Node != good.URL || string(res.Body) != "fine" {
 		t.Fatalf("result %+v", res)
 	}
-	if !c.breakers[bad.URL].Open() {
+	if !c.breaker(bad.URL).Open() {
 		t.Fatal("5xx did not trip the peer's breaker")
 	}
 	if st := c.Stats(); st.ForwardFailures != 1 {
@@ -174,7 +174,7 @@ func TestForward4xxIsAuthoritative(t *testing.T) {
 	if res.Status != http.StatusNotFound {
 		t.Fatalf("status %d", res.Status)
 	}
-	if c.breakers[peer.URL].Open() {
+	if c.breaker(peer.URL).Open() {
 		t.Fatal("4xx tripped the breaker")
 	}
 }
@@ -207,7 +207,7 @@ func TestForwardHedgesSlowPrimary(t *testing.T) {
 	// Losing the hedge race is not a failure: the cancelled primary must
 	// not trip its breaker or inflate the failure counter.
 	time.Sleep(50 * time.Millisecond)
-	if c.breakers[slow.URL].Open() {
+	if c.breaker(slow.URL).Open() {
 		t.Fatal("hedge loser tripped its breaker")
 	}
 	if st := c.Stats(); st.ForwardFailures != 0 {

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestElasticViewReleasesRemovedPeer is the membership-leak check: a
+// peer voted out of the view disappears from the probe snapshot and its
+// breaker state is dropped with the old view, while survivors keep
+// their failure history.
+func TestElasticViewReleasesRemovedPeer(t *testing.T) {
+	a, b, c := "http://a:1", "http://b:1", "http://c:1"
+	cl := testCluster(t, a, []string{a, b, c}, Config{
+		VirtualNodes: 16, Epoch: 1,
+		BreakerThreshold: 3, BreakerCooldown: time.Hour,
+	})
+	defer cl.Stop()
+
+	survivor := cl.breaker(c)
+	if survivor == nil || cl.breaker(b) == nil {
+		t.Fatal("peers should start with breakers")
+	}
+	survivor.Failure() // history that must survive the view change
+
+	if _, applied := cl.ApplyView(2, []string{a, c}); !applied {
+		t.Fatal("view 2 not applied")
+	}
+
+	if got := cl.breaker(b); got != nil {
+		t.Errorf("removed peer %s still holds a breaker", b)
+	}
+	if got := cl.breaker(c); got != survivor {
+		t.Errorf("survivor %s got a fresh breaker; failure history amnestied", c)
+	}
+	for _, n := range cl.Snapshot() {
+		if n.ID == b {
+			t.Errorf("removed peer %s still in the probe snapshot", b)
+		}
+	}
+	if got := len(cl.Members()); got != 2 {
+		t.Errorf("members = %d, want 2", got)
+	}
+
+	// Rejoin at a higher epoch: probed again, with a fresh breaker.
+	if _, applied := cl.ApplyView(3, []string{a, b, c}); !applied {
+		t.Fatal("view 3 not applied")
+	}
+	if cl.breaker(b) == nil {
+		t.Errorf("rejoined peer %s has no breaker", b)
+	}
+	found := false
+	for _, n := range cl.Snapshot() {
+		found = found || n.ID == b
+	}
+	if !found {
+		t.Errorf("rejoined peer %s missing from the probe snapshot", b)
+	}
+}
+
+// TestElasticRetiredTagResolves keeps departed members nameable: a
+// drained node serves relocation tombstones for the sessions it pushed
+// away, so third nodes routing by ID tag must still reach it after the
+// view flip — until a live member reclaims the tag.
+func TestElasticRetiredTagResolves(t *testing.T) {
+	a, b := "http://a:1", "http://b:1"
+	cl := testCluster(t, a, []string{a, b}, Config{VirtualNodes: 16, Epoch: 1})
+	defer cl.Stop()
+
+	if _, applied := cl.ApplyView(2, []string{a}); !applied {
+		t.Fatal("view 2 not applied")
+	}
+	if node, ok := cl.NodeByTag(Tag(b)); !ok || node != b {
+		t.Fatalf("NodeByTag(departed) = %q, %v; want %q, true", node, ok, b)
+	}
+	if _, ok := cl.NodeByTag("nosuchtag"); ok {
+		t.Error("unknown tag resolved")
+	}
+
+	// The node comes back: the live entry wins and the retired one is
+	// dropped from the next view.
+	if _, applied := cl.ApplyView(3, []string{a, b}); !applied {
+		t.Fatal("view 3 not applied")
+	}
+	if node, ok := cl.NodeByTag(Tag(b)); !ok || node != b {
+		t.Fatalf("NodeByTag(rejoined) = %q, %v; want live %q", node, ok, b)
+	}
+}

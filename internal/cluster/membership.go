@@ -4,10 +4,13 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/api"
 )
 
 // State is a member's routing eligibility.
@@ -39,32 +42,55 @@ func (s State) String() string {
 
 // member is one node's live probe bookkeeping.
 type member struct {
-	id       string
-	state    atomic.Int32
-	failures atomic.Int32 // consecutive probe failures
-	probes   atomic.Int64 // total probes sent
-	lastSeen atomic.Int64 // unix nanos of the last successful probe
+	id         string
+	state      atomic.Int32
+	stateSince atomic.Int64 // unix nanos of the last state transition
+	failures   atomic.Int32 // consecutive probe failures
+	probes     atomic.Int64 // total probes sent
+	lastSeen   atomic.Int64 // unix nanos of the last successful probe
+}
+
+func newMember(id string) *member {
+	p := &member{id: id}
+	p.stateSince.Store(time.Now().UnixNano())
+	return p
+}
+
+// setState stores s, stamping stateSince only on an actual transition.
+func (p *member) setState(s State) {
+	if p.state.Swap(int32(s)) != int32(s) {
+		p.stateSince.Store(time.Now().UnixNano())
+	}
 }
 
 // MemberInfo is a read-only snapshot of one member.
 type MemberInfo struct {
-	ID       string
-	Self     bool
-	State    State
-	Failures int
-	LastSeen time.Time // zero until the first successful probe
+	ID         string
+	Self       bool
+	State      State
+	StateSince time.Time // when the member last changed state
+	Failures   int
+	LastSeen   time.Time // zero until the first successful probe
 }
 
-// Membership probes a static peer list and classifies each peer as
-// ready, draining or dead. The member set is fixed at construction (the
-// ring never changes shape at runtime); only states move.
+// Membership probes the peer list and classifies each peer as ready,
+// draining or dead. The peer set is dynamic: SetPeers reconciles it
+// against a new membership view, keeping the probe history of surviving
+// peers and forgetting removed ones (their probes stop on the next
+// round).
 type Membership struct {
 	self     *member
-	peers    []*member // sorted by construction order of the ring
-	byID     map[string]*member
 	client   *http.Client
 	interval time.Duration
 	failMax  int
+
+	mu    sync.RWMutex
+	peers []*member // ring construction order
+	byID  map[string]*member
+
+	// onEpoch, when set, receives the epoch a peer advertised in its
+	// probe response (the gossip path of the elastic membership layer).
+	onEpoch atomic.Pointer[func(peer string, epoch uint64)]
 
 	probesTotal  atomic.Int64
 	probesFailed atomic.Int64
@@ -97,23 +123,69 @@ func NewMembership(self string, peers []string, interval time.Duration, failThre
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
-	m.self = &member{id: self}
+	m.self = newMember(self)
 	m.byID[self] = m.self
 	for _, p := range peers {
-		if p == "" || p == self {
-			continue
-		}
-		if _, dup := m.byID[p]; dup {
-			continue
-		}
-		// Peers start ready: optimism costs one failed forward (which the
-		// breaker absorbs), pessimism would serve everything locally until
-		// the first probe round scatters the caches.
-		mem := &member{id: p}
-		m.byID[p] = mem
-		m.peers = append(m.peers, mem)
+		m.addPeerLocked(p)
 	}
 	return m
+}
+
+// addPeerLocked registers one peer (caller holds mu, or is constructing).
+func (m *Membership) addPeerLocked(p string) {
+	if p == "" || p == m.self.id {
+		return
+	}
+	if _, dup := m.byID[p]; dup {
+		return
+	}
+	// Peers start ready: optimism costs one failed forward (which the
+	// breaker absorbs), pessimism would serve everything locally until
+	// the first probe round scatters the caches.
+	mem := newMember(p)
+	m.byID[p] = mem
+	m.peers = append(m.peers, mem)
+}
+
+// SetPeers reconciles the probe set against a new peer list: surviving
+// peers keep their member record (state, failure and probe history),
+// new peers start optimistically ready, and removed peers are forgotten
+// — they drop out of Snapshot/State immediately and receive no further
+// probes. An in-flight probe of a removed peer settles into its orphaned
+// record and is garbage collected with it.
+func (m *Membership) SetPeers(peers []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keep := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		if p != "" && p != m.self.id {
+			keep[p] = true
+		}
+	}
+	next := m.peers[:0:0]
+	for _, p := range m.peers {
+		if keep[p.id] {
+			next = append(next, p)
+			delete(keep, p.id)
+		} else {
+			delete(m.byID, p.id)
+		}
+	}
+	m.peers = next
+	for _, p := range peers {
+		m.addPeerLocked(p)
+	}
+}
+
+// OnEpoch registers the callback invoked with the epoch a peer's probe
+// response advertised (api.EpochHeader on /healthz). Safe to call at any
+// time; the latest registration wins.
+func (m *Membership) OnEpoch(fn func(peer string, epoch uint64)) {
+	if fn == nil {
+		m.onEpoch.Store(nil)
+		return
+	}
+	m.onEpoch.Store(&fn)
 }
 
 // Start launches the background probe loop (an immediate round, then one
@@ -152,11 +224,15 @@ func (m *Membership) Stop() {
 	}
 }
 
-// ProbeNow runs one synchronous probe round over every peer (self is
-// never probed: its state is set directly by SetSelfState).
+// ProbeNow runs one synchronous probe round over every current peer
+// (self is never probed: its state is set directly by SetSelfState).
 func (m *Membership) ProbeNow(ctx context.Context) {
+	m.mu.RLock()
+	peers := make([]*member, len(m.peers))
+	copy(peers, m.peers)
+	m.mu.RUnlock()
 	var wg sync.WaitGroup
-	for _, p := range m.peers {
+	for _, p := range peers {
 		wg.Add(1)
 		go func(p *member) {
 			defer wg.Done()
@@ -168,7 +244,9 @@ func (m *Membership) ProbeNow(ctx context.Context) {
 
 // probe classifies one peer from a GET /healthz: 200 "ok" is ready, a
 // body containing "draining" (any status: the node is alive, just
-// shedding) is draining, anything else is a failure.
+// shedding) is draining, anything else is a failure. A live response
+// carrying an epoch header feeds the gossip callback, so a node that
+// missed a membership broadcast still learns a newer view exists.
 func (m *Membership) probe(ctx context.Context, p *member) {
 	p.probes.Add(1)
 	m.probesTotal.Add(1)
@@ -191,34 +269,52 @@ func (m *Membership) probe(ctx context.Context, p *member) {
 		m.alive(p, StateReady)
 	default:
 		m.fail(p)
+		return
+	}
+	if h := resp.Header.Get(api.EpochHeader); h != "" {
+		if epoch, err := strconv.ParseUint(h, 10, 64); err == nil {
+			if fn := m.onEpoch.Load(); fn != nil {
+				(*fn)(p.id, epoch)
+			}
+		}
 	}
 }
 
 func (m *Membership) alive(p *member, s State) {
 	p.failures.Store(0)
 	p.lastSeen.Store(time.Now().UnixNano())
-	p.state.Store(int32(s))
+	p.setState(s)
 }
 
 func (m *Membership) fail(p *member) {
 	m.probesFailed.Add(1)
 	if int(p.failures.Add(1)) >= m.failMax {
-		p.state.Store(int32(StateDead))
+		p.setState(StateDead)
 	}
 }
 
 // State returns a node's current state; unknown IDs are dead.
 func (m *Membership) State(id string) State {
+	m.mu.RLock()
 	p, ok := m.byID[id]
+	m.mu.RUnlock()
 	if !ok {
 		return StateDead
 	}
 	return State(p.state.Load())
 }
 
+// Known reports whether the membership currently tracks id.
+func (m *Membership) Known(id string) bool {
+	m.mu.RLock()
+	_, ok := m.byID[id]
+	m.mu.RUnlock()
+	return ok
+}
+
 // SetSelfState flips this node's own advertised state (used by the
 // serving layer when it starts draining).
-func (m *Membership) SetSelfState(s State) { m.self.state.Store(int32(s)) }
+func (m *Membership) SetSelfState(s State) { m.self.setState(s) }
 
 // Self returns this node's ID.
 func (m *Membership) Self() string { return m.self.id }
@@ -231,6 +327,8 @@ func (m *Membership) Probes() (total, failed int64) {
 // Snapshot returns every member's info, self first then peers in
 // construction order.
 func (m *Membership) Snapshot() []MemberInfo {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]MemberInfo, 0, len(m.peers)+1)
 	out = append(out, memberInfo(m.self, true))
 	for _, p := range m.peers {
@@ -245,6 +343,9 @@ func memberInfo(p *member, self bool) MemberInfo {
 		Self:     self,
 		State:    State(p.state.Load()),
 		Failures: int(p.failures.Load()),
+	}
+	if ns := p.stateSince.Load(); ns != 0 {
+		info.StateSince = time.Unix(0, ns)
 	}
 	if ns := p.lastSeen.Load(); ns != 0 {
 		info.LastSeen = time.Unix(0, ns)

@@ -1,0 +1,258 @@
+package elastic
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadSample is one fleet pressure reading.
+type LoadSample struct {
+	// Inflight is the fleet-wide sum of requests currently being served.
+	Inflight int64
+	// P95 is the worst per-node solve p95.
+	P95 time.Duration
+	// QueueDepth is the fleet-wide sum of queued async jobs.
+	QueueDepth int64
+}
+
+// WatcherConfig parameterises a Watcher. A threshold left zero is not
+// consulted; with no thresholds configured the watcher only samples.
+type WatcherConfig struct {
+	// Sample reads the current fleet pressure (required).
+	Sample func() (LoadSample, error)
+	// Interval between samples (default 1s).
+	Interval time.Duration
+	// HighInflight / HighP95 / HighQueueDepth mark a sample overloaded
+	// when any configured one is exceeded. A sample is underloaded when
+	// every configured metric sits below half its threshold — the
+	// hysteresis band keeps the fleet from flapping.
+	HighInflight   int64
+	HighP95        time.Duration
+	HighQueueDepth int64
+	// SustainUp is the consecutive overloaded samples before spawning
+	// (default 3); SustainDown the consecutive underloaded samples
+	// before draining (default 10 — growing is cheap, shrinking throws
+	// away warm state).
+	SustainUp   int
+	SustainDown int
+	// MinNodes/MaxNodes bound the fleet size the watcher will steer to
+	// (defaults 1 / 8).
+	MinNodes int
+	MaxNodes int
+	// Nodes reports the current fleet size; Spawn adds a node; Drain
+	// removes one. All required for the watcher to act.
+	Nodes func() int
+	Spawn func() error
+	Drain func() error
+	// Logf, when set, receives scale decisions.
+	Logf func(format string, args ...any)
+}
+
+// Watcher samples fleet pressure and spawns or drains nodes under
+// sustained load — the local-fleet autoscaler of cmd/crcluster and
+// httpserve.StartFleet.
+type Watcher struct {
+	cfg WatcherConfig
+
+	hi, lo         int
+	spawns, drains atomic.Int64
+
+	started  atomic.Bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewWatcher validates cfg and builds a Watcher.
+func NewWatcher(cfg WatcherConfig) (*Watcher, error) {
+	if cfg.Sample == nil {
+		return nil, fmt.Errorf("elastic: WatcherConfig.Sample is required")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.SustainUp <= 0 {
+		cfg.SustainUp = 3
+	}
+	if cfg.SustainDown <= 0 {
+		cfg.SustainDown = 10
+	}
+	if cfg.MinNodes <= 0 {
+		cfg.MinNodes = 1
+	}
+	if cfg.MaxNodes <= 0 {
+		cfg.MaxNodes = 8
+	}
+	return &Watcher{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}, nil
+}
+
+// Start launches the sampling loop; Stop ends it.
+func (w *Watcher) Start() {
+	if !w.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(w.done)
+		t := time.NewTicker(w.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+				w.tick()
+			}
+		}
+	}()
+}
+
+// Stop ends the sampling loop and waits for it.
+func (w *Watcher) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	if w.started.Load() {
+		<-w.done
+	}
+}
+
+// Scales reports (spawns, drains) performed so far.
+func (w *Watcher) Scales() (spawns, drains int64) {
+	return w.spawns.Load(), w.drains.Load()
+}
+
+// tick takes one sample and acts when a sustained trend crosses the
+// configured thresholds.
+func (w *Watcher) tick() {
+	s, err := w.cfg.Sample()
+	if err != nil {
+		w.hi, w.lo = 0, 0 // an unreadable fleet is no evidence either way
+		return
+	}
+	switch w.classify(s) {
+	case 1:
+		w.hi++
+		w.lo = 0
+	case -1:
+		w.lo++
+		w.hi = 0
+	default:
+		w.hi, w.lo = 0, 0
+	}
+	if w.cfg.Nodes == nil {
+		return
+	}
+	if w.hi >= w.cfg.SustainUp && w.cfg.Spawn != nil && w.cfg.Nodes() < w.cfg.MaxNodes {
+		w.hi = 0
+		if err := w.cfg.Spawn(); err != nil {
+			w.logf("elastic: watcher spawn failed: %v", err)
+			return
+		}
+		w.spawns.Add(1)
+		w.logf("elastic: watcher spawned a node (inflight=%d p95=%v queue=%d)", s.Inflight, s.P95, s.QueueDepth)
+	}
+	if w.lo >= w.cfg.SustainDown && w.cfg.Drain != nil && w.cfg.Nodes() > w.cfg.MinNodes {
+		w.lo = 0
+		if err := w.cfg.Drain(); err != nil {
+			w.logf("elastic: watcher drain failed: %v", err)
+			return
+		}
+		w.drains.Add(1)
+		w.logf("elastic: watcher drained a node (inflight=%d p95=%v queue=%d)", s.Inflight, s.P95, s.QueueDepth)
+	}
+}
+
+// classify buckets a sample: 1 overloaded, -1 underloaded, 0 neutral.
+func (w *Watcher) classify(s LoadSample) int {
+	configured := false
+	under := true
+	if w.cfg.HighInflight > 0 {
+		configured = true
+		if s.Inflight > w.cfg.HighInflight {
+			return 1
+		}
+		under = under && s.Inflight*2 < w.cfg.HighInflight
+	}
+	if w.cfg.HighP95 > 0 {
+		configured = true
+		if s.P95 > w.cfg.HighP95 {
+			return 1
+		}
+		under = under && s.P95*2 < w.cfg.HighP95
+	}
+	if w.cfg.HighQueueDepth > 0 {
+		configured = true
+		if s.QueueDepth > w.cfg.HighQueueDepth {
+			return 1
+		}
+		under = under && s.QueueDepth*2 < w.cfg.HighQueueDepth
+	}
+	if !configured {
+		return 0
+	}
+	if under {
+		return -1
+	}
+	return 0
+}
+
+func (w *Watcher) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// varsSample is the slice of /debug/vars the sampler reads.
+type varsSample struct {
+	CRServe struct {
+		Inflight int64 `json:"inflight"`
+		Jobs     struct {
+			QueueDepth int64 `json:"queue_depth"`
+		} `json:"jobs"`
+		Latency map[string]struct {
+			P95US float64 `json:"p95_us"`
+		} `json:"latency"`
+	} `json:"crserve"`
+}
+
+// VarsSampler builds a Sample func that scrapes each target's
+// /debug/vars and aggregates fleet pressure: inflight and job queue
+// depth sum across nodes, p95 takes the worst node's solve endpoint. A
+// partially unreachable fleet reports what it can; only a fully
+// unreachable one errors.
+func VarsSampler(client *http.Client, targets func() []string) func() (LoadSample, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Second}
+	}
+	return func() (LoadSample, error) {
+		var s LoadSample
+		ok := 0
+		for _, t := range targets() {
+			resp, err := client.Get(t + "/debug/vars")
+			if err != nil {
+				continue
+			}
+			var doc varsSample
+			err = json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&doc)
+			resp.Body.Close()
+			if err != nil {
+				continue
+			}
+			ok++
+			s.Inflight += doc.CRServe.Inflight
+			s.QueueDepth += doc.CRServe.Jobs.QueueDepth
+			if solve, found := doc.CRServe.Latency["solve"]; found {
+				if p := time.Duration(solve.P95US * float64(time.Microsecond)); p > s.P95 {
+					s.P95 = p
+				}
+			}
+		}
+		if ok == 0 {
+			return s, fmt.Errorf("elastic: no /debug/vars target reachable")
+		}
+		return s, nil
+	}
+}

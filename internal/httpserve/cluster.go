@@ -209,6 +209,13 @@ func batchItemKey(it *api.SolveRequest) string {
 // owner answers CodeUnavailable — the pinned state (a session's warm
 // tree, a job's progress ring) lives only there, so no other node can
 // serve it.
+//
+// Relocation tombstones take precedence over the ID's tag: a session
+// this node pushed to a new owner during a membership change keeps
+// resolving here, as a redirect or proxy to the adopter. Tombstones live
+// only on the old owner — a third node still routes by tag and the old
+// owner re-routes — so clients keep their one-redirect contract as long
+// as they talk to the node that answered them last.
 func (s *server) ownerRouted(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		cl := s.cfg.Cluster
@@ -217,6 +224,18 @@ func (s *server) ownerRouted(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		id := r.PathValue("id")
+		if dest := s.relocatedTo(id); dest != "" {
+			s.routeTo(w, r, id, dest)
+			return
+		}
+		// An adopted session lives here now even though its tag names its
+		// original creator — serve it directly, no hop through the
+		// departed node's tombstone. (Job IDs never enter the session
+		// table; they fall through to tag routing.)
+		if s.hasSession(id) {
+			h(w, r)
+			return
+		}
 		tag, _, ok := strings.Cut(id, "-")
 		if !ok || tag == cl.SelfTag() {
 			h(w, r)
@@ -227,49 +246,58 @@ func (s *server) ownerRouted(h http.HandlerFunc) http.HandlerFunc {
 			h(w, r)
 			return
 		}
-		if r.Method == http.MethodGet {
-			cl.CountRedirect()
-			w.Header().Set("Location", node+r.URL.Path)
-			w.WriteHeader(http.StatusTemporaryRedirect)
-			return
-		}
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-		if err != nil {
-			s.fail(w, &api.Error{Code: api.CodeInvalidRequest, Message: "reading request body: " + err.Error()})
-			return
-		}
-		ctx, cancel := s.requestContext(r)
-		defer cancel()
-		cl.CountProxiedSession()
-		res, ferr := cl.Forward(ctx, []string{node}, r.Method, r.URL.Path, body)
-		if ferr != nil {
-			if ctx.Err() != nil {
-				s.fail(w, ctx.Err())
-				return
-			}
-			s.fail(w, &api.Error{
-				Code:    api.CodeUnavailable,
-				Message: fmt.Sprintf("owner %s unreachable", node),
-				Details: map[string]string{"id": id, "owner": node},
-			})
-			return
-		}
-		writeRaw(w, res)
+		s.routeTo(w, r, id, node)
 	}
 }
 
-// handleCluster serves the fleet introspection document.
-//
-//	GET /v1/cluster
-func (s *server) handleCluster(w http.ResponseWriter, _ *http.Request) {
+// routeTo sends an ID-pinned call to the node holding its state: GETs
+// redirect, mutating calls proxy with the hop guard.
+func (s *server) routeTo(w http.ResponseWriter, r *http.Request, id, node string) {
+	cl := s.cfg.Cluster
+	if r.Method == http.MethodGet {
+		cl.CountRedirect()
+		w.Header().Set("Location", node+r.URL.Path)
+		w.WriteHeader(http.StatusTemporaryRedirect)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.fail(w, &api.Error{Code: api.CodeInvalidRequest, Message: "reading request body: " + err.Error()})
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	cl.CountProxiedSession()
+	res, ferr := cl.Forward(ctx, []string{node}, r.Method, r.URL.Path, body)
+	if ferr != nil {
+		if ctx.Err() != nil {
+			s.fail(w, ctx.Err())
+			return
+		}
+		s.fail(w, &api.Error{
+			Code:    api.CodeUnavailable,
+			Message: fmt.Sprintf("owner %s unreachable", node),
+			Details: map[string]string{"id": id, "owner": node},
+		})
+		return
+	}
+	writeRaw(w, res)
+}
+
+// clusterDoc builds the fleet introspection document. Epoch and Members
+// are the authoritative view peers adopt through the gossip pull, so
+// they must describe the routing ring — not the membership snapshot,
+// which on a draining node still lists this (voted-out) node.
+func (s *server) clusterDoc() *api.ClusterResponse {
 	resp := &api.ClusterResponse{APIVersion: api.Version}
 	cl := s.cfg.Cluster
 	if cl == nil {
-		writeJSON(w, http.StatusOK, resp)
-		return
+		return resp
 	}
 	resp.Enabled = true
 	resp.Self = cl.Self()
+	resp.Epoch = cl.Epoch()
+	resp.Members = cl.Members()
 	resp.VirtualNodes = cl.VirtualNodes()
 	now := time.Now()
 	for _, n := range cl.Snapshot() {
@@ -278,6 +306,9 @@ func (s *server) handleCluster(w http.ResponseWriter, _ *http.Request) {
 			state = cluster.StateDraining
 		}
 		node := api.ClusterNode{ID: n.ID, Tag: n.Tag, Self: n.Self, State: state.String(), Failures: n.Failures}
+		if !n.StateSince.IsZero() {
+			node.StateSinceMS = now.Sub(n.StateSince).Milliseconds()
+		}
 		if !n.Self {
 			if n.LastSeen.IsZero() {
 				node.LastSeenMS = -1
@@ -299,5 +330,12 @@ func (s *server) handleCluster(w http.ResponseWriter, _ *http.Request) {
 		"probes":           st.Probes,
 		"probe_failures":   st.ProbeFailures,
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+// handleCluster serves the fleet introspection document.
+//
+//	GET /v1/cluster
+func (s *server) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.clusterDoc())
 }

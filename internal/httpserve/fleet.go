@@ -4,37 +4,54 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
 	"repro/internal/cluster"
+	"repro/internal/elastic"
 )
 
 // FleetNode is one member of an in-process fleet: a full crserve stack —
-// its own Service (solver + caches), cluster view and HTTP listener on a
-// loopback port.
+// its own Service (solver + caches), cluster view, elastic membership
+// manager and HTTP listener on a loopback port.
 type FleetNode struct {
 	URL     string
 	Service *repro.Service
 	Handler *Server
 	Cluster *cluster.Cluster
+	Elastic *elastic.Manager
 
-	srv *http.Server
-	lis net.Listener
+	srv    *http.Server
+	lis    net.Listener
+	killed atomic.Bool
 }
 
 // Kill abruptly stops the node: the listener and every open connection
 // close immediately, as a crashed process would. The node's cluster
 // probes keep running (they are the dead node's own view and harmless);
 // Fleet.Close still cleans them up.
-func (n *FleetNode) Kill() { n.srv.Close() }
+func (n *FleetNode) Kill() {
+	n.killed.Store(true)
+	n.srv.Close()
+}
+
+// Alive reports whether the node still accepts work (not killed, not
+// voted out and draining).
+func (n *FleetNode) Alive() bool { return !n.killed.Load() && !n.Handler.Draining() }
 
 // Fleet is an in-process cluster of crserve nodes, used by the cluster
 // tests, the P2 benchmark and cmd/crcluster. It is a real fleet in every
 // sense but the process boundary: N listeners, N services, N ring views,
-// HTTP between them.
+// HTTP between them — and, with the elastic layer attached to every
+// node, it grows (Spawn) and shrinks (Leave) at runtime.
 type Fleet struct {
+	mu    sync.Mutex // guards Nodes against concurrent Spawn/Leave
 	Nodes []*FleetNode
+
+	opts       FleetOptions
+	newService func() *repro.Service
 }
 
 // FleetOptions tunes StartFleet.
@@ -44,7 +61,8 @@ type FleetOptions struct {
 	// 4096-entry cache per node", or NewService overrides).
 	Serve Config
 	// Cluster is the per-node cluster config; Self and Peers are filled
-	// per node.
+	// per node, and a zero Epoch becomes 1 so runtime view changes
+	// (strictly-higher epochs) are always possible.
 	Cluster cluster.Config
 	// NewService builds each node's Service (default: fresh solver with a
 	// 4096-entry cache).
@@ -58,6 +76,9 @@ type FleetOptions struct {
 func StartFleet(n int, opts FleetOptions) (*Fleet, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("httpserve: fleet size %d", n)
+	}
+	if opts.Cluster.Epoch == 0 {
+		opts.Cluster.Epoch = 1
 	}
 	newService := opts.NewService
 	if newService == nil {
@@ -78,45 +99,159 @@ func StartFleet(n int, opts FleetOptions) (*Fleet, error) {
 		urls[i] = "http://" + lis.Addr().String()
 	}
 
-	f := &Fleet{Nodes: make([]*FleetNode, n)}
+	f := &Fleet{Nodes: make([]*FleetNode, n), opts: opts, newService: newService}
 	for i := range f.Nodes {
-		ccfg := opts.Cluster
-		ccfg.Self = urls[i]
-		ccfg.Peers = append([]string(nil), urls...)
-		cl, err := cluster.New(ccfg)
+		node, err := f.startNode(listeners[i], urls[i], urls, opts.Cluster.Epoch)
 		if err != nil {
 			f.Close()
 			return nil, err
-		}
-		scfg := opts.Serve
-		scfg.Service = newService()
-		scfg.Cluster = cl
-		h := New(scfg)
-		node := &FleetNode{
-			URL: urls[i], Service: scfg.Service, Handler: h, Cluster: cl,
-			srv: &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second},
-			lis: listeners[i],
-		}
-		go node.srv.Serve(node.lis)
-		if opts.StartProbes {
-			cl.Start()
 		}
 		f.Nodes[i] = node
 	}
 	return f, nil
 }
 
-// URLs returns the node base URLs in fleet order.
+// startNode builds and serves one node at the given epoch and member
+// list. The caller still owns the listener when an error is returned.
+func (f *Fleet) startNode(lis net.Listener, self string, members []string, epoch uint64) (*FleetNode, error) {
+	ccfg := f.opts.Cluster
+	ccfg.Self = self
+	ccfg.Peers = append([]string(nil), members...)
+	ccfg.Epoch = epoch
+	cl, err := cluster.New(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	scfg := f.opts.Serve
+	scfg.Service = f.newService()
+	scfg.Cluster = cl
+	h := New(scfg)
+	node := &FleetNode{
+		URL: self, Service: scfg.Service, Handler: h, Cluster: cl,
+		srv: &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second},
+		lis: lis,
+	}
+	node.Elastic = h.AttachElastic(nil)
+	go node.srv.Serve(node.lis)
+	if f.opts.StartProbes {
+		cl.Start()
+	}
+	return node, nil
+}
+
+// Spawn adds a node to the running fleet: it starts a fresh stack on a
+// new loopback port at the current view's epoch, then has a live
+// incumbent propose the widened member list. The incumbent's proposal
+// (epoch+1) is what makes the join warm — the incumbent pushes its moved
+// ranges before flipping its routing, and its broadcast makes every
+// other member do the same — so by the time traffic routes to the new
+// node, the warm state it now owns is already there.
+func (f *Fleet) Spawn() (*FleetNode, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var inc *FleetNode
+	for _, n := range f.Nodes {
+		if n != nil && n.Alive() {
+			inc = n
+			break
+		}
+	}
+	if inc == nil {
+		return nil, fmt.Errorf("httpserve: no live node to join through")
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("httpserve: fleet listener: %w", err)
+	}
+	members := inc.Cluster.Members()
+	self := "http://" + lis.Addr().String()
+	node, err := f.startNode(lis, self, append(members, self), inc.Cluster.Epoch())
+	if err != nil {
+		lis.Close()
+		return nil, err
+	}
+	f.Nodes = append(f.Nodes, node)
+	if _, err := inc.Elastic.Propose(append(members, self)); err != nil {
+		return node, fmt.Errorf("httpserve: joining %s: %w", self, err)
+	}
+	return node, nil
+}
+
+// Leave votes node i out of the fleet: the node itself proposes the
+// narrowed view, which pushes its sessions and moved cache entries to
+// their new owners and flips it to draining. The process keeps running —
+// it answers relocation redirects and lagging forwards — until Close.
+func (f *Fleet) Leave(i int) error {
+	f.mu.Lock()
+	if i < 0 || i >= len(f.Nodes) || f.Nodes[i] == nil {
+		f.mu.Unlock()
+		return fmt.Errorf("httpserve: no fleet node %d", i)
+	}
+	node := f.Nodes[i]
+	f.mu.Unlock()
+	var rest []string
+	for _, m := range node.Cluster.Members() {
+		if m != node.URL {
+			rest = append(rest, m)
+		}
+	}
+	if len(rest) == 0 {
+		return fmt.Errorf("httpserve: cannot drain the last fleet node")
+	}
+	_, err := node.Elastic.Propose(rest)
+	return err
+}
+
+// DrainNewest votes out the most recently added live node, never node 0
+// (the fleet's stable entry point) — the autoscaling watcher's shrink
+// step.
+func (f *Fleet) DrainNewest() error {
+	f.mu.Lock()
+	idx := -1
+	for i := len(f.Nodes) - 1; i > 0; i-- {
+		if f.Nodes[i] != nil && f.Nodes[i].Alive() {
+			idx = i
+			break
+		}
+	}
+	f.mu.Unlock()
+	if idx < 0 {
+		return fmt.Errorf("httpserve: no drainable node")
+	}
+	return f.Leave(idx)
+}
+
+// Alive counts nodes still accepting work — the fleet size the
+// autoscaling watcher steers.
+func (f *Fleet) Alive() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, node := range f.Nodes {
+		if node != nil && node.Alive() {
+			n++
+		}
+	}
+	return n
+}
+
+// URLs returns the base URLs of nodes still accepting work.
 func (f *Fleet) URLs() []string {
-	out := make([]string, len(f.Nodes))
-	for i, n := range f.Nodes {
-		out[i] = n.URL
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.Nodes))
+	for _, n := range f.Nodes {
+		if n != nil && n.Alive() {
+			out = append(out, n.URL)
+		}
 	}
 	return out
 }
 
 // Close stops every node's probes, job workers and listener.
 func (f *Fleet) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	for _, n := range f.Nodes {
 		if n == nil {
 			continue

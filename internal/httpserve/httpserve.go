@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"repro"
 	"repro/api"
 	"repro/internal/cluster"
+	"repro/internal/elastic"
 	"repro/internal/jobs"
 	"repro/internal/pool"
 )
@@ -92,7 +94,12 @@ func New(cfg Config) *Server {
 	if cfg.JobWorkers <= 0 {
 		cfg.JobWorkers = cfg.BatchParallelism
 	}
-	s := &server{cfg: cfg, started: time.Now(), sessions: map[string]*sessionEntry{}, metrics: newMetrics()}
+	s := &server{
+		cfg: cfg, started: time.Now(), metrics: newMetrics(),
+		sessions:  map[string]*sessionEntry{},
+		relocated: map[string]string{},
+		bounds:    repro.NewBoundCache(repro.BoundCacheConfig{}),
+	}
 	if cfg.MaxInflight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInflight)
 	}
@@ -123,6 +130,10 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.timed(epJobCancel, s.ownerRouted(s.handleJobCancel)))
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	mux.HandleFunc("POST /v1/cluster/members", s.handleMembersUpdate)
+	mux.HandleFunc("POST /v1/migrate/cache", s.handleMigrateCache)
+	mux.HandleFunc("POST /v1/migrate/sessions", s.handleMigrateSessions)
+	mux.HandleFunc("POST /v1/migrate/bounds", s.handleMigrateBounds)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
 	s.mux = mux
@@ -141,6 +152,18 @@ type server struct {
 	sessions map[string]*sessionEntry
 
 	jobs *jobs.Manager
+
+	// elastic is the dynamic-membership manager (nil = static seed list).
+	// Set by AttachElastic before the server starts serving.
+	elastic *elastic.Manager
+	// bounds is the server-wide bound-memoization cache every solve and
+	// session shares; proven facts survive their session and migrate to
+	// joining nodes.
+	bounds *repro.BoundCache
+	// relocated maps migrated session IDs to their adopting node — the
+	// tombstones ownerRouted consults so pinned IDs outlive a migration.
+	relocMu   sync.Mutex
+	relocated map[string]string
 
 	solves, batches, simulates, rejected, failed atomic.Int64
 	sessionCalls, mutates, resolves              atomic.Int64
@@ -220,6 +243,15 @@ func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// solveOpts layers a request's options over the server-wide bound cache:
+// every exact solve on this node reads and proves into one shared pool,
+// which is also what the elastic layer exports to joining nodes.
+func (s *server) solveOpts(reqOpts []repro.Option) []repro.Option {
+	opts := make([]repro.Option, 0, len(reqOpts)+1)
+	opts = append(opts, repro.WithBoundCache(s.bounds))
+	return append(opts, reqOpts...)
+}
+
 // requestContext applies the server-side timeout ceiling.
 func (s *server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
 	if s.cfg.RequestTimeout > 0 {
@@ -246,7 +278,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	out, status, err := s.cfg.Service.Solve(ctx, tree, req.Options()...)
+	out, status, err := s.cfg.Service.Solve(ctx, tree, s.solveOpts(req.Options())...)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -299,7 +331,7 @@ func (s *server) solveItem(ctx context.Context, item *api.SolveRequest) api.Batc
 	if err != nil {
 		return api.BatchItem{Error: api.FromError(err)}
 	}
-	out, status, err := s.cfg.Service.Solve(ctx, tree, item.Options()...)
+	out, status, err := s.cfg.Service.Solve(ctx, tree, s.solveOpts(item.Options())...)
 	if err != nil {
 		return api.BatchItem{Error: api.FromError(err)}
 	}
@@ -330,7 +362,7 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	out, status, err := s.cfg.Service.Solve(ctx, tree, req.Options()...)
+	out, status, err := s.cfg.Service.Solve(ctx, tree, s.solveOpts(req.Options())...)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -363,9 +395,14 @@ func (s *server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
 // handleHealthz answers "ok" (200) while serving and "draining" (503)
 // once Drain was called: the non-200 pulls the node from load-balancer
 // rotation, and cluster peers' probes parse the body so a draining node
-// reads as alive-but-shedding rather than dead.
+// reads as alive-but-shedding rather than dead. In cluster mode the
+// response advertises this node's view epoch — the gossip path that lets
+// a peer that missed a membership broadcast notice and catch up.
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if cl := s.cfg.Cluster; cl != nil {
+		w.Header().Set(api.EpochHeader, strconv.FormatUint(cl.Epoch(), 10))
+	}
 	if s.draining.Load() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
@@ -445,10 +482,14 @@ func (s *server) handleVars(w http.ResponseWriter, _ *http.Request) {
 		}
 		ownVars["cluster"] = map[string]any{
 			"self":     cl.Self(),
+			"epoch":    cl.Epoch(),
 			"draining": s.draining.Load(),
 			"stats":    cl.Stats(),
 			"states":   states,
 		}
+	}
+	if s.elastic != nil {
+		ownVars["elastic"] = s.elastic.Counters()
 	}
 	own, _ := json.Marshal(ownVars)
 	fmt.Fprintf(w, "%q: %s}", "crserve", own)

@@ -13,9 +13,12 @@ import (
 )
 
 // sessionEntry is one live session with its bookkeeping. lastUsed is
-// guarded by the server's session lock.
+// guarded by the server's session lock; defaults are the solve
+// parameters captured at open, immutable afterwards — they travel with
+// the session when it migrates so the adopter re-opens it identically.
 type sessionEntry struct {
 	sess     *repro.Session
+	defaults api.SolveRequest
 	lastUsed time.Time
 }
 
@@ -42,12 +45,14 @@ func (s *server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 	if s.maybeForward(w, r, repro.Fingerprint(tree), raw, false) {
 		return
 	}
-	sess, err := s.cfg.Service.OpenSession(tree, req.Options()...)
+	sess, err := s.cfg.Service.OpenSession(tree, s.solveOpts(req.Options())...)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	id, err := s.storeSession(sess)
+	defaults := req.SolveRequest
+	defaults.Spec = nil // the tree travels separately (and mutates)
+	id, err := s.storeSession(sess, defaults)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -65,7 +70,7 @@ func (s *server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 	id, sess, err := s.lookupSession(r)
 	if err != nil {
-		s.fail(w, err)
+		s.sessionFail(w, r, err)
 		return
 	}
 	s.stampSelf(w)
@@ -83,7 +88,7 @@ func (s *server) handleSessionMutate(w http.ResponseWriter, r *http.Request) {
 	s.mutates.Add(1)
 	id, sess, err := s.lookupSession(r)
 	if err != nil {
-		s.fail(w, err)
+		s.sessionFail(w, r, err)
 		return
 	}
 	var req api.MutateRequest
@@ -135,7 +140,7 @@ func (s *server) handleSessionMutate(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleSessionResolve(w http.ResponseWriter, r *http.Request) {
 	id, sess, err := s.lookupSession(r)
 	if err != nil {
-		s.fail(w, err)
+		s.sessionFail(w, r, err)
 		return
 	}
 	out, tree, status, err := s.resolveSession(r, sess)
@@ -160,7 +165,7 @@ func (s *server) handleSessionResolve(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
 	id, sess, err := s.lookupSession(r)
 	if err != nil {
-		s.fail(w, err)
+		s.sessionFail(w, r, err)
 		return
 	}
 	s.sessMu.Lock()
@@ -184,6 +189,27 @@ func (s *server) resolveSession(r *http.Request, sess *repro.Session) (*repro.Ou
 // unknown, expired or evicted sessions.
 var errSessionNotFound = errors.New("unknown session")
 
+// errRelocated reports a lookup that missed because the session migrated
+// away mid-request — the call raced sessionRelocated between the routing
+// check and the table lookup. sessionFail turns it into a proxy/redirect
+// to the adopter instead of a not_found.
+type errRelocated struct{ id, node string }
+
+func (e *errRelocated) Error() string {
+	return fmt.Sprintf("session %q relocated to %s", e.id, e.node)
+}
+
+// sessionFail answers a failed session lookup: a mid-request relocation
+// re-routes to the adopter; anything else goes to the client as-is.
+func (s *server) sessionFail(w http.ResponseWriter, r *http.Request, err error) {
+	var rel *errRelocated
+	if errors.As(err, &rel) {
+		s.routeTo(w, r, rel.id, rel.node)
+		return
+	}
+	s.fail(w, err)
+}
+
 // storeSession registers a session under a fresh random ID, evicting
 // expired sessions first and, when the table is still full, the least
 // recently used live one — long-idle dynamic workloads lose their warm
@@ -193,7 +219,7 @@ var errSessionNotFound = errors.New("unknown session")
 // ("<tag>-<random>"): the session is pinned to its creator, and any
 // fleet member receiving a call for it can route to the owner from the
 // ID alone (see sessionRouted).
-func (s *server) storeSession(sess *repro.Session) (string, error) {
+func (s *server) storeSession(sess *repro.Session, defaults api.SolveRequest) (string, error) {
 	var raw [16]byte
 	if _, err := rand.Read(raw[:]); err != nil {
 		return "", fmt.Errorf("httpserve: minting session id: %w", err)
@@ -226,8 +252,30 @@ func (s *server) storeSession(sess *repro.Session) (string, error) {
 			s.sessionsEvicted.Add(1)
 		}
 	}
-	s.sessions[id] = &sessionEntry{sess: sess, lastUsed: now}
+	s.sessions[id] = &sessionEntry{sess: sess, defaults: defaults, lastUsed: now}
 	return id, nil
+}
+
+// adoptSession registers a migrated session under its original ID — the
+// pin that keeps the ID resolving across the move (the old owner's
+// tombstone points here, and this node's lookups find it directly). Any
+// tombstone this node holds for the ID is cleared: the session may have
+// bounced back in a later view change.
+func (s *server) adoptSession(id string, sess *repro.Session, defaults api.SolveRequest) {
+	s.sessMu.Lock()
+	s.sessions[id] = &sessionEntry{sess: sess, defaults: defaults, lastUsed: time.Now()}
+	s.sessMu.Unlock()
+	s.clearRelocation(id)
+}
+
+// hasSession reports whether the ID is in the local table, without
+// refreshing its idle clock — the routing-layer check for sessions
+// adopted from a departed owner.
+func (s *server) hasSession(id string) bool {
+	s.sessMu.Lock()
+	_, ok := s.sessions[id]
+	s.sessMu.Unlock()
+	return ok
 }
 
 // lookupSession resolves the {id} path segment, refreshing the entry's
@@ -244,6 +292,9 @@ func (s *server) lookupSession(r *http.Request) (string, *repro.Session, error) 
 		ok = false
 	}
 	if !ok {
+		if node := s.relocatedTo(id); node != "" {
+			return "", nil, &errRelocated{id: id, node: node}
+		}
 		return "", nil, &api.Error{
 			Code:    api.CodeNotFound,
 			Message: fmt.Sprintf("%v: %q", errSessionNotFound, id),

@@ -1,0 +1,113 @@
+package load
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpecEventsValidate covers the event-spec rules: unknown actions,
+// negative offsets and offsets past the measured phase are all caught
+// (and reported together), valid events pass, and the field round-trips
+// through the strict parser.
+func TestSpecEventsValidate(t *testing.T) {
+	s := DefaultSpec()
+	s.Events = []EventSpec{
+		{At: Duration(-time.Second), Action: EventJoin},
+		{At: Duration(time.Second), Action: "restart"},
+		{At: Duration(time.Hour), Action: EventLeave},
+	}
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("invalid events accepted")
+	}
+	for _, want := range []string{"events[0].at", "events[1].action", "events[2].at"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+
+	s.Events = []EventSpec{
+		{At: 0, Action: EventJoin},
+		{At: Duration(5 * time.Second), Action: EventLeave},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid events rejected: %v", err)
+	}
+
+	parsed, err := ParseSpec([]byte(`{
+		"rps": 10, "duration": "10s",
+		"events": [{"at": "5s", "action": "join"}]
+	}`))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if len(parsed.Events) != 1 || parsed.Events[0].Action != EventJoin ||
+		time.Duration(parsed.Events[0].At) != 5*time.Second {
+		t.Fatalf("parsed events = %+v", parsed.Events)
+	}
+}
+
+// TestEventsFireOnSchedule runs a short self-hosted workload with a
+// join and a leave event and checks both reach the OnEvent hook, in
+// order, during the measured phase.
+func TestEventsFireOnSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts a fleet")
+	}
+	fleet, err := SelfHostFleet(1)
+	if err != nil {
+		t.Fatalf("SelfHostFleet: %v", err)
+	}
+	defer fleet.Close()
+
+	spec := &Spec{
+		Name:     "events",
+		Seed:     3,
+		RPS:      60,
+		Duration: Duration(700 * time.Millisecond),
+		Warmup:   Duration(100 * time.Millisecond),
+		Workers:  8,
+		Corpus:   CorpusSpec{Instances: 4, MinCRUs: 5, MaxCRUs: 7, Satellites: 3, ZipfS: 1.5},
+		Mix:      MixSpec{Classes: map[string]float64{ClassSolve: 1}},
+		Events: []EventSpec{
+			{At: Duration(100 * time.Millisecond), Action: EventJoin},
+			{At: Duration(400 * time.Millisecond), Action: EventLeave},
+		},
+		ScrapeInterval: Duration(-1),
+	}
+	spec.ApplyDefaults()
+
+	var mu sync.Mutex
+	var fired []string
+	hook := FleetEvent(fleet)
+	res, err := Run(context.Background(), spec, RunOptions{
+		Targets: fleet.URLs(),
+		OnEvent: func(action string) error {
+			mu.Lock()
+			fired = append(fired, action)
+			mu.Unlock()
+			return hook(action)
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fired) != 2 || fired[0] != EventJoin || fired[1] != EventLeave {
+		t.Fatalf("fired = %v, want [join leave]", fired)
+	}
+	if len(fleet.Nodes) != 2 {
+		t.Errorf("fleet has %d nodes after join, want 2 (one draining)", len(fleet.Nodes))
+	}
+	if alive := fleet.Alive(); alive != 1 {
+		t.Errorf("fleet alive = %d after leave, want 1", alive)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d client errors across the join/leave run", res.Errors)
+	}
+}

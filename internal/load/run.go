@@ -45,6 +45,11 @@ type RunOptions struct {
 	Client *http.Client
 	// Logf, when set, receives one progress line per scrape interval.
 	Logf func(format string, args ...any)
+	// OnEvent executes one scheduled fleet event (spec.Events): "join"
+	// spawns a node, "leave" drains one. Nil means events are logged and
+	// skipped — an external fleet's membership is not the harness's to
+	// change.
+	OnEvent func(action string) error
 }
 
 // classState accumulates one request class's client-side measurements.
@@ -132,6 +137,30 @@ func Run(ctx context.Context, spec *Spec, opts RunOptions) (*Result, error) {
 			col.run(colCtx)
 		}()
 	}
+
+	// Scheduled fleet events fire at their measured-phase offsets on
+	// timers: the pacer never blocks on a membership change, so the event
+	// lands mid-traffic exactly as a production join/leave would.
+	var eventTimers []*time.Timer
+	for _, ev := range spec.Events {
+		ev := ev
+		at := r.measureStart.Add(time.Duration(ev.At))
+		eventTimers = append(eventTimers, time.AfterFunc(time.Until(at), func() {
+			if opts.OnEvent == nil {
+				logf("event %q at +%v skipped: no fleet hook", ev.Action, time.Duration(ev.At))
+				return
+			}
+			logf("event: %s at +%v", ev.Action, time.Duration(ev.At))
+			if err := opts.OnEvent(ev.Action); err != nil {
+				logf("event %q failed: %v", ev.Action, err)
+			}
+		}))
+	}
+	defer func() {
+		for _, t := range eventTimers {
+			t.Stop()
+		}
+	}()
 
 	// Backlog of about two seconds at target rate: an open-loop pacer
 	// never slows down, so when the fleet falls further behind than

@@ -1,6 +1,7 @@
 package load
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/cluster"
@@ -16,4 +17,23 @@ func SelfHostFleet(n int) (*httpserve.Fleet, error) {
 		Cluster:     cluster.Config{VirtualNodes: 64, ProbeInterval: 500 * time.Millisecond},
 		StartProbes: true,
 	})
+}
+
+// FleetEvent adapts a self-hosted fleet into a RunOptions.OnEvent hook:
+// "join" spawns one warm node, "leave" drains the newest. The original
+// targets keep receiving client traffic — the fleet's routing is what
+// moves work onto (or off) the changed node, as with a real deployment
+// behind a fixed load-balancer list.
+func FleetEvent(fleet *httpserve.Fleet) func(action string) error {
+	return func(action string) error {
+		switch action {
+		case EventJoin:
+			_, err := fleet.Spawn()
+			return err
+		case EventLeave:
+			return fleet.DrainNewest()
+		default:
+			return fmt.Errorf("load: unknown fleet event %q", action)
+		}
+	}
 }

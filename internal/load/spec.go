@@ -107,6 +107,23 @@ type MixSpec struct {
 	JobPortfolio bool `json:"job_portfolio,omitempty"`
 }
 
+// Fleet event actions a spec may schedule mid-run.
+const (
+	EventJoin  = "join"
+	EventLeave = "leave"
+)
+
+// EventSpec schedules one fleet-membership change during the measured
+// phase — the declarative form of "a node joins 5s into the run". The
+// harness fires it through RunOptions.OnEvent; runs without an OnEvent
+// hook (external -targets fleets) log and skip it.
+type EventSpec struct {
+	// At is the offset from the start of the measured phase.
+	At Duration `json:"at"`
+	// Action is "join" (spawn one node) or "leave" (drain the newest).
+	Action string `json:"action"`
+}
+
 // Spec is the declarative workload: everything a run needs besides the
 // target list. The zero value is not runnable — start from DefaultSpec
 // or a parsed file; Validate reports every problem at once.
@@ -136,6 +153,10 @@ type Spec struct {
 
 	Corpus CorpusSpec `json:"corpus"`
 	Mix    MixSpec    `json:"mix"`
+
+	// Events are fleet-membership changes fired at fixed offsets into the
+	// measured phase (self-hosted fleets only).
+	Events []EventSpec `json:"events,omitempty"`
 }
 
 // DefaultSpec is the baseline workload: 100 RPS of 80/10/10
@@ -302,6 +323,18 @@ func (s *Spec) Validate() error {
 	}
 	if m.JobDeadlineMS < 0 {
 		bad("mix.job_deadline_ms must be >= 0 (got %d)", m.JobDeadlineMS)
+	}
+
+	for i, ev := range s.Events {
+		if ev.Action != EventJoin && ev.Action != EventLeave {
+			bad("events[%d].action must be %q or %q (got %q)", i, EventJoin, EventLeave, ev.Action)
+		}
+		if ev.At < 0 {
+			bad("events[%d].at must be >= 0 (got %v)", i, time.Duration(ev.At))
+		}
+		if time.Duration(ev.At) >= time.Duration(s.Duration) && s.Duration > 0 {
+			bad("events[%d].at (%v) must fall inside the measured phase (< %v)", i, time.Duration(ev.At), time.Duration(s.Duration))
+		}
 	}
 
 	if len(probs) > 0 {
